@@ -1,0 +1,155 @@
+"""T-DIST: the distributed concerns — RPC, balancing, failover.
+
+The paper positions the framework for components "distributed across
+the network" (Section 2). These benches measure the simulated
+distribution layer: remote moderated calls vs. local ones, balancing
+quality, and failover recovery time.
+
+Expected shape: remote calls cost dispatch + 2x simulated latency on
+top of the moderated local call; round-robin splits within 1 request;
+failover detection time tracks the monitor interval.
+"""
+
+import time
+
+import pytest
+
+from repro.apps import RemoteTicketFacade, build_ticketing_cluster
+from repro.dist import (
+    Client,
+    FailoverMonitor,
+    LoadBalancer,
+    NameService,
+    Network,
+    Node,
+    RequestTimeout,
+    RoundRobin,
+)
+
+
+@pytest.fixture
+def world():
+    network = Network()  # zero added latency: measure machinery cost
+    names = NameService()
+    resources = {"nodes": [], "clients": []}
+    yield network, names, resources
+    for client in resources["clients"]:
+        client.close()
+    for node in resources["nodes"]:
+        node.stop()
+    network.close()
+
+
+def ticket_node(network, node_id, resources):
+    node = Node(node_id, network, workers=2).start()
+    cluster = build_ticketing_cluster(capacity=10 ** 6)
+    node.export("tickets", RemoteTicketFacade(cluster.proxy))
+    resources["nodes"].append(node)
+    return node, cluster
+
+
+def test_local_moderated_call(benchmark):
+    """Reference: the same moderated call without the network."""
+    cluster = build_ticketing_cluster(capacity=10 ** 6)
+    facade = RemoteTicketFacade(cluster.proxy)
+    counter = iter(range(10 ** 9))
+    benchmark(lambda: facade.open(f"t{next(counter)}"))
+
+
+def test_remote_moderated_call(benchmark, world):
+    network, names, resources = world
+    ticket_node(network, "server", resources)
+    names.bind("tickets", "server", "tickets")
+    client = Client("client", network, names, default_timeout=5.0)
+    resources["clients"].append(client)
+    stub = client.proxy("tickets")
+    counter = iter(range(10 ** 9))
+    benchmark(lambda: stub.open(f"t{next(counter)}"))
+
+
+def test_balanced_remote_call(benchmark, world):
+    network, names, resources = world
+    clusters = []
+    for index in range(3):
+        _node, cluster = ticket_node(network, f"replica-{index}",
+                                     resources)
+        names.bind(f"tickets-{index}", f"replica-{index}", "tickets")
+        clusters.append(cluster)
+    client = Client("client", network, names, default_timeout=5.0)
+    resources["clients"].append(client)
+    balancer = LoadBalancer(
+        client, [f"tickets-{i}" for i in range(3)], policy=RoundRobin(),
+    )
+    counter = iter(range(10 ** 9))
+    benchmark(lambda: balancer.call("open", f"t{next(counter)}"))
+
+    distribution = balancer.distribution()
+    spread = max(distribution.values()) - min(distribution.values())
+    assert spread <= 1, f"round robin must balance exactly: {distribution}"
+    benchmark.extra_info["distribution"] = dict(distribution)
+
+
+def test_migration_downtime(benchmark, world):
+    """Wall-clock service gap during a live migration."""
+    from repro.dist import Migrator
+
+    network, names, resources = world
+
+    def one_migration():
+        tag = time.monotonic_ns()
+        source, _sc = ticket_node(network, f"src-{tag}", resources)
+        target = Node(f"dst-{tag}", network, workers=2).start()
+        resources["nodes"].append(target)
+        name = f"svc-{tag}"
+        names.rebind(name, source.node_id, "tickets")
+        migrator = Migrator(names)
+        report = migrator.migrate(
+            name, source, target,
+            capture=lambda facade: {"pending": facade.pending},
+            rebuild=lambda state: RemoteTicketFacade(
+                build_ticketing_cluster(capacity=10 ** 6).proxy
+            ),
+        )
+        return report.downtime
+
+    downtime = benchmark.pedantic(one_migration, rounds=3, iterations=1)
+    assert downtime < 1.0
+    benchmark.extra_info["downtime_s"] = round(downtime, 6)
+
+
+def test_failover_recovery_time(benchmark, world):
+    """Wall-clock from primary crash to first successful failover call."""
+    network, names, resources = world
+
+    def crash_and_recover():
+        primary, _pc = ticket_node(
+            network, f"primary-{time.monotonic_ns()}", resources,
+        )
+        backup, _bc = ticket_node(
+            network, f"backup-{time.monotonic_ns()}", resources,
+        )
+        name = f"tickets-{time.monotonic_ns()}"
+        names.rebind(name, primary.node_id, "tickets")
+        monitor = FailoverMonitor(
+            names, network, public_name=name,
+            primary=primary, backups=[backup], service="tickets",
+            interval=0.01,
+        ).start()
+        client = Client(f"ops-{time.monotonic_ns()}", network, names,
+                        default_timeout=0.5)
+        resources["clients"].append(client)
+        started = time.monotonic()
+        primary.crash()
+        while True:
+            try:
+                client.call_name(name, "open", "probe", timeout=0.05)
+                break
+            except RequestTimeout:
+                continue
+        elapsed = time.monotonic() - started
+        monitor.stop()
+        return elapsed
+
+    recovery = benchmark.pedantic(crash_and_recover, rounds=3,
+                                  iterations=1)
+    assert recovery < 5.0

@@ -1,0 +1,40 @@
+"""FIG1 bench: the cost of the cluster architecture itself.
+
+Figure 1's cluster (proxy + moderator + bank + factory) is instantiated
+per concurrent object. This bench measures the footprint of that
+architecture: construction, introspection (the bank grid), and a
+round-trip through every cooperating role.
+"""
+
+from repro.apps import build_ticketing_cluster
+from repro.concurrency import Ticket
+
+
+def test_cluster_round_trip(benchmark):
+    """One ticket through every Figure 1 role: proxy -> moderator ->
+    bank -> aspects -> component and back."""
+    cluster = build_ticketing_cluster(capacity=4)
+
+    def round_trip():
+        cluster.proxy.open(Ticket(summary="fig1"))
+        return cluster.proxy.assign("agent")
+
+    ticket = benchmark(round_trip)
+    assert ticket.assignee == "agent"
+
+
+def test_architecture_introspection(benchmark):
+    """Rendering the two-dimensional composition (bank grid)."""
+    cluster = build_ticketing_cluster(capacity=4)
+    grid = benchmark(cluster.architecture)
+    assert set(grid["aspect_bank"]) == {"open", "assign"}
+
+
+def test_many_clusters(benchmark):
+    """Per-concurrent-object architecture cost: 50 clusters."""
+
+    def build_fleet():
+        return [build_ticketing_cluster(capacity=4) for _ in range(50)]
+
+    fleet = benchmark.pedantic(build_fleet, rounds=3, iterations=1)
+    assert len(fleet) == 50

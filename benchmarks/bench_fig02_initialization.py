@@ -1,0 +1,66 @@
+"""FIG2 bench: cost of the initialization phase.
+
+Figure 2's sequence — proxy asks factory to create each aspect, then
+registers it with the moderator — runs once per cluster. This bench
+measures cluster construction end to end and its two halves (creation
+vs. registration), plus scaling in the number of bound cells.
+"""
+
+import pytest
+
+from repro.apps import AspectFactoryImpl, build_ticketing_cluster
+from repro.concurrency import TicketStore
+from repro.core import AspectModerator, Cluster, NullAspect
+from repro.core.factory import RegistryAspectFactory
+
+
+def test_full_cluster_construction(benchmark):
+    """The paper's exact initialization: 2 methods x 1 concern."""
+    cluster = benchmark(lambda: build_ticketing_cluster(capacity=16))
+    assert len(cluster.bank) == 2
+
+
+def test_aspect_creation_only(benchmark):
+    """Factory Method dispatch cost (Figure 4/6)."""
+    factory = AspectFactoryImpl()
+    store = TicketStore(capacity=16)
+    aspect = benchmark(lambda: factory.create("open", "sync", store))
+    assert aspect is not None
+
+
+def test_registration_only(benchmark):
+    """registerAspect cost: one entry in the two-dimensional bank."""
+    factory = AspectFactoryImpl()
+    store = TicketStore(capacity=16)
+    aspect = factory.create("open", "sync", store)
+    moderator = AspectModerator()
+
+    def register():
+        moderator.register_aspect("open", "sync", aspect, replace=True)
+
+    benchmark(register)
+    assert moderator.bank.contains("open", "sync")
+
+
+@pytest.mark.parametrize("cells", [4, 16, 64])
+def test_initialization_scales_with_cells(benchmark, cells):
+    """Binding N (method, concern) cells: expected linear in N."""
+    methods = [f"m{i}" for i in range(cells // 4)]
+    concerns = ["sync", "auth", "audit", "timing"]
+    factory = RegistryAspectFactory()
+    for method in methods:
+        for concern in concerns:
+            factory.register(method, concern, lambda _c: NullAspect())
+
+    class Component:
+        pass
+
+    def build():
+        return Cluster(
+            component=Component(),
+            factory=factory,
+            bindings={m: list(concerns) for m in methods},
+        )
+
+    cluster = benchmark(build)
+    assert len(cluster.bank) == cells

@@ -1,0 +1,83 @@
+"""FIG3 bench: per-call cost of the method-invocation protocol.
+
+The paper's Figure 3 sequence (preactivation -> precondition -> invoke
+-> postactivation -> postaction -> notify) has a runtime price. This
+bench measures one moderated call against a plain call, isolating each
+step the diagram adds: the proxy hop, the moderation protocol with one
+aspect, and the protocol with tracing subscribed.
+
+Expected shape: plain < proxy-passthrough < moderated < moderated+trace,
+each step adding a small constant; see EXPERIMENTS.md FIG3.
+"""
+
+import pytest
+
+from repro.core import (
+    AspectModerator,
+    ComponentProxy,
+    NullAspect,
+    Tracer,
+)
+
+
+class Component:
+    def service(self, value=1):
+        return value + 1
+
+
+@pytest.fixture
+def component():
+    return Component()
+
+
+def test_plain_call(benchmark, component):
+    """Baseline: direct method call, no framework."""
+    result = benchmark(component.service)
+    assert result == 2
+
+
+def test_proxy_passthrough(benchmark, component):
+    """Proxy hop only: non-participating method through the proxy."""
+    proxy = ComponentProxy(component, AspectModerator())
+    bound = proxy.service  # attribute resolution outside the loop
+    result = benchmark(bound)
+    assert result == 2
+
+
+def test_proxy_dynamic_lookup(benchmark, component):
+    """Proxy hop including per-call attribute interception."""
+    proxy = ComponentProxy(component, AspectModerator())
+    result = benchmark(lambda: proxy.service())
+    assert result == 2
+
+
+def test_moderated_one_aspect(benchmark, component):
+    """The full Figure 3 protocol with a single null aspect."""
+    moderator = AspectModerator()
+    moderator.register_aspect("service", "null", NullAspect())
+    proxy = ComponentProxy(component, moderator)
+    result = benchmark(lambda: proxy.service())
+    assert result == 2
+    assert moderator.stats.resumes > 0
+
+
+def test_moderated_with_tracing(benchmark, component):
+    """Figure 3 with a tracer subscribed (every arrow materialized)."""
+    moderator = AspectModerator()
+    moderator.register_aspect("service", "null", NullAspect())
+    tracer = Tracer()
+    moderator.events.subscribe(tracer)
+    proxy = ComponentProxy(component, moderator)
+    result = benchmark(lambda: proxy.service())
+    assert result == 2
+    assert tracer.count("invoke") > 0
+
+
+def test_moderate_call_api(benchmark, component):
+    """The moderator.moderate_call() entry point (no proxy)."""
+    moderator = AspectModerator()
+    moderator.register_aspect("service", "null", NullAspect())
+    result = benchmark(
+        lambda: moderator.moderate_call("service", component.service)
+    )
+    assert result == 2

@@ -1,0 +1,104 @@
+"""T-OVH: the moderation-overhead table.
+
+Rows: calls/second for the ticketing open/assign pair under increasing
+concern stacks, against all three baselines. This is the quantitative
+table the paper's qualitative overhead discussion implies.
+
+Expected shape (EXPERIMENTS.md T-OVH): stdlib queue >= hand monitor >
+tangled(all concerns) > framework sync > framework sync+auth >
+framework sync+auth+audit — the framework pays a constant per-call
+moderation fee per stacked concern.
+"""
+
+import pytest
+
+from repro.apps import build_ticketing_cluster, make_session_manager
+from repro.aspects.audit import AuditLog
+from repro.baselines import (
+    MonitorBoundedBuffer,
+    QueueBoundedBuffer,
+    TangledTicketServer,
+)
+from repro.concurrency import Ticket
+
+PAIRS = 200  # open+assign pairs per round
+
+
+def drive(open_fn, assign_fn):
+    for index in range(PAIRS):
+        open_fn(index)
+        assign_fn()
+
+
+def test_baseline_stdlib_queue(benchmark):
+    buffer = QueueBoundedBuffer(capacity=PAIRS + 1)
+    benchmark.pedantic(
+        lambda: drive(buffer.put, buffer.take), rounds=5, iterations=1,
+    )
+
+
+def test_baseline_hand_monitor(benchmark):
+    buffer = MonitorBoundedBuffer(capacity=PAIRS + 1)
+    benchmark.pedantic(
+        lambda: drive(buffer.put, buffer.take), rounds=5, iterations=1,
+    )
+
+
+def test_baseline_tangled_all_concerns(benchmark):
+    server = TangledTicketServer(
+        capacity=PAIRS + 1, authenticate=True, audit=True, timing=True,
+    )
+    server.login("alice", "pw")
+    benchmark.pedantic(
+        lambda: drive(
+            lambda i: server.open(Ticket(summary=str(i)), caller="alice"),
+            lambda: server.assign(caller="alice"),
+        ),
+        rounds=5, iterations=1,
+    )
+
+
+def test_framework_sync_only(benchmark):
+    cluster = build_ticketing_cluster(capacity=PAIRS + 1)
+    benchmark.pedantic(
+        lambda: drive(
+            lambda i: cluster.proxy.open(Ticket(summary=str(i))),
+            cluster.proxy.assign,
+        ),
+        rounds=5, iterations=1,
+    )
+
+
+def test_framework_sync_auth(benchmark):
+    sessions = make_session_manager({"alice": "pw"})
+    cluster = build_ticketing_cluster(capacity=PAIRS + 1,
+                                      sessions=sessions)
+    token = sessions.login("alice", "pw")
+    benchmark.pedantic(
+        lambda: drive(
+            lambda i: cluster.proxy.call(
+                "open", Ticket(summary=str(i)), caller=token,
+            ),
+            lambda: cluster.proxy.call("assign", caller=token),
+        ),
+        rounds=5, iterations=1,
+    )
+
+
+def test_framework_sync_auth_audit(benchmark):
+    sessions = make_session_manager({"alice": "pw"})
+    audit_log = AuditLog()
+    cluster = build_ticketing_cluster(
+        capacity=PAIRS + 1, sessions=sessions, audit_log=audit_log,
+    )
+    token = sessions.login("alice", "pw")
+    benchmark.pedantic(
+        lambda: drive(
+            lambda i: cluster.proxy.call(
+                "open", Ticket(summary=str(i)), caller=token,
+            ),
+            lambda: cluster.proxy.call("assign", caller=token),
+        ),
+        rounds=5, iterations=1,
+    )
+    assert audit_log.verify_chain()

@@ -1,0 +1,118 @@
+"""T-REUSE: identical aspects across applications.
+
+Measures call throughput for each of the four applications, all guarded
+by the *same* aspect classes (and, for audit, the same instance), and
+counts the aspect classes reused verbatim. Expected shape: every app
+pays a similar per-call moderation fee, because the fee is a property
+of the reusable framework machinery, not of the app.
+"""
+
+import pytest
+
+from repro.apps import (
+    build_auction_cluster,
+    build_reservation_cluster,
+    build_ticketing_cluster,
+    build_timecard_cluster,
+    default_auction_roles,
+)
+from repro.aspects import AuditAspect, AuditLog
+from repro.concurrency import Ticket
+
+ROUNDS = 150
+
+
+def test_reuse_ticketing(benchmark):
+    cluster = build_ticketing_cluster(capacity=ROUNDS + 1)
+
+    def workload():
+        for index in range(ROUNDS):
+            cluster.proxy.open(Ticket(summary=str(index)))
+        for _ in range(ROUNDS):
+            cluster.proxy.assign()
+
+    benchmark.pedantic(workload, rounds=3, iterations=1)
+
+
+def test_reuse_auction(benchmark):
+    roles = default_auction_roles()
+    roles.assign("ana", "bidder")
+    roles.assign("marta", "auctioneer")
+    cluster = build_auction_cluster(roles=roles, min_increment=1.0)
+    cluster.proxy.call("open_auction", "item", 0.0, caller="marta")
+    state = {"bid": 1.0}
+
+    def workload():
+        for _ in range(ROUNDS):
+            state["bid"] += 1.0
+            cluster.proxy.call("place_bid", "item", "ana", state["bid"],
+                               caller="ana")
+
+    benchmark.pedantic(workload, rounds=3, iterations=1)
+
+
+def test_reuse_reservation(benchmark):
+    cluster = build_reservation_cluster(seats=10 ** 6, max_group=8)
+
+    def workload():
+        bookings = [
+            cluster.proxy.reserve(f"p{i}", 1) for i in range(ROUNDS)
+        ]
+        for booking in bookings:
+            cluster.proxy.cancel(booking)
+
+    benchmark.pedantic(workload, rounds=3, iterations=1)
+
+
+def test_reuse_timecard(benchmark):
+    cluster = build_timecard_cluster(report_rate=10 ** 9)
+
+    def workload():
+        for index in range(ROUNDS):
+            cluster.proxy.clock_in(f"emp-{index}")
+            cluster.proxy.clock_out(f"emp-{index}")
+
+    benchmark.pedantic(workload, rounds=3, iterations=1)
+
+
+def test_shared_audit_instance_across_all_apps(benchmark):
+    """One AuditAspect object observes all four applications."""
+    log = AuditLog()
+    shared = AuditAspect(log)
+    ticketing = build_ticketing_cluster(capacity=ROUNDS + 1)
+    roles = default_auction_roles()
+    roles.assign("ana", "bidder")
+    roles.assign("marta", "auctioneer")
+    auction = build_auction_cluster(roles=roles, min_increment=1.0)
+    reservation = build_reservation_cluster(seats=10 ** 6)
+    timecard = build_timecard_cluster(report_rate=10 ** 9)
+    auction.proxy.call("open_auction", "item", 0.0, caller="marta")
+    for cluster, method in (
+        (ticketing, "open"), (ticketing, "assign"),
+        (auction, "place_bid"),
+        (reservation, "reserve"),
+        (timecard, "clock_in"), (timecard, "clock_out"),
+    ):
+        cluster.moderator.register_aspect(method, "shared-audit", shared,
+                                          replace=True)
+    state = {"bid": 1.0, "round": 0}
+
+    def workload():
+        base = state["round"] * 10
+        state["round"] += 1
+        for index in range(10):
+            ticketing.proxy.open(Ticket(summary=str(index)))
+            ticketing.proxy.assign()
+            state["bid"] += 1.0
+            auction.proxy.call("place_bid", "item", "ana", state["bid"],
+                               caller="ana")
+            booking = reservation.proxy.reserve(f"p{base + index}", 1)
+            reservation.proxy.cancel(booking)
+            timecard.proxy.clock_in(f"e{base + index}")
+            timecard.proxy.clock_out(f"e{base + index}")
+
+    benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert log.verify_chain()
+    methods_audited = {record.method_id for record in log}
+    assert {"open", "assign", "place_bid", "reserve",
+            "clock_in", "clock_out"} <= methods_audited

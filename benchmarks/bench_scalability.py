@@ -1,0 +1,67 @@
+"""T-SCAL: contention scaling — framework vs. tangled across the grid.
+
+Sweeps producer/consumer thread counts and buffer capacities for both
+implementations, with equal total work per cell. Expected shape
+(EXPERIMENTS.md T-SCAL): both degrade as threads exceed cores (GIL) and
+as capacity shrinks (blocking); the framework/tangled ratio stays
+roughly constant in threads and shrinks at capacity=1, because wait
+time dominates moderation time there.
+"""
+
+import pytest
+
+from repro.apps import build_ticketing_cluster
+from repro.baselines import TangledTicketServer
+from repro.concurrency import Ticket
+
+ITEMS = 96
+GRID = [
+    (1, 1, 16),
+    (2, 2, 16),
+    (4, 4, 16),
+    (2, 2, 1),
+    (2, 2, 256),
+]
+
+
+@pytest.mark.parametrize("producers,consumers,capacity", GRID)
+def test_scal_framework(benchmark, pc_workload,
+                        producers, consumers, capacity):
+    cluster = build_ticketing_cluster(capacity=capacity)
+
+    def workload():
+        return pc_workload(
+            cluster.proxy.open,
+            cluster.proxy.assign,
+            producers, consumers,
+            ITEMS // producers,
+            lambda w, i: Ticket(summary=f"{w}:{i}"),
+        )
+
+    moved = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert moved == (ITEMS // producers) * producers
+    benchmark.extra_info.update(
+        producers=producers, consumers=consumers, capacity=capacity,
+        blocks=cluster.moderator.stats.blocks,
+    )
+
+
+@pytest.mark.parametrize("producers,consumers,capacity", GRID)
+def test_scal_tangled(benchmark, pc_workload,
+                      producers, consumers, capacity):
+    server = TangledTicketServer(capacity=capacity)
+
+    def workload():
+        return pc_workload(
+            server.open,
+            server.assign,
+            producers, consumers,
+            ITEMS // producers,
+            lambda w, i: Ticket(summary=f"{w}:{i}"),
+        )
+
+    moved = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert moved == (ITEMS // producers) * producers
+    benchmark.extra_info.update(
+        producers=producers, consumers=consumers, capacity=capacity,
+    )

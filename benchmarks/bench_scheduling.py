@@ -1,0 +1,119 @@
+"""A-SCHED: scheduling aspects — order quality and its price.
+
+The paper names scheduling among the crosscutting properties (§1).
+These benches measure what plugging a scheduling aspect into a
+contended method costs, and *assert the policy's semantics* under real
+thread contention: FIFO preserves arrival order where bare moderation
+promises nothing; priority admits urgent work first.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.aspects.scheduling import (
+    FifoSchedulingAspect,
+    PrioritySchedulingAspect,
+)
+from repro.core import AspectModerator, ComponentProxy
+
+
+class Recorder:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.order = []
+
+    def work(self, tag, priority=None):
+        with self.lock:
+            self.order.append(tag)
+
+
+def staggered_callers(proxy, calls):
+    """Launch one thread per call, staggered so arrival order is fixed."""
+    threads = []
+    for args in calls:
+        thread = threading.Thread(target=proxy.work, args=(args[0],),
+                                  kwargs=args[1])
+        thread.start()
+        time.sleep(0.015)
+        threads.append(thread)
+    for thread in threads:
+        thread.join(30)
+
+
+def test_sched_unregulated(benchmark):
+    """Reference: bare moderation, no ordering promise."""
+    recorder = Recorder()
+    moderator = AspectModerator()
+    proxy = ComponentProxy(recorder, moderator, participating=["work"])
+
+    def workload():
+        recorder.order.clear()
+        staggered_callers(
+            proxy, [(tag, {}) for tag in range(6)],
+        )
+        return list(recorder.order)
+
+    order = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert sorted(order) == list(range(6))
+
+
+def test_sched_fifo_order_quality(benchmark):
+    recorder = Recorder()
+    moderator = AspectModerator()
+    moderator.register_aspect("work", "sched",
+                              FifoSchedulingAspect(concurrency=1))
+
+    proxy = ComponentProxy(recorder, moderator)
+
+    def workload():
+        recorder.order.clear()
+        staggered_callers(proxy, [(tag, {}) for tag in range(6)])
+        return list(recorder.order)
+
+    order = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert order == sorted(order), f"FIFO violated: {order}"
+
+
+def test_sched_priority_admits_urgent_first(benchmark):
+    recorder = Recorder()
+    moderator = AspectModerator()
+    moderator.register_aspect(
+        "work", "sched", PrioritySchedulingAspect(concurrency=1),
+    )
+    gate = threading.Event()
+
+    class SlowRecorder(Recorder):
+        def work(self, tag, priority=None):
+            if tag == "head":
+                gate.wait(10)  # hold the slot while waiters accumulate
+            super().work(tag, priority=priority)
+
+    slow = SlowRecorder()
+    proxy = ComponentProxy(slow, moderator)
+
+    def workload():
+        slow.order.clear()
+        gate.clear()
+        head = threading.Thread(target=proxy.work, args=("head",))
+        head.start()
+        time.sleep(0.05)
+        waiters = []
+        for tag, priority in (("low", 9), ("mid", 5), ("urgent", 1)):
+            thread = threading.Thread(
+                target=proxy.work, args=(tag,),
+                kwargs={"priority": priority},
+            )
+            thread.start()
+            time.sleep(0.03)
+            waiters.append(thread)
+        gate.set()
+        head.join(30)
+        for thread in waiters:
+            thread.join(30)
+        return list(slow.order)
+
+    order = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert order[0] == "head"
+    assert order[1] == "urgent", f"priority inverted: {order}"

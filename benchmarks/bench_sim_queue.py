@@ -1,0 +1,91 @@
+"""F-SIM: the simulated capacity curve of a ticket desk.
+
+A figure of this reproduction's own (the paper names the workloads but
+never measures them): mean/p95 waiting time vs. offered load for an
+M/M/1-shaped ticket desk on the deterministic simulator. The bench both
+times the simulation (virtual-time speedup) and asserts the queueing
+shape: waits explode as load approaches 1, matching M/M/1 theory
+(mean wait ≈ ρ / (μ − λ)) within generous tolerance.
+"""
+
+import pytest
+
+from repro.sim import Engine, SimStore, WorkloadRNG
+
+
+def simulate(load, service_rate=10.0, horizon=3_000.0, seed=42):
+    engine = Engine()
+    rng = WorkloadRNG(seed)
+    queue = SimStore(engine)
+    waits = []
+
+    def customers():
+        arrivals = rng.fork("arrivals")
+        arrival_rate = load * service_rate
+        index = 0
+        while engine.now < horizon:
+            yield arrivals.exponential(arrival_rate)
+            yield queue.put((index, engine.now))
+            index += 1
+
+    def desk():
+        service = rng.fork("service")
+        while True:
+            got = queue.get()
+            yield got
+            _index, opened_at = got.value
+            waits.append(engine.now - opened_at)
+            yield service.exponential(service_rate)
+
+    engine.process(customers(), name="customers")
+    engine.process(desk(), name="desk")
+    engine.run(until=horizon)
+    return waits, engine
+
+
+@pytest.mark.parametrize("load", [0.3, 0.6, 0.9])
+def test_fsim_capacity_curve(benchmark, load):
+    waits, engine = benchmark.pedantic(
+        lambda: simulate(load), rounds=3, iterations=1,
+    )
+    mean_wait = sum(waits) / len(waits)
+    benchmark.extra_info["load"] = load
+    benchmark.extra_info["mean_wait_virtual"] = round(mean_wait, 4)
+    benchmark.extra_info["events"] = engine.events_processed
+
+    # M/M/1: W_q = rho / (mu - lambda); generous 2x tolerance band
+    service_rate = 10.0
+    arrival_rate = load * service_rate
+    theory = load / (service_rate - arrival_rate)
+    assert theory / 2.5 < mean_wait < theory * 2.5, (
+        f"load={load}: measured {mean_wait:.4f}, theory {theory:.4f}"
+    )
+
+
+def test_fsim_waits_monotone_in_load(benchmark):
+    """The knee: waits strictly grow with offered load."""
+
+    def curve():
+        return [
+            sum(waits) / len(waits)
+            for waits, _ in (simulate(load) for load in (0.3, 0.6, 0.9))
+        ]
+
+    means = benchmark.pedantic(curve, rounds=3, iterations=1)
+    assert means[0] < means[1] < means[2]
+    assert means[2] > 4 * means[0]  # the hockey stick
+
+
+def test_fsim_virtual_time_speedup(benchmark):
+    """3000 virtual seconds simulate in real milliseconds."""
+    import time
+
+    def timed():
+        started = time.monotonic()
+        _waits, engine = simulate(0.6)
+        return time.monotonic() - started, engine.now
+
+    wall, virtual = benchmark.pedantic(timed, rounds=3, iterations=1)
+    assert virtual / max(wall, 1e-9) > 100, (
+        f"speedup only {virtual / wall:.0f}x"
+    )

@@ -1,0 +1,55 @@
+"""T-SOC: separation-of-concerns metrics, framework vs. tangled.
+
+Runs the static analyzer over the tangled baseline and the framework
+sources and prints the scattering/tangling table recorded in
+EXPERIMENTS.md. The assertion encodes the paper's core claim: the
+framework version is measurably less tangled.
+"""
+
+import repro.apps.ticketing as framework_app
+import repro.aspects.authentication as auth_module
+import repro.aspects.synchronization as sync_module
+import repro.baselines.tangled_ticketing as tangled
+from repro.analysis.metrics import SourceAnalyzer
+
+
+def test_soc_metrics_table(benchmark, capsys):
+    analyzer = SourceAnalyzer()
+
+    def measure():
+        baseline = analyzer.analyze_module(tangled)
+        framework = analyzer.analyze_modules(
+            [framework_app, sync_module, auth_module]
+        )
+        return baseline, framework
+
+    baseline, framework = benchmark(measure)
+
+    baseline_summary = analyzer.tangling_summary(baseline)
+    framework_summary = analyzer.tangling_summary(framework)
+    baseline_concerns = analyzer.concern_reports(baseline)
+    framework_concerns = analyzer.concern_reports(framework)
+
+    print("\nT-SOC: separation-of-concerns metrics")
+    print(f"{'metric':<38}{'tangled':>12}{'framework':>12}")
+    print(f"{'mean tangling (concerns/function)':<38}"
+          f"{baseline_summary['mean_tangling']:>12.2f}"
+          f"{framework_summary['mean_tangling']:>12.2f}")
+    print(f"{'max tangling':<38}"
+          f"{baseline_summary['max_tangling']:>12}"
+          f"{framework_summary['max_tangling']:>12}")
+    for concern in ("synchronization", "security", "audit"):
+        base = baseline_concerns.get(concern)
+        frame = framework_concerns.get(concern)
+        base_modules = len(base.modules) if base else 0
+        frame_modules = len(frame.modules) if frame else 0
+        print(f"{'modules touched by ' + concern:<38}"
+              f"{base_modules:>12}{frame_modules:>12}")
+
+    # the claim: framework functions mix strictly fewer concerns
+    assert framework_summary["mean_tangling"] \
+        < baseline_summary["mean_tangling"]
+    # in the tangled server, sync+security+audit all live in ONE module;
+    # in the framework each lives in its own module
+    assert len(baseline_concerns["security"].modules
+               & baseline_concerns["synchronization"].modules) == 1

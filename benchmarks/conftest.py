@@ -1,0 +1,65 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module regenerates one experiment from DESIGN.md §4. The
+benches print the rows they measure (so ``pytest benchmarks/
+--benchmark-only -s`` reproduces the tables of EXPERIMENTS.md) and
+record the same numbers in ``benchmark.extra_info`` for archival.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+
+def run_producer_consumer(open_fn, assign_fn, producers, consumers,
+                          items_per_producer, make_item):
+    """Drive a producer/consumer workload; returns total items moved."""
+    total = producers * items_per_producer
+    quota = [total // consumers] * consumers
+    quota[0] += total - sum(quota)
+    errors = []
+
+    def produce(worker):
+        try:
+            for index in range(items_per_producer):
+                open_fn(make_item(worker, index))
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    def consume(count):
+        try:
+            for _ in range(count):
+                assign_fn()
+        except Exception as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=produce, args=(worker,))
+        for worker in range(producers)
+    ] + [
+        threading.Thread(target=consume, args=(count,))
+        for count in quota
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    if errors:
+        raise errors[0]
+    return total
+
+
+@pytest.fixture
+def pc_workload():
+    return run_producer_consumer
+
+
+def fmt_row(*columns, widths=(34, 14, 14, 14)):
+    """Fixed-width table row for printed experiment output."""
+    cells = []
+    for index, column in enumerate(columns):
+        width = widths[index] if index < len(widths) else 14
+        cells.append(f"{column!s:<{width}}")
+    return "  ".join(cells).rstrip()

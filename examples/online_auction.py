@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Online auction: validation + authorization + audit composed (Section 2).
+
+Run: ``python examples/online_auction.py``
+
+A concurrent auction where:
+
+* bidders race from worker threads — a mutex aspect serializes the
+  unsynchronized domain object;
+* a validation aspect rejects non-competitive bids (must beat the high
+  bid by the minimum increment);
+* an authorization aspect lets only the auctioneer open/close auctions;
+* an audit aspect records every attempt, rejected bids included.
+"""
+
+from repro.apps import build_auction_cluster, default_auction_roles
+from repro.aspects import AuditLog
+from repro.concurrency import WorkerPool
+from repro.core import MethodAborted
+
+
+def main() -> None:
+    roles = default_auction_roles()
+    roles.assign("marta", "auctioneer")
+    for bidder in ("ana", "ben", "caro", "dee"):
+        roles.assign(bidder, "bidder")
+
+    audit_log = AuditLog()
+    cluster = build_auction_cluster(
+        roles=roles, audit_log=audit_log, min_increment=5.0,
+    )
+    proxy = cluster.proxy
+
+    print("=== opening the auction (auctioneer only) ===")
+    try:
+        proxy.call("open_auction", "painting", 100.0, caller="ana")
+    except MethodAborted as exc:
+        print(f"  bidder cannot open: {exc}")
+    proxy.call("open_auction", "painting", 100.0, caller="marta")
+    print("  auction for 'painting' open, reserve 100.0")
+
+    print("\n=== concurrent bidding ===")
+    bids = [
+        ("ana", 50.0), ("ben", 120.0), ("caro", 110.0),
+        ("ana", 126.0), ("dee", 124.0), ("ben", 140.0),
+        ("caro", 141.0),   # fails: beats 140 by < 5
+        ("dee", 150.0),
+    ]
+    accepted, rejected = [], []
+
+    def place(entry) -> None:
+        bidder, amount = entry
+        try:
+            proxy.call("place_bid", "painting", bidder, amount,
+                       caller=bidder)
+            accepted.append((bidder, amount))
+        except MethodAborted:
+            rejected.append((bidder, amount))
+
+    with WorkerPool(4, name="bidders") as pool:
+        pool.map(place, bids)
+
+    print(f"  accepted: {sorted(accepted, key=lambda b: b[1])}")
+    print(f"  rejected: {sorted(rejected, key=lambda b: b[1])}")
+
+    print("\n=== closing ===")
+    winner = proxy.call("close_auction", "painting", caller="marta")
+    print(f"  winning bid: {winner}")
+    assert winner is not None and winner["amount"] >= 100.0
+
+    print(f"\n=== audit trail ({len(audit_log)} records) ===")
+    outcomes = audit_log.outcomes()
+    print(f"  outcomes: {outcomes}")
+    print(f"  hash chain verifies: {audit_log.verify_chain()}")
+    assert outcomes.get("aborted", 0) >= 1  # the auth + low-bid rejections
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Seat reservation: blocking capacity + phases + validation (Section 2).
+
+Run: ``python examples/seat_reservation.py``
+
+Shows concern composition driving *behavioral policy* without touching
+the domain object:
+
+* with ``wait_for_availability`` a reservation for more seats than are
+  free BLOCKS until a cancellation releases them (bounded-buffer
+  semantics in the booking domain);
+* the phase aspect closes bookings for departure: late reservations
+  park until (and unless) the operator re-opens the phase;
+* group-size validation aborts oversized requests outright.
+"""
+
+import threading
+import time
+
+from repro.apps import build_reservation_cluster
+from repro.core import ActivationTimeout, MethodAborted
+
+
+def main() -> None:
+    cluster = build_reservation_cluster(
+        seats=10, max_group=4, wait_for_availability=True,
+        default_timeout=5.0,
+    )
+    proxy = cluster.proxy
+    inventory = cluster.component
+
+    print("=== filling the flight ===")
+    bookings = []
+    for group, passenger in enumerate(["kim", "lee", "maya"], start=1):
+        bookings.append(proxy.reserve(passenger, 3))
+    print(f"  reserved 9/10 seats; available = {inventory.available}")
+
+    print("\n=== a group of 3 waits for a cancellation ===")
+    outcome = {}
+
+    def late_group() -> None:
+        try:
+            outcome["booking"] = proxy.reserve("noor", 3)
+        except ActivationTimeout:
+            outcome["booking"] = None
+
+    waiter = threading.Thread(target=late_group, name="late-group")
+    waiter.start()
+    time.sleep(0.2)
+    assert "booking" not in outcome, "group must still be waiting"
+    print("  group of 3 is blocked (only 1 seat free) ...")
+    released = proxy.cancel(bookings[0])
+    waiter.join(timeout=5.0)
+    print(f"  cancellation released {released} seats -> "
+          f"booking {outcome['booking']} granted")
+    assert outcome["booking"] is not None
+
+    print("\n=== oversized group is aborted, not queued ===")
+    try:
+        proxy.reserve("bus-tour", 12)
+    except MethodAborted as exc:
+        print(f"  {exc}")
+
+    print("\n=== closing the booking phase ===")
+    cluster.phase.transition("closing", cluster.moderator)
+    proxy.confirm(outcome["booking"])  # confirm still allowed in closing
+    try:
+        proxy.call("reserve", "too-late", 1, timeout=0.3)
+    except ActivationTimeout:
+        print("  late reservation blocked by the phase aspect "
+              "(timed out as expected)")
+
+    manifest = inventory.manifest()
+    print(f"\n  confirmed manifest: "
+          f"{[(m['passenger'], m['count']) for m in manifest]}")
+    print(f"  final availability: {inventory.available}/"
+          f"{inventory.sellable}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Deterministic workload replay on the discrete-event simulator.
+
+Run: ``python examples/simulated_workload.py``
+
+The paper targets "e-commerce and online client-server applications …
+on-line reservation systems, timecard reporting systems, and online
+auctions" (Section 2). Capacity planning for such systems needs
+*reproducible* load experiments; this example replays a Poisson ticket
+workload on the simulator (virtual time — runs in milliseconds,
+identical results for identical seeds) and reports the latency/
+utilization curve of a ticket desk.
+"""
+
+from repro.sim import Engine, SimStore, WorkloadRNG
+
+
+def simulate_ticket_desk(arrival_rate, service_rate, horizon=2_000.0,
+                         seed=42):
+    """M/M/1-style ticket desk: Poisson opens, exponential handling.
+
+    Returns (mean wait, p95 wait, utilization, served) in virtual time.
+    """
+    engine = Engine()
+    rng = WorkloadRNG(seed)
+    queue = SimStore(engine)  # unbounded desk in-tray
+    waits = []
+    busy_time = [0.0]
+
+    def customers():
+        arrivals = rng.fork("arrivals")
+        index = 0
+        while engine.now < horizon:
+            yield arrivals.exponential(arrival_rate)
+            yield queue.put((index, engine.now))
+            index += 1
+
+    def desk():
+        service = rng.fork("service")
+        while True:
+            got = queue.get()
+            yield got
+            _index, opened_at = got.value
+            waits.append(engine.now - opened_at)
+            handling = service.exponential(service_rate)
+            busy_time[0] += handling
+            yield handling
+
+    engine.process(customers(), name="customers")
+    engine.process(desk(), name="desk")
+    engine.run(until=horizon)
+
+    waits_sorted = sorted(waits)
+    mean_wait = sum(waits) / len(waits) if waits else 0.0
+    p95 = waits_sorted[int(0.95 * (len(waits_sorted) - 1))] if waits else 0.0
+    utilization = busy_time[0] / horizon
+    return mean_wait, p95, utilization, len(waits)
+
+
+def main() -> None:
+    service_rate = 10.0  # desk handles ~10 tickets per virtual second
+    print("Ticket-desk capacity curve (virtual time, seed=42)")
+    print(f"{'load':>6} {'util':>7} {'mean wait':>11} "
+          f"{'p95 wait':>10} {'served':>8}")
+    for load in (0.3, 0.5, 0.7, 0.8, 0.9, 0.95):
+        arrival_rate = load * service_rate
+        mean_wait, p95, utilization, served = simulate_ticket_desk(
+            arrival_rate, service_rate,
+        )
+        print(f"{load:>6.2f} {utilization:>7.2f} {mean_wait:>11.4f} "
+              f"{p95:>10.4f} {served:>8}")
+
+    print("\nDeterminism check: same seed, same curve ...")
+    first = simulate_ticket_desk(7.0, service_rate, seed=7)
+    second = simulate_ticket_desk(7.0, service_rate, seed=7)
+    assert first == second
+    print(f"  identical: mean wait {first[0]:.6f}, served {first[3]}")
+
+    print("\nThe hockey stick above the knee (~0.8 load) is the shape "
+          "capacity planners look for;")
+    print("the simulator reproduces it exactly, every run.")
+
+
+if __name__ == "__main__":
+    main()

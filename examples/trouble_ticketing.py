@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""The paper's trouble-ticketing system, end to end (Sections 4-5).
+
+Run: ``python examples/trouble_ticketing.py``
+
+Three acts:
+
+1. **base system** — producers open tickets, consumers assign them,
+   synchronization composed as aspects over a bounded buffer;
+2. **paper-style classes** — the hand-written ``TicketServerProxy`` of
+   Figures 5/10 behaving identically to the generic cluster;
+3. **adaptability** — the Section 5.3 extension: authentication stacked
+   in front of synchronization at runtime, with the trace showing
+   auth -> sync on the way in and sync -> auth on the way out.
+"""
+
+import threading
+
+from repro.aspects.audit import AuditLog
+from repro.apps import (
+    AspectFactoryImpl,
+    TicketServerProxy,
+    build_ticketing_cluster,
+    make_session_manager,
+)
+from repro.concurrency import Ticket, WorkerPool
+from repro.core import AspectModerator, MethodAborted, Tracer
+
+
+def act_one_base_system() -> None:
+    print("=== Act 1: producers and consumers over a moderated buffer ===")
+    cluster = build_ticketing_cluster(capacity=4)
+    proxy = cluster.proxy
+    produced, consumed = 40, 40
+    done = []
+
+    def producer(worker: int) -> None:
+        for index in range(produced // 4):
+            proxy.open(Ticket(summary=f"p{worker}-t{index}",
+                              reporter=f"user-{worker}"))
+
+    def consumer(worker: int) -> None:
+        for _ in range(consumed // 4):
+            ticket = proxy.assign(f"agent-{worker}")
+            done.append(ticket.ticket_id)
+
+    with WorkerPool(8, name="ticketing") as pool:
+        tasks = [lambda w=w: producer(w) for w in range(4)]
+        tasks += [lambda w=w: consumer(w) for w in range(4)]
+        pool.run_all(tasks, timeout=30.0)
+
+    stats = cluster.moderator.stats
+    print(f"  tickets flowed: {len(done)} "
+          f"(pending now: {cluster.component.pending})")
+    print(f"  activations: {stats.preactivations}, "
+          f"blocked waits: {stats.waits} "
+          f"(capacity pressure made callers wait and resume)")
+    assert len(set(done)) == consumed
+    assert cluster.component.pending == 0
+
+
+def act_two_paper_style() -> None:
+    print("\n=== Act 2: the paper's hand-written proxy (Figures 5/10) ===")
+    moderator = AspectModerator()
+    server = TicketServerProxy(moderator, AspectFactoryImpl(), capacity=4)
+    server.open(Ticket(summary="printer on fire", reporter="bob"))
+    server.open(Ticket(summary="vpn down", reporter="eve"))
+    first = server.assign("alice")
+    print(f"  assigned #{first.ticket_id} ({first.summary}) "
+          f"to {first.assignee}")
+    print(f"  guarded methods ran {moderator.stats.preactivations} "
+          f"pre-activations")
+
+
+def act_three_adaptability() -> None:
+    print("\n=== Act 3: adding authentication at runtime (Section 5.3) ===")
+    sessions = make_session_manager({"alice": "pw-a", "bob": "pw-b"})
+    audit_log = AuditLog()
+    cluster = build_ticketing_cluster(
+        capacity=4, sessions=sessions, audit_log=audit_log,
+    )
+    tracer = Tracer()
+    cluster.events.subscribe(tracer)
+
+    print("  unauthenticated open -> aborted:")
+    try:
+        cluster.proxy.open(Ticket(summary="sneaky"))
+    except MethodAborted as exc:
+        print(f"    {exc}")
+
+    token = sessions.login("alice", "pw-a")
+    ticket_id = cluster.proxy.call(
+        "open", Ticket(summary="login works"), caller=token
+    )
+    print(f"  authenticated open -> ticket #{ticket_id}")
+
+    # Show the composition order: authenticate wraps sync.
+    invoke_events = [e for e in tracer.events if e.kind == "invoke"]
+    activation = invoke_events[-1].activation_id
+    order_in = [
+        e.concern for e in tracer.for_activation(activation)
+        if e.kind == "precondition"
+    ]
+    order_out = [
+        e.concern for e in tracer.for_activation(activation)
+        if e.kind == "postaction"
+    ]
+    print(f"  pre-activation order : {order_in}")
+    print(f"  post-activation order: {order_out} (exact reverse)")
+    assert order_in == list(reversed(order_out))
+
+    print(f"  audit log recorded {len(audit_log)} attempts "
+          f"({audit_log.outcomes()}); chain verifies: "
+          f"{audit_log.verify_chain()}")
+
+    print("  the functional component was never edited: "
+          f"{type(cluster.component).__name__} has no auth/audit code")
+
+
+def main() -> None:
+    act_one_base_system()
+    act_two_paper_style()
+    act_three_adaptability()
+
+
+if __name__ == "__main__":
+    main()

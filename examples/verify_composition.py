@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Model-checking aspect compositions (the paper's open question).
+
+Run: ``python examples/verify_composition.py``
+
+"Should it further enable formal verification of system properties?"
+(Section 1). Yes — and here is what that looks like: the *same aspect
+objects* that guard the live system are explored exhaustively over
+every interleaving of a scripted workload.
+
+Three acts:
+
+1. prove the trouble-ticketing synchronization safe (occupancy bound,
+   no deadlock) for 2 producers x 2 consumers;
+2. inject a classic composition bug — producers with no consumers —
+   and get a shortest counterexample trace;
+3. catch an unsound refactoring: replacing the buffer guard with a
+   plain semaphore admits an overflow, found automatically.
+"""
+
+from repro.aspects.synchronization import (
+    BoundedBufferSync,
+    SemaphoreAspect,
+)
+from repro.verify import (
+    ActivationSpec,
+    concurrency_bound,
+    occupancy_bound,
+    verify,
+)
+
+
+class BufferShape:
+    """The model only needs the component's capacity."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+
+
+def ticketing_chains(capacity):
+    """The real sync aspect wired exactly as in the ticketing cluster."""
+    sync = BoundedBufferSync(
+        BufferShape(capacity), producer="open", consumer="assign",
+    )
+    return {"open": [sync], "assign": [sync]}
+
+
+def act_one_prove_the_paper_example() -> None:
+    print("=== Act 1: verify the ticketing composition ===")
+    report = verify(
+        lambda: ticketing_chains(capacity=2),
+        specs=[
+            ActivationSpec("producer-1", "open", 2),
+            ActivationSpec("producer-2", "open", 2),
+            ActivationSpec("consumer-1", "assign", 2),
+            ActivationSpec("consumer-2", "assign", 2),
+        ],
+        properties=[occupancy_bound("open", capacity=2)],
+    )
+    print(f"  {report.summary()}")
+    assert report.ok
+    print("  every interleaving respects 0 <= occupancy <= capacity,")
+    print("  and all scripted work completes (no deadlock).")
+
+
+def act_two_find_a_deadlock() -> None:
+    print("\n=== Act 2: deadlock, with a witness trace ===")
+    report = verify(
+        lambda: ticketing_chains(capacity=1),
+        specs=[ActivationSpec("producer", "open", 3)],  # nobody consumes
+    )
+    assert not report.ok
+    print(f"  {report.summary()}")
+    print("  " + report.violations[0].format().replace("\n", "\n  "))
+
+
+def act_three_catch_unsound_refactoring() -> None:
+    print("\n=== Act 3: an unsound 'optimization' is rejected ===")
+    # a refactoring replaces the buffer guard with SemaphoreAspect(3)
+    # on a capacity-2 buffer: admits 3 concurrent producers
+    report = verify(
+        lambda: {"open": [SemaphoreAspect(3)], "assign": []},
+        specs=[ActivationSpec(f"p{i}", "open", 1) for i in range(3)],
+        properties=[concurrency_bound(2, "open")],
+    )
+    assert not report.ok
+    print(f"  {report.summary()}")
+    print("  " + report.violations[0].format().replace("\n", "\n  "))
+
+
+def main() -> None:
+    act_one_prove_the_paper_example()
+    act_two_find_a_deadlock()
+    act_three_catch_unsound_refactoring()
+    print("\nVerification and execution share one aspect implementation —")
+    print("what the checker proves is what the moderator runs.")
+
+
+if __name__ == "__main__":
+    main()

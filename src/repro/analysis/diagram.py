@@ -1,0 +1,106 @@
+"""Architecture diagrams: render a cluster as Graphviz DOT (Figure 1).
+
+The paper's Figure 1 draws the moderator/bank/factory/proxy/component
+box diagram by hand. :func:`cluster_to_dot` renders the same picture
+from a live cluster — the diagram can never drift from the code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.registry import Cluster
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def cluster_to_dot(cluster: Cluster, name: str = "cluster") -> str:
+    """Render the Figure 1 architecture of one cluster as DOT text.
+
+    Nodes: the functional component, the proxy, the moderator, the
+    factories, and one node per registered aspect; edges mirror the
+    figure's arrows (proxy guards component, proxy delegates to
+    moderator, moderator evaluates aspects, factories create aspects,
+    bank cells labelled method x concern).
+    """
+    arch = cluster.architecture()
+    lines: List[str] = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=11];",
+        f"  component [label={_quote(arch['functional_component'])}, "
+        f"style=filled, fillcolor=lightyellow];",
+        f"  proxy [label={_quote(arch['proxy'])}];",
+        f"  moderator [label={_quote(arch['aspect_moderator'])}];",
+    ]
+    for index, factory_name in enumerate(arch["aspect_factory"]):
+        lines.append(
+            f"  factory{index} [label={_quote(factory_name)}, "
+            f"shape=component];"
+        )
+    lines.append("  proxy -> component [label=\"invokes\"];")
+    lines.append(
+        "  proxy -> moderator [label=\"pre/post-activation\"];"
+    )
+    seen_aspects = {}
+    for method_id, concern, aspect in cluster.bank:
+        key = id(aspect)
+        if key not in seen_aspects:
+            node = f"aspect{len(seen_aspects)}"
+            seen_aspects[key] = node
+            lines.append(
+                f"  {node} [label={_quote(aspect.describe())}, "
+                f"shape=ellipse, style=filled, fillcolor=lightblue];"
+            )
+        node = seen_aspects[key]
+        lines.append(
+            f"  moderator -> {node} "
+            f"[label={_quote(method_id + ' x ' + concern)}];"
+        )
+    for index in range(len(arch["aspect_factory"])):
+        for node in set(seen_aspects.values()):
+            # factories create aspects; draw one dashed creation edge
+            lines.append(
+                f"  factory{index} -> {node} [style=dashed, "
+                f"label=\"creates\"];"
+            )
+            break  # one representative edge per factory keeps it readable
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def bank_to_table(cluster: Cluster) -> str:
+    """Render the aspect bank as a fixed-width text table.
+
+    The textual form of the "hierarchical two-dimensional composition"
+    — rows are participating methods, columns are concerns.
+    """
+    grid = cluster.bank.grid()
+    concerns: List[str] = []
+    for row in grid.values():
+        for concern in row:
+            if concern not in concerns:
+                concerns.append(concern)
+    if not grid:
+        return "(empty bank)"
+    method_width = max(len(m) for m in grid) + 2
+    widths = {
+        concern: max(
+            len(concern),
+            *(len(row.get(concern, "")) for row in grid.values()),
+        ) + 2
+        for concern in concerns
+    }
+    header = " " * method_width + "".join(
+        f"{concern:<{widths[concern]}}" for concern in concerns
+    )
+    lines = [header.rstrip()]
+    for method, row in grid.items():
+        line = f"{method:<{method_width}}" + "".join(
+            f"{row.get(concern, '-'):<{widths[concern]}}"
+            for concern in concerns
+        )
+        lines.append(line.rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Separation-of-concerns metrics over Python source.
+
+Quantifies the paper's qualitative claim — that the framework removes
+code-tangling — with two standard metrics computed by static scanning:
+
+* **scattering** of a concern: over how many functions (and modules) its
+  implementation is spread;
+* **tangling** of a function: how many distinct concerns appear in its
+  body (a tangled method mixes sync + security + audit + domain logic;
+  a separated one mentions exactly one).
+
+Concern attribution is lexical (keyword sets per concern), which is the
+classic approach of the early AOSD metrics literature and is exactly
+reproducible. The T-SOC bench runs this analyzer over
+``repro.baselines.tangled_ticketing`` vs. the framework's
+``repro.apps.ticketing`` + aspect modules.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+from dataclasses import dataclass, field
+from types import ModuleType
+from typing import Dict, Iterable, List, Set, Tuple
+
+#: Lexical signatures of the interaction concerns (lower-cased substrings).
+CONCERN_KEYWORDS: Dict[str, Tuple[str, ...]] = {
+    "synchronization": (
+        "lock", "condition", "wait", "notify", "acquire", "release",
+        "block", "semaphore", "mutex", "not_full", "not_empty",
+    ),
+    "security": (
+        "auth", "session", "credential", "login", "principal",
+        "permission", "access", "denied",
+    ),
+    "audit": ("audit", "trail", "record_hash"),
+    "timing": ("monotonic", "latenc", "timing", "duration", "elapsed"),
+}
+
+
+@dataclass
+class FunctionReport:
+    """Concern occurrences inside one function."""
+
+    module: str
+    qualname: str
+    total_lines: int
+    concern_lines: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def concerns(self) -> Set[str]:
+        return {name for name, count in self.concern_lines.items() if count}
+
+    @property
+    def tangling(self) -> int:
+        """Number of distinct concerns appearing in this function."""
+        return len(self.concerns)
+
+
+@dataclass
+class ConcernReport:
+    """Scattering of one concern across the analyzed code."""
+
+    concern: str
+    functions: List[str] = field(default_factory=list)
+    modules: Set[str] = field(default_factory=set)
+    lines: int = 0
+
+    @property
+    def scattering(self) -> int:
+        """Functions this concern's implementation is spread over."""
+        return len(self.functions)
+
+
+class SourceAnalyzer:
+    """Scan modules and compute scattering/tangling reports."""
+
+    def __init__(self,
+                 keywords: Dict[str, Tuple[str, ...]] = None) -> None:
+        self.keywords = dict(keywords or CONCERN_KEYWORDS)
+
+    # ------------------------------------------------------------------
+    def _classify_line(self, line: str) -> Set[str]:
+        lowered = line.lower()
+        stripped = lowered.strip()
+        if stripped.startswith("#") or not stripped:
+            return set()
+        return {
+            concern
+            for concern, words in self.keywords.items()
+            if any(word in lowered for word in words)
+        }
+
+    def analyze_source(self, source: str,
+                       module_name: str = "<source>") -> List[FunctionReport]:
+        """Per-function concern occurrence for one module's source."""
+        tree = ast.parse(source)
+        lines = source.splitlines()
+        reports: List[FunctionReport] = []
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self, analyzer: "SourceAnalyzer") -> None:
+                self.analyzer = analyzer
+                self.stack: List[str] = []
+
+            def _visit_function(self, node) -> None:
+                self.stack.append(node.name)
+                qualname = ".".join(self.stack)
+                start = node.lineno
+                end = getattr(node, "end_lineno", start)
+                body = lines[start - 1:end]
+                concern_lines: Dict[str, int] = {}
+                for line in body:
+                    for concern in self.analyzer._classify_line(line):
+                        concern_lines[concern] = (
+                            concern_lines.get(concern, 0) + 1
+                        )
+                reports.append(FunctionReport(
+                    module=module_name,
+                    qualname=qualname,
+                    total_lines=len(body),
+                    concern_lines=concern_lines,
+                ))
+                self.generic_visit(node)
+                self.stack.pop()
+
+            def visit_FunctionDef(self, node) -> None:
+                self._visit_function(node)
+
+            def visit_AsyncFunctionDef(self, node) -> None:
+                self._visit_function(node)
+
+            def visit_ClassDef(self, node) -> None:
+                self.stack.append(node.name)
+                self.generic_visit(node)
+                self.stack.pop()
+
+        Visitor(self).visit(tree)
+        return reports
+
+    def analyze_module(self, module: ModuleType) -> List[FunctionReport]:
+        source = inspect.getsource(module)
+        return self.analyze_source(source, module_name=module.__name__)
+
+    def analyze_modules(
+        self, modules: Iterable[ModuleType]
+    ) -> List[FunctionReport]:
+        reports: List[FunctionReport] = []
+        for module in modules:
+            reports.extend(self.analyze_module(module))
+        return reports
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def concern_reports(
+        function_reports: List[FunctionReport],
+    ) -> Dict[str, ConcernReport]:
+        """Aggregate per-function reports into per-concern scattering."""
+        by_concern: Dict[str, ConcernReport] = {}
+        for report in function_reports:
+            for concern, count in report.concern_lines.items():
+                if not count:
+                    continue
+                aggregate = by_concern.setdefault(
+                    concern, ConcernReport(concern=concern)
+                )
+                aggregate.functions.append(
+                    f"{report.module}:{report.qualname}"
+                )
+                aggregate.modules.add(report.module)
+                aggregate.lines += count
+        return by_concern
+
+    @staticmethod
+    def tangling_summary(
+        function_reports: List[FunctionReport],
+    ) -> Dict[str, float]:
+        """Mean/max tangling over functions that touch any concern."""
+        touched = [r for r in function_reports if r.tangling > 0]
+        if not touched:
+            return {"functions": 0, "mean_tangling": 0.0, "max_tangling": 0}
+        tanglings = [r.tangling for r in touched]
+        return {
+            "functions": len(touched),
+            "mean_tangling": sum(tanglings) / len(tanglings),
+            "max_tangling": max(tanglings),
+        }

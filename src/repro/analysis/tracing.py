@@ -1,0 +1,131 @@
+"""Sequence-trace analysis: regenerating the paper's Figures 2 and 3.
+
+The UML sequence diagrams define *orders of protocol arrows*. This
+module expresses those orders as checkable templates and verifies a
+recorded :class:`~repro.core.events.Tracer` stream against them; the
+FIG2/FIG3 tests and benches print the matched sequence — the executable
+form of the figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.events import TraceEvent, Tracer
+
+#: Figure 2 — initialization phase: for each participating method the
+#: proxy asks the factory to create the aspect, then registers it.
+FIGURE2_TEMPLATE: Tuple[Tuple[str, str], ...] = (
+    ("create_aspect", "open"),
+    ("register_aspect", "open"),
+    ("create_aspect", "assign"),
+    ("register_aspect", "assign"),
+)
+
+#: Figure 3 — method invocation: preactivation -> precondition ->
+#: invoke -> postactivation -> postaction -> notify.
+FIGURE3_TEMPLATE: Tuple[str, ...] = (
+    "preactivation",
+    "precondition",
+    "invoke",
+    "postactivation",
+    "postaction",
+    "notify",
+)
+
+
+@dataclass
+class MatchResult:
+    """Outcome of matching a trace against a template."""
+
+    matched: bool
+    detail: str
+    matched_events: List[TraceEvent]
+
+    def __bool__(self) -> bool:
+        return self.matched
+
+
+def match_subsequence(events: Sequence[TraceEvent],
+                      template: Sequence[Tuple[str, str]]) -> MatchResult:
+    """Check that ``template`` (kind, method) pairs occur in order.
+
+    Other events may interleave (the diagrams show the *relative* order
+    of their arrows, not exclusivity).
+    """
+    matched: List[TraceEvent] = []
+    cursor = 0
+    for event in events:
+        if cursor >= len(template):
+            break
+        kind, method = template[cursor]
+        if event.kind == kind and (not method or event.method_id == method):
+            matched.append(event)
+            cursor += 1
+    if cursor == len(template):
+        return MatchResult(True, "all template arrows matched", matched)
+    kind, method = template[cursor]
+    return MatchResult(
+        False,
+        f"missing arrow {cursor}: {kind} {method}",
+        matched,
+    )
+
+
+def match_activation(tracer: Tracer, activation_id: int,
+                     template: Sequence[str] = FIGURE3_TEMPLATE
+                     ) -> MatchResult:
+    """Match one activation's events against a kind-only template."""
+    events = tracer.for_activation(activation_id)
+    pairs = [(kind, "") for kind in template]
+    return match_subsequence(events, pairs)
+
+
+def verify_figure2(tracer: Tracer) -> MatchResult:
+    """Verify the initialization-phase order of Figure 2."""
+    return match_subsequence(tracer.events, FIGURE2_TEMPLATE)
+
+
+def verify_figure3(tracer: Tracer, method_id: str = "open") -> MatchResult:
+    """Verify the invocation-phase order of Figure 3 for one method.
+
+    Picks the first activation of ``method_id`` in the trace.
+    """
+    for event in tracer.events:
+        if event.kind == "preactivation" and event.method_id == method_id:
+            return match_activation(tracer, event.activation_id)
+    return MatchResult(False, f"no activation of {method_id!r} traced", [])
+
+
+def render_figure(tracer: Tracer, activation_id: Optional[int] = None,
+                  title: str = "sequence") -> str:
+    """Pretty-print a trace as the textual form of a sequence diagram."""
+    events = (
+        tracer.for_activation(activation_id)
+        if activation_id is not None else tracer.events
+    )
+    lines = [f"--- {title} ---"]
+    lines.extend(f"  {index:2d}. {event.format()}"
+                 for index, event in enumerate(events))
+    return "\n".join(lines)
+
+
+def postactivation_reverses_preactivation(tracer: Tracer,
+                                          activation_id: int) -> bool:
+    """Check the stack discipline: postactions unwind preconditions.
+
+    For one activation, the concern order of ``postaction`` events must
+    be the exact reverse of the concern order of RESUMEd
+    ``precondition`` events (paper Section 5.3).
+    """
+    events = tracer.for_activation(activation_id)
+    pre = [
+        event.concern for event in events
+        if event.kind == "precondition" and event.detail == "resume"
+    ]
+    post = [event.concern for event in events if event.kind == "postaction"]
+    # Only the final (fully RESUMEd) round of preconditions counts.
+    if len(pre) > len(post):
+        pre = pre[-len(post):] if post else []
+    return pre == list(reversed(post))

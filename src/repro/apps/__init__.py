@@ -1,0 +1,59 @@
+"""Example applications composed from the framework and aspect library."""
+
+from .auction import (
+    AuctionError,
+    AuctionHouse,
+    build_auction_cluster,
+    default_auction_roles,
+)
+from .reservation import (
+    ReservationError,
+    SeatInventory,
+    build_reservation_cluster,
+)
+from .ticketing import (
+    AspectFactoryImpl,
+    ExtendedAspectModerator,
+    AssignAuthenticationAspect,
+    AssignSynchronizationAspect,
+    ExtendedAspectFactory,
+    ExtendedTicketServerProxy,
+    OpenAuthenticationAspect,
+    OpenSynchronizationAspect,
+    RemoteTicketFacade,
+    TicketServerProxy,
+    TicketSyncState,
+    build_ticketing_cluster,
+    make_session_manager,
+)
+from .timecard import (
+    TimecardError,
+    TimecardLedger,
+    build_timecard_cluster,
+)
+
+__all__ = [
+    "AspectFactoryImpl",
+    "AssignAuthenticationAspect",
+    "AssignSynchronizationAspect",
+    "AuctionError",
+    "AuctionHouse",
+    "ExtendedAspectFactory",
+    "ExtendedAspectModerator",
+    "ExtendedTicketServerProxy",
+    "OpenAuthenticationAspect",
+    "OpenSynchronizationAspect",
+    "RemoteTicketFacade",
+    "ReservationError",
+    "SeatInventory",
+    "TicketServerProxy",
+    "TicketSyncState",
+    "TimecardError",
+    "TimecardLedger",
+    "build_auction_cluster",
+    "build_reservation_cluster",
+    "build_ticketing_cluster",
+    "build_timecard_cluster",
+    "default_auction_roles",
+    "make_session_manager",
+]

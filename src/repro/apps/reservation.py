@@ -1,0 +1,168 @@
+"""Online reservation system: a paper-motivating workload (Section 2).
+
+Functional component: a seat inventory with reserve / cancel / confirm.
+Composed concerns:
+
+* **sync** — a mutex serializes inventory mutation;
+* **capacity** — a :class:`GuardAspect` blocks ``reserve`` while the
+  flight is fully committed (reservation *waits* for a cancellation —
+  the bounded-buffer pattern in another domain);
+* **phase** — reservations only during the ``booking`` phase; the
+  operator moves the system to ``closed`` (e.g. at departure);
+* **validate** — seat counts must be positive and within group limits.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.aspects.coordination import PhaseAspect
+from repro.aspects.synchronization import GuardAspect, MutexAspect
+from repro.aspects.validation import ValidationAspect
+from repro.core.factory import RegistryAspectFactory
+from repro.core.registry import Cluster
+
+_booking_ids = itertools.count(1)
+
+
+class ReservationError(RuntimeError):
+    """Domain errors (unknown booking, oversell attempts, etc.)."""
+
+
+class SeatInventory:
+    """Sequential seat inventory for one flight."""
+
+    def __init__(self, seats: int, overbook_factor: float = 1.0) -> None:
+        if seats <= 0:
+            raise ValueError("seats must be positive")
+        self.seats = seats
+        #: airlines oversell; the *sellable* pool is seats * factor
+        self.overbook_factor = overbook_factor
+        self._bookings: Dict[int, Dict] = {}
+
+    @property
+    def sellable(self) -> int:
+        return int(self.seats * self.overbook_factor)
+
+    @property
+    def reserved(self) -> int:
+        return sum(
+            booking["count"] for booking in self._bookings.values()
+            if booking["state"] in ("reserved", "confirmed")
+        )
+
+    @property
+    def available(self) -> int:
+        return self.sellable - self.reserved
+
+    # ------------------------------------------------------------------
+    def reserve(self, passenger: str, count: int = 1) -> int:
+        """Reserve ``count`` seats; returns a booking id."""
+        if count > self.available:
+            raise ReservationError(
+                f"only {self.available} seats available, wanted {count}"
+            )
+        booking_id = next(_booking_ids)
+        self._bookings[booking_id] = {
+            "passenger": passenger,
+            "count": count,
+            "state": "reserved",
+        }
+        return booking_id
+
+    def confirm(self, booking_id: int) -> None:
+        booking = self._bookings.get(booking_id)
+        if booking is None or booking["state"] == "cancelled":
+            raise ReservationError(f"no active booking {booking_id}")
+        booking["state"] = "confirmed"
+
+    def cancel(self, booking_id: int) -> int:
+        """Cancel a booking; returns the seats released."""
+        booking = self._bookings.get(booking_id)
+        if booking is None or booking["state"] == "cancelled":
+            raise ReservationError(f"no active booking {booking_id}")
+        booking["state"] = "cancelled"
+        return booking["count"]
+
+    def manifest(self) -> List[Dict]:
+        """Confirmed bookings, for the departure report."""
+        return [
+            dict(booking, booking_id=booking_id)
+            for booking_id, booking in sorted(self._bookings.items())
+            if booking["state"] == "confirmed"
+        ]
+
+
+def build_reservation_cluster(
+    seats: int,
+    overbook_factor: float = 1.0,
+    max_group: int = 8,
+    wait_for_availability: bool = True,
+    default_timeout: Optional[float] = None,
+) -> Cluster:
+    """Wire a seat inventory with sync, capacity, phase and validation.
+
+    With ``wait_for_availability`` a ``reserve`` that cannot be satisfied
+    BLOCKS until cancellations free seats (instead of raising); turn it
+    off to get fail-fast semantics from the same functional component —
+    one more policy choice expressed purely in aspects.
+    """
+    inventory = SeatInventory(seats, overbook_factor=overbook_factor)
+    factory = RegistryAspectFactory()
+    mutex = MutexAspect()
+    phase = PhaseAspect(
+        schedule={
+            "reserve": {"booking"},
+            "confirm": {"booking", "closing"},
+            "cancel": {"booking", "closing"},
+        },
+        initial="booking",
+        abort_unknown=False,
+    )
+    methods = ("reserve", "confirm", "cancel")
+    for method in methods:
+        factory.register(method, "sync", lambda _c, m=mutex: m)
+        factory.register(method, "phase", lambda _c, p=phase: p)
+
+    def _count_requested(joinpoint) -> int:
+        if len(joinpoint.args) >= 2:
+            return int(joinpoint.args[1])
+        return int(joinpoint.kwargs.get("count", 1))
+
+    factory.register(
+        "reserve", "validate",
+        lambda _c: ValidationAspect(rules=[
+            (
+                "group size within limits",
+                lambda jp: 1 <= _count_requested(jp) <= max_group,
+            ),
+            (
+                "passenger name non-empty",
+                lambda jp: bool(jp.args and str(jp.args[0]).strip()),
+            ),
+        ]),
+    )
+    if wait_for_availability:
+        factory.register(
+            "reserve", "capacity",
+            lambda component: GuardAspect(
+                lambda jp: _count_requested(jp) <= component.available
+            ),
+        )
+    bindings: Dict[str, List[str]] = {
+        "reserve": ["phase", "validate"]
+        + (["capacity"] if wait_for_availability else [])
+        + ["sync"],
+        "confirm": ["phase", "sync"],
+        "cancel": ["phase", "sync"],
+    }
+    cluster = Cluster(
+        component=inventory,
+        factory=factory,
+        bindings=bindings,
+        default_timeout=default_timeout,
+    )
+    # Make the phase aspect reachable for operators (close booking etc.).
+    cluster.phase = phase  # type: ignore[attr-defined]
+    return cluster

@@ -1,0 +1,206 @@
+"""Authentication aspects: the paper's adaptability example (Section 5.3).
+
+"Let a new requirement state that authentication should be introduced to
+the system." The paper adds ``OpenAuthenticationAspect`` /
+``AssignAuthenticationAspect`` through an extended factory; here one
+reusable :class:`AuthenticationAspect` covers any participating method,
+backed by a :class:`CredentialStore` (user/secret database) and a
+:class:`SessionManager` (token issue/expiry).
+
+Semantics: a call whose join point carries no authenticated principal is
+**ABORTed** (authentication cannot become true by waiting). A call whose
+principal has a valid session RESUMEs. ``block_until_login=True`` opts
+into the paper's wait-queue variant (Figure 17 parks unauthenticated
+callers on ``OpenAuthenticationQueue``): the caller BLOCKs until an
+out-of-band login notifies the moderator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import itertools
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.core.aspect import StatefulAspect
+from repro.core.errors import AuthenticationError
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+_token_counter = itertools.count(1)
+
+
+def _digest(secret: str, salt: str) -> str:
+    return hashlib.sha256((salt + ":" + secret).encode()).hexdigest()
+
+
+class CredentialStore:
+    """Salted-hash credential database."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._users: Dict[str, Dict[str, str]] = {}
+
+    def add_user(self, principal: str, secret: str) -> None:
+        salt = hashlib.sha256(principal.encode()).hexdigest()[:16]
+        with self._lock:
+            self._users[principal] = {
+                "salt": salt,
+                "digest": _digest(secret, salt),
+            }
+
+    def remove_user(self, principal: str) -> None:
+        with self._lock:
+            self._users.pop(principal, None)
+
+    def verify(self, principal: str, secret: str) -> bool:
+        with self._lock:
+            record = self._users.get(principal)
+        if record is None:
+            return False
+        return hmac.compare_digest(
+            record["digest"], _digest(secret, record["salt"])
+        )
+
+    def __contains__(self, principal: str) -> bool:
+        with self._lock:
+            return principal in self._users
+
+
+@dataclass
+class Session:
+    """An authenticated session."""
+
+    token: str
+    principal: str
+    issued_at: float
+    expires_at: Optional[float]
+
+    def valid(self, now: Optional[float] = None) -> bool:
+        if self.expires_at is None:
+            return True
+        return (now if now is not None else time.monotonic()) < self.expires_at
+
+
+class SessionManager:
+    """Issues and validates session tokens against a credential store."""
+
+    def __init__(self, credentials: CredentialStore,
+                 ttl: Optional[float] = None) -> None:
+        self.credentials = credentials
+        self.ttl = ttl
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, Session] = {}
+        self._by_principal: Dict[str, Set[str]] = {}
+
+    def login(self, principal: str, secret: str) -> str:
+        """Authenticate and return a session token.
+
+        Raises :class:`AuthenticationError` on bad credentials.
+        """
+        if not self.credentials.verify(principal, secret):
+            raise AuthenticationError(f"bad credentials for {principal!r}")
+        now = time.monotonic()
+        token = f"tok-{next(_token_counter)}-{principal}"
+        session = Session(
+            token=token, principal=principal, issued_at=now,
+            expires_at=(now + self.ttl) if self.ttl is not None else None,
+        )
+        with self._lock:
+            self._sessions[token] = session
+            self._by_principal.setdefault(principal, set()).add(token)
+        return token
+
+    def logout(self, token: str) -> None:
+        with self._lock:
+            session = self._sessions.pop(token, None)
+            if session is not None:
+                self._by_principal.get(session.principal, set()).discard(token)
+
+    def logout_principal(self, principal: str) -> None:
+        with self._lock:
+            for token in self._by_principal.pop(principal, set()):
+                self._sessions.pop(token, None)
+
+    def session_for(self, token: str) -> Optional[Session]:
+        with self._lock:
+            session = self._sessions.get(token)
+        if session is None or not session.valid():
+            return None
+        return session
+
+    def is_authenticated(self, principal: str) -> bool:
+        """Whether ``principal`` holds at least one valid session."""
+        with self._lock:
+            tokens = list(self._by_principal.get(principal, ()))
+            sessions = [self._sessions.get(token) for token in tokens]
+        return any(s is not None and s.valid() for s in sessions)
+
+    def active_sessions(self) -> int:
+        with self._lock:
+            return sum(1 for s in self._sessions.values() if s.valid())
+
+
+class AuthenticationAspect(StatefulAspect):
+    """Require an authenticated principal on the join point.
+
+    The caller identity is read from, in order: ``joinpoint.caller`` (a
+    principal name or a token string) and ``joinpoint.kwargs['caller']``.
+    Tokens are resolved through the session manager; bare principal names
+    are accepted when they hold a live session.
+
+    ``is_guard`` marks the aspect for the
+    :func:`repro.core.ordering.guards_first` policy, reproducing the
+    paper's authentication-wraps-synchronization composition.
+    """
+
+    concern = "authenticate"
+    is_guard = True
+
+    def __init__(self, sessions: SessionManager,
+                 block_until_login: bool = False) -> None:
+        super().__init__()
+        self.sessions = sessions
+        self.block_until_login = block_until_login
+        self.granted = 0
+        self.denied = 0
+
+    def _identity(self, joinpoint: JoinPoint) -> Optional[str]:
+        caller = joinpoint.caller
+        if caller is None:
+            caller = joinpoint.kwargs.get("caller")
+        return caller
+
+    def _authenticated(self, joinpoint: JoinPoint) -> Optional[str]:
+        """Resolve the join point to an authenticated principal, if any."""
+        caller = self._identity(joinpoint)
+        if caller is None:
+            return None
+        session = self.sessions.session_for(str(caller))
+        if session is not None:
+            return session.principal
+        if self.sessions.is_authenticated(str(caller)):
+            return str(caller)
+        return None
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        principal = self._authenticated(joinpoint)
+        with self._lock:
+            if principal is not None:
+                self.granted += 1
+                joinpoint.context["principal"] = principal
+                return AspectResult.RESUME
+            self.denied += 1
+        if self.block_until_login:
+            return AspectResult.BLOCK
+        return AspectResult.ABORT
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            # A granted precondition compensated by a later abort is not
+            # a denial; keep the counters meaningful.
+            if joinpoint.context.pop("principal", None) is not None:
+                self.granted -= 1

@@ -1,0 +1,96 @@
+"""Authorization aspect: role-based access control per participating method.
+
+Complements :mod:`repro.aspects.authentication`: authentication decides
+*who* the caller is; authorization decides whether that principal may
+invoke *this* method. The paper lists "security" among the interaction
+concerns of Section 2; RBAC is its standard decomposition.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Set
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+
+class RoleRegistry:
+    """principal -> roles and role -> permitted methods tables."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._roles: Dict[str, Set[str]] = {}
+        self._grants: Dict[str, Set[str]] = {}
+
+    def assign(self, principal: str, *roles: str) -> None:
+        with self._lock:
+            self._roles.setdefault(principal, set()).update(roles)
+
+    def revoke(self, principal: str, role: str) -> None:
+        with self._lock:
+            self._roles.get(principal, set()).discard(role)
+
+    def permit(self, role: str, *method_ids: str) -> None:
+        with self._lock:
+            self._grants.setdefault(role, set()).update(method_ids)
+
+    def roles_of(self, principal: str) -> Set[str]:
+        with self._lock:
+            return set(self._roles.get(principal, set()))
+
+    def allowed(self, principal: str, method_id: str) -> bool:
+        with self._lock:
+            roles = self._roles.get(principal, set())
+            return any(
+                method_id in self._grants.get(role, set()) for role in roles
+            )
+
+    def method_listed(self, method_id: str) -> bool:
+        """Whether any role explicitly grants ``method_id``."""
+        with self._lock:
+            return any(method_id in methods for methods in self._grants.values())
+
+
+class AuthorizationAspect(StatefulAspect):
+    """ABORT activations whose principal lacks permission for the method.
+
+    Reads the principal resolved by the authentication aspect from
+    ``joinpoint.context['principal']`` (composition order matters —
+    authenticate before authorize), falling back to ``joinpoint.caller``.
+    """
+
+    concern = "authorize"
+    is_guard = True
+
+    def __init__(self, registry: RoleRegistry,
+                 allow_unlisted: bool = False) -> None:
+        super().__init__()
+        self.registry = registry
+        #: when True, methods nobody was explicitly permitted to call are
+        #: open to every principal (deny-by-default otherwise).
+        self.allow_unlisted = allow_unlisted
+        self.granted = 0
+        self.denied = 0
+
+    def _principal(self, joinpoint: JoinPoint) -> Optional[str]:
+        principal = joinpoint.context.get("principal")
+        if principal is None and joinpoint.caller is not None:
+            principal = str(joinpoint.caller)
+        return principal
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        principal = self._principal(joinpoint)
+        allowed = (
+            principal is not None
+            and self.registry.allowed(principal, joinpoint.method_id)
+        )
+        if not allowed and self.allow_unlisted and principal is not None:
+            allowed = not self.registry.method_listed(joinpoint.method_id)
+        with self._lock:
+            if allowed:
+                self.granted += 1
+                return AspectResult.RESUME
+            self.denied += 1
+            return AspectResult.ABORT

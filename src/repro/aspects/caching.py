@@ -1,0 +1,95 @@
+"""Caching aspect: memoization through the skip-invocation extension.
+
+Demonstrates the framework extension the paper's strict pre/post protocol
+lacks: an aspect that *satisfies* the activation itself. On a cache hit
+the precondition calls :meth:`JoinPoint.skip_invocation`, the proxy skips
+the method body, and post-activation proceeds normally (so stacked
+synchronization aspects stay balanced).
+
+Only deterministic, side-effect-free methods should be cached; that is a
+property of the binding (which cells you register this aspect into), not
+of the aspect.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+
+def default_key(joinpoint: JoinPoint) -> Hashable:
+    """Cache key: method plus hashable args/kwargs."""
+    return (
+        joinpoint.method_id,
+        joinpoint.args,
+        tuple(sorted(joinpoint.kwargs.items())),
+    )
+
+
+class CachingAspect(StatefulAspect):
+    """LRU memoization of participating-method results."""
+
+    concern = "cache"
+
+    def __init__(self, max_entries: int = 128, key=default_key) -> None:
+        super().__init__()
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._key = key
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        try:
+            key = self._key(joinpoint)
+            hash(key)
+        except TypeError:
+            # Unhashable arguments: bypass the cache for this call.
+            return AspectResult.RESUME
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                joinpoint.skip_invocation(self._entries[key])
+            else:
+                self.misses += 1
+                joinpoint.context["cache_key"] = key
+        return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        key = joinpoint.context.pop("cache_key", None)
+        if key is None or joinpoint.exception is not None \
+                or not joinpoint.has_result:
+            return
+        with self._lock:
+            self._entries[key] = joinpoint.result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def invalidate(self, method_id: Optional[str] = None) -> int:
+        """Drop cached entries (all, or those of one method). Returns count."""
+        with self._lock:
+            if method_id is None:
+                count = len(self._entries)
+                self._entries.clear()
+                return count
+            doomed = [
+                key for key in self._entries
+                if isinstance(key, tuple) and key and key[0] == method_id
+            ]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    @property
+    def hit_rate(self) -> float:
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0

@@ -1,0 +1,129 @@
+"""Circuit-breaker aspect: fail fast when a method keeps failing.
+
+Classic three-state breaker expressed in the moderator protocol:
+
+* **closed** — preconditions RESUME; postactions count failures; too many
+  consecutive failures trip the breaker;
+* **open** — preconditions ABORT immediately (load shedding) until the
+  reset timeout elapses;
+* **half-open** — after the timeout, a bounded number of probe
+  activations RESUME; a success closes the breaker, a failure re-opens
+  it.
+
+This is a fault-tolerance concern (paper Section 2) that genuinely needs
+*both* protocol phases, which is why it fits the Aspect Moderator shape
+so naturally: the decision lives in ``precondition``, the evidence in
+``postaction``.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable, Optional
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+
+class BreakerState(enum.Enum):
+    """The three classic breaker states."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreakerAspect(StatefulAspect):
+    """Per-aspect-instance circuit breaker.
+
+    Register one instance per protected method (or share one across a
+    group of methods whose health should be judged jointly).
+
+    Args:
+        failure_threshold: consecutive failures that trip the breaker.
+        reset_timeout: seconds the breaker stays open before probing.
+        half_open_probes: concurrent probes allowed while half-open.
+        clock: injectable time source (tests use a fake clock).
+    """
+
+    concern = "breaker"
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 30.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        super().__init__()
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.probes_in_flight = 0
+        self.rejected = 0
+        self.trips = 0
+
+    # ------------------------------------------------------------------
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self.state is BreakerState.OPEN:
+                if self._clock() - (self.opened_at or 0) >= self.reset_timeout:
+                    self.state = BreakerState.HALF_OPEN
+                    self.probes_in_flight = 0
+                else:
+                    self.rejected += 1
+                    return AspectResult.ABORT
+            if self.state is BreakerState.HALF_OPEN:
+                if self.probes_in_flight >= self.half_open_probes:
+                    self.rejected += 1
+                    return AspectResult.ABORT
+                self.probes_in_flight += 1
+                joinpoint.context["breaker_probe"] = True
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            probe = joinpoint.context.pop("breaker_probe", False)
+            if probe:
+                self.probes_in_flight = max(0, self.probes_in_flight - 1)
+            if joinpoint.exception is not None:
+                self.consecutive_failures += 1
+                should_trip = (
+                    self.state is BreakerState.HALF_OPEN
+                    or self.consecutive_failures >= self.failure_threshold
+                )
+                if should_trip and self.state is not BreakerState.OPEN:
+                    self.state = BreakerState.OPEN
+                    self.opened_at = self._clock()
+                    self.trips += 1
+            else:
+                self.consecutive_failures = 0
+                if self.state is BreakerState.HALF_OPEN:
+                    self.state = BreakerState.CLOSED
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if joinpoint.context.pop("breaker_probe", False):
+                self.probes_in_flight = max(0, self.probes_in_flight - 1)
+
+    # ------------------------------------------------------------------
+    def force_open(self) -> None:
+        """Manually trip the breaker (operational control)."""
+        with self._lock:
+            self.state = BreakerState.OPEN
+            self.opened_at = self._clock()
+            self.trips += 1
+
+    def force_close(self) -> None:
+        with self._lock:
+            self.state = BreakerState.CLOSED
+            self.consecutive_failures = 0
+            self.probes_in_flight = 0

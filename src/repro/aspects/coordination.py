@@ -1,0 +1,180 @@
+"""Coordination aspects: multi-party interaction protocols (paper §2).
+
+"Coordination" in the paper's concern list covers constraints that span
+several services of one component (or several components). Provided
+schemata:
+
+* :class:`TurnTakingAspect` — strict alternation between two method
+  groups (a ping/pong protocol on top of any component);
+* :class:`PhaseAspect` — methods enabled only in declared system phases,
+  with explicit phase transitions notifying the moderator;
+* :class:`QuorumAspect` — an operation proceeds only once at least *k*
+  distinct callers have requested it (e.g. commit-after-quorum);
+* :class:`DependencyAspect` — method B only after method A has completed
+  at least once (lifecycle ordering, e.g. ``init`` before ``serve``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.moderator import AspectModerator
+from repro.core.results import AspectResult
+
+
+class TurnTakingAspect(StatefulAspect):
+    """Enforce strict alternation between two method groups.
+
+    ``first`` goes first. Example: a referee component whose ``white``
+    and ``black`` moves must alternate regardless of caller scheduling.
+    """
+
+    concern = "turns"
+
+    def __init__(self, first: Iterable[str], second: Iterable[str]) -> None:
+        super().__init__()
+        self.first = set(first)
+        self.second = set(second)
+        overlap = self.first & self.second
+        if overlap:
+            raise ValueError(f"methods {overlap!r} in both groups")
+        self.turn = "first"
+        self.transitions = 0
+
+    def _group(self, joinpoint: JoinPoint) -> str:
+        if joinpoint.method_id in self.first:
+            return "first"
+        if joinpoint.method_id in self.second:
+            return "second"
+        raise LookupError(f"{joinpoint.method_id!r} not in either group")
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self._group(joinpoint) != self.turn:
+                return AspectResult.BLOCK
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if joinpoint.exception is None:
+                self.turn = "second" if self.turn == "first" else "first"
+                self.transitions += 1
+
+
+class PhaseAspect(StatefulAspect):
+    """Enable methods only during declared phases.
+
+    ``schedule`` maps method -> set of phases in which it may run.
+    Transitioning phases from outside the protocol must wake parked
+    activations; pass the moderator to :meth:`transition` (or call
+    :meth:`AspectModerator.notify` yourself).
+    """
+
+    concern = "phase"
+
+    def __init__(self, schedule: Dict[str, Set[str]],
+                 initial: str, abort_unknown: bool = True) -> None:
+        super().__init__()
+        self.schedule = {k: set(v) for k, v in schedule.items()}
+        self.phase = initial
+        self.abort_unknown = abort_unknown
+        self.history = [initial]
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            allowed = self.schedule.get(joinpoint.method_id)
+            if allowed is None:
+                if self.abort_unknown:
+                    return AspectResult.ABORT
+                return AspectResult.RESUME
+            if self.phase in allowed:
+                return AspectResult.RESUME
+            return AspectResult.BLOCK
+
+    def transition(self, new_phase: str,
+                   moderator: Optional[AspectModerator] = None) -> None:
+        """Move the system to ``new_phase`` and wake waiting activations."""
+        with self._lock:
+            self.phase = new_phase
+            self.history.append(new_phase)
+        if moderator is not None:
+            moderator.notify()
+
+
+class QuorumAspect(StatefulAspect):
+    """Admit an operation only once ``quorum`` distinct callers request it.
+
+    Callers are distinguished by ``joinpoint.caller`` (falling back to
+    thread name). All members of a full quorum are admitted; the quorum
+    then resets for the next round.
+    """
+
+    concern = "quorum"
+
+    def __init__(self, quorum: int) -> None:
+        super().__init__()
+        if quorum <= 0:
+            raise ValueError("quorum must be positive")
+        self.quorum = quorum
+        self.round = 0
+        self.requesters: Set[str] = set()
+        self.rounds_completed = 0
+
+    def _identity(self, joinpoint: JoinPoint) -> str:
+        if joinpoint.caller is not None:
+            return str(joinpoint.caller)
+        return joinpoint.thread_name
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            joined_round = joinpoint.context.get("quorum_round")
+            if joined_round is None:
+                joinpoint.context["quorum_round"] = self.round
+                self.requesters.add(self._identity(joinpoint))
+                joined_round = self.round
+            if joined_round < self.round:
+                # The round this caller joined has been satisfied.
+                del joinpoint.context["quorum_round"]
+                return AspectResult.RESUME
+            if len(self.requesters) >= self.quorum:
+                self.round += 1
+                self.rounds_completed += 1
+                self.requesters = set()
+                del joinpoint.context["quorum_round"]
+                return AspectResult.RESUME
+            return AspectResult.BLOCK
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            joined_round = joinpoint.context.pop("quorum_round", None)
+            if joined_round is not None and joined_round == self.round:
+                self.requesters.discard(self._identity(joinpoint))
+
+
+class DependencyAspect(StatefulAspect):
+    """Method-ordering dependencies: B waits until A has completed.
+
+    ``requires`` maps a method to the set of methods that must each have
+    completed successfully at least once before it may run.
+    """
+
+    concern = "depends"
+
+    def __init__(self, requires: Dict[str, Set[str]]) -> None:
+        super().__init__()
+        self.requires = {k: set(v) for k, v in requires.items()}
+        self.completed: Set[str] = set()
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            needed = self.requires.get(joinpoint.method_id, set())
+            if needed - self.completed:
+                return AspectResult.BLOCK
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if joinpoint.exception is None:
+                self.completed.add(joinpoint.method_id)

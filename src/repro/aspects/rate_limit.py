@@ -1,0 +1,130 @@
+"""Throughput-regulation aspects: token bucket and concurrency window.
+
+The paper lists "throughput" among the interaction concerns (Section 2).
+Two standard regulators:
+
+* :class:`TokenBucketAspect` — sustained-rate limiting with bursts. A
+  depleted bucket either ABORTs the activation (load shedding, the
+  default) or BLOCKs it. Note on BLOCK: moderator wait queues are woken
+  by post-activations (and explicit :meth:`AspectModerator.notify`), so a
+  blocked caller on an otherwise idle system re-evaluates only when other
+  traffic completes — callers needing timed wakeups should pass a
+  pre-activation timeout or use abort mode and retry.
+* :class:`ConcurrencyWindowAspect` — bounds in-flight activations across
+  the methods it is registered on (a semaphore with observability).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+
+class TokenBucket:
+    """Plain token bucket (no threading — callers hold their own lock)."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self.tokens = burst
+        self._refilled_at = clock()
+
+    def refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self._refilled_at = now
+
+    def try_take(self, amount: float = 1.0) -> bool:
+        self.refill()
+        if self.tokens >= amount:
+            self.tokens -= amount
+            return True
+        return False
+
+    def give_back(self, amount: float = 1.0) -> None:
+        self.tokens = min(self.burst, self.tokens + amount)
+
+
+class TokenBucketAspect(StatefulAspect):
+    """Admit at most ``rate`` activations/second with bursts of ``burst``."""
+
+    concern = "ratelimit"
+
+    def __init__(self, rate: float, burst: float = 1.0,
+                 mode: str = "abort",
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        super().__init__()
+        if mode not in ("abort", "block"):
+            raise ValueError("mode must be 'abort' or 'block'")
+        self.bucket = TokenBucket(rate, burst, clock)
+        self.mode = mode
+        self.admitted = 0
+        self.rejected = 0
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self.bucket.try_take():
+                self.admitted += 1
+                joinpoint.context["ratelimit_token"] = True
+                return AspectResult.RESUME
+            self.rejected += 1
+            if self.mode == "block":
+                return AspectResult.BLOCK
+            return AspectResult.ABORT
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        # A token consumed for an activation a later aspect killed is
+        # returned — the work never happened.
+        with self._lock:
+            if joinpoint.context.pop("ratelimit_token", False):
+                self.bucket.give_back()
+                self.admitted -= 1
+
+
+class ConcurrencyWindowAspect(StatefulAspect):
+    """Bound concurrent in-flight activations; expose occupancy stats."""
+
+    concern = "window"
+
+    def __init__(self, limit: int, mode: str = "block") -> None:
+        super().__init__()
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        if mode not in ("abort", "block"):
+            raise ValueError("mode must be 'abort' or 'block'")
+        self.limit = limit
+        self.mode = mode
+        self.in_flight = 0
+        self.peak = 0
+        self.rejected = 0
+        self.per_method: Dict[str, int] = {}
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self.in_flight >= self.limit:
+                self.rejected += 1
+                return (
+                    AspectResult.BLOCK if self.mode == "block"
+                    else AspectResult.ABORT
+                )
+            self.in_flight += 1
+            self.peak = max(self.peak, self.in_flight)
+            method = joinpoint.method_id
+            self.per_method[method] = self.per_method.get(method, 0) + 1
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            self.in_flight -= 1
+
+    on_abort = postaction

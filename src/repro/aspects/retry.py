@@ -1,0 +1,148 @@
+"""Fault-tolerance by retry: policies, aspect-side accounting, wrappers.
+
+The moderator protocol is strictly pre/post (as in the paper), so a
+concern that must re-run the method body — retry — composes at the call
+layer instead: :func:`retrying` wraps any callable (typically an already
+guarded proxy method) and re-invokes the *whole* moderated activation on
+failure. Each attempt therefore passes through pre-activation again,
+keeping synchronization and security constraints honest across retries.
+
+:class:`FailureAccountingAspect` is the in-protocol half: it observes
+exceptions flowing through post-activation and keeps per-method failure
+statistics that drive the circuit breaker and the benchmark reports.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple, Type
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When and how often to retry.
+
+    Attributes:
+        max_attempts: total attempts including the first call.
+        base_delay: initial sleep between attempts, in seconds.
+        multiplier: exponential backoff factor.
+        max_delay: backoff ceiling.
+        jitter: fraction of the delay randomized away (0 disables).
+        retry_on: exception types considered transient.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.0
+    multiplier: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.0
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,)
+
+    def delay_for(self, attempt: int,
+                  rng: Optional[random.Random] = None) -> float:
+        """Backoff before attempt number ``attempt`` (attempt 2 = first retry)."""
+        if self.base_delay <= 0:
+            return 0.0
+        delay = min(
+            self.base_delay * (self.multiplier ** max(0, attempt - 2)),
+            self.max_delay,
+        )
+        if self.jitter > 0:
+            rng = rng if rng is not None else random
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def should_retry(self, attempt: int, exc: BaseException) -> bool:
+        return attempt < self.max_attempts and isinstance(exc, self.retry_on)
+
+
+def retrying(func: Callable[..., Any], policy: RetryPolicy,
+             sleep: Callable[[float], None] = time.sleep,
+             rng: Optional[random.Random] = None) -> Callable[..., Any]:
+    """Wrap ``func`` so transient failures are retried per ``policy``.
+
+    Returns a callable with the same signature. The last exception is
+    re-raised when attempts are exhausted.
+    """
+
+    def call_with_retry(*args: Any, **kwargs: Any) -> Any:
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return func(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - filtered below
+                if not policy.should_retry(attempt, exc):
+                    raise
+                delay = policy.delay_for(attempt + 1, rng)
+                if delay > 0:
+                    sleep(delay)
+
+    call_with_retry.__name__ = getattr(func, "__name__", "retrying")
+    call_with_retry.__doc__ = func.__doc__
+    return call_with_retry
+
+
+@dataclass
+class FailureStats:
+    """Per-method failure counters."""
+
+    calls: int = 0
+    failures: int = 0
+    consecutive_failures: int = 0
+    last_failure_at: Optional[float] = None
+    by_exception: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def failure_rate(self) -> float:
+        if self.calls == 0:
+            return 0.0
+        return self.failures / self.calls
+
+
+class FailureAccountingAspect(StatefulAspect):
+    """Observe method outcomes and keep failure statistics per method."""
+
+    concern = "fault"
+
+    def __init__(self, clock=time.monotonic) -> None:
+        super().__init__()
+        self._clock = clock
+        self.stats: Dict[str, FailureStats] = {}
+
+    def _stats_for(self, method_id: str) -> FailureStats:
+        stats = self.stats.get(method_id)
+        if stats is None:
+            stats = FailureStats()
+            self.stats[method_id] = stats
+        return stats
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            stats = self._stats_for(joinpoint.method_id)
+            stats.calls += 1
+            if joinpoint.exception is not None:
+                stats.failures += 1
+                stats.consecutive_failures += 1
+                stats.last_failure_at = self._clock()
+                name = type(joinpoint.exception).__name__
+                stats.by_exception[name] = stats.by_exception.get(name, 0) + 1
+            else:
+                stats.consecutive_failures = 0
+
+    def report(self) -> Dict[str, Dict[str, Any]]:
+        with self._lock:
+            return {
+                method_id: {
+                    "calls": stats.calls,
+                    "failures": stats.failures,
+                    "failure_rate": stats.failure_rate,
+                    "consecutive_failures": stats.consecutive_failures,
+                }
+                for method_id, stats in self.stats.items()
+            }

@@ -1,0 +1,147 @@
+"""Scheduling aspects: admission order as a separated concern (paper §1).
+
+The moderator's BLOCK/notify loop re-evaluates *all* parked activations
+on every post-activation; which of them then RESUMEs is pure aspect
+logic. Scheduling aspects exploit this: they admit waiting activations
+in FIFO, LIFO or priority order, with a configurable concurrency level —
+turning a scheduling policy into a pluggable, reusable object instead of
+code tangled into the component.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+
+class _QueueSchedulingAspect(StatefulAspect):
+    """Shared machinery: a wait list plus an in-flight counter.
+
+    Subclasses define :meth:`_pick` — which waiting activation id may be
+    admitted next.
+    """
+
+    concern = "schedule"
+
+    def __init__(self, concurrency: int = 1) -> None:
+        super().__init__()
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        self.concurrency = concurrency
+        self.in_flight = 0
+        self.admitted = 0
+        self._waiting: List[int] = []  # activation ids in arrival order
+
+    def _pick(self) -> Optional[int]:
+        raise NotImplementedError
+
+    def _priority_of(self, joinpoint: JoinPoint) -> Any:
+        return None  # overridden by priority scheduling
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        activation = joinpoint.activation_id
+        with self._lock:
+            if activation not in self._waiting \
+                    and not joinpoint.context.get("sched_admitted"):
+                self._waiting.append(activation)
+                self._register(joinpoint)
+            if self.in_flight < self.concurrency \
+                    and self._pick() == activation:
+                self._waiting.remove(activation)
+                self._unregister(joinpoint)
+                self.in_flight += 1
+                self.admitted += 1
+                joinpoint.context["sched_admitted"] = True
+                return AspectResult.RESUME
+            return AspectResult.BLOCK
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if joinpoint.context.pop("sched_admitted", False):
+                self.in_flight -= 1
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        activation = joinpoint.activation_id
+        with self._lock:
+            if joinpoint.context.pop("sched_admitted", False):
+                self.in_flight -= 1
+                self.admitted -= 1
+            elif activation in self._waiting:
+                self._waiting.remove(activation)
+                self._unregister(joinpoint)
+
+    # Hooks for subclasses that track metadata per waiting activation.
+    def _register(self, joinpoint: JoinPoint) -> None:
+        pass
+
+    def _unregister(self, joinpoint: JoinPoint) -> None:
+        pass
+
+    @property
+    def queue_length(self) -> int:
+        with self._lock:
+            return len(self._waiting)
+
+
+class FifoSchedulingAspect(_QueueSchedulingAspect):
+    """Admit waiting activations strictly in arrival order.
+
+    Plugged in front of a contended resource this guarantees fairness —
+    the moderator's bare notify_all gives no ordering promise.
+    """
+
+    def _pick(self) -> Optional[int]:
+        return self._waiting[0] if self._waiting else None
+
+
+class LifoSchedulingAspect(_QueueSchedulingAspect):
+    """Admit the most recently arrived activation first (stack order)."""
+
+    def _pick(self) -> Optional[int]:
+        return self._waiting[-1] if self._waiting else None
+
+
+class PrioritySchedulingAspect(_QueueSchedulingAspect):
+    """Admit the waiting activation with the best (lowest) priority.
+
+    Priority is computed once at arrival by ``priority_of(joinpoint)``;
+    the default reads ``joinpoint.kwargs["priority"]`` with
+    ``default_priority`` as fallback. Ties break by arrival order, so
+    equal-priority traffic is FIFO.
+    """
+
+    def __init__(self, concurrency: int = 1,
+                 priority_of: Optional[Callable[[JoinPoint], float]] = None,
+                 default_priority: float = 10.0) -> None:
+        super().__init__(concurrency=concurrency)
+        self._priority_fn = priority_of
+        self.default_priority = default_priority
+        self._priorities: Dict[int, float] = {}
+
+    def _compute(self, joinpoint: JoinPoint) -> float:
+        if self._priority_fn is not None:
+            return float(self._priority_fn(joinpoint))
+        value = joinpoint.kwargs.get("priority")
+        if value is None:
+            return self.default_priority
+        return float(value)
+
+    def _register(self, joinpoint: JoinPoint) -> None:
+        self._priorities[joinpoint.activation_id] = self._compute(joinpoint)
+
+    def _unregister(self, joinpoint: JoinPoint) -> None:
+        self._priorities.pop(joinpoint.activation_id, None)
+
+    def _pick(self) -> Optional[int]:
+        if not self._waiting:
+            return None
+        return min(
+            self._waiting,
+            key=lambda activation: (
+                self._priorities.get(activation, self.default_priority),
+                self._waiting.index(activation),
+            ),
+        )

@@ -1,0 +1,330 @@
+"""Synchronization aspects: object concurrency constraints as aspects.
+
+These reproduce the paper's central example — Figure 7's
+``OpenSynchronizationAspect`` guarding a bounded buffer — and generalize
+it into a small library of classic synchronization schemata (mutex,
+counting semaphore, readers/writer, barrier), each expressed purely as
+``precondition`` / ``postaction`` pairs with compensation.
+
+Faithfulness note: the paper's preconditions mutate their counters
+(``++ActiveOpen; ++component.noItems``) *before* the method executes and
+commit the rest in ``postaction``. These aspects follow the same
+reserve-in-precondition / commit-in-postaction discipline, with two
+repairs the published listings lack:
+
+* ``on_abort`` rolls the reservation back when a later aspect in the
+  chain blocks or aborts;
+* ``postaction`` inspects ``joinpoint.exception`` and rolls back instead
+  of committing when the method body raised.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Set
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+
+class BoundedBufferSync(StatefulAspect):
+    """Producer/consumer guard for a bounded buffer (paper Figure 7).
+
+    One instance guards *both* the producing method (``open``/``put``)
+    and the consuming method (``assign``/``take``) of a component. The
+    component only needs a ``capacity`` attribute; occupancy is tracked
+    by the aspect itself (``reserved``), keeping the functional component
+    free of any concurrency state — the separation the paper argues for.
+
+    The paper's listing also enforces mutual exclusion per direction via
+    ``ActiveOpen == 0``: at most one producer (and one consumer) may be
+    inside the component at a time. ``exclusive=True`` reproduces that;
+    ``exclusive=False`` relaxes it to pure occupancy bounds.
+    """
+
+    concern = "sync"
+
+    def __init__(self, component: Any, producer: str = "open",
+                 consumer: str = "assign", exclusive: bool = True,
+                 capacity: Optional[int] = None) -> None:
+        super().__init__()
+        self.component = component
+        self.producer = producer
+        self.consumer = consumer
+        self.exclusive = exclusive
+        self.capacity = (
+            capacity if capacity is not None
+            else int(getattr(component, "capacity"))
+        )
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        #: committed occupancy (items actually in the buffer)
+        self.items = 0
+        #: in-flight producers / consumers that have reserved a slot
+        self.active_producers = 0
+        self.active_consumers = 0
+
+    def _role(self, joinpoint: JoinPoint) -> str:
+        if joinpoint.method_id == self.producer:
+            return "producer"
+        if joinpoint.method_id == self.consumer:
+            return "consumer"
+        raise LookupError(
+            f"{type(self).__name__} guards {self.producer!r}/"
+            f"{self.consumer!r}, not {joinpoint.method_id!r}"
+        )
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self._role(joinpoint) == "producer":
+                free = self.capacity - self.items - self.active_producers
+                if free <= 0:
+                    return AspectResult.BLOCK
+                if self.exclusive and self.active_producers > 0:
+                    return AspectResult.BLOCK
+                self.active_producers += 1
+            else:
+                available = self.items - self.active_consumers
+                if available <= 0:
+                    return AspectResult.BLOCK
+                if self.exclusive and self.active_consumers > 0:
+                    return AspectResult.BLOCK
+                self.active_consumers += 1
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if self._role(joinpoint) == "producer":
+                self.active_producers -= 1
+                if joinpoint.exception is None:
+                    self.items += 1
+            else:
+                self.active_consumers -= 1
+                if joinpoint.exception is None:
+                    self.items -= 1
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if self._role(joinpoint) == "producer":
+                self.active_producers -= 1
+            else:
+                self.active_consumers -= 1
+
+    @property
+    def occupancy(self) -> int:
+        """Committed item count (for tests and invariant checks)."""
+        with self._lock:
+            return self.items
+
+
+class MutexAspect(StatefulAspect):
+    """Mutual exclusion across all methods the aspect is registered on.
+
+    Registering one instance on several methods of a component turns
+    those methods into a monitor: at most one activation runs at a time.
+    Non-reentrant by design; a reentrant variant would need per-thread
+    ownership, see :class:`ReentrantMutexAspect`.
+    """
+
+    concern = "mutex"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.holder: Optional[int] = None
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self.holder is not None:
+                return AspectResult.BLOCK
+            self.holder = joinpoint.activation_id
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if self.holder == joinpoint.activation_id:
+                self.holder = None
+
+    on_abort = postaction
+
+
+class ReentrantMutexAspect(StatefulAspect):
+    """Per-thread reentrant mutual exclusion."""
+
+    concern = "mutex"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.owner: Optional[str] = None
+        self.depth = 0
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self.owner is None or self.owner == joinpoint.thread_name:
+                self.owner = joinpoint.thread_name
+                self.depth += 1
+                return AspectResult.RESUME
+            return AspectResult.BLOCK
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if self.owner == joinpoint.thread_name:
+                self.depth -= 1
+                if self.depth == 0:
+                    self.owner = None
+
+    on_abort = postaction
+
+
+class SemaphoreAspect(StatefulAspect):
+    """Counting semaphore: at most ``permits`` concurrent activations."""
+
+    concern = "semaphore"
+
+    def __init__(self, permits: int) -> None:
+        super().__init__()
+        if permits <= 0:
+            raise ValueError("permits must be positive")
+        self.permits = permits
+        self.in_use = 0
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self.in_use >= self.permits:
+                return AspectResult.BLOCK
+            self.in_use += 1
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            self.in_use -= 1
+
+    on_abort = postaction
+
+
+class ReadersWriterAspect(StatefulAspect):
+    """Readers/writer constraint over two method sets.
+
+    Methods in ``readers`` may run concurrently with each other; methods
+    in ``writers`` require exclusive access. Writer-preference: once a
+    writer is waiting, new readers block (tracked via ``writers_waiting``
+    so a stream of readers cannot starve writers).
+    """
+
+    concern = "rw"
+
+    def __init__(self, readers: Set[str], writers: Set[str]) -> None:
+        super().__init__()
+        self.readers = set(readers)
+        self.writers = set(writers)
+        overlap = self.readers & self.writers
+        if overlap:
+            raise ValueError(f"methods {overlap!r} listed as both roles")
+        self.active_readers = 0
+        self.active_writers = 0
+        self.writers_waiting = 0
+
+    def _is_writer(self, joinpoint: JoinPoint) -> bool:
+        if joinpoint.method_id in self.writers:
+            return True
+        if joinpoint.method_id in self.readers:
+            return False
+        raise LookupError(
+            f"{joinpoint.method_id!r} not declared as reader or writer"
+        )
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            if self._is_writer(joinpoint):
+                if self.active_readers or self.active_writers:
+                    # Remember the waiter once per activation so readers
+                    # defer to it; the flag clears when it finally enters.
+                    if not joinpoint.context.get("rw_waiting"):
+                        joinpoint.context["rw_waiting"] = True
+                        self.writers_waiting += 1
+                    return AspectResult.BLOCK
+                if joinpoint.context.pop("rw_waiting", False):
+                    self.writers_waiting -= 1
+                self.active_writers = 1
+                return AspectResult.RESUME
+            if self.active_writers or self.writers_waiting:
+                return AspectResult.BLOCK
+            self.active_readers += 1
+            return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            if self._is_writer(joinpoint):
+                self.active_writers = 0
+            else:
+                self.active_readers -= 1
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        self.postaction(joinpoint)
+
+
+class BarrierAspect(StatefulAspect):
+    """Rendezvous barrier: activations proceed in cohorts of ``parties``.
+
+    The first ``parties - 1`` callers BLOCK; the arrival of the final
+    party advances the generation and releases the whole cohort (their
+    preconditions re-evaluate and see the advanced generation). A waiter
+    resumes exactly when the generation it arrived in has closed, so a
+    released cohort can never absorb members of the next one.
+    """
+
+    concern = "barrier"
+
+    def __init__(self, parties: int) -> None:
+        super().__init__()
+        if parties <= 0:
+            raise ValueError("parties must be positive")
+        self.parties = parties
+        self.generation = 0
+        self.arrived = 0
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        with self._lock:
+            arrived_in = joinpoint.context.get("barrier_generation")
+            if arrived_in is None:
+                joinpoint.context["barrier_generation"] = self.generation
+                self.arrived += 1
+                if self.arrived == self.parties:
+                    # Final party: close this generation, release cohort.
+                    self.arrived = 0
+                    self.generation += 1
+                    del joinpoint.context["barrier_generation"]
+                    return AspectResult.RESUME
+                return AspectResult.BLOCK
+            if self.generation > arrived_in:
+                del joinpoint.context["barrier_generation"]
+                return AspectResult.RESUME
+            return AspectResult.BLOCK
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        with self._lock:
+            arrived_in = joinpoint.context.pop("barrier_generation", None)
+            if arrived_in is not None and arrived_in == self.generation:
+                self.arrived = max(0, self.arrived - 1)
+
+
+class GuardAspect(StatefulAspect):
+    """Generic guard: BLOCK until ``condition(joinpoint)`` holds.
+
+    The building block for ad-hoc synchronization constraints::
+
+        GuardAspect(lambda jp: server.is_open)
+    """
+
+    concern = "guard"
+
+    def __init__(self, condition: Any, abort_when: Any = None) -> None:
+        super().__init__()
+        self._condition = condition
+        self._abort_when = abort_when
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        if self._abort_when is not None and self._abort_when(joinpoint):
+            return AspectResult.ABORT
+        if self._condition(joinpoint):
+            return AspectResult.RESUME
+        return AspectResult.BLOCK

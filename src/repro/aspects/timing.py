@@ -1,0 +1,148 @@
+"""Timing aspect: latency and throughput observation ("throughput", §2).
+
+Measures per-method wall-clock latency between pre- and post-activation
+and maintains streaming statistics (count, mean, min, max, variance via
+Welford, and a reservoir for percentile estimates). Used by the
+benchmark harness to report the same series for framework and baseline
+configurations.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+
+class StreamingStats:
+    """Welford online statistics plus a bounded reservoir sample."""
+
+    def __init__(self, reservoir_size: int = 512,
+                 rng: Optional[random.Random] = None) -> None:
+        self._lock = threading.Lock()
+        self._rng = rng if rng is not None else random.Random(0xA5)
+        self.reservoir_size = reservoir_size
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._reservoir: List[float] = []
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self.count += 1
+            delta = value - self.mean
+            self.mean += delta / self.count
+            self._m2 += delta * (value - self.mean)
+            self.minimum = min(self.minimum, value)
+            self.maximum = max(self.maximum, value)
+            if len(self._reservoir) < self.reservoir_size:
+                self._reservoir.append(value)
+            else:
+                slot = self._rng.randrange(self.count)
+                if slot < self.reservoir_size:
+                    self._reservoir[slot] = value
+
+    @property
+    def variance(self) -> float:
+        with self._lock:
+            if self.count < 2:
+                return 0.0
+            return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from the reservoir (q in [0, 100])."""
+        with self._lock:
+            if not self._reservoir:
+                return math.nan
+            ordered = sorted(self._reservoir)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        low = int(math.floor(rank))
+        high = min(low + 1, len(ordered) - 1)
+        fraction = rank - low
+        # interpolate as base + f*delta: exact when neighbours are equal,
+        # and monotone in q within a bucket
+        return ordered[low] + fraction * (ordered[high] - ordered[low])
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum if self.count else math.nan,
+            "max": self.maximum if self.count else math.nan,
+            "stddev": self.stddev,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+        }
+
+
+@dataclass
+class ThroughputWindow:
+    """Completed-call counter with a start timestamp for rate computation."""
+
+    started_at: float
+    completed: int = 0
+
+    def rate(self, now: Optional[float] = None) -> float:
+        elapsed = (now if now is not None else time.monotonic()) - self.started_at
+        if elapsed <= 0:
+            return 0.0
+        return self.completed / elapsed
+
+
+class TimingAspect(StatefulAspect):
+    """Per-method latency statistics and overall throughput."""
+
+    concern = "timing"
+    is_observer = True
+
+    def __init__(self, clock=time.monotonic) -> None:
+        super().__init__()
+        self._clock = clock
+        self.per_method: Dict[str, StreamingStats] = {}
+        self.window = ThroughputWindow(started_at=clock())
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        joinpoint.context["timing_start"] = self._clock()
+        return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        start = joinpoint.context.pop("timing_start", None)
+        if start is None:
+            return
+        elapsed = self._clock() - start
+        with self._lock:
+            stats = self.per_method.get(joinpoint.method_id)
+            if stats is None:
+                stats = StreamingStats()
+                self.per_method[joinpoint.method_id] = stats
+            self.window.completed += 1
+        stats.observe(elapsed)
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        joinpoint.context.pop("timing_start", None)
+
+    def reset_window(self) -> None:
+        with self._lock:
+            self.window = ThroughputWindow(started_at=self._clock())
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            methods = dict(self.per_method)
+        return {
+            method_id: stats.summary() for method_id, stats in methods.items()
+        }

@@ -1,0 +1,134 @@
+"""Transactional aspects: state rollback as a separated concern.
+
+Fault tolerance in the paper's concern list includes recovering from
+failed operations. :class:`SnapshotTransactionAspect` gives any
+component transactional method semantics without the component knowing:
+
+* ``precondition`` snapshots the declared attributes of the component;
+* ``postaction`` discards the snapshot on success and *restores* it
+  when the method body raised — the component never observes partial
+  updates from failed activations;
+* ``on_abort`` discards the snapshot (nothing ran, nothing to undo).
+
+:class:`UndoLogAspect` is the finer-grained variant for components that
+expose explicit ``undo`` callables per method.
+
+Restriction (documented, test-enforced): snapshots copy *values*, so
+declared attributes must be value-like (numbers, strings, lists, dicts
+of plain data). Components holding open resources need the undo-log
+variant instead.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Callable, Iterable, List, Optional
+
+from repro.core.aspect import StatefulAspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+#: context key holding the per-activation snapshot
+SNAPSHOT_KEY = "__txn_snapshot__"
+
+
+class SnapshotTransactionAspect(StatefulAspect):
+    """Restore component attributes when the method body raises.
+
+    Args:
+        attributes: component attribute names to protect. ``None``
+            protects every public attribute present at snapshot time.
+    """
+
+    concern = "txn"
+
+    def __init__(self, attributes: Optional[Iterable[str]] = None) -> None:
+        super().__init__()
+        self.attributes = list(attributes) if attributes is not None else None
+        self.commits = 0
+        self.rollbacks = 0
+
+    def _protected(self, component: Any) -> List[str]:
+        if self.attributes is not None:
+            return self.attributes
+        return [
+            name for name in vars(component)
+            if not name.startswith("_")
+        ]
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        component = joinpoint.component
+        if component is None:
+            return AspectResult.RESUME
+        snapshot = {
+            name: copy.deepcopy(getattr(component, name))
+            for name in self._protected(component)
+            if hasattr(component, name)
+        }
+        joinpoint.context[SNAPSHOT_KEY] = snapshot
+        return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        snapshot = joinpoint.context.pop(SNAPSHOT_KEY, None)
+        if snapshot is None or joinpoint.component is None:
+            return
+        if joinpoint.exception is None:
+            with self._lock:
+                self.commits += 1
+            return
+        for name, value in snapshot.items():
+            setattr(joinpoint.component, name, value)
+        with self._lock:
+            self.rollbacks += 1
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        joinpoint.context.pop(SNAPSHOT_KEY, None)
+
+
+#: an undo entry: zero-argument callable reversing one recorded effect
+Undo = Callable[[], None]
+
+
+class UndoLogAspect(StatefulAspect):
+    """Run registered undo callables when the method body raises.
+
+    The component (or earlier aspects) append compensations during the
+    activation via :meth:`record`, reading the active log from
+    ``joinpoint.context``. Undo entries run in reverse order.
+    """
+
+    concern = "txn"
+    CONTEXT_KEY = "__txn_undo_log__"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.commits = 0
+        self.rollbacks = 0
+        self.undo_failures = 0
+
+    @classmethod
+    def record(cls, joinpoint: JoinPoint, undo: Undo) -> None:
+        """Append a compensation for one applied effect."""
+        joinpoint.context.setdefault(cls.CONTEXT_KEY, []).append(undo)
+
+    def precondition(self, joinpoint: JoinPoint) -> AspectResult:
+        joinpoint.context[self.CONTEXT_KEY] = []
+        return AspectResult.RESUME
+
+    def postaction(self, joinpoint: JoinPoint) -> None:
+        log: List[Undo] = joinpoint.context.pop(self.CONTEXT_KEY, [])
+        if joinpoint.exception is None:
+            with self._lock:
+                self.commits += 1
+            return
+        for undo in reversed(log):
+            try:
+                undo()
+            except Exception:  # noqa: BLE001 - undo must not mask the cause
+                with self._lock:
+                    self.undo_failures += 1
+        with self._lock:
+            self.rollbacks += 1
+
+    def on_abort(self, joinpoint: JoinPoint) -> None:
+        joinpoint.context.pop(self.CONTEXT_KEY, None)

@@ -1,0 +1,12 @@
+"""Baselines: hand-tangled and stdlib implementations for comparison."""
+
+from .monitor_buffer import MonitorBoundedBuffer
+from .queue_buffer import QueueBoundedBuffer
+from .tangled_ticketing import TangledAccessDenied, TangledTicketServer
+
+__all__ = [
+    "MonitorBoundedBuffer",
+    "QueueBoundedBuffer",
+    "TangledAccessDenied",
+    "TangledTicketServer",
+]

@@ -1,0 +1,58 @@
+"""Classic monitor bounded buffer — the minimal synchronization baseline.
+
+No security, no audits, no framework: just a lock, two conditions, and a
+ring buffer. Bench T-OVH uses it as the lower bound on per-call cost for
+a *correct* concurrent buffer (the framework's price is measured
+relative to this, not to an unsafe plain list).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class MonitorBoundedBuffer(Generic[T]):
+    """Blocking bounded buffer with hand-written monitor discipline."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: List[Optional[T]] = [None] * capacity
+        self._put_ptr = 0
+        self._take_ptr = 0
+        self._count = 0
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+
+    def put(self, item: T, timeout: Optional[float] = None) -> None:
+        with self._not_full:
+            if not self._not_full.wait_for(
+                lambda: self._count < self.capacity, timeout
+            ):
+                raise TimeoutError("buffer full")
+            self._slots[self._put_ptr] = item
+            self._put_ptr = (self._put_ptr + 1) % self.capacity
+            self._count += 1
+            self._not_empty.notify()
+
+    def take(self, timeout: Optional[float] = None) -> T:
+        with self._not_empty:
+            if not self._not_empty.wait_for(
+                lambda: self._count > 0, timeout
+            ):
+                raise TimeoutError("buffer empty")
+            item = self._slots[self._take_ptr]
+            self._slots[self._take_ptr] = None
+            self._take_ptr = (self._take_ptr + 1) % self.capacity
+            self._count -= 1
+            self._not_full.notify()
+            return item  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._count

@@ -1,0 +1,36 @@
+"""Stdlib ``queue.Queue`` baseline.
+
+The highly-optimized C-assisted implementation every Python programmer
+reaches for; benches report it alongside the monitor buffer so the
+framework's overhead is positioned against both a hand-written and a
+stdlib synchronization implementation.
+"""
+
+from __future__ import annotations
+
+import queue
+from typing import Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class QueueBoundedBuffer(Generic[T]):
+    """Adapter matching the put/take surface of the other buffers."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._queue: "queue.Queue[T]" = queue.Queue(maxsize=capacity)
+
+    def put(self, item: T, timeout: Optional[float] = None) -> None:
+        self._queue.put(item, timeout=timeout)
+
+    def take(self, timeout: Optional[float] = None) -> T:
+        try:
+            return self._queue.get(timeout=timeout)
+        except queue.Empty:
+            raise TimeoutError("buffer empty") from None
+
+    def __len__(self) -> int:
+        return self._queue.qsize()

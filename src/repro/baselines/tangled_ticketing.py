@@ -1,0 +1,119 @@
+"""The tangled baseline: every concern hand-mixed into the component.
+
+This is the "code-tangling ... phenomenon where the implementations of
+such properties (called aspects) cut across groups of functional
+components" that the paper argues against (Section 1). One class carries
+business logic, synchronization, authentication, auditing and timing —
+deliberately written the way the pre-AOP systems the paper criticizes
+were written, to serve as:
+
+* the **performance baseline** — hand-tangled monitors have no
+  moderation overhead, so they bound the framework's cost from below
+  (bench T-OVH and T-SCAL);
+* the **adaptability foil** — adding a concern here means editing every
+  method (bench FIG13 counts the difference);
+* the **metrics subject** — the separation-of-concerns analyzer
+  quantifies its scattering/tangling against the framework version
+  (bench T-SOC).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.concurrency.buffer import BoundedBuffer, Ticket
+
+
+class TangledAccessDenied(PermissionError):
+    """Authentication failure in the tangled server."""
+
+
+class TangledTicketServer:
+    """Monitor-style ticket server with all concerns inlined.
+
+    Functionally equivalent to the framework's ticketing cluster with
+    sync + authentication + audit + timing bound — but every concern is
+    woven by hand into both methods, exactly the structure the paper
+    calls a composition anomaly.
+    """
+
+    def __init__(self, capacity: int = 16,
+                 authenticate: bool = False,
+                 audit: bool = False,
+                 timing: bool = False) -> None:
+        self.capacity = capacity
+        self._buffer: BoundedBuffer[Ticket] = BoundedBuffer(capacity)
+        # --- synchronization state, tangled in ---
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        # --- security state, tangled in ---
+        self.authenticate = authenticate
+        self._sessions: Dict[str, bool] = {}
+        # --- audit state, tangled in ---
+        self.audit = audit
+        self.audit_trail: List[Dict] = []
+        # --- timing state, tangled in ---
+        self.timing = timing
+        self.latencies: Dict[str, List[float]] = {"open": [], "assign": []}
+
+    # ------------------------------------------------------------------
+    # tangled helpers (duplicated concern logic)
+    # ------------------------------------------------------------------
+    def login(self, principal: str, secret: str) -> str:
+        # security concern: a toy credential check, inline
+        if not principal or not secret:
+            raise TangledAccessDenied("bad credentials")
+        self._sessions[principal] = True
+        return principal
+
+    def _check_auth(self, caller: Optional[str], method: str) -> None:
+        # security concern, repeated per method
+        if self.authenticate and not self._sessions.get(caller or "", False):
+            if self.audit:
+                self.audit_trail.append(
+                    {"method": method, "caller": caller, "outcome": "aborted"}
+                )
+            raise TangledAccessDenied(f"{caller!r} not authenticated")
+
+    # ------------------------------------------------------------------
+    def open(self, ticket: Ticket, caller: Optional[str] = None) -> int:
+        started = time.monotonic() if self.timing else 0.0
+        self._check_auth(caller, "open")                    # security
+        with self._not_full:                                # sync
+            while len(self._buffer) >= self.capacity:       # sync
+                self._not_full.wait()                       # sync
+            ticket_id = self._buffer.put(ticket) or ticket.ticket_id
+            self._not_empty.notify()                        # sync
+        if self.audit:                                      # audit
+            self.audit_trail.append(
+                {"method": "open", "caller": caller, "outcome": "ok"}
+            )
+        if self.timing:                                     # timing
+            self.latencies["open"].append(time.monotonic() - started)
+        return ticket_id
+
+    def assign(self, agent: str = "agent",
+               caller: Optional[str] = None) -> Ticket:
+        started = time.monotonic() if self.timing else 0.0
+        self._check_auth(caller, "assign")                  # security
+        with self._not_empty:                               # sync
+            while len(self._buffer) == 0:                   # sync
+                self._not_empty.wait()                      # sync
+            ticket = self._buffer.take()
+            self._not_full.notify()                         # sync
+        ticket.assign_to(agent)
+        if self.audit:                                      # audit
+            self.audit_trail.append(
+                {"method": "assign", "caller": caller, "outcome": "ok"}
+            )
+        if self.timing:                                     # timing
+            self.latencies["assign"].append(time.monotonic() - started)
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return len(self._buffer)

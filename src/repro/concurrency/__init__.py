@@ -1,0 +1,34 @@
+"""Concurrency substrate: functional components and thread utilities."""
+
+from .active_object import ActiveObject, MethodRequest
+from .buffer import (
+    BoundedBuffer,
+    BufferEmpty,
+    BufferFull,
+    Ticket,
+    TicketStore,
+)
+from .executor import WorkerPool
+from .primitives import (
+    CountdownLatch,
+    Future,
+    FutureError,
+    Latch,
+    WaitQueue,
+)
+
+__all__ = [
+    "ActiveObject",
+    "BoundedBuffer",
+    "BufferEmpty",
+    "BufferFull",
+    "CountdownLatch",
+    "Future",
+    "FutureError",
+    "Latch",
+    "MethodRequest",
+    "Ticket",
+    "TicketStore",
+    "WaitQueue",
+    "WorkerPool",
+]

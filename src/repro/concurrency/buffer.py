@@ -1,0 +1,151 @@
+"""Sequential functional components: bounded buffer and ticket store.
+
+These are the *functional components* of the paper's architecture —
+deliberately free of any synchronization, security or scheduling code.
+Every interaction concern is attached externally through the framework.
+They are not thread-safe on their own **by design**: the whole point of
+the paper is that thread safety arrives as a separately composed aspect.
+
+The trouble-ticketing application "is based on the producer-consumer
+protocol with the use of a bounded buffer" (Section 4), with a circular
+``assignPtr`` the paper's postactions advance (Figure 7); the ring-array
+implementation below mirrors that.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+_ticket_ids = itertools.count(1)
+
+
+class BufferEmpty(LookupError):
+    """Raised by an unguarded ``take`` on an empty buffer."""
+
+
+class BufferFull(OverflowError):
+    """Raised by an unguarded ``put`` on a full buffer."""
+
+
+class BoundedBuffer(Generic[T]):
+    """Fixed-capacity FIFO ring buffer (sequential, unsynchronized).
+
+    Raises :class:`BufferFull` / :class:`BufferEmpty` instead of
+    blocking: blocking is a *concern*, not a buffer feature.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._slots: List[Optional[T]] = [None] * capacity
+        self._put_ptr = 0
+        self._take_ptr = 0
+        self._count = 0
+        self.total_put = 0
+        self.total_taken = 0
+
+    def put(self, item: T) -> None:
+        """Append ``item``; raises :class:`BufferFull` when at capacity."""
+        if self._count >= self.capacity:
+            raise BufferFull(f"buffer at capacity {self.capacity}")
+        self._slots[self._put_ptr] = item
+        self._put_ptr = (self._put_ptr + 1) % self.capacity
+        self._count += 1
+        self.total_put += 1
+
+    def take(self) -> T:
+        """Remove and return the oldest item; raises :class:`BufferEmpty`."""
+        if self._count == 0:
+            raise BufferEmpty("buffer is empty")
+        item = self._slots[self._take_ptr]
+        self._slots[self._take_ptr] = None
+        self._take_ptr = (self._take_ptr + 1) % self.capacity
+        self._count -= 1
+        self.total_taken += 1
+        return item  # type: ignore[return-value]
+
+    def peek(self) -> T:
+        if self._count == 0:
+            raise BufferEmpty("buffer is empty")
+        return self._slots[self._take_ptr]  # type: ignore[return-value]
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._count
+
+    def snapshot(self) -> List[T]:
+        """Items currently buffered, oldest first (for tests/invariants)."""
+        return [
+            self._slots[(self._take_ptr + offset) % self.capacity]
+            for offset in range(self._count)
+        ]  # type: ignore[return-value]
+
+
+@dataclass
+class Ticket:
+    """A trouble ticket (the paper's application domain)."""
+
+    summary: str
+    reporter: str = "anonymous"
+    severity: int = 3
+    ticket_id: int = field(default_factory=lambda: next(_ticket_ids))
+    assignee: Optional[str] = None
+    resolved: bool = False
+
+    def assign_to(self, agent: str) -> None:
+        self.assignee = agent
+
+    def resolve(self) -> None:
+        self.resolved = True
+
+
+class TicketStore:
+    """The paper's ``TicketServer`` functional component.
+
+    "Clients open (place) tickets on a server, and assign (retrieve)
+    tickets from a server" (Section 4). ``open`` produces into a bounded
+    buffer; ``assign`` consumes the oldest ticket and hands it to an
+    agent. Completely sequential — concurrency, authentication, auditing
+    etc. are woven on by the application layer in
+    :mod:`repro.apps.ticketing`.
+    """
+
+    def __init__(self, capacity: int = 16) -> None:
+        self.capacity = capacity
+        self._buffer: BoundedBuffer[Ticket] = BoundedBuffer(capacity)
+        self.opened: List[int] = []
+        self.assigned: List[int] = []
+
+    def open(self, ticket: Ticket) -> int:
+        """Place a ticket; returns its id."""
+        self._buffer.put(ticket)
+        self.opened.append(ticket.ticket_id)
+        return ticket.ticket_id
+
+    def assign(self, agent: str = "agent") -> Ticket:
+        """Retrieve the oldest ticket and assign it to ``agent``."""
+        ticket = self._buffer.take()
+        ticket.assign_to(agent)
+        self.assigned.append(ticket.ticket_id)
+        return ticket
+
+    @property
+    def pending(self) -> int:
+        """Tickets placed but not yet assigned."""
+        return len(self._buffer)
+
+    @property
+    def no_items(self) -> int:
+        """Paper-compatible alias (``noItems`` in Figure 7)."""
+        return len(self._buffer)
+
+    def snapshot(self) -> List[Ticket]:
+        return self._buffer.snapshot()

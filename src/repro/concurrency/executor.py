@@ -1,0 +1,84 @@
+"""A small bounded worker pool used by load generators and benchmarks.
+
+Deliberately minimal (submit / map / shutdown) and dependency-free; the
+benchmark harness uses it to drive concurrent clients against clusters
+with deterministic thread naming (worker names become join-point caller
+identities in several benches).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from .primitives import Future, WaitQueue
+
+
+class WorkerPool:
+    """Fixed pool of daemon workers consuming a shared task queue."""
+
+    def __init__(self, workers: int, name: str = "pool") -> None:
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self._queue: "WaitQueue[Optional[tuple]]" = WaitQueue()
+        self._threads: List[threading.Thread] = []
+        self._shutdown = False
+        self._lock = threading.Lock()
+        for index in range(workers):
+            thread = threading.Thread(
+                target=self._run, name=f"{name}-{index}", daemon=True
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _run(self) -> None:
+        while True:
+            try:
+                task = self._queue.get()
+            except WaitQueue.Closed:
+                return
+            if task is None:
+                return
+            func, args, kwargs, future = task
+            try:
+                future.set_result(func(*args, **kwargs))
+            except BaseException as exc:  # noqa: BLE001 - routed to future
+                future.set_exception(exc)
+
+    def submit(self, func: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> "Future[Any]":
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("pool is shut down")
+        future: "Future[Any]" = Future()
+        self._queue.put((func, args, kwargs, future))
+        return future
+
+    def map(self, func: Callable[[Any], Any],
+            items: Iterable[Any],
+            timeout: Optional[float] = 60.0) -> List[Any]:
+        """Apply ``func`` to every item concurrently; preserve order."""
+        futures = [self.submit(func, item) for item in items]
+        return [future.result(timeout) for future in futures]
+
+    def run_all(self, tasks: Sequence[Callable[[], Any]],
+                timeout: Optional[float] = 60.0) -> List[Any]:
+        """Run zero-argument tasks concurrently; preserve order."""
+        futures = [self.submit(task) for task in tasks]
+        return [future.result(timeout) for future in futures]
+
+    def shutdown(self, timeout: Optional[float] = 5.0) -> None:
+        with self._lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+        for _ in self._threads:
+            self._queue.put(None)
+        for thread in self._threads:
+            thread.join(timeout)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -1,0 +1,190 @@
+"""Concurrency primitives used by the framework, apps and benchmarks.
+
+Thin, well-tested wrappers over :mod:`threading` with the semantics the
+framework needs: a one-shot :class:`Latch`, a :class:`Future` with
+callbacks, and an inspectable :class:`WaitQueue` (the framework's wait
+queues live inside the moderator; this standalone variant serves the
+active object and the distributed runtime).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Callable, Deque, Generic, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Latch:
+    """One-shot gate: threads wait until someone opens it."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def open(self) -> None:
+        self._event.set()
+
+    @property
+    def is_open(self) -> bool:
+        return self._event.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        return self._event.wait(timeout)
+
+
+class CountdownLatch:
+    """Gate that opens after ``count`` arrivals."""
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._count = count
+
+    def count_down(self) -> None:
+        with self._condition:
+            if self._count > 0:
+                self._count -= 1
+                if self._count == 0:
+                    self._condition.notify_all()
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return self._count
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        with self._condition:
+            if self._count == 0:
+                return True
+            return self._condition.wait_for(
+                lambda: self._count == 0, timeout
+            )
+
+
+class FutureError(RuntimeError):
+    """Raised on misuse of :class:`Future` (double completion, etc.)."""
+
+
+class Future(Generic[T]):
+    """A write-once result container with blocking get and callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._condition = threading.Condition(self._lock)
+        self._done = False
+        self._value: Optional[T] = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: List[Callable[["Future[T]"], None]] = []
+
+    def set_result(self, value: T) -> None:
+        self._complete(value=value)
+
+    def set_exception(self, exc: BaseException) -> None:
+        self._complete(exception=exc)
+
+    def _complete(self, value: Optional[T] = None,
+                  exception: Optional[BaseException] = None) -> None:
+        with self._condition:
+            if self._done:
+                raise FutureError("future already completed")
+            self._value = value
+            self._exception = exception
+            self._done = True
+            callbacks = list(self._callbacks)
+            self._callbacks.clear()
+            self._condition.notify_all()
+        for callback in callbacks:
+            callback(self)
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return self._done
+
+    def result(self, timeout: Optional[float] = None) -> T:
+        with self._condition:
+            if not self._condition.wait_for(lambda: self._done, timeout):
+                raise TimeoutError("future not completed in time")
+            if self._exception is not None:
+                raise self._exception
+            return self._value  # type: ignore[return-value]
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        with self._condition:
+            if not self._condition.wait_for(lambda: self._done, timeout):
+                raise TimeoutError("future not completed in time")
+            return self._exception
+
+    def add_callback(self, callback: Callable[["Future[T]"], None]) -> None:
+        """Run ``callback(self)`` on completion (immediately if done)."""
+        run_now = False
+        with self._condition:
+            if self._done:
+                run_now = True
+            else:
+                self._callbacks.append(callback)
+        if run_now:
+            callback(self)
+
+
+class WaitQueue(Generic[T]):
+    """Blocking FIFO queue with close semantics and introspection."""
+
+    class Closed(RuntimeError):
+        """Raised when getting from a drained, closed queue."""
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._items: Deque[T] = deque()
+        self._maxsize = maxsize
+        self._closed = False
+
+    def put(self, item: T, timeout: Optional[float] = None) -> None:
+        with self._not_full:
+            if self._closed:
+                raise WaitQueue.Closed("queue is closed")
+            if self._maxsize is not None:
+                ok = self._not_full.wait_for(
+                    lambda: len(self._items) < self._maxsize or self._closed,
+                    timeout,
+                )
+                if not ok:
+                    raise TimeoutError("queue full")
+                if self._closed:
+                    raise WaitQueue.Closed("queue is closed")
+            self._items.append(item)
+            self._not_empty.notify()
+
+    def get(self, timeout: Optional[float] = None) -> T:
+        with self._not_empty:
+            ok = self._not_empty.wait_for(
+                lambda: self._items or self._closed, timeout
+            )
+            if not ok:
+                raise TimeoutError("queue empty")
+            if not self._items:
+                raise WaitQueue.Closed("queue is closed and drained")
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Close the queue; waiting getters drain then see ``Closed``."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)

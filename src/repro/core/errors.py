@@ -1,0 +1,105 @@
+"""Exception hierarchy for the Aspect Moderator framework.
+
+All framework errors derive from :class:`FrameworkError` so applications
+can catch the whole family with one handler while still distinguishing
+individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class FrameworkError(Exception):
+    """Base class for all Aspect Moderator framework errors."""
+
+
+class MethodAborted(FrameworkError):
+    """Raised when pre-activation returns ABORT for a participating method.
+
+    Carries the method identifier and, when known, the concern whose
+    precondition rejected the activation, so callers can react
+    per-concern (e.g. re-authenticate vs. give up).
+    """
+
+    def __init__(self, method_id: str, concern: "str | None" = None,
+                 reason: "str | None" = None) -> None:
+        self.method_id = method_id
+        self.concern = concern
+        self.reason = reason
+        detail = f"activation of {method_id!r} aborted"
+        if concern is not None:
+            detail += f" by concern {concern!r}"
+        if reason:
+            detail += f": {reason}"
+        super().__init__(detail)
+
+
+class RegistrationError(FrameworkError):
+    """Raised on invalid aspect registration (e.g. duplicate or unknown kind)."""
+
+
+class UnknownAspectError(FrameworkError, KeyError):
+    """Raised when the factory or bank is asked for an unknown (method, concern)."""
+
+    def __init__(self, method_id: str, concern: str) -> None:
+        self.method_id = method_id
+        self.concern = concern
+        super().__init__(f"no aspect registered for ({method_id!r}, {concern!r})")
+
+
+class NotParticipatingError(FrameworkError, AttributeError):
+    """Raised when moderation is requested for a non-participating method."""
+
+
+class WeavingError(FrameworkError):
+    """Raised when weaving declarations are inconsistent (bad pointcut, etc.)."""
+
+
+class ActivationTimeout(FrameworkError, TimeoutError):
+    """Raised when a BLOCKed activation does not unblock within its deadline.
+
+    The paper's wait loop can wait forever; a production framework must be
+    able to bound that wait. The timeout is opt-in per proxy or per call.
+    """
+
+    def __init__(self, method_id: str, timeout: float) -> None:
+        self.method_id = method_id
+        self.timeout = timeout
+        super().__init__(
+            f"activation of {method_id!r} still blocked after {timeout:.3f}s"
+        )
+
+
+class AuthenticationError(FrameworkError):
+    """Raised by authentication machinery on bad credentials or sessions."""
+
+
+class AuthorizationError(FrameworkError):
+    """Raised by authorization machinery when a principal lacks a permission."""
+
+
+class NetworkError(FrameworkError):
+    """Base error for the simulated distributed runtime."""
+
+
+class NodeUnreachable(NetworkError):
+    """Raised when a message cannot be delivered (partition or dead node)."""
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        super().__init__(f"node {node_id!r} unreachable")
+
+
+class NameNotFound(NetworkError, KeyError):
+    """Raised by the naming service for unbound names."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(f"name {name!r} is not bound")
+
+
+class SimulationError(FrameworkError):
+    """Base error for the discrete-event simulation substrate."""
+
+
+class ClockError(SimulationError):
+    """Raised on attempts to move virtual time backwards."""

@@ -1,0 +1,196 @@
+"""Aspect factories: the Factory Method pattern of the paper, Section 5.1.
+
+"The Factory Method pattern can be used to create the required aspects for
+the participating methods of the functionality class. All aspect objects
+implement the AspectIF interface. The intent of the Factory Method pattern
+is to define an interface for creating an aspect object, but let the
+requestor decide which class to instantiate."
+
+Participants (paper Figure 4):
+
+* ``AspectFactoryIF``  -> :class:`AspectFactory` (the abstract interface),
+* ``AspectFactory``    -> :class:`RegistryAspectFactory` (data-driven
+  application factory replacing the paper's if/else ladders, Figure 6),
+* ``ExtendedAspectFactory`` (Figure 15) -> :class:`CompositeFactory`,
+  which chains factories so an extension can add new (method, concern)
+  products without editing the base factory.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from .aspect import Aspect
+from .errors import RegistrationError, UnknownAspectError
+
+#: A constructor invoked as ``builder(component)`` returning a new Aspect.
+AspectBuilder = Callable[[Any], Aspect]
+
+
+class AspectFactory(abc.ABC):
+    """Application-independent creation interface (``AspectFactoryIF``).
+
+    "It declares the Factory Method, which returns an object of type
+    AspectIF by taking whatever arguments are needed to deduce the class
+    to instantiate." Here those arguments are the participating method
+    identifier, the concern label, and the requesting component (the
+    paper passes the proxy; passing the functional component is
+    equivalent and keeps aspects proxy-agnostic).
+    """
+
+    @abc.abstractmethod
+    def create(self, method_id: str, concern: str, component: Any) -> Aspect:
+        """Instantiate the aspect for ``(method_id, concern)``.
+
+        Raises :class:`UnknownAspectError` when this factory has no
+        product for the cell — composite factories rely on that signal to
+        fall through to the next factory in the chain.
+        """
+
+    @abc.abstractmethod
+    def products(self) -> List[Tuple[str, str]]:
+        """The ``(method_id, concern)`` cells this factory can populate."""
+
+    def can_create(self, method_id: str, concern: str) -> bool:
+        return (method_id, concern) in self.products()
+
+
+class RegistryAspectFactory(AspectFactory):
+    """A data-driven factory: cells map to aspect builders.
+
+    The paper's ``AspectFactory`` (Figure 6) is an if/else ladder over
+    string pairs. A registry of builders expresses the same dispatch
+    without code edits per product::
+
+        factory = RegistryAspectFactory()
+        factory.register("open", "sync", OpenSynchronizationAspect)
+        factory.register("assign", "sync", AssignSynchronizationAspect)
+        aspect = factory.create("open", "sync", ticket_server)
+
+    Builders are called with the component; to share one aspect instance
+    across methods (e.g. one buffer-sync object guarding both put and
+    take), register with ``shared=True`` so the first creation is cached
+    and reused.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._builders: Dict[Tuple[str, str], AspectBuilder] = {}
+        self._shared: Dict[Tuple[str, str], bool] = {}
+        # (method, concern, id(component)) -> cached instance for shared cells
+        self._cache: Dict[Tuple[str, str, int], Aspect] = {}
+
+    def register(self, method_id: str, concern: str, builder: AspectBuilder,
+                 shared: bool = False, replace: bool = False) -> None:
+        """Register ``builder`` as the product for ``(method_id, concern)``."""
+        if not callable(builder):
+            raise RegistrationError(
+                f"builder for ({method_id!r}, {concern!r}) is not callable"
+            )
+        key = (method_id, concern)
+        with self._lock:
+            if key in self._builders and not replace:
+                raise RegistrationError(
+                    f"factory already builds ({method_id!r}, {concern!r})"
+                )
+            self._builders[key] = builder
+            self._shared[key] = shared
+
+    def register_shared(self, method_ids: Iterable[str], concern: str,
+                        builder: AspectBuilder) -> None:
+        """Register one shared builder under several methods.
+
+        All listed methods receive the *same* aspect instance per
+        component — the natural encoding of a synchronization constraint
+        spanning multiple methods (producer/consumer counters).
+        """
+        instances: Dict[int, Aspect] = {}
+        instance_lock = threading.Lock()
+
+        def shared_builder(component: Any) -> Aspect:
+            with instance_lock:
+                key = id(component)
+                if key not in instances:
+                    instances[key] = builder(component)
+                return instances[key]
+
+        for method_id in method_ids:
+            self.register(method_id, concern, shared_builder)
+
+    def create(self, method_id: str, concern: str, component: Any) -> Aspect:
+        key = (method_id, concern)
+        with self._lock:
+            builder = self._builders.get(key)
+            if builder is None:
+                raise UnknownAspectError(method_id, concern)
+            if self._shared.get(key):
+                cache_key = (method_id, concern, id(component))
+                if cache_key not in self._cache:
+                    self._cache[cache_key] = builder(component)
+                return self._cache[cache_key]
+        aspect = builder(component)
+        if not isinstance(aspect, Aspect):
+            raise RegistrationError(
+                f"builder for ({method_id!r}, {concern!r}) returned "
+                f"{type(aspect).__name__}, not an Aspect"
+            )
+        return aspect
+
+    def products(self) -> List[Tuple[str, str]]:
+        with self._lock:
+            return list(self._builders)
+
+
+class CompositeFactory(AspectFactory):
+    """Chain of factories; later factories extend earlier ones.
+
+    This is the framework rendering of ``ExtendedAspectFactory extends
+    AspectFactory`` (paper Figure 15): adaptability by *adding* a factory
+    that knows the new concern, leaving the original factory untouched.
+    Creation tries factories in reverse addition order (most-derived
+    first), falling through on :class:`UnknownAspectError`.
+    """
+
+    def __init__(self, factories: Optional[Iterable[AspectFactory]] = None) -> None:
+        self._factories: List[AspectFactory] = list(factories or [])
+
+    def extend(self, factory: AspectFactory) -> "CompositeFactory":
+        """Add an extension factory. Returns self for chaining."""
+        self._factories.append(factory)
+        return self
+
+    def create(self, method_id: str, concern: str, component: Any) -> Aspect:
+        for factory in reversed(self._factories):
+            try:
+                return factory.create(method_id, concern, component)
+            except UnknownAspectError:
+                continue
+        raise UnknownAspectError(method_id, concern)
+
+    def products(self) -> List[Tuple[str, str]]:
+        seen: List[Tuple[str, str]] = []
+        for factory in self._factories:
+            for cell in factory.products():
+                if cell not in seen:
+                    seen.append(cell)
+        return seen
+
+
+def factory_from_table(
+    table: Dict[Tuple[str, str], AspectBuilder]
+) -> RegistryAspectFactory:
+    """Build a :class:`RegistryAspectFactory` from a literal dispatch table.
+
+    Convenience for tests and examples::
+
+        factory = factory_from_table({
+            ("open", "sync"): OpenSync,
+            ("assign", "sync"): AssignSync,
+        })
+    """
+    factory = RegistryAspectFactory()
+    for (method_id, concern), builder in table.items():
+        factory.register(method_id, concern, builder)
+    return factory

@@ -1,0 +1,132 @@
+"""Pointcuts: declarative selection of participating methods.
+
+The paper registers aspects method-by-method by string identifier. A
+pointcut generalizes that to *sets* of join points selected by name,
+glob, regex, or arbitrary predicate, with boolean combinators — the
+minimal quantification mechanism that turns per-method registration into
+"apply this concern to every mutating service of the component".
+
+Pointcuts are pure predicates over ``(method_id, component)``; binding a
+pointcut to an aspect happens in :func:`repro.core.weaver.weave` or in
+:class:`repro.core.registry.Cluster`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from typing import Any, Callable, List
+
+
+class Pointcut:
+    """A predicate over join-point designators.
+
+    Combinators::
+
+        opens = named("open") | named("assign")
+        writes = matching("set_*") & ~named("set_password")
+    """
+
+    def __init__(self, predicate: Callable[[str, Any], bool],
+                 description: str = "pointcut") -> None:
+        self._predicate = predicate
+        self.description = description
+
+    def matches(self, method_id: str, component: Any = None) -> bool:
+        """Whether the designated join point is selected."""
+        return bool(self._predicate(method_id, component))
+
+    __call__ = matches
+
+    def __and__(self, other: "Pointcut") -> "Pointcut":
+        return Pointcut(
+            lambda method_id, component: (
+                self.matches(method_id, component)
+                and other.matches(method_id, component)
+            ),
+            description=f"({self.description} & {other.description})",
+        )
+
+    def __or__(self, other: "Pointcut") -> "Pointcut":
+        return Pointcut(
+            lambda method_id, component: (
+                self.matches(method_id, component)
+                or other.matches(method_id, component)
+            ),
+            description=f"({self.description} | {other.description})",
+        )
+
+    def __invert__(self) -> "Pointcut":
+        return Pointcut(
+            lambda method_id, component: not self.matches(method_id, component),
+            description=f"~{self.description}",
+        )
+
+    def select(self, component: Any,
+               candidates: "Iterable[str] | None" = None) -> List[str]:
+        """All public callable attributes of ``component`` this selects."""
+        if candidates is None:
+            candidates = [
+                name for name in dir(component)
+                if not name.startswith("_")
+                and callable(getattr(component, name, None))
+            ]
+        return [
+            name for name in candidates if self.matches(name, component)
+        ]
+
+    def __repr__(self) -> str:
+        return f"Pointcut({self.description})"
+
+
+def named(*method_ids: str) -> Pointcut:
+    """Select join points by exact method name(s)."""
+    names = frozenset(method_ids)
+    return Pointcut(
+        lambda method_id, _component: method_id in names,
+        description=f"named{sorted(names)}",
+    )
+
+
+def matching(pattern: str) -> Pointcut:
+    """Select join points by shell-style glob on the method name."""
+    return Pointcut(
+        lambda method_id, _component: fnmatch.fnmatchcase(method_id, pattern),
+        description=f"matching({pattern!r})",
+    )
+
+
+def regex(pattern: str) -> Pointcut:
+    """Select join points whose method name fully matches ``pattern``."""
+    compiled = re.compile(pattern)
+    return Pointcut(
+        lambda method_id, _component: compiled.fullmatch(method_id) is not None,
+        description=f"regex({pattern!r})",
+    )
+
+
+def predicate(fn: Callable[[str, Any], bool],
+              description: str = "predicate") -> Pointcut:
+    """Select join points by an arbitrary ``(method_id, component)`` test."""
+    return Pointcut(fn, description=description)
+
+
+def on_type(cls: type) -> Pointcut:
+    """Select join points on components of (a subclass of) ``cls``."""
+    return Pointcut(
+        lambda _method_id, component: isinstance(component, cls),
+        description=f"on_type({cls.__name__})",
+    )
+
+
+def all_public() -> Pointcut:
+    """Select every public method."""
+    return Pointcut(
+        lambda method_id, _component: not method_id.startswith("_"),
+        description="all_public",
+    )
+
+
+def none() -> Pointcut:
+    """The empty pointcut."""
+    return Pointcut(lambda _m, _c: False, description="none")

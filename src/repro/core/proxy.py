@@ -1,0 +1,235 @@
+"""Component proxies: guarded access to functional components.
+
+Paper, Sections 4.1-4.2: "the proxy to the functional component is
+responsible to evaluate each of [the] aspects that are associated with
+each one of the services defined on the functional component. [...]
+Before executing each [method] on the functional component, the proxy
+object calls the moderator object to evaluate the aspect code that is
+associated with that method" (Figure 10's guarded methods).
+
+The paper writes one proxy subclass per component. The framework instead
+provides a generic :class:`ComponentProxy` that intercepts attribute
+access: participating methods (those with registered aspects, or those
+explicitly declared) are wrapped in the pre-/post-activation bracket;
+everything else passes straight through to the component. A hand-written
+proxy in the paper's style remains possible — see
+``repro.apps.ticketing.TicketServerProxy`` — and behaves identically.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Iterable, Optional, Set
+
+from .errors import MethodAborted
+from .joinpoint import JoinPoint
+from .moderator import AspectModerator
+from .results import AspectResult, Phase
+
+
+class ComponentProxy:
+    """Generic dynamic proxy guarding a component's participating methods.
+
+    Args:
+        component: the functional component (the sequential object).
+        moderator: the aspect moderator coordinating this cluster.
+        participating: explicit method names to guard. When ``None``,
+            a method participates iff the moderator has aspects
+            registered for it at call time (dynamic participation — new
+            aspects take effect immediately).
+        caller: default principal attached to join points issued through
+            this proxy (overridable per call via :meth:`call`).
+        timeout: optional default bound for BLOCKed activations.
+
+    Behaviour on ABORT: :class:`MethodAborted` is raised (the paper's
+    listings print "ABORT" and fall through — an error path a library
+    cannot leave silent).
+    """
+
+    # Instance attributes that live on the proxy, not the component.
+    _OWN = frozenset({
+        "_component", "_moderator", "_participating", "_caller", "_timeout",
+    })
+
+    def __init__(
+        self,
+        component: Any,
+        moderator: AspectModerator,
+        participating: Optional[Iterable[str]] = None,
+        caller: Any = None,
+        timeout: Optional[float] = None,
+    ) -> None:
+        self._component = component
+        self._moderator = moderator
+        self._participating: Optional[Set[str]] = (
+            set(participating) if participating is not None else None
+        )
+        self._caller = caller
+        self._timeout = timeout
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def component(self) -> Any:
+        """The wrapped functional component."""
+        return self._component
+
+    @property
+    def moderator(self) -> AspectModerator:
+        """The moderator coordinating this proxy's activations."""
+        return self._moderator
+
+    def is_participating(self, method_id: str) -> bool:
+        """Whether calls to ``method_id`` go through moderation."""
+        if self._participating is not None:
+            return method_id in self._participating
+        return self._moderator.participates(method_id)
+
+    # ------------------------------------------------------------------
+    # interception
+    # ------------------------------------------------------------------
+    def __getattr__(self, name: str) -> Any:
+        # Only called for attributes not found on the proxy itself.
+        target = getattr(self._component, name)
+        if not callable(target) or not self.is_participating(name):
+            return target
+        return self._guard(name, target)
+
+    def _guard(self, method_id: str,
+               target: Callable[..., Any]) -> Callable[..., Any]:
+        """Wrap ``target`` in the pre-/post-activation bracket (Figure 10)."""
+        moderator = self._moderator
+        component = self._component
+        caller = self._caller
+        timeout = self._timeout
+
+        @functools.wraps(target)
+        def guarded(*args: Any, **kwargs: Any) -> Any:
+            joinpoint = JoinPoint(
+                method_id=method_id, component=component,
+                args=args, kwargs=kwargs, caller=caller,
+            )
+            result = moderator.preactivation(
+                method_id, joinpoint, timeout=timeout
+            )
+            if result is not AspectResult.RESUME:
+                raise MethodAborted(
+                    method_id,
+                    concern=joinpoint.context.get("abort_concern"),
+                )
+            joinpoint.phase = Phase.INVOCATION
+            try:
+                if not joinpoint.invocation_skipped:
+                    moderator.events.emit(
+                        "invoke", method_id,
+                        activation_id=joinpoint.activation_id,
+                    )
+                    joinpoint.result = target(*args, **kwargs)
+            except BaseException as exc:
+                joinpoint.exception = exc
+                raise
+            finally:
+                moderator.postactivation(method_id, joinpoint)
+            return joinpoint.result
+
+        return guarded
+
+    def call(self, method_id: str, *args: Any, caller: Any = None,
+             timeout: Optional[float] = None, **kwargs: Any) -> Any:
+        """Invoke a participating method with per-call caller/timeout.
+
+        Used by authentication-aware clients that must attach a principal
+        to individual calls rather than to the proxy.
+        """
+        target = getattr(self._component, method_id)
+        joinpoint = JoinPoint(
+            method_id=method_id, component=self._component,
+            args=args, kwargs=kwargs,
+            caller=caller if caller is not None else self._caller,
+        )
+        effective_timeout = timeout if timeout is not None else self._timeout
+        if not self.is_participating(method_id):
+            return target(*args, **kwargs)
+        result = self._moderator.preactivation(
+            method_id, joinpoint, timeout=effective_timeout
+        )
+        if result is not AspectResult.RESUME:
+            raise MethodAborted(
+                method_id, concern=joinpoint.context.get("abort_concern")
+            )
+        try:
+            if not joinpoint.invocation_skipped:
+                self._moderator.events.emit(
+                    "invoke", method_id,
+                    activation_id=joinpoint.activation_id,
+                )
+                joinpoint.result = target(*args, **kwargs)
+        except BaseException as exc:
+            joinpoint.exception = exc
+            raise
+        finally:
+            self._moderator.postactivation(method_id, joinpoint)
+        return joinpoint.result
+
+    def __repr__(self) -> str:
+        return (
+            f"<ComponentProxy of {type(self._component).__name__} "
+            f"participating={sorted(self._participating) if self._participating is not None else 'dynamic'}>"
+        )
+
+
+class GuardedMethod:
+    """Descriptor form of the guarded-method pattern (paper Figure 10).
+
+    For hand-written proxy classes in the paper's style::
+
+        class TicketServerProxy(TicketServer):
+            open = GuardedMethod("open")
+            assign = GuardedMethod("assign")
+
+            def __init__(self, moderator, ...):
+                self.moderator = moderator
+
+    The descriptor brackets ``super().method`` between pre- and
+    post-activation using the instance's ``moderator`` attribute.
+    """
+
+    def __init__(self, method_id: str,
+                 moderator_attr: str = "moderator") -> None:
+        self.method_id = method_id
+        self.moderator_attr = moderator_attr
+
+    def __set_name__(self, owner: type, name: str) -> None:
+        # Locate the undecorated implementation on the MRO above `owner`.
+        self._owner = owner
+
+    def __get__(self, instance: Any, owner: type) -> Callable[..., Any]:
+        if instance is None:
+            return self  # type: ignore[return-value]
+        moderator: AspectModerator = getattr(instance, self.moderator_attr)
+        target = getattr(super(self._owner, instance), self.method_id)
+
+        def guarded(*args: Any, **kwargs: Any) -> Any:
+            joinpoint = JoinPoint(
+                method_id=self.method_id, component=instance,
+                args=args, kwargs=kwargs,
+                caller=getattr(instance, "__caller__", None),
+            )
+            result = moderator.preactivation(self.method_id, joinpoint)
+            if result is not AspectResult.RESUME:
+                raise MethodAborted(
+                    self.method_id,
+                    concern=joinpoint.context.get("abort_concern"),
+                )
+            try:
+                joinpoint.result = target(*args, **kwargs)
+            except BaseException as exc:
+                joinpoint.exception = exc
+                raise
+            finally:
+                moderator.postactivation(self.method_id, joinpoint)
+            return joinpoint.result
+
+        functools.update_wrapper(guarded, target)
+        return guarded

@@ -1,0 +1,86 @@
+"""Activation results and phases for the Aspect Moderator protocol.
+
+The paper (Section 4.2) defines three possible outcomes of evaluating the
+aspects attached to a participating method:
+
+* the service may be invoked (``RESUME``),
+* the caller may be forced to wait (``BLOCK``),
+* or the activation may be aborted (``ABORT``).
+
+``AspectResult`` is the Python rendering of the integer constants
+(``RESUME`` / ``BLOCKED`` / ``ABORT`` / ``ERROR``) that appear throughout
+the paper's Java listings (Figures 10, 11, 17).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AspectResult(enum.Enum):
+    """Outcome of an aspect ``precondition`` evaluation.
+
+    ``RESUME``
+        All constraints hold; the participating method may execute.
+    ``BLOCK``
+        A synchronization constraint does not currently hold; the caller
+        must wait on the method's wait queue and re-evaluate when notified
+        (the ``while (result == BLOCKED) wait()`` loop of Figure 11).
+    ``ABORT``
+        The activation must not proceed, now or later (e.g. a failed
+        authentication check, Figure 14's ``ABORT`` branch).
+    """
+
+    RESUME = "resume"
+    BLOCK = "block"
+    ABORT = "abort"
+
+    def __bool__(self) -> bool:
+        """Truthiness shortcut: only ``RESUME`` is truthy.
+
+        Enables ``if aspect.precondition(jp): ...`` in simple guards.
+        """
+        return self is AspectResult.RESUME
+
+
+#: Module-level aliases mirroring the paper's constant style
+#: (``AspectModerator.RESUME`` etc. in Figure 11).
+RESUME = AspectResult.RESUME
+BLOCK = AspectResult.BLOCK
+ABORT = AspectResult.ABORT
+
+
+class Phase(enum.Enum):
+    """The phase of the moderation protocol a join point is in.
+
+    Participating methods are "guarded by a pre-activation and
+    post-activation phase" (Section 4.2). ``ABORTED`` is the terminal
+    phase of an activation rejected during pre-activation, and is used to
+    drive compensating actions on aspects that had already voted RESUME.
+    """
+
+    PRE_ACTIVATION = "pre_activation"
+    INVOCATION = "invocation"
+    POST_ACTIVATION = "post_activation"
+    ABORTED = "aborted"
+
+
+def combine(results: "list[AspectResult]") -> AspectResult:
+    """Combine the results of several aspect preconditions.
+
+    The combined activation may proceed only if every aspect voted
+    ``RESUME`` ("Only when both are true, then execution may proceed",
+    Section 5.3). ``ABORT`` dominates ``BLOCK`` dominates ``RESUME``:
+    an activation that can never succeed must not be parked on a wait
+    queue.
+
+    An empty result list combines to ``RESUME``: a participating method
+    with no registered aspects behaves like a plain method.
+    """
+    combined = AspectResult.RESUME
+    for result in results:
+        if result is AspectResult.ABORT:
+            return AspectResult.ABORT
+        if result is AspectResult.BLOCK:
+            combined = AspectResult.BLOCK
+    return combined

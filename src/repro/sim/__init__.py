@@ -1,0 +1,16 @@
+"""Deterministic discrete-event simulation substrate."""
+
+from .clock import VirtualClock
+from .engine import Engine, Process, SimEvent
+from .resources import SimResource, SimStore
+from .rng import WorkloadRNG
+
+__all__ = [
+    "Engine",
+    "Process",
+    "SimEvent",
+    "SimResource",
+    "SimStore",
+    "VirtualClock",
+    "WorkloadRNG",
+]

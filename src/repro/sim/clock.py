@@ -1,0 +1,42 @@
+"""Virtual time for the discrete-event simulation substrate."""
+
+from __future__ import annotations
+
+from repro.core.errors import ClockError
+
+
+class VirtualClock:
+    """A monotonically advancing virtual clock.
+
+    Time is a float in arbitrary simulated units (seconds by
+    convention). The clock never moves backwards; the engine is the only
+    intended writer.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Advance to an absolute virtual timestamp."""
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards: {timestamp} < {self._now}"
+            )
+        self._now = float(timestamp)
+
+    def advance_by(self, delta: float) -> None:
+        """Advance by a non-negative delta."""
+        if delta < 0:
+            raise ClockError(f"negative delta {delta}")
+        self._now += float(delta)
+
+    def __call__(self) -> float:
+        """Clocks are callables so they can replace ``time.monotonic``."""
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now:.6f})"

@@ -1,0 +1,212 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic engine in the style of SimPy: a heap of timed
+events, generator-based processes, and condition events. It exists so
+tests and benchmarks can pin down *interleavings* — real threads give
+the framework its concurrency; the simulator gives experiments their
+reproducibility (same seed, same schedule, same numbers).
+
+Determinism guarantees:
+
+* events fire in nondecreasing virtual time;
+* ties break by scheduling order (FIFO);
+* no wall-clock or OS scheduling input anywhere.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.core.errors import SimulationError
+from .clock import VirtualClock
+
+
+class SimEvent:
+    """A one-shot simulation event processes can wait on."""
+
+    def __init__(self, engine: "Engine", name: str = "event") -> None:
+        self.engine = engine
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._waiters: List["Process"] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event now; wakes every waiting process."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} already triggered")
+        self.triggered = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self.engine._schedule_resume(process, value)
+
+    def add_waiter(self, process: "Process") -> None:
+        if self.triggered:
+            self.engine._schedule_resume(process, self.value)
+        else:
+            self._waiters.append(process)
+
+    def __repr__(self) -> str:
+        return f"SimEvent({self.name!r}, triggered={self.triggered})"
+
+
+class Process:
+    """A generator-based simulated process.
+
+    The generator may yield:
+
+    * a non-negative number — sleep that many virtual seconds;
+    * a :class:`SimEvent` — suspend until it triggers (receives its value);
+    * another :class:`Process` — suspend until it finishes (receives its
+      return value).
+
+    The generator's ``return`` value becomes :attr:`result`.
+    """
+
+    def __init__(self, engine: "Engine",
+                 generator: Generator[Any, Any, Any],
+                 name: str = "process") -> None:
+        self.engine = engine
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.failure: Optional[BaseException] = None
+        self.completion = SimEvent(engine, name=f"{name}.done")
+
+    def _step(self, send_value: Any = None) -> None:
+        try:
+            yielded = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.completion.trigger(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised on join
+            self.finished = True
+            self.failure = exc
+            self.completion.trigger(None)
+            if self.engine.strict:
+                raise
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if isinstance(yielded, (int, float)):
+            if yielded < 0:
+                raise SimulationError(f"negative sleep {yielded}")
+            self.engine._schedule_resume(self, None, delay=float(yielded))
+        elif isinstance(yielded, SimEvent):
+            yielded.add_waiter(self)
+        elif isinstance(yielded, Process):
+            yielded.completion.add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded {yielded!r}; expected "
+                f"delay, SimEvent or Process"
+            )
+
+    def __repr__(self) -> str:
+        return f"Process({self.name!r}, finished={self.finished})"
+
+
+class Engine:
+    """The event loop: a heap of (time, sequence, action) entries."""
+
+    def __init__(self, strict: bool = True) -> None:
+        self.clock = VirtualClock()
+        #: re-raise process exceptions immediately (False stores them)
+        self.strict = strict
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.events_processed = 0
+        self._trace: List[Tuple[float, str]] = []
+        self.tracing = False
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def call_at(self, timestamp: float, action: Callable[[], None],
+                label: str = "call") -> None:
+        if timestamp < self.now:
+            raise SimulationError(
+                f"cannot schedule in the past ({timestamp} < {self.now})"
+            )
+        heapq.heappush(
+            self._heap, (timestamp, next(self._sequence), action)
+        )
+        if self.tracing:
+            self._trace.append((timestamp, f"scheduled {label}"))
+
+    def call_after(self, delay: float, action: Callable[[], None],
+                   label: str = "call") -> None:
+        self.call_at(self.now + delay, action, label)
+
+    def event(self, name: str = "event") -> SimEvent:
+        return SimEvent(self, name=name)
+
+    def process(self, generator: Generator[Any, Any, Any],
+                name: str = "process", delay: float = 0.0) -> Process:
+        """Register a generator as a process starting after ``delay``."""
+        proc = Process(self, generator, name=name)
+        self._schedule_resume(proc, None, delay=delay)
+        return proc
+
+    def _schedule_resume(self, process: Process, value: Any,
+                         delay: float = 0.0) -> None:
+        self.call_at(
+            self.now + delay, lambda: process._step(value),
+            label=f"resume {process.name}",
+        )
+
+    # ------------------------------------------------------------------
+    # running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> float:
+        """Process events until the heap drains or virtual ``until``.
+
+        Returns the final virtual time.
+        """
+        processed = 0
+        while self._heap:
+            timestamp, _seq, action = self._heap[0]
+            if until is not None and timestamp > until:
+                self.clock.advance_to(until)
+                return self.now
+            heapq.heappop(self._heap)
+            self.clock.advance_to(timestamp)
+            action()
+            self.events_processed += 1
+            processed += 1
+            if processed >= max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+        if until is not None and until > self.now:
+            self.clock.advance_to(until)
+        return self.now
+
+    def step(self) -> bool:
+        """Process exactly one event. Returns False when none remain."""
+        if not self._heap:
+            return False
+        timestamp, _seq, action = heapq.heappop(self._heap)
+        self.clock.advance_to(timestamp)
+        action()
+        self.events_processed += 1
+        return True
+
+    @property
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def trace(self) -> List[Tuple[float, str]]:
+        return list(self._trace)

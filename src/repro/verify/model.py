@@ -1,0 +1,328 @@
+"""Abstract model of moderated activations for exhaustive exploration.
+
+The paper's open-questions list asks whether an aspect-oriented
+architecture should "enable formal verification of system properties".
+This subpackage answers constructively: because the Aspect Moderator
+protocol confines all concurrency decisions to ``precondition`` /
+``postaction`` pairs over aspect state, a *composition* of aspects is a
+finite transition system that can be explored exhaustively.
+
+The model: a set of :class:`ActivationSpec` (client, method, how many
+repetitions), a chain of real :class:`~repro.core.aspect.Aspect`
+objects per method (via a builder so every exploration path gets fresh
+state), and the moderator's small-step semantics:
+
+* ``start``: an idle client begins an activation (evaluates the chain
+  under the moderator lock — atomically in the model, exactly as the
+  real moderator serializes chain evaluation);
+* on RESUME the activation enters its *critical* region (body running);
+* ``finish``: a running activation completes (postactions in reverse
+  order, wakes every blocked activation — modelled implicitly: blocked
+  activations simply retry, since exploration tries every enabled
+  transition anyway);
+* on ABORT the activation terminates without running.
+
+State is captured by snapshotting aspect attributes plus each client's
+program counter, so the explorer can detect revisits and report
+deadlocks (states with pending work and no enabled transition).
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.aspect import Aspect
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import AspectResult
+
+#: builder returning fresh method -> [aspects] chains for one path
+ChainBuilder = Callable[[], Dict[str, List[Aspect]]]
+
+
+@dataclass(frozen=True)
+class ActivationSpec:
+    """One client's scripted behaviour: call ``method`` ``repeat`` times."""
+
+    client: str
+    method: str
+    repeat: int = 1
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+
+@dataclass
+class ClientState:
+    """Program counter of one scripted client.
+
+    ``joinpoint`` and ``resumed_indices`` persist the in-flight
+    activation across state clones so post-activation unwinds exactly
+    the chain that resumed, with the same join point (aspects keep
+    per-activation data in ``joinpoint.context``).
+    """
+
+    spec: ActivationSpec
+    index: int = 0
+    completed: int = 0
+    #: "idle" | "waiting" | "running"
+    status: str = "idle"
+    joinpoint: Optional[JoinPoint] = None
+    resumed_indices: Optional[List[int]] = None
+
+    def fingerprint(self) -> Tuple:
+        context = ()
+        if self.joinpoint is not None \
+                and self.status in ("running", "waiting"):
+            context = _freeze(dict(self.joinpoint.context))
+        return (self.spec.client, self.completed, self.status, context)
+
+
+class ModelState:
+    """One concrete state: aspect objects + client program counters."""
+
+    def __init__(self, chains: Dict[str, List[Aspect]],
+                 clients: List[ClientState]) -> None:
+        self.chains = chains
+        self.clients = clients
+
+    # ------------------------------------------------------------------
+    def clone(self) -> "ModelState":
+        """Deep copy: exploration branches must not share aspect state.
+
+        Aspect identity is preserved within one clone (an aspect shared
+        by two methods stays shared); locks are re-created rather than
+        copied; ``component`` references are shared (the model verifies
+        aspect-held state — components in the model must be passive).
+        """
+        identity: Dict[int, Aspect] = {}
+        chains = {
+            method: [_clone_aspect(aspect, identity) for aspect in chain]
+            for method, chain in self.chains.items()
+        }
+        clients = [
+            ClientState(
+                spec=c.spec, index=c.index, completed=c.completed,
+                status=c.status,
+                joinpoint=(
+                    _lockaware_copy(c.joinpoint, identity)
+                    if c.joinpoint is not None else None
+                ),
+                resumed_indices=(
+                    list(c.resumed_indices)
+                    if c.resumed_indices is not None else None
+                ),
+            )
+            for c in self.clients
+        ]
+        return ModelState(chains, clients)
+
+    def fingerprint(self) -> Tuple:
+        """Hashable digest of the state for the visited set."""
+        aspect_part = tuple(
+            (method, index, _aspect_fingerprint(aspect))
+            for method, chain in sorted(self.chains.items())
+            for index, aspect in enumerate(chain)
+        )
+        client_part = tuple(c.fingerprint() for c in self.clients)
+        return (aspect_part, client_part)
+
+    # ------------------------------------------------------------------
+    def enabled_transitions(self) -> List[Tuple[str, int]]:
+        """All (kind, client_index) transitions enabled in this state.
+
+        * ``("finish", i)`` for every running client;
+        * ``("start", i)`` for every idle client with repetitions left —
+          always enabled, because the *first* chain evaluation runs even
+          when it ends in BLOCK (and may register state: barrier
+          arrivals, writer-waiting flags, scheduler queue entries);
+        * ``("retry", i)`` for every waiting client whose re-evaluation
+          would not immediately BLOCK again (the real moderator's wakeup
+          loop, with no-progress wakeups elided since they revisit the
+          same state).
+        """
+        transitions: List[Tuple[str, int]] = []
+        for index, client in enumerate(self.clients):
+            if client.status == "running":
+                transitions.append(("finish", index))
+            elif client.status == "idle" \
+                    and client.completed < client.spec.repeat:
+                transitions.append(("start", index))
+            elif client.status == "waiting":
+                if self._probe(client) is not AspectResult.BLOCK:
+                    transitions.append(("retry", index))
+        return transitions
+
+    def has_pending_work(self) -> bool:
+        return any(
+            client.status in ("running", "waiting")
+            or (client.status == "idle"
+                and client.completed < client.spec.repeat)
+            for client in self.clients
+        )
+
+    # ------------------------------------------------------------------
+    def _joinpoint(self, client: ClientState) -> JoinPoint:
+        joinpoint = JoinPoint(
+            method_id=client.spec.method,
+            caller=client.spec.client,
+            kwargs=dict(client.spec.kwargs),
+        )
+        # Deterministic identity per (client, attempt): equivalent states
+        # must fingerprint identically even when aspects record the
+        # activation id (e.g. MutexAspect.holder).
+        joinpoint.activation_id = (
+            (client.index + 1) * 1_000_000 + client.completed
+        )
+        return joinpoint
+
+    def _probe(self, client: ClientState) -> AspectResult:
+        """Evaluate the chain on a scratch copy (no state mutation)."""
+        scratch = self.clone()
+        scratch_client = scratch.clients[client.index]
+        outcome, _jp, _resumed = scratch._evaluate(scratch_client)
+        return outcome
+
+    def _evaluate(
+        self, client: ClientState
+    ) -> Tuple[AspectResult, JoinPoint, List[int]]:
+        chain = self.chains.get(client.spec.method, [])
+        joinpoint = (
+            client.joinpoint if client.joinpoint is not None
+            else self._joinpoint(client)
+        )
+        resumed: List[int] = []
+        for position, aspect in enumerate(chain):
+            result = aspect.evaluate_precondition(joinpoint)
+            if result is AspectResult.RESUME:
+                resumed.append(position)
+                continue
+            for done in reversed(resumed):
+                chain[done].on_abort(joinpoint)
+            return result, joinpoint, []
+        return AspectResult.RESUME, joinpoint, resumed
+
+    def apply(self, transition: Tuple[str, int]) -> "ModelState":
+        """Successor state after one transition (pure: returns a copy)."""
+        kind, index = transition
+        successor = self.clone()
+        client = successor.clients[index]
+        if kind in ("start", "retry"):
+            outcome, joinpoint, resumed = successor._evaluate(client)
+            if outcome is AspectResult.RESUME:
+                client.status = "running"
+                client.joinpoint = joinpoint
+                client.resumed_indices = resumed
+            elif outcome is AspectResult.ABORT:
+                client.status = "idle"
+                client.completed += 1  # an aborted attempt consumes a turn
+                client.joinpoint = None
+            else:  # BLOCK: park; keep the join point so per-activation
+                # context (barrier generation, scheduler registration)
+                # survives re-evaluation, as in the real wait loop
+                client.status = "waiting"
+                client.joinpoint = joinpoint
+        elif kind == "finish":
+            chain = successor.chains.get(client.spec.method, [])
+            joinpoint = (
+                client.joinpoint if client.joinpoint is not None
+                else successor._joinpoint(client)
+            )
+            resumed = (
+                client.resumed_indices
+                if client.resumed_indices is not None
+                else list(range(len(chain)))
+            )
+            for position in reversed(resumed):
+                chain[position].postaction(joinpoint)
+            client.status = "idle"
+            client.completed += 1
+            client.joinpoint = None
+            client.resumed_indices = None
+        else:
+            raise ValueError(f"unknown transition kind {kind!r}")
+        return successor
+
+
+_LOCK_TYPES = (type(threading.Lock()), type(threading.RLock()),
+               threading.Condition, threading.Event)
+
+
+def _clone_aspect(aspect: Aspect, identity: "Dict[int, Any]") -> Aspect:
+    """Copy one aspect: deep state, fresh locks, shared components."""
+    return _lockaware_copy(aspect, identity)
+
+
+def _lockaware_copy(obj: Any, identity: "Dict[int, Any]") -> Any:
+    """Deep copy that replaces locks and preserves sharing by identity.
+
+    Objects shared between aspects (e.g. the paper's ``TicketSyncState``)
+    stay shared *within* one clone but are independent across clones.
+    ``component``/``sessions``/``registry`` attributes are environment
+    references and stay shared across clones by design.
+    """
+    existing = identity.get(id(obj))
+    if existing is not None:
+        return existing
+    cloned = copy.copy(obj)
+    identity[id(obj)] = cloned
+    for key, value in vars(obj).items():
+        if isinstance(value, _LOCK_TYPES):
+            cloned.__dict__[key] = threading.RLock()
+        elif key in ("component", "sessions", "registry"):
+            cloned.__dict__[key] = value  # shared environment
+        elif hasattr(value, "__dict__") and not isinstance(value, type) \
+                and not callable(value):
+            cloned.__dict__[key] = _lockaware_copy(value, identity)
+        else:
+            try:
+                cloned.__dict__[key] = copy.deepcopy(value)
+            except TypeError:
+                cloned.__dict__[key] = value
+    return cloned
+
+
+def _aspect_fingerprint(aspect: Aspect) -> Tuple:
+    """Hashable digest of one aspect's public state."""
+    items = []
+    for key, value in sorted(vars(aspect).items()):
+        if key.startswith("_"):
+            continue
+        items.append((key, _freeze(value)))
+    return (type(aspect).__name__, tuple(items))
+
+
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (int, float, str, bool, type(None))):
+        return value
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(map(repr, value)))
+    if isinstance(value, dict):
+        return tuple(sorted((k, _freeze(v)) for k, v in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    if isinstance(value, _LOCK_TYPES):
+        return "<lock>"
+    if hasattr(value, "__dict__") and not callable(value):
+        # plain state holder (e.g. TicketSyncState): digest by content,
+        # never by identity — reprs with addresses would defeat the
+        # visited-set and blow up the exploration
+        return tuple(sorted(
+            (key, _freeze(attr))
+            for key, attr in vars(value).items()
+            if not key.startswith("_")
+            and not isinstance(attr, _LOCK_TYPES)
+        ))
+    return repr(value)
+
+
+def initial_state(build_chains: ChainBuilder,
+                  specs: Sequence[ActivationSpec]) -> ModelState:
+    """Construct the exploration root."""
+    return ModelState(
+        chains=build_chains(),
+        clients=[
+            ClientState(spec=spec, index=index)
+            for index, spec in enumerate(specs)
+        ],
+    )

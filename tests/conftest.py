@@ -1,0 +1,67 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import AspectModerator, ComponentProxy, EventBus, Tracer
+from repro.concurrency import TicketStore
+
+
+class Echo:
+    """A trivial functional component used across unit tests."""
+
+    def __init__(self) -> None:
+        self.calls = []
+
+    def ping(self, value=None):
+        self.calls.append(("ping", value))
+        return value
+
+    def boom(self):
+        self.calls.append(("boom", None))
+        raise RuntimeError("boom")
+
+
+@pytest.fixture
+def echo():
+    return Echo()
+
+
+@pytest.fixture
+def moderator():
+    return AspectModerator()
+
+
+@pytest.fixture
+def traced_moderator():
+    moderator = AspectModerator()
+    tracer = Tracer()
+    moderator.events.subscribe(tracer)
+    return moderator, tracer
+
+
+@pytest.fixture
+def ticket_store():
+    return TicketStore(capacity=4)
+
+
+def run_threads(*targets, timeout=10.0):
+    """Start one thread per target callable and join them all."""
+    threads = [
+        threading.Thread(target=target, name=f"test-{index}")
+        for index, target in enumerate(targets)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout)
+    alive = [thread.name for thread in threads if thread.is_alive()]
+    assert not alive, f"threads did not finish: {alive}"
+
+
+@pytest.fixture
+def threaded():
+    return run_threads

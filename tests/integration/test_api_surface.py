@@ -1,0 +1,98 @@
+"""FIG12: the framework's class diagram — the public API surface.
+
+The paper's Figure 12 shows the roles and their operations. These tests
+pin the public API: names exported, contracts of the interfaces, and the
+documented signatures the paper's diagram promises.
+"""
+
+import inspect
+
+import repro
+import repro.aspects
+import repro.core
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_core_roles_exported(self):
+        for name in (
+            "Aspect", "AspectBank", "AspectFactory", "AspectModerator",
+            "ComponentProxy", "Cluster", "JoinPoint", "AspectResult",
+        ):
+            assert hasattr(repro.core, name), name
+
+    def test_all_lists_are_accurate(self):
+        for module in (repro, repro.core, repro.aspects):
+            for name in module.__all__:
+                assert hasattr(module, name), (
+                    f"{module.__name__}.__all__ lists missing {name!r}"
+                )
+
+
+class TestFigure12Contracts:
+    def test_moderator_has_paper_operations(self):
+        from repro.core import AspectModerator
+        for operation in ("preactivation", "postactivation",
+                          "register_aspect"):
+            assert callable(getattr(AspectModerator, operation))
+
+    def test_preactivation_signature(self):
+        from repro.core import AspectModerator
+        parameters = inspect.signature(
+            AspectModerator.preactivation
+        ).parameters
+        assert "method_id" in parameters
+        assert "joinpoint" in parameters
+        assert "timeout" in parameters
+
+    def test_aspect_interface_has_pre_and_post(self):
+        from repro.core import Aspect
+        assert callable(Aspect.precondition)
+        assert callable(Aspect.postaction)
+        assert callable(Aspect.on_abort)
+
+    def test_factory_interface_declares_create(self):
+        from repro.core import AspectFactory
+        assert inspect.isabstract(AspectFactory)
+        parameters = inspect.signature(AspectFactory.create).parameters
+        assert list(parameters) == [
+            "self", "method_id", "concern", "component",
+        ]
+
+    def test_aspect_is_abstractable_but_subclass_concrete(self):
+        from repro.core import Aspect, NullAspect
+        assert NullAspect()  # concrete default implementation works
+
+
+class TestDocumentation:
+    def test_public_classes_documented(self):
+        import repro.core as core
+        undocumented = [
+            name for name in core.__all__
+            if inspect.isclass(getattr(core, name))
+            and not (getattr(core, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_aspect_library_documented(self):
+        import repro.aspects as aspects
+        undocumented = [
+            name for name in aspects.__all__
+            if inspect.isclass(getattr(aspects, name))
+            and not (getattr(aspects, name).__doc__ or "").strip()
+        ]
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+    def test_all_modules_have_docstrings(self):
+        import pkgutil
+
+        import repro as package
+        missing = []
+        for info in pkgutil.walk_packages(package.__path__,
+                                          prefix="repro."):
+            module = __import__(info.name, fromlist=["_"])
+            if not (module.__doc__ or "").strip():
+                missing.append(info.name)
+        assert not missing, f"modules without docstrings: {missing}"

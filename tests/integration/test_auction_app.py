@@ -1,0 +1,135 @@
+"""Integration tests for the auction application."""
+
+import pytest
+
+from repro.apps import (
+    AuctionError,
+    build_auction_cluster,
+    default_auction_roles,
+)
+from repro.aspects.audit import AuditLog
+from repro.concurrency import WorkerPool
+from repro.core import MethodAborted
+
+
+@pytest.fixture
+def auction():
+    roles = default_auction_roles()
+    roles.assign("marta", "auctioneer")
+    for bidder in ("ana", "ben", "caro"):
+        roles.assign(bidder, "bidder")
+    audit_log = AuditLog()
+    cluster = build_auction_cluster(
+        roles=roles, audit_log=audit_log, min_increment=5.0,
+    )
+    cluster.proxy.call("open_auction", "vase", 50.0, caller="marta")
+    return cluster, audit_log
+
+
+class TestAuthorization:
+    def test_bidder_cannot_open_or_close(self, auction):
+        cluster, _log = auction
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("open_auction", "x", 1.0, caller="ana")
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("close_auction", "vase", caller="ana")
+
+    def test_unknown_principal_rejected(self, auction):
+        cluster, _log = auction
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("place_bid", "vase", "mallory", 100.0,
+                               caller="mallory")
+
+
+class TestBidValidation:
+    def test_first_bid_accepted(self, auction):
+        cluster, _log = auction
+        cluster.proxy.call("place_bid", "vase", "ana", 10.0, caller="ana")
+        assert cluster.component.high_bid("vase")["amount"] == 10.0
+
+    def test_increment_enforced(self, auction):
+        cluster, _log = auction
+        cluster.proxy.call("place_bid", "vase", "ana", 10.0, caller="ana")
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("place_bid", "vase", "ben", 12.0,
+                               caller="ben")  # needs >= 15
+        cluster.proxy.call("place_bid", "vase", "ben", 15.0, caller="ben")
+
+    def test_non_positive_bid_rejected(self, auction):
+        cluster, _log = auction
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("place_bid", "vase", "ana", -5.0,
+                               caller="ana")
+
+    def test_bid_on_unknown_item_rejected(self, auction):
+        cluster, _log = auction
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("place_bid", "ghost", "ana", 10.0,
+                               caller="ana")
+
+
+class TestAuctionLifecycle:
+    def test_close_returns_winner_above_reserve(self, auction):
+        cluster, _log = auction
+        cluster.proxy.call("place_bid", "vase", "ana", 60.0, caller="ana")
+        winner = cluster.proxy.call("close_auction", "vase",
+                                    caller="marta")
+        assert winner == {"bidder": "ana", "amount": 60.0}
+
+    def test_close_below_reserve_returns_none(self, auction):
+        cluster, _log = auction
+        cluster.proxy.call("place_bid", "vase", "ana", 10.0, caller="ana")
+        assert cluster.proxy.call("close_auction", "vase",
+                                  caller="marta") is None
+
+    def test_bid_after_close_rejected_by_domain(self, auction):
+        cluster, _log = auction
+        cluster.proxy.call("close_auction", "vase", caller="marta")
+        # validation rule fails on closed auction -> MethodAborted
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("place_bid", "vase", "ana", 100.0,
+                               caller="ana")
+
+    def test_double_close_is_domain_error(self, auction):
+        cluster, _log = auction
+        cluster.proxy.call("close_auction", "vase", caller="marta")
+        with pytest.raises(AuctionError):
+            cluster.proxy.call("close_auction", "vase", caller="marta")
+
+
+class TestConcurrentBidding:
+    def test_monotone_high_bid_under_concurrency(self, auction):
+        cluster, _log = auction
+        amounts = [10.0 + 5.0 * step for step in range(20)]
+
+        def bid(amount):
+            try:
+                cluster.proxy.call("place_bid", "vase", "ana", amount,
+                                   caller="ana")
+                return amount
+            except MethodAborted:
+                return None
+
+        with WorkerPool(6) as pool:
+            accepted = [a for a in pool.map(bid, amounts) if a]
+        high = cluster.component.high_bid("vase")["amount"]
+        assert high == max(accepted)
+        # every accepted bid beat its predecessor by >= increment
+        bids = [b["amount"] for b in
+                cluster.component._auctions["vase"]["bids"]]
+        for previous, current in zip(bids, bids[1:]):
+            assert current >= previous + 5.0
+
+
+class TestAuditTrail:
+    def test_all_attempts_audited(self, auction):
+        cluster, audit_log = auction
+        cluster.proxy.call("place_bid", "vase", "ana", 10.0, caller="ana")
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("place_bid", "vase", "ben", 11.0,
+                               caller="ben")
+        outcomes = audit_log.outcomes()
+        # open_auction + 2 bid attempts
+        assert outcomes["ok"] == 2
+        assert outcomes["aborted"] == 1
+        assert audit_log.verify_chain()

@@ -1,0 +1,45 @@
+"""Tests for the ``python -m repro`` demo entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+
+def run_cli(*args):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        capture_output=True, text=True, timeout=120,
+    )
+
+
+class TestCli:
+    def test_default_demo_prints_figures(self):
+        completed = run_cli()
+        assert completed.returncode == 0, completed.stderr
+        assert "Figure 2" in completed.stdout
+        assert "Figure 3" in completed.stdout
+        assert "matched" in completed.stdout
+        assert "MISMATCH" not in completed.stdout
+
+    def test_verify_command_reports_ok_and_counterexample(self):
+        completed = run_cli("verify")
+        assert completed.returncode == 0, completed.stderr
+        assert "OK:" in completed.stdout
+        assert "deadlock" in completed.stdout
+
+    def test_metrics_command_prints_comparison(self):
+        completed = run_cli("metrics")
+        assert completed.returncode == 0, completed.stderr
+        assert "mean tangling" in completed.stdout
+
+    def test_lint_command_reports_anomalies(self):
+        completed = run_cli("lint")
+        assert completed.returncode == 0, completed.stderr
+        assert "no findings" in completed.stdout
+        assert "CACHE-PRE" in completed.stdout
+        assert "OBS-LATE" in completed.stdout
+
+    def test_unknown_command_rejected(self):
+        completed = run_cli("bogus")
+        assert completed.returncode != 0

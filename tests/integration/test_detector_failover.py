@@ -1,0 +1,95 @@
+"""Integration: heartbeat-driven failover (no network introspection)."""
+
+import time
+
+import pytest
+
+from repro.apps import RemoteTicketFacade, build_ticketing_cluster
+from repro.dist import (
+    Client,
+    HeartbeatDetector,
+    HeartbeatEmitter,
+    NameService,
+    Network,
+    Node,
+    detector_failover,
+)
+
+
+@pytest.fixture
+def world():
+    network = Network()
+    names = NameService()
+    detector = HeartbeatDetector(
+        network, "monitor", suspect_after=0.12, dead_after=0.3,
+    )
+    resources = {"nodes": [], "emitters": [], "clients": []}
+
+    def serve(node_id):
+        node = Node(node_id, network, workers=2).start()
+        cluster = build_ticketing_cluster(capacity=256)
+        node.export("tickets", RemoteTicketFacade(cluster.proxy))
+        emitter = HeartbeatEmitter(
+            network, node_id, "monitor", interval=0.03,
+        ).start()
+        resources["nodes"].append(node)
+        resources["emitters"].append(emitter)
+        return node, cluster, emitter
+
+    def client(client_id):
+        c = Client(client_id, network, names, default_timeout=0.5)
+        resources["clients"].append(c)
+        return c
+
+    yield network, names, detector, serve, client
+    for emitter in resources["emitters"]:
+        emitter.stop()
+    for c in resources["clients"]:
+        c.close()
+    for node in resources["nodes"]:
+        node.stop()
+    detector.close()
+    network.close()
+
+
+class TestDetectorDrivenFailover:
+    def test_full_loop_crash_detect_rebind_recover(self, world):
+        network, names, detector, serve, make_client = world
+        primary, _pc, primary_emitter = serve("primary")
+        backup, backup_cluster, _be = serve("backup")
+        names.bind("tickets", "primary", "tickets")
+
+        assert detector.wait_for_state("primary", "alive", timeout=2.0)
+        assert detector.wait_for_state("backup", "alive", timeout=2.0)
+
+        client = make_client("ops")
+        assert client.call_name("tickets", "open", "before")
+
+        # crash: node stops serving AND heartbeats stop arriving
+        primary.crash()
+        primary_emitter.stop()
+        assert detector.wait_for_state("primary", "dead", timeout=3.0)
+
+        # failover policy consults only observed heartbeats
+        choose = detector_failover(detector, ["primary", "backup"])
+        promoted = choose()
+        assert promoted == "backup"
+        names.rebind("tickets", promoted, "tickets")
+
+        assert client.call_name("tickets", "open", "after")
+        assert backup_cluster.component.pending == 1
+
+    def test_false_suspicion_recovers_without_failover(self, world):
+        network, names, detector, serve, make_client = world
+        _primary, _pc, emitter = serve("primary")
+        names.bind("tickets", "primary", "tickets")
+        detector.wait_for_state("primary", "alive", timeout=2.0)
+
+        # a transient partition delays heartbeats past the suspicion
+        # threshold, then heals: the detector must walk back
+        network.partition({"primary"}, {"monitor"})
+        assert detector.wait_for_state("primary", "suspect", timeout=3.0)
+        network.heal()
+        assert detector.wait_for_state("primary", "alive", timeout=3.0)
+        client = make_client("ops")
+        assert client.call_name("tickets", "open", "still-primary")

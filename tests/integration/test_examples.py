@@ -1,0 +1,31 @@
+"""Every example script must run clean: they are executable documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLES, ids=[script.stem for script in EXAMPLES],
+)
+def test_example_runs_clean(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=120,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} failed:\n{completed.stdout}\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"
+
+
+def test_example_inventory():
+    """The deliverable requires a quickstart plus domain scenarios."""
+    names = {script.stem for script in EXAMPLES}
+    assert "quickstart" in names
+    assert len(names) >= 3

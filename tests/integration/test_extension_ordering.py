@@ -1,0 +1,117 @@
+"""FIG13-18: the authentication extension and its composition ordering.
+
+"A request to a participating method will now have to be guarded by
+preactivation of authentication followed by preactivation of
+synchronization. [...] followed by the postactivation of synchronization
+followed by postactivation of authentication" (Section 5.3).
+"""
+
+import pytest
+
+from repro.analysis.tracing import postactivation_reverses_preactivation
+from repro.apps import build_ticketing_cluster, make_session_manager
+from repro.concurrency import Ticket
+from repro.core import MethodAborted, Tracer
+
+
+@pytest.fixture
+def extended():
+    sessions = make_session_manager({"alice": "pw"})
+    cluster = build_ticketing_cluster(capacity=4, sessions=sessions)
+    tracer = Tracer()
+    cluster.events.subscribe(tracer)
+    return cluster, sessions, tracer
+
+
+class TestExtensionComposition:
+    def test_auth_precondition_runs_before_sync(self, extended):
+        cluster, sessions, tracer = extended
+        token = sessions.login("alice", "pw")
+        cluster.proxy.call("open", Ticket(summary="x"), caller=token)
+        activation = next(
+            e.activation_id for e in tracer.events if e.kind == "invoke"
+        )
+        pre_order = [
+            e.concern for e in tracer.for_activation(activation)
+            if e.kind == "precondition"
+        ]
+        assert pre_order == ["authenticate", "sync"]
+
+    def test_postactivation_unwinds_in_reverse(self, extended):
+        cluster, sessions, tracer = extended
+        token = sessions.login("alice", "pw")
+        cluster.proxy.call("open", Ticket(summary="x"), caller=token)
+        activation = next(
+            e.activation_id for e in tracer.events if e.kind == "invoke"
+        )
+        post_order = [
+            e.concern for e in tracer.for_activation(activation)
+            if e.kind == "postaction"
+        ]
+        assert post_order == ["sync", "authenticate"]
+        assert postactivation_reverses_preactivation(tracer, activation)
+
+    def test_only_when_both_true_execution_proceeds(self, extended):
+        cluster, sessions, tracer = extended
+        # auth true, sync true -> proceeds
+        token = sessions.login("alice", "pw")
+        assert cluster.proxy.call(
+            "open", Ticket(summary="ok"), caller=token
+        )
+        # auth false -> aborts before sync is even evaluated
+        tracer.clear()
+        with pytest.raises(MethodAborted):
+            cluster.proxy.open(Ticket(summary="no-auth"))
+        concerns_evaluated = [
+            e.concern for e in tracer.events if e.kind == "precondition"
+        ]
+        assert concerns_evaluated == ["authenticate"]
+
+    def test_failed_auth_does_not_disturb_sync_state(self, extended):
+        cluster, sessions, tracer = extended
+        sync_aspect = cluster.bank.lookup("open", "sync")
+        with pytest.raises(MethodAborted):
+            cluster.proxy.open(Ticket(summary="x"))
+        assert sync_aspect.state.no_items == 0
+        assert sync_aspect.state.active_open == 0
+
+    def test_extension_leaves_base_factory_untouched(self, extended):
+        cluster, sessions, tracer = extended
+        # base factory can still create its products
+        base_factory = cluster.factory._factories[0]
+        assert base_factory.can_create("open", "sync")
+        assert not base_factory.can_create("open", "authenticate")
+        # composite resolves both dimensions
+        assert set(
+            concern for _m, concern in cluster.factory.products()
+        ) == {"sync", "authenticate"}
+
+    def test_functional_component_has_no_auth_vocabulary(self, extended):
+        cluster, sessions, tracer = extended
+        import inspect
+
+        from repro.concurrency import buffer as component_module
+        source = inspect.getsource(component_module).lower()
+        for word in ("authenticate", "session", "credential", "login"):
+            assert word not in source
+
+
+class TestRuntimeAdaptability:
+    def test_auth_can_be_added_and_removed_at_runtime(self):
+        sessions = make_session_manager({"alice": "pw"})
+        cluster = build_ticketing_cluster(capacity=4)
+        # initially open to everyone
+        cluster.proxy.open(Ticket(summary="open-door"))
+
+        from repro.apps import ExtendedAspectFactory
+        cluster.extend(
+            ExtendedAspectFactory(sessions),
+            bindings={"open": ["authenticate"],
+                      "assign": ["authenticate"]},
+        )
+        with pytest.raises(MethodAborted):
+            cluster.proxy.open(Ticket(summary="locked-now"))
+
+        cluster.unbind("open", "authenticate")
+        cluster.proxy.open(Ticket(summary="unlocked-again"))
+        assert cluster.component.pending == 2

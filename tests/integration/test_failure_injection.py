@@ -1,0 +1,126 @@
+"""Failure injection: composed fault tolerance over a lossy network."""
+
+import pytest
+
+from repro.apps import RemoteTicketFacade, build_ticketing_cluster
+from repro.aspects.circuit_breaker import BreakerState, CircuitBreakerAspect
+from repro.aspects.retry import RetryPolicy, retrying
+from repro.core import AspectModerator, ComponentProxy, MethodAborted
+from repro.dist import (
+    Client,
+    NameService,
+    Network,
+    Node,
+    RequestTimeout,
+)
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def lossy_world():
+    network = Network(loss=0.25, seed=1234)
+    names = NameService()
+    node = Node("server", network, workers=2).start()
+    cluster = build_ticketing_cluster(capacity=10 ** 6)
+    node.export("tickets", RemoteTicketFacade(cluster.proxy))
+    names.bind("tickets", "server", "tickets")
+    client = Client("client", network, names, default_timeout=0.15)
+    yield network, cluster, client
+    client.close()
+    node.stop()
+    network.close()
+
+
+class TestRetryOverLossyNetwork:
+    def test_bare_calls_eventually_time_out(self, lossy_world):
+        network, cluster, client = lossy_world
+        failures = 0
+        for index in range(20):
+            try:
+                client.call_name("tickets", "open", f"t{index}")
+            except RequestTimeout:
+                failures += 1
+        assert failures >= 1, "35% loss must cost some calls"
+
+    def test_retry_wrapper_restores_availability(self, lossy_world):
+        network, cluster, client = lossy_world
+        policy = RetryPolicy(
+            max_attempts=12, retry_on=(RequestTimeout,),
+        )
+        reliable_open = retrying(
+            lambda summary: client.call_name("tickets", "open", summary),
+            policy,
+        )
+        for index in range(20):
+            assert reliable_open(f"t{index}") is not None
+        # retries may duplicate deliveries on reply loss; the server
+        # processed at least every request once
+        assert cluster.component.pending >= 20
+
+
+class TestCircuitBreakerSheddingDeadBackend:
+    def test_breaker_fails_fast_after_crash(self):
+        clock = VirtualClock()
+        network = Network()
+        names = NameService()
+        node = Node("server", network).start()
+        cluster = build_ticketing_cluster(capacity=100)
+        node.export("tickets", RemoteTicketFacade(cluster.proxy))
+        names.bind("tickets", "server", "tickets")
+        client = Client("client", network, names, default_timeout=0.1)
+
+        # client-side breaker guarding the remote call
+        breaker = CircuitBreakerAspect(
+            failure_threshold=3, reset_timeout=60.0, clock=clock,
+        )
+        moderator = AspectModerator()
+        moderator.register_aspect("open", "breaker", breaker)
+
+        class RemotePort:
+            def open(self, summary):
+                return client.call_name("tickets", "open", summary)
+
+        guarded = ComponentProxy(RemotePort(), moderator)
+        try:
+            assert guarded.open("while-alive")
+            node.crash()
+            for index in range(3):
+                with pytest.raises(RequestTimeout):
+                    guarded.open(f"dead-{index}")
+            assert breaker.state is BreakerState.OPEN
+            # now failures are shed in microseconds, not timeout-waits
+            with pytest.raises(MethodAborted):
+                guarded.open("shed")
+            assert breaker.rejected == 1
+            # backend recovers; breaker probes after the reset timeout
+            node.recover()
+            clock.advance_by(61.0)
+            assert guarded.open("recovered")
+            assert breaker.state is BreakerState.CLOSED
+        finally:
+            client.close()
+            node.stop()
+            network.close()
+
+
+class TestPartitionHealing:
+    def test_calls_resume_after_heal(self):
+        network = Network()
+        names = NameService()
+        node = Node("server", network).start()
+        cluster = build_ticketing_cluster(capacity=100)
+        node.export("tickets", RemoteTicketFacade(cluster.proxy))
+        names.bind("tickets", "server", "tickets")
+        client = Client("client", network, names, default_timeout=0.15)
+        try:
+            assert client.call_name("tickets", "open", "before")
+            network.partition({"client"}, {"server"})
+            with pytest.raises(RequestTimeout):
+                client.call_name("tickets", "open", "during")
+            network.heal()
+            assert client.call_name("tickets", "open", "after")
+            assert cluster.component.pending == 2
+        finally:
+            client.close()
+            node.stop()
+            network.close()

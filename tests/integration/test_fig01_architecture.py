@@ -1,0 +1,53 @@
+"""FIG1: the cluster architecture — every role present and cooperating."""
+
+from repro.apps import build_ticketing_cluster
+from repro.concurrency import Ticket
+from repro.core import AspectBank, AspectModerator, ComponentProxy
+from repro.core.factory import CompositeFactory
+
+
+class TestFigure1Architecture:
+    def test_cluster_assembles_all_four_roles(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        arch = cluster.architecture()
+        assert arch["functional_component"] == "TicketStore"
+        assert arch["proxy"] == "ComponentProxy"
+        assert arch["aspect_moderator"] == "AspectModerator"
+        assert arch["aspect_factory"]  # at least the base factory
+
+    def test_aspect_bank_is_two_dimensional(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        grid = cluster.bank.grid()
+        # rows: participating methods; columns: concerns
+        assert set(grid) == {"open", "assign"}
+        assert "sync" in grid["open"]
+        assert "sync" in grid["assign"]
+
+    def test_roles_reference_each_other_as_figure1_shows(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        # proxy -> component and moderator
+        assert isinstance(cluster.proxy, ComponentProxy)
+        assert cluster.proxy.component is cluster.component
+        assert cluster.proxy.moderator is cluster.moderator
+        # moderator -> bank
+        assert isinstance(cluster.moderator.bank, AspectBank)
+        assert cluster.moderator.bank is cluster.bank
+        # cluster -> factory (composite so extensions can stack)
+        assert isinstance(cluster.factory, CompositeFactory)
+
+    def test_services_flow_through_the_architecture(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        cluster.proxy.open(Ticket(summary="figure-1"))
+        ticket = cluster.proxy.assign("agent")
+        assert ticket.summary == "figure-1"
+        stats = cluster.moderator.stats
+        assert stats.preactivations == 2
+        assert stats.postactivations == 2
+
+    def test_aspects_are_first_class_and_shared_via_bank(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        open_sync = cluster.bank.lookup("open", "sync")
+        # the same object is retrievable repeatedly and carries state
+        assert cluster.bank.lookup("open", "sync") is open_sync
+        cluster.proxy.open(Ticket(summary="x"))
+        assert open_sync.state.no_items == 1

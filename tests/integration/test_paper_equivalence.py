@@ -1,0 +1,148 @@
+"""Paper-style classes vs. framework-style wiring: identical behaviour.
+
+The hand-written ``TicketServerProxy`` of Figures 5/10 and the generic
+``Cluster`` construction must moderate identically — the framework is
+the paper's boilerplate, generated.
+"""
+
+import threading
+
+import pytest
+
+from repro.apps import (
+    AspectFactoryImpl,
+    ExtendedAspectFactory,
+    ExtendedTicketServerProxy,
+    TicketServerProxy,
+    build_ticketing_cluster,
+    make_session_manager,
+)
+from repro.concurrency import Ticket
+from repro.core import AspectModerator, MethodAborted
+from repro.core.ordering import guards_first
+
+
+class TestPaperStyleProxy:
+    def test_constructor_registers_both_sync_aspects(self):
+        moderator = AspectModerator()
+        TicketServerProxy(moderator, AspectFactoryImpl(), capacity=4)
+        assert moderator.bank.contains("open", "sync")
+        assert moderator.bank.contains("assign", "sync")
+
+    def test_guarded_open_and_assign(self):
+        moderator = AspectModerator()
+        server = TicketServerProxy(moderator, AspectFactoryImpl(),
+                                   capacity=4)
+        server.open(Ticket(summary="a"))
+        ticket = server.assign("alice")
+        assert ticket.assignee == "alice"
+        assert moderator.stats.preactivations == 2
+
+    def test_blocking_producer_consumer(self):
+        moderator = AspectModerator()
+        server = TicketServerProxy(moderator, AspectFactoryImpl(),
+                                   capacity=1)
+        got = []
+
+        def consume():
+            for _ in range(5):
+                got.append(server.assign().summary)
+
+        thread = threading.Thread(target=consume)
+        thread.start()
+        for index in range(5):
+            server.open(Ticket(summary=str(index)))
+        thread.join(10)
+        assert got == [str(i) for i in range(5)]
+
+
+class TestExtendedPaperStyleProxy:
+    def make(self, sessions):
+        moderator = AspectModerator(ordering=guards_first)
+        return ExtendedTicketServerProxy(
+            moderator,
+            AspectFactoryImpl(),
+            ExtendedAspectFactory(sessions),
+            capacity=4,
+        ), moderator
+
+    def test_both_concerns_registered_per_method(self):
+        sessions = make_session_manager({"alice": "pw"})
+        server, moderator = self.make(sessions)
+        for method in ("open", "assign"):
+            assert moderator.bank.contains(method, "sync")
+            assert moderator.bank.contains(method, "authenticate")
+
+    def test_unauthenticated_aborts(self):
+        sessions = make_session_manager({"alice": "pw"})
+        server, moderator = self.make(sessions)
+        with pytest.raises(MethodAborted):
+            server.open(Ticket(summary="x"))
+
+    def test_authenticated_flows(self):
+        sessions = make_session_manager({"alice": "pw"})
+        server, moderator = self.make(sessions)
+        sessions.login("alice", "pw")
+        server.__caller__ = "alice"  # principal attached to activations
+        server.open(Ticket(summary="x"))
+        assert server.pending == 1
+
+
+class TestExtendedAspectModerator:
+    def test_paper_named_moderator_orders_auth_before_sync(self):
+        from repro.apps import ExtendedAspectModerator
+        from repro.core import Tracer
+
+        sessions = make_session_manager({"alice": "pw"})
+        moderator = ExtendedAspectModerator()
+        tracer = Tracer()
+        moderator.events.subscribe(tracer)
+        server = ExtendedTicketServerProxy(
+            moderator, AspectFactoryImpl(),
+            ExtendedAspectFactory(sessions), capacity=4,
+        )
+        sessions.login("alice", "pw")
+        server.__caller__ = "alice"
+        server.open(Ticket(summary="x"))
+        order = [
+            event.concern for event in tracer.events
+            if event.kind == "precondition"
+        ]
+        assert order == ["authenticate", "sync"]
+
+
+class TestEquivalence:
+    def run_workload(self, open_fn, assign_fn):
+        """Drive the same mixed workload through either construction."""
+        outcomes = []
+        for index in range(6):
+            open_fn(Ticket(summary=f"t{index}"))
+        for _ in range(6):
+            outcomes.append(assign_fn().summary)
+        return outcomes
+
+    def test_same_workload_same_results(self):
+        moderator = AspectModerator()
+        paper = TicketServerProxy(moderator, AspectFactoryImpl(),
+                                  capacity=8)
+        framework = build_ticketing_cluster(capacity=8)
+
+        paper_result = self.run_workload(paper.open, paper.assign)
+        framework_result = self.run_workload(
+            framework.proxy.open, framework.proxy.assign
+        )
+        # FIFO order preserved identically
+        assert [s.split("t")[1] for s in paper_result] == \
+            [s.split("t")[1] for s in framework_result]
+
+    def test_same_moderation_stats_shape(self):
+        moderator = AspectModerator()
+        paper = TicketServerProxy(moderator, AspectFactoryImpl(),
+                                  capacity=8)
+        framework = build_ticketing_cluster(capacity=8)
+        self.run_workload(paper.open, paper.assign)
+        self.run_workload(framework.proxy.open, framework.proxy.assign)
+        paper_stats = moderator.stats.as_dict()
+        framework_stats = framework.moderator.stats.as_dict()
+        for key in ("preactivations", "resumes", "postactivations"):
+            assert paper_stats[key] == framework_stats[key] == 12

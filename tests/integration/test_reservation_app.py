@@ -1,0 +1,129 @@
+"""Integration tests for the seat-reservation application."""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps import build_reservation_cluster
+from repro.core import ActivationTimeout, MethodAborted
+
+
+class TestBasicFlow:
+    def test_reserve_confirm_cancel(self):
+        cluster = build_reservation_cluster(seats=10)
+        booking = cluster.proxy.reserve("kim", 4)
+        assert cluster.component.available == 6
+        cluster.proxy.confirm(booking)
+        assert cluster.component.manifest()[0]["passenger"] == "kim"
+        other = cluster.proxy.reserve("lee", 2)
+        assert cluster.proxy.cancel(other) == 2
+        assert cluster.component.available == 6
+
+    def test_overbooking_factor_extends_sellable_pool(self):
+        cluster = build_reservation_cluster(seats=10, overbook_factor=1.2)
+        assert cluster.component.sellable == 12
+        for passenger in range(6):
+            cluster.proxy.reserve(f"p{passenger}", 2)
+        assert cluster.component.available == 0
+
+
+class TestValidation:
+    def test_group_too_large_aborts(self):
+        cluster = build_reservation_cluster(seats=20, max_group=4)
+        with pytest.raises(MethodAborted):
+            cluster.proxy.reserve("bus", 5)
+
+    def test_zero_or_negative_count_aborts(self):
+        cluster = build_reservation_cluster(seats=20)
+        with pytest.raises(MethodAborted):
+            cluster.proxy.reserve("kim", 0)
+
+    def test_blank_passenger_aborts(self):
+        cluster = build_reservation_cluster(seats=20)
+        with pytest.raises(MethodAborted):
+            cluster.proxy.reserve("   ", 1)
+
+
+class TestCapacityBlocking:
+    def test_reserve_waits_for_cancellation(self):
+        cluster = build_reservation_cluster(seats=4, default_timeout=10.0)
+        first = cluster.proxy.reserve("kim", 4)
+        granted = {}
+
+        def late():
+            granted["booking"] = cluster.proxy.reserve("noor", 2)
+
+        waiter = threading.Thread(target=late)
+        waiter.start()
+        time.sleep(0.1)
+        assert "booking" not in granted
+        cluster.proxy.cancel(first)
+        waiter.join(10)
+        assert granted["booking"] is not None
+        assert cluster.component.available == 2
+
+    def test_fail_fast_variant_raises_instead(self):
+        cluster = build_reservation_cluster(
+            seats=4, wait_for_availability=False,
+        )
+        cluster.proxy.reserve("kim", 4)
+        from repro.apps.reservation import ReservationError
+        with pytest.raises(ReservationError):
+            cluster.proxy.reserve("noor", 2)
+
+    def test_blocked_reserve_times_out(self):
+        cluster = build_reservation_cluster(seats=2)
+        cluster.proxy.reserve("kim", 2)
+        with pytest.raises(ActivationTimeout):
+            cluster.proxy.call("reserve", "noor", 1, timeout=0.1)
+
+
+class TestPhases:
+    def test_closing_phase_blocks_new_reservations(self):
+        cluster = build_reservation_cluster(seats=10)
+        booking = cluster.proxy.reserve("kim", 2)
+        cluster.phase.transition("closing", cluster.moderator)
+        with pytest.raises(ActivationTimeout):
+            cluster.proxy.call("reserve", "late", 1, timeout=0.1)
+        # confirm and cancel still allowed while closing
+        cluster.proxy.confirm(booking)
+
+    def test_reopening_releases_parked_reservations(self):
+        cluster = build_reservation_cluster(seats=10,
+                                            default_timeout=10.0)
+        cluster.phase.transition("closing", cluster.moderator)
+        granted = {}
+
+        def parked():
+            granted["booking"] = cluster.proxy.reserve("early-bird", 1)
+
+        waiter = threading.Thread(target=parked)
+        waiter.start()
+        time.sleep(0.1)
+        assert "booking" not in granted
+        cluster.phase.transition("booking", cluster.moderator)
+        waiter.join(10)
+        assert granted["booking"] is not None
+
+
+class TestConcurrencySafety:
+    def test_no_oversell_under_concurrent_reservations(self):
+        from repro.concurrency import WorkerPool
+        cluster = build_reservation_cluster(
+            seats=10, wait_for_availability=False, max_group=2,
+        )
+        from repro.apps.reservation import ReservationError
+        outcomes = []
+
+        def grab(tag):
+            try:
+                cluster.proxy.reserve(f"p{tag}", 2)
+                return 2
+            except (ReservationError, MethodAborted):
+                return 0
+
+        with WorkerPool(8) as pool:
+            outcomes = pool.map(grab, range(12))
+        assert sum(outcomes) == 10  # exactly the seat count, never more
+        assert cluster.component.reserved == 10

@@ -1,0 +1,128 @@
+"""T-REUSE: the same aspect objects and classes serve all four apps.
+
+The paper's reuse claim: interaction concerns, packaged as aspects,
+compose with *any* functional component. These tests bind identical
+aspect classes — and in some cases identical aspect *instances* — to all
+four applications and to a foreign component the aspects never saw.
+"""
+
+import pytest
+
+from repro.apps import (
+    build_auction_cluster,
+    build_reservation_cluster,
+    build_ticketing_cluster,
+    build_timecard_cluster,
+    default_auction_roles,
+    make_session_manager,
+)
+from repro.aspects import (
+    AuditAspect,
+    AuditLog,
+    AuthenticationAspect,
+    MutexAspect,
+    TimingAspect,
+)
+from repro.concurrency import Ticket
+from repro.core import AspectModerator, ComponentProxy, MethodAborted
+
+
+class TestSharedAuditAcrossApps:
+    def test_one_audit_log_spans_four_applications(self):
+        log = AuditLog()
+        shared_audit = AuditAspect(log)
+
+        ticketing = build_ticketing_cluster(capacity=4)
+        auction = build_auction_cluster()
+        reservation = build_reservation_cluster(seats=10)
+        timecard = build_timecard_cluster()
+
+        for cluster, method in (
+            (ticketing, "open"),
+            (auction, "place_bid"),
+            (reservation, "reserve"),
+            (timecard, "clock_in"),
+        ):
+            cluster.moderator.register_aspect(method, "shared-audit",
+                                              shared_audit)
+
+        ticketing.proxy.open(Ticket(summary="x"))
+        auction.proxy.call("open_auction", "item", 1.0)
+        auction.proxy.call("place_bid", "item", "ana", 10.0)
+        reservation.proxy.reserve("kim", 2)
+        timecard.proxy.clock_in("emp-1")
+
+        methods = [record.method_id for record in log]
+        assert methods == ["open", "place_bid", "reserve", "clock_in"]
+        assert log.verify_chain()
+
+
+class TestSharedSessionsAcrossApps:
+    def test_one_login_authenticates_everywhere(self):
+        sessions = make_session_manager({"alice": "pw"})
+        ticketing = build_ticketing_cluster(capacity=4, sessions=sessions)
+        timecard = build_timecard_cluster(sessions=sessions)
+
+        with pytest.raises(MethodAborted):
+            ticketing.proxy.open(Ticket(summary="x"))
+        with pytest.raises(MethodAborted):
+            timecard.proxy.clock_in("alice")
+
+        token = sessions.login("alice", "pw")
+        ticketing.proxy.call("open", Ticket(summary="x"), caller=token)
+        timecard.proxy.call("clock_in", "alice", caller=token)
+        # one logout revokes both
+        sessions.logout_principal("alice")
+        with pytest.raises(MethodAborted):
+            ticketing.proxy.call("open", Ticket(summary="y"), caller=token)
+
+
+class TestAspectsOnForeignComponents:
+    class BankAccount:
+        """A component none of the aspect modules have ever heard of."""
+
+        def __init__(self):
+            self.balance = 0
+
+        def deposit(self, amount):
+            self.balance += amount
+            return self.balance
+
+    def test_stock_aspects_guard_a_new_component(self):
+        moderator = AspectModerator()
+        moderator.register_aspect("deposit", "mutex", MutexAspect())
+        timing = TimingAspect()
+        moderator.register_aspect("deposit", "timing", timing)
+        account = self.BankAccount()
+        proxy = ComponentProxy(account, moderator)
+        for _ in range(5):
+            proxy.deposit(10)
+        assert account.balance == 50
+        assert timing.report()["deposit"]["count"] == 5
+
+    def test_auth_aspect_reused_verbatim(self):
+        sessions = make_session_manager({"teller": "pw"})
+        moderator = AspectModerator()
+        moderator.register_aspect(
+            "deposit", "authenticate", AuthenticationAspect(sessions)
+        )
+        proxy = ComponentProxy(self.BankAccount(), moderator)
+        with pytest.raises(MethodAborted):
+            proxy.deposit(10)
+        token = sessions.login("teller", "pw")
+        assert proxy.call("deposit", 10, caller=token) == 10
+
+
+class TestCrossAppConsistency:
+    def test_all_four_apps_expose_the_same_cluster_shape(self):
+        clusters = [
+            build_ticketing_cluster(capacity=4),
+            build_auction_cluster(roles=default_auction_roles()),
+            build_reservation_cluster(seats=5),
+            build_timecard_cluster(),
+        ]
+        for cluster in clusters:
+            arch = cluster.architecture()
+            assert arch["proxy"] == "ComponentProxy"
+            assert arch["aspect_moderator"] == "AspectModerator"
+            assert arch["aspect_bank"], "every app has bound aspects"

@@ -1,0 +1,136 @@
+"""Concurrent stress tests of the trouble-ticketing application."""
+
+import threading
+
+import pytest
+
+from repro.apps import build_ticketing_cluster, make_session_manager
+from repro.aspects.audit import AuditLog
+from repro.concurrency import Ticket, WorkerPool
+from repro.core import MethodAborted
+
+
+class TestConcurrentProducersConsumers:
+    @pytest.mark.parametrize("producers,consumers,capacity", [
+        (1, 1, 1),
+        (2, 2, 4),
+        (4, 4, 2),
+    ])
+    def test_no_lost_or_duplicated_tickets(self, producers, consumers,
+                                           capacity):
+        cluster = build_ticketing_cluster(capacity=capacity)
+        per_worker = 25
+        total = producers * per_worker
+        consumed = []
+        consumed_lock = threading.Lock()
+
+        def produce(worker):
+            for index in range(per_worker):
+                cluster.proxy.open(
+                    Ticket(summary=f"w{worker}-i{index}")
+                )
+
+        def consume(_worker):
+            for _ in range(total // consumers):
+                ticket = cluster.proxy.assign("agent")
+                with consumed_lock:
+                    consumed.append(ticket.ticket_id)
+
+        with WorkerPool(producers + consumers) as pool:
+            tasks = [lambda w=w: produce(w) for w in range(producers)]
+            tasks += [lambda w=w: consume(w) for w in range(consumers)]
+            pool.run_all(tasks, timeout=60)
+
+        assert len(consumed) == total
+        assert len(set(consumed)) == total  # no duplicates
+        assert cluster.component.pending == 0
+
+    def test_buffer_never_exceeds_capacity(self):
+        capacity = 3
+        cluster = build_ticketing_cluster(capacity=capacity)
+        sync = cluster.bank.lookup("open", "sync")
+        violations = []
+
+        def produce():
+            for index in range(50):
+                cluster.proxy.open(Ticket(summary=str(index)))
+                occupancy = sync.state.no_items
+                if occupancy > capacity:
+                    violations.append(occupancy)
+
+        def consume():
+            for _ in range(50):
+                cluster.proxy.assign()
+
+        with WorkerPool(4) as pool:
+            pool.run_all([produce, consume, produce, consume], timeout=60)
+        assert not violations
+
+    def test_blocked_consumers_eventually_served(self):
+        cluster = build_ticketing_cluster(capacity=2)
+        results = []
+        lock = threading.Lock()
+
+        def consume():
+            ticket = cluster.proxy.assign()
+            with lock:
+                results.append(ticket.summary)
+
+        consumers = [threading.Thread(target=consume) for _ in range(3)]
+        for thread in consumers:
+            thread.start()
+        for index in range(3):
+            cluster.proxy.open(Ticket(summary=f"t{index}"))
+        for thread in consumers:
+            thread.join(10)
+        assert sorted(results) == ["t0", "t1", "t2"]
+
+
+class TestAuthenticatedTicketing:
+    def test_mixed_authenticated_and_anonymous_traffic(self):
+        sessions = make_session_manager({"alice": "pw", "bob": "pw"})
+        audit_log = AuditLog()
+        cluster = build_ticketing_cluster(
+            capacity=8, sessions=sessions, audit_log=audit_log,
+        )
+        alice = sessions.login("alice", "pw")
+        accepted = 0
+        rejected = 0
+        for index in range(10):
+            caller = alice if index % 2 == 0 else None
+            try:
+                cluster.proxy.call(
+                    "open", Ticket(summary=str(index)), caller=caller
+                )
+                accepted += 1
+            except MethodAborted:
+                rejected += 1
+        assert accepted == 5
+        assert rejected == 5
+        outcomes = audit_log.outcomes()
+        assert outcomes["ok"] == 5
+        assert outcomes["aborted"] == 5
+        assert audit_log.verify_chain()
+
+    def test_session_logout_revokes_access(self):
+        sessions = make_session_manager({"alice": "pw"})
+        cluster = build_ticketing_cluster(capacity=4, sessions=sessions)
+        token = sessions.login("alice", "pw")
+        cluster.proxy.call("open", Ticket(summary="ok"), caller=token)
+        sessions.logout(token)
+        with pytest.raises(MethodAborted):
+            cluster.proxy.call("open", Ticket(summary="no"), caller=token)
+
+
+class TestTimingConcern:
+    def test_timing_aspect_observes_all_calls(self):
+        cluster = build_ticketing_cluster(capacity=8, timing=True)
+        for index in range(6):
+            cluster.proxy.open(Ticket(summary=str(index)))
+        for _ in range(6):
+            cluster.proxy.assign()
+        timing = cluster.bank.lookup("open", "timing")
+        report = timing.report()
+        assert report["open"]["count"] == 6
+        assert report["assign"]["count"] == 6
+        assert report["open"]["mean"] >= 0

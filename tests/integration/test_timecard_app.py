@@ -1,0 +1,103 @@
+"""Integration tests for the timecard application."""
+
+import pytest
+
+from repro.apps import build_timecard_cluster, make_session_manager
+from repro.core import MethodAborted
+from repro.sim.clock import VirtualClock
+
+
+@pytest.fixture
+def timecard():
+    clock = VirtualClock()
+    cluster = build_timecard_cluster(clock=clock)
+    return cluster, clock
+
+
+class TestPunchFlow:
+    def test_shift_duration_recorded(self, timecard):
+        cluster, clock = timecard
+        cluster.proxy.clock_in("emp-1")
+        clock.advance_by(8 * 3600)
+        duration = cluster.proxy.clock_out("emp-1")
+        assert duration == pytest.approx(8 * 3600)
+        assert cluster.component.report("emp-1") == {
+            "emp-1": pytest.approx(8 * 3600),
+        }
+
+    def test_report_all_employees(self, timecard):
+        cluster, clock = timecard
+        for employee in ("a", "b"):
+            cluster.proxy.clock_in(employee)
+        clock.advance_by(100)
+        for employee in ("a", "b"):
+            cluster.proxy.clock_out(employee)
+        report = cluster.proxy.report()
+        assert set(report) == {"a", "b"}
+
+
+class TestPunchValidation:
+    def test_double_clock_in_aborts(self, timecard):
+        cluster, clock = timecard
+        cluster.proxy.clock_in("emp-1")
+        with pytest.raises(MethodAborted):
+            cluster.proxy.clock_in("emp-1")
+
+    def test_clock_out_without_in_aborts(self, timecard):
+        cluster, clock = timecard
+        with pytest.raises(MethodAborted):
+            cluster.proxy.clock_out("emp-1")
+
+    def test_unnamed_employee_aborts(self, timecard):
+        cluster, clock = timecard
+        with pytest.raises(MethodAborted):
+            cluster.proxy.clock_in("")
+
+
+class TestReportRateLimit:
+    def test_report_flood_shed(self):
+        cluster = build_timecard_cluster(report_rate=5.0)
+        served, shed = 0, 0
+        for _ in range(30):
+            try:
+                cluster.proxy.report()
+                served += 1
+            except MethodAborted:
+                shed += 1
+        assert served >= 1
+        assert shed >= 1  # the flood was regulated
+
+
+class TestAuthenticatedPunches:
+    def test_punches_require_session(self):
+        sessions = make_session_manager({"emp-1": "pw"})
+        cluster = build_timecard_cluster(sessions=sessions)
+        with pytest.raises(MethodAborted):
+            cluster.proxy.clock_in("emp-1")
+        token = sessions.login("emp-1", "pw")
+        cluster.proxy.call("clock_in", "emp-1", caller=token)
+        assert cluster.component.is_on_clock("emp-1")
+
+    def test_reports_do_not_require_session(self):
+        sessions = make_session_manager({"emp-1": "pw"})
+        cluster = build_timecard_cluster(sessions=sessions)
+        assert cluster.proxy.report() == {}
+
+
+class TestReadersWriterComposition:
+    def test_reports_concurrent_punches_exclusive(self):
+        """Writer punches serialize; the rw aspect state proves it ran."""
+        cluster = build_timecard_cluster(report_rate=10 ** 6)
+        rw = cluster.bank.lookup("report", "sync")
+        from repro.concurrency import WorkerPool
+
+        def shift(tag):
+            cluster.proxy.clock_in(f"emp-{tag}")
+            cluster.proxy.report()
+            cluster.proxy.clock_out(f"emp-{tag}")
+
+        with WorkerPool(4) as pool:
+            pool.map(shift, range(8))
+        assert rw.active_readers == 0
+        assert rw.active_writers == 0
+        assert len(cluster.proxy.report()) == 8

@@ -1,0 +1,78 @@
+"""Property tests: aspect bank registration invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aspect import NullAspect
+from repro.core.bank import AspectBank
+from repro.core.errors import RegistrationError, UnknownAspectError
+
+methods = st.sampled_from(["open", "assign", "put", "take", "report"])
+concerns = st.sampled_from(["sync", "auth", "audit", "timing", "validate"])
+
+commands = st.lists(
+    st.tuples(st.sampled_from(["register", "unregister", "replace"]),
+              methods, concerns),
+    max_size=100,
+)
+
+
+@given(commands=commands)
+@settings(max_examples=200)
+def test_bank_matches_ordered_dict_model(commands):
+    """The bank behaves like a dict-of-ordered-dicts under any sequence."""
+    bank = AspectBank()
+    model = {}  # method -> list of (concern, aspect) preserving order
+    for command, method, concern in commands:
+        row = model.setdefault(method, [])
+        existing = dict(row)
+        if command == "register":
+            aspect = NullAspect()
+            if concern in existing:
+                try:
+                    bank.register(method, concern, aspect)
+                    raise AssertionError("duplicate accepted")
+                except RegistrationError:
+                    pass
+            else:
+                bank.register(method, concern, aspect)
+                row.append((concern, aspect))
+        elif command == "replace":
+            aspect = NullAspect()
+            bank.register(method, concern, aspect, replace=True)
+            if concern in existing:
+                index = [c for c, _ in row].index(concern)
+                row[index] = (concern, aspect)
+            else:
+                row.append((concern, aspect))
+        else:  # unregister
+            if concern in existing:
+                removed = bank.unregister(method, concern)
+                assert removed is existing[concern]
+                row[:] = [(c, a) for c, a in row if c != concern]
+            else:
+                try:
+                    bank.unregister(method, concern)
+                    raise AssertionError("unregistered missing cell")
+                except UnknownAspectError:
+                    pass
+        if not row:
+            model.pop(method, None)
+
+        # invariants after every command
+        assert sorted(bank.methods()) == sorted(model)
+        for method_id, pairs in model.items():
+            assert bank.concerns_for(method_id) == [c for c, _ in pairs]
+            for concern_id, aspect in pairs:
+                assert bank.lookup(method_id, concern_id) is aspect
+        assert len(bank) == sum(len(pairs) for pairs in model.values())
+
+
+@given(order=st.permutations(["a", "b", "c", "d"]))
+def test_set_order_always_respected(order):
+    bank = AspectBank()
+    for concern in ("a", "b", "c", "d"):
+        bank.register("m", concern, NullAspect())
+    bank.set_order("m", list(order))
+    assert bank.concerns_for("m") == list(order)
+    assert [c for c, _ in bank.aspects_for("m")] == list(order)

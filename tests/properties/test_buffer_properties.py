@@ -1,0 +1,108 @@
+"""Property tests: the bounded buffer against a reference model."""
+
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.concurrency.buffer import BoundedBuffer, BufferEmpty, BufferFull
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers()),
+        st.tuples(st.just("take"), st.none()),
+    ),
+    max_size=200,
+)
+
+
+@given(capacity=st.integers(min_value=1, max_value=16), ops=operations)
+@settings(max_examples=200)
+def test_buffer_matches_deque_model(capacity, ops):
+    """Any operation sequence behaves exactly like a bounded deque."""
+    buffer = BoundedBuffer(capacity)
+    model = deque()
+    for operation, value in ops:
+        if operation == "put":
+            if len(model) < capacity:
+                buffer.put(value)
+                model.append(value)
+            else:
+                try:
+                    buffer.put(value)
+                    raise AssertionError("expected BufferFull")
+                except BufferFull:
+                    pass
+        else:
+            if model:
+                assert buffer.take() == model.popleft()
+            else:
+                try:
+                    buffer.take()
+                    raise AssertionError("expected BufferEmpty")
+                except BufferEmpty:
+                    pass
+        assert len(buffer) == len(model)
+        assert buffer.snapshot() == list(model)
+        assert 0 <= len(buffer) <= capacity
+
+
+@given(capacity=st.integers(min_value=1, max_value=8),
+       values=st.lists(st.integers(), max_size=64))
+def test_fifo_content_preservation(capacity, values):
+    """Everything put comes out, once, in order, across refills."""
+    buffer = BoundedBuffer(capacity)
+    out = []
+    pending = deque(values)
+    while pending or len(buffer):
+        # fill as far as possible, then drain fully
+        while pending and len(buffer) < capacity:
+            buffer.put(pending.popleft())
+        while len(buffer):
+            out.append(buffer.take())
+    assert out == values
+
+
+class BufferMachine(RuleBasedStateMachine):
+    """Stateful exploration of put/take/peek interleavings."""
+
+    def __init__(self):
+        super().__init__()
+        self.capacity = 4
+        self.buffer = BoundedBuffer(self.capacity)
+        self.model = deque()
+
+    @rule(value=st.integers())
+    def put(self, value):
+        if len(self.model) < self.capacity:
+            self.buffer.put(value)
+            self.model.append(value)
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def take(self):
+        assert self.buffer.take() == self.model.popleft()
+
+    @precondition(lambda self: self.model)
+    @rule()
+    def peek(self):
+        assert self.buffer.peek() == self.model[0]
+        assert len(self.buffer) == len(self.model)
+
+    @invariant()
+    def size_within_bounds(self):
+        assert 0 <= len(self.buffer) <= self.capacity
+
+    @invariant()
+    def counters_consistent(self):
+        assert (self.buffer.total_put - self.buffer.total_taken
+                == len(self.buffer))
+
+
+TestBufferMachine = BufferMachine.TestCase

@@ -1,0 +1,121 @@
+"""Chaos property tests: random concern stacks under real threads.
+
+Hypothesis generates arbitrary compositions from the aspect library
+(guards, limiters, observers, sync) and arbitrary thread counts; the
+invariants must hold for every stack on every interleaving:
+
+* accounting balances: resumes == postactivations; every activation is
+  resumed or aborted;
+* no activation reaches the component once any aspect aborted it;
+* aspect counters return to rest when the storm ends.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aspects.audit import AuditAspect
+from repro.aspects.rate_limit import ConcurrencyWindowAspect
+from repro.aspects.synchronization import MutexAspect, SemaphoreAspect
+from repro.aspects.validation import ValidationAspect
+from repro.core import AspectModerator, ComponentProxy, MethodAborted
+
+# recipe ids -> aspect builders (fresh instance per example)
+RECIPES = {
+    "mutex": lambda: MutexAspect(),
+    "semaphore": lambda: SemaphoreAspect(2),
+    "window": lambda: ConcurrencyWindowAspect(limit=3),
+    "audit": lambda: AuditAspect(),
+    "reject_odd": lambda: ValidationAspect(rules=[
+        ("even only", lambda jp: jp.args[0] % 2 == 0),
+    ]),
+}
+
+stacks = st.lists(
+    st.sampled_from(sorted(RECIPES)), min_size=1, max_size=4, unique=True,
+)
+
+
+class Sink:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.accepted = []
+
+    def push(self, value):
+        with self.lock:
+            self.accepted.append(value)
+        return value
+
+
+@given(
+    stack=stacks,
+    threads=st.integers(min_value=1, max_value=4),
+    calls=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_stacks_keep_protocol_invariants(stack, threads, calls):
+    # guards_first pulls the audit observer to the front of every
+    # generated stack, so it observes aborted attempts regardless of
+    # the random registration order (see the OBS-LATE linter rule).
+    from repro.core import guards_first
+
+    moderator = AspectModerator(default_timeout=10.0,
+                                ordering=guards_first)
+    aspects = {}
+    for index, recipe in enumerate(stack):
+        aspect = RECIPES[recipe]()
+        aspects[recipe] = aspect
+        moderator.register_aspect("push", f"{recipe}", aspect)
+    sink = Sink()
+    proxy = ComponentProxy(sink, moderator)
+    aborted = []
+    aborted_lock = threading.Lock()
+
+    def storm(worker):
+        for call in range(calls):
+            value = worker * 100 + call
+            try:
+                proxy.push(value)
+            except MethodAborted:
+                with aborted_lock:
+                    aborted.append(value)
+
+    pool = [
+        threading.Thread(target=storm, args=(worker,))
+        for worker in range(threads)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(30)
+    assert not any(thread.is_alive() for thread in pool)
+
+    stats = moderator.stats
+    total = threads * calls
+    # every activation either resumed or aborted, exactly once
+    assert stats.resumes + stats.aborts == stats.preactivations
+    assert stats.resumes == stats.postactivations
+    assert len(sink.accepted) + len(aborted) == total
+    assert len(sink.accepted) == stats.resumes
+
+    # aborted values never reached the component
+    assert not set(aborted) & set(sink.accepted)
+
+    # validation semantics: with the reject_odd guard, only evens land
+    if "reject_odd" in aspects:
+        assert all(value % 2 == 0 for value in sink.accepted)
+
+    # concurrency aspects are at rest
+    if "mutex" in aspects:
+        assert aspects["mutex"].holder is None
+    if "semaphore" in aspects:
+        assert aspects["semaphore"].in_use == 0
+    if "window" in aspects:
+        assert aspects["window"].in_flight == 0
+
+    # audit saw every attempt exactly once (ok or aborted)
+    if "audit" in aspects:
+        log = aspects["audit"].log
+        assert len(log) == total
+        assert log.verify_chain()

@@ -1,0 +1,95 @@
+"""Property tests: moderated concurrency invariants under real threads.
+
+Hypothesis drives the *shape* of the workload (thread counts, capacity,
+items); real CPython threads drive the interleavings. Sizes are kept
+small so each example runs in milliseconds.
+"""
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_ticketing_cluster
+from repro.aspects.synchronization import SemaphoreAspect
+from repro.concurrency import Ticket
+from repro.core import AspectModerator, ComponentProxy
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=4),
+    producers=st.integers(min_value=1, max_value=3),
+    consumers=st.integers(min_value=1, max_value=3),
+    per_producer=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=25, deadline=None)
+def test_no_ticket_lost_or_duplicated(capacity, producers, consumers,
+                                      per_producer):
+    total = producers * per_producer
+    # distribute consumption over consumers, remainder to the first
+    quota = [total // consumers] * consumers
+    quota[0] += total - sum(quota)
+
+    cluster = build_ticketing_cluster(capacity=capacity)
+    consumed = []
+    lock = threading.Lock()
+
+    def produce(worker):
+        for index in range(per_producer):
+            cluster.proxy.open(Ticket(summary=f"{worker}:{index}"))
+
+    def consume(count):
+        for _ in range(count):
+            ticket = cluster.proxy.assign()
+            with lock:
+                consumed.append(ticket.ticket_id)
+
+    threads = [
+        threading.Thread(target=produce, args=(worker,))
+        for worker in range(producers)
+    ] + [
+        threading.Thread(target=consume, args=(count,))
+        for count in quota
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+    assert not any(thread.is_alive() for thread in threads)
+
+    assert len(consumed) == total
+    assert len(set(consumed)) == total
+    assert cluster.component.pending == 0
+    sync = cluster.bank.lookup("open", "sync")
+    assert sync.state.no_items == 0
+    assert sync.state.active_open == 0
+    assert sync.state.active_assign == 0
+
+
+@given(
+    permits=st.integers(min_value=1, max_value=4),
+    threads=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=20, deadline=None)
+def test_semaphore_concurrency_never_exceeds_permits(permits, threads):
+    moderator = AspectModerator()
+    moderator.register_aspect("work", "sem", SemaphoreAspect(permits))
+    peak = {"value": 0, "current": 0}
+    gauge = threading.Lock()
+
+    class Worker:
+        def work(self):
+            with gauge:
+                peak["current"] += 1
+                peak["value"] = max(peak["value"], peak["current"])
+            with gauge:
+                peak["current"] -= 1
+
+    proxy = ComponentProxy(Worker(), moderator)
+    pool = [threading.Thread(target=proxy.work) for _ in range(threads)]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(30)
+    assert peak["value"] <= permits
+    assert peak["current"] == 0

@@ -1,0 +1,128 @@
+"""Property tests: moderation protocol invariants for arbitrary chains.
+
+For any chain of aspects with scripted votes, the moderator must:
+
+* evaluate preconditions in composition order, stopping at the first
+  non-RESUME;
+* compensate exactly the RESUMEd prefix, in reverse, on ABORT;
+* never invoke postactions for an aborted activation;
+* run postactions in exact reverse order of the resumed chain;
+* pair every RESUME with exactly one post-activation.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AspectModerator, JoinPoint, MethodAborted
+from repro.core.aspect import Aspect
+from repro.core.results import ABORT, RESUME, AspectResult
+
+# a chain is a list of per-aspect votes: True = RESUME, False = ABORT
+chains = st.lists(st.booleans(), min_size=1, max_size=8)
+
+
+class Scripted(Aspect):
+    def __init__(self, name, vote, log):
+        self.concern = name
+        self.vote = vote
+        self.log = log
+
+    def precondition(self, joinpoint):
+        self.log.append(("pre", self.concern))
+        return RESUME if self.vote else ABORT
+
+    def postaction(self, joinpoint):
+        self.log.append(("post", self.concern))
+
+    def on_abort(self, joinpoint):
+        self.log.append(("comp", self.concern))
+
+
+def build(votes):
+    log = []
+    moderator = AspectModerator()
+    names = [f"c{i}" for i in range(len(votes))]
+    for name, vote in zip(names, votes):
+        moderator.register_aspect("m", name, Scripted(name, vote, log))
+    return moderator, names, log
+
+
+@given(votes=chains)
+@settings(max_examples=300)
+def test_precondition_evaluation_order_and_stop(votes):
+    moderator, names, log = build(votes)
+    jp = JoinPoint(method_id="m")
+    result = moderator.preactivation("m", jp)
+    first_abort = votes.index(False) if False in votes else None
+    evaluated = [name for kind, name in log if kind == "pre"]
+    if first_abort is None:
+        assert result is AspectResult.RESUME
+        assert evaluated == names
+    else:
+        assert result is AspectResult.ABORT
+        assert evaluated == names[:first_abort + 1]
+
+
+@given(votes=chains)
+@settings(max_examples=300)
+def test_abort_compensates_resumed_prefix_in_reverse(votes):
+    if False not in votes:
+        return
+    moderator, names, log = build(votes)
+    moderator.preactivation("m", JoinPoint(method_id="m"))
+    first_abort = votes.index(False)
+    compensated = [name for kind, name in log if kind == "comp"]
+    assert compensated == list(reversed(names[:first_abort]))
+    # no postactions ever ran
+    assert not [name for kind, name in log if kind == "post"]
+
+
+@given(votes=chains)
+@settings(max_examples=300)
+def test_postactivation_reverses_resumed_chain(votes):
+    if False in votes:
+        return
+    moderator, names, log = build(votes)
+    jp = JoinPoint(method_id="m")
+    moderator.preactivation("m", jp)
+    moderator.postactivation("m", jp)
+    posts = [name for kind, name in log if kind == "post"]
+    assert posts == list(reversed(names))
+
+
+@given(votes=chains, calls=st.integers(min_value=1, max_value=5))
+@settings(max_examples=100)
+def test_resume_postactivation_pairing(votes, calls):
+    moderator, names, log = build(votes)
+    all_resume = False not in votes
+    for _ in range(calls):
+        jp = JoinPoint(method_id="m")
+        if all_resume:
+            with moderator.activation("m", jp):
+                pass
+        else:
+            try:
+                with moderator.activation("m", jp):
+                    raise AssertionError("body must not run")
+            except MethodAborted:
+                pass
+    stats = moderator.stats
+    assert stats.preactivations == calls
+    if all_resume:
+        assert stats.resumes == stats.postactivations == calls
+        assert stats.aborts == 0
+    else:
+        assert stats.aborts == calls
+        assert stats.resumes == 0
+
+
+@given(votes=chains)
+@settings(max_examples=100)
+def test_moderation_is_repeatable(votes):
+    """The same chain gives the same outcome on every activation."""
+    moderator, names, log = build(votes)
+    outcomes = {
+        moderator.preactivation("m", JoinPoint(method_id="m"))
+        for _ in range(3)
+    }
+    assert len(outcomes) == 1

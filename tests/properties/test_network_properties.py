@@ -1,0 +1,104 @@
+"""Property tests: simulated-network accounting invariants."""
+
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist.message import Message
+from repro.dist.network import Network
+
+
+def drain_network(network, expected_total, timeout=5.0):
+    """Wait until every sent message is accounted for."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        stats = network.stats()
+        if stats["delivered"] + stats["dropped"] == expected_total \
+                and stats["in_flight"] == 0:
+            return stats
+        time.sleep(0.01)
+    raise AssertionError(f"network never drained: {network.stats()}")
+
+
+@given(
+    loss=st.floats(min_value=0.0, max_value=1.0),
+    sends=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_conservation_delivered_plus_dropped_equals_sent(loss, sends, seed):
+    network = Network(loss=loss, seed=seed)
+    try:
+        inbox = network.register("sink")
+        network.register("source")
+        for index in range(sends):
+            network.send(Message(source="source", dest="sink",
+                                 kind="event", payload={"i": index}))
+        stats = drain_network(network, sends)
+        assert stats["sent"] == sends
+        received = 0
+        while True:
+            try:
+                inbox.get(timeout=0.01)
+                received += 1
+            except TimeoutError:
+                break
+        assert received == stats["delivered"]
+    finally:
+        network.close()
+
+
+@given(
+    sends=st.integers(min_value=1, max_value=40),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_lossless_network_delivers_everything_in_order(sends, seed):
+    network = Network(seed=seed)
+    try:
+        inbox = network.register("sink")
+        network.register("source")
+        for index in range(sends):
+            network.send(Message(source="source", dest="sink",
+                                 kind="event", payload={"i": index}))
+        stats = drain_network(network, sends)
+        assert stats["dropped"] == 0
+        received = [inbox.get(timeout=1.0).payload["i"]
+                    for _ in range(sends)]
+        assert received == list(range(sends))
+    finally:
+        network.close()
+
+
+@given(
+    group_a=st.integers(min_value=1, max_value=3),
+    group_b=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=10, deadline=None)
+def test_partition_is_symmetric_and_total(group_a, group_b):
+    network = Network()
+    try:
+        a_nodes = [f"a{i}" for i in range(group_a)]
+        b_nodes = [f"b{i}" for i in range(group_b)]
+        for node in a_nodes + b_nodes:
+            network.register(node)
+        network.partition(set(a_nodes), set(b_nodes))
+        sends = 0
+        for source in a_nodes:
+            for dest in b_nodes:
+                network.send(Message(source=source, dest=dest,
+                                     kind="event"))
+                network.send(Message(source=dest, dest=source,
+                                     kind="event"))
+                sends += 2
+        stats = drain_network(network, sends)
+        assert stats["dropped"] == sends  # nothing crosses the cut
+        # intra-group traffic still flows
+        if len(a_nodes) >= 2:
+            network.send(Message(source=a_nodes[0], dest=a_nodes[1],
+                                 kind="event"))
+            drain_network(network, sends + 1)
+            assert network.stats()["delivered"] == 1
+    finally:
+        network.close()

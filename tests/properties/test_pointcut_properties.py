@@ -1,0 +1,78 @@
+"""Property tests: the pointcut algebra obeys boolean laws."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pointcut import (
+    Pointcut,
+    all_public,
+    matching,
+    named,
+    none,
+    regex,
+)
+
+method_names = st.text(
+    alphabet=st.sampled_from("abcdef_"), min_size=1, max_size=8,
+)
+
+# strategy producing simple pointcuts paired with nothing (pure)
+base_pointcuts = st.one_of(
+    st.builds(lambda names_: named(*names_),
+              st.lists(method_names, min_size=1, max_size=3)),
+    st.builds(lambda prefix: matching(prefix + "*"),
+              st.text(alphabet=st.sampled_from("abc"), max_size=3)),
+    st.just(all_public()),
+    st.just(none()),
+)
+
+
+@given(pc=base_pointcuts, method=method_names)
+@settings(max_examples=200)
+def test_complement_is_involution(pc, method):
+    assert (~~pc).matches(method) == pc.matches(method)
+
+
+@given(pc=base_pointcuts, method=method_names)
+@settings(max_examples=200)
+def test_excluded_middle_and_contradiction(pc, method):
+    assert (pc | ~pc).matches(method)
+    assert not (pc & ~pc).matches(method)
+
+
+@given(a=base_pointcuts, b=base_pointcuts, method=method_names)
+@settings(max_examples=200)
+def test_de_morgan(a, b, method):
+    assert (~(a | b)).matches(method) == (~a & ~b).matches(method)
+    assert (~(a & b)).matches(method) == (~a | ~b).matches(method)
+
+
+@given(a=base_pointcuts, b=base_pointcuts, method=method_names)
+@settings(max_examples=200)
+def test_commutativity(a, b, method):
+    assert (a | b).matches(method) == (b | a).matches(method)
+    assert (a & b).matches(method) == (b & a).matches(method)
+
+
+@given(a=base_pointcuts, b=base_pointcuts, c=base_pointcuts,
+       method=method_names)
+@settings(max_examples=100)
+def test_distributivity(a, b, c, method):
+    left = (a & (b | c)).matches(method)
+    right = ((a & b) | (a & c)).matches(method)
+    assert left == right
+
+
+@given(names_=st.lists(method_names, min_size=1, max_size=4),
+       method=method_names)
+@settings(max_examples=200)
+def test_named_membership_semantics(names_, method):
+    assert named(*names_).matches(method) == (method in set(names_))
+
+
+@given(method=method_names)
+@settings(max_examples=100)
+def test_regex_and_glob_agree_on_prefix_patterns(method):
+    glob_pc = matching("ab*")
+    regex_pc = regex("ab.*")
+    assert glob_pc.matches(method) == regex_pc.matches(method)

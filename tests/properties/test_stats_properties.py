@@ -1,0 +1,96 @@
+"""Property tests: streaming statistics agree with batch references."""
+
+import math
+import statistics
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aspects.timing import StreamingStats
+from repro.aspects.rate_limit import TokenBucket
+from repro.sim.clock import VirtualClock
+
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=300,
+)
+
+
+@given(values=samples)
+@settings(max_examples=200)
+def test_welford_matches_batch_mean_and_variance(values):
+    stats = StreamingStats(reservoir_size=1000)
+    for value in values:
+        stats.observe(value)
+    assert stats.count == len(values)
+    assert stats.mean == math.fsum(values) / len(values) or \
+        math.isclose(stats.mean, math.fsum(values) / len(values),
+                     rel_tol=1e-9, abs_tol=1e-6)
+    assert stats.minimum == min(values)
+    assert stats.maximum == max(values)
+    if len(values) >= 2:
+        expected = statistics.variance(values)
+        assert math.isclose(stats.variance, expected,
+                            rel_tol=1e-6, abs_tol=1e-6)
+
+
+@given(values=samples)
+@settings(max_examples=100)
+def test_percentiles_bounded_by_extremes(values):
+    stats = StreamingStats(reservoir_size=1000)
+    for value in values:
+        stats.observe(value)
+    for q in (0, 25, 50, 75, 99, 100):
+        percentile = stats.percentile(q)
+        assert min(values) <= percentile <= max(values)
+
+
+@given(values=samples)
+@settings(max_examples=100)
+def test_percentiles_monotone_in_q(values):
+    stats = StreamingStats(reservoir_size=1000)
+    for value in values:
+        stats.observe(value)
+    quantiles = [stats.percentile(q) for q in range(0, 101, 10)]
+    assert quantiles == sorted(quantiles)
+
+
+@given(
+    rate=st.floats(min_value=0.1, max_value=100.0),
+    burst=st.floats(min_value=1.0, max_value=50.0),
+    steps=st.lists(st.floats(min_value=0.0, max_value=10.0,
+                             allow_nan=False), max_size=50),
+)
+@settings(max_examples=200)
+def test_token_bucket_never_exceeds_burst_nor_goes_negative(
+    rate, burst, steps,
+):
+    clock = VirtualClock()
+    bucket = TokenBucket(rate=rate, burst=burst, clock=clock)
+    taken = 0
+    for step in steps:
+        clock.advance_by(step)
+        if bucket.try_take():
+            taken += 1
+        assert -1e-9 <= bucket.tokens <= burst + 1e-9
+
+
+@given(
+    rate=st.floats(min_value=1.0, max_value=50.0),
+    horizon=st.floats(min_value=1.0, max_value=20.0),
+)
+@settings(max_examples=100)
+def test_token_bucket_long_run_rate_bounded(rate, horizon):
+    """Admissions over a long window never exceed burst + rate * t."""
+    clock = VirtualClock()
+    bucket = TokenBucket(rate=rate, burst=5.0, clock=clock)
+    admitted = 0
+    step = 0.01
+    elapsed = 0.0
+    while elapsed < horizon:
+        clock.advance_by(step)
+        elapsed += step
+        if bucket.try_take():
+            admitted += 1
+    assert admitted <= 5.0 + rate * horizon + 1

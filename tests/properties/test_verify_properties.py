@@ -1,0 +1,100 @@
+"""Property tests over the model checker itself."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aspects.synchronization import (
+    BoundedBufferSync,
+    SemaphoreAspect,
+)
+from repro.verify import (
+    ActivationSpec,
+    concurrency_bound,
+    occupancy_bound,
+    verify,
+)
+
+
+class _Sized:
+    def __init__(self, capacity):
+        self.capacity = capacity
+
+
+@given(
+    permits=st.integers(min_value=1, max_value=3),
+    clients=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_semaphore_bound_exact(permits, clients):
+    """concurrency <= permits always verifies; < permits fails iff
+    enough clients exist to exceed the tighter bound."""
+    def chains():
+        return {"work": [SemaphoreAspect(permits)]}
+
+    specs = [ActivationSpec(f"t{i}", "work", 1) for i in range(clients)]
+
+    ok_report = verify(
+        chains, specs, properties=[concurrency_bound(permits, "work")],
+    )
+    assert ok_report.ok, ok_report.summary()
+
+    if clients > permits - 1 and permits > 1:
+        tight = verify(
+            chains, specs,
+            properties=[concurrency_bound(permits - 1, "work")],
+        )
+        expect_violation = clients >= permits
+        assert (not tight.ok) == expect_violation
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=3),
+    pairs=st.integers(min_value=1, max_value=2),
+    repeat=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=15, deadline=None)
+def test_buffer_composition_always_verifies(capacity, pairs, repeat):
+    """Balanced producer/consumer scripts are safe for any shape."""
+    def chains():
+        sync = BoundedBufferSync(_Sized(capacity), producer="put",
+                                 consumer="take")
+        return {"put": [sync], "take": [sync]}
+
+    specs = []
+    for index in range(pairs):
+        specs.append(ActivationSpec(f"p{index}", "put", repeat))
+        specs.append(ActivationSpec(f"c{index}", "take", repeat))
+
+    report = verify(
+        chains, specs,
+        properties=[occupancy_bound("put", capacity=capacity)],
+    )
+    assert report.ok, report.summary()
+
+
+@given(
+    producers=st.integers(min_value=1, max_value=3),
+    consumers=st.integers(min_value=0, max_value=3),
+    capacity=st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=15, deadline=None)
+def test_deadlock_detected_iff_unbalanced_beyond_capacity(
+    producers, consumers, capacity,
+):
+    """Producers deadlock exactly when surplus puts exceed capacity."""
+    def chains():
+        sync = BoundedBufferSync(_Sized(capacity), producer="put",
+                                 consumer="take")
+        return {"put": [sync], "take": [sync]}
+
+    specs = [ActivationSpec(f"p{i}", "put", 1) for i in range(producers)]
+    specs += [ActivationSpec(f"c{i}", "take", 1) for i in range(consumers)]
+
+    report = verify(chains, specs)
+    surplus_puts = producers - consumers
+    surplus_takes = consumers - producers
+    should_deadlock = (surplus_puts > capacity) or (surplus_takes > 0)
+    assert (not report.ok) == should_deadlock, (
+        f"{report.summary()} for P={producers} C={consumers} "
+        f"cap={capacity}"
+    )

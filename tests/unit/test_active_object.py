@@ -1,0 +1,124 @@
+"""Unit tests for the active object and worker pool."""
+
+import threading
+
+import pytest
+
+from repro.concurrency.active_object import ActiveObject
+from repro.concurrency.executor import WorkerPool
+from repro.core import AspectModerator, ComponentProxy, FunctionAspect
+
+
+class Servant:
+    def __init__(self):
+        self.log = []
+
+    def work(self, tag):
+        self.log.append(tag)
+        return f"done-{tag}"
+
+    def explode(self):
+        raise RuntimeError("kaboom")
+
+
+class TestActiveObject:
+    def test_invoke_returns_future_result(self):
+        active = ActiveObject(Servant()).start()
+        future = active.invoke("work", "a")
+        assert future.result(5) == "done-a"
+        active.shutdown()
+
+    def test_requests_execute_in_order(self):
+        servant = Servant()
+        active = ActiveObject(servant).start()
+        futures = [active.invoke("work", index) for index in range(10)]
+        for future in futures:
+            future.result(5)
+        assert servant.log == list(range(10))
+        assert active.executed == 10
+        active.shutdown()
+
+    def test_exception_routed_to_future(self):
+        active = ActiveObject(Servant()).start()
+        future = active.invoke("explode")
+        with pytest.raises(RuntimeError):
+            future.result(5)
+        assert active.failed == 1
+        active.shutdown()
+
+    def test_call_synchronous_convenience(self):
+        active = ActiveObject(Servant()).start()
+        assert active.call("work", "x", timeout=5) == "done-x"
+        active.shutdown()
+
+    def test_auto_start_on_invoke(self):
+        active = ActiveObject(Servant())
+        assert active.invoke("work", 1).result(5) == "done-1"
+        active.shutdown()
+
+    def test_shutdown_drains_pending(self):
+        servant = Servant()
+        active = ActiveObject(servant).start()
+        futures = [active.invoke("work", index) for index in range(5)]
+        active.shutdown(drain=True)
+        assert all(future.done or future.result(5) for future in futures)
+        assert servant.log == list(range(5))
+
+    def test_invoke_after_shutdown_rejected(self):
+        active = ActiveObject(Servant()).start()
+        active.shutdown()
+        with pytest.raises(RuntimeError):
+            active.invoke("work", 1)
+
+    def test_moderated_servant_still_guarded(self):
+        moderator = AspectModerator()
+        ran = []
+        moderator.register_aspect("work", "a", FunctionAspect(
+            concern="a", postaction=lambda jp: ran.append(1),
+        ))
+        servant = Servant()
+        proxy = ComponentProxy(servant, moderator)
+        active = ActiveObject(proxy).start()
+        assert active.call("work", "m", timeout=5) == "done-m"
+        assert ran == [1]
+        active.shutdown()
+
+
+class TestWorkerPool:
+    def test_submit_and_result(self):
+        with WorkerPool(2) as pool:
+            assert pool.submit(lambda: 42).result(5) == 42
+
+    def test_map_preserves_order(self):
+        with WorkerPool(4) as pool:
+            assert pool.map(lambda x: x * 2, range(10)) == [
+                x * 2 for x in range(10)
+            ]
+
+    def test_run_all(self):
+        with WorkerPool(2) as pool:
+            results = pool.run_all([lambda: "a", lambda: "b"])
+        assert results == ["a", "b"]
+
+    def test_exceptions_via_futures(self):
+        with WorkerPool(1) as pool:
+            future = pool.submit(lambda: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                future.result(5)
+
+    def test_concurrency_actually_parallel(self):
+        barrier = threading.Barrier(3, timeout=5)
+        with WorkerPool(3) as pool:
+            # all three must be inside their task simultaneously
+            results = pool.run_all([barrier.wait] * 3, timeout=10)
+        assert len(results) == 3
+
+    def test_submit_after_shutdown_rejected(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        with pytest.raises(RuntimeError):
+            pool.submit(lambda: 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerPool(0)

@@ -1,0 +1,149 @@
+"""Unit tests for the SoC metrics analyzer and trace verification."""
+
+import textwrap
+
+from repro.analysis.metrics import SourceAnalyzer
+from repro.analysis.tracing import (
+    match_subsequence,
+    postactivation_reverses_preactivation,
+    render_figure,
+    verify_figure3,
+)
+from repro.core import AspectModerator, ComponentProxy, FunctionAspect, Tracer
+
+
+TANGLED_SOURCE = textwrap.dedent('''
+    class Server:
+        def open(self, item, caller):
+            if not self.sessions.get(caller):      # auth check
+                raise PermissionError("denied")
+            with self.lock:
+                while self.full():
+                    self.not_full.wait()
+                self.items.append(item)
+            self.audit_trail.append(("open", caller))
+
+        def helper(self):
+            return 42
+''')
+
+CLEAN_SOURCE = textwrap.dedent('''
+    class Server:
+        def open(self, item):
+            self.items.append(item)
+
+        def helper(self):
+            return 42
+''')
+
+
+class TestSourceAnalyzer:
+    def test_detects_multiple_concerns_in_tangled_function(self):
+        analyzer = SourceAnalyzer()
+        reports = analyzer.analyze_source(TANGLED_SOURCE, "tangled")
+        open_report = next(r for r in reports if r.qualname == "Server.open")
+        assert {"synchronization", "security", "audit"} <= open_report.concerns
+        assert open_report.tangling >= 3
+
+    def test_clean_function_untangled(self):
+        analyzer = SourceAnalyzer()
+        reports = analyzer.analyze_source(CLEAN_SOURCE, "clean")
+        open_report = next(r for r in reports if r.qualname == "Server.open")
+        assert open_report.tangling == 0
+
+    def test_comments_and_blanks_ignored(self):
+        source = "def f():\n    # lock and wait and notify\n    return 1\n"
+        reports = SourceAnalyzer().analyze_source(source)
+        assert reports[0].tangling == 0
+
+    def test_concern_reports_aggregate_scattering(self):
+        analyzer = SourceAnalyzer()
+        reports = analyzer.analyze_source(TANGLED_SOURCE, "tangled")
+        concerns = analyzer.concern_reports(reports)
+        assert concerns["security"].scattering == 1
+        assert concerns["security"].modules == {"tangled"}
+        assert concerns["synchronization"].lines >= 2
+
+    def test_tangling_summary(self):
+        analyzer = SourceAnalyzer()
+        reports = analyzer.analyze_source(TANGLED_SOURCE, "tangled")
+        summary = analyzer.tangling_summary(reports)
+        assert summary["functions"] == 1
+        assert summary["max_tangling"] >= 3
+
+    def test_empty_summary(self):
+        summary = SourceAnalyzer.tangling_summary([])
+        assert summary["functions"] == 0
+
+    def test_framework_less_tangled_than_baseline(self):
+        """The headline SoC claim, asserted as a unit test."""
+        import repro.apps.ticketing as framework_app
+        import repro.baselines.tangled_ticketing as tangled
+
+        analyzer = SourceAnalyzer()
+        baseline = analyzer.tangling_summary(analyzer.analyze_module(tangled))
+        framework = analyzer.tangling_summary(
+            analyzer.analyze_module(framework_app)
+        )
+        assert framework["mean_tangling"] < baseline["mean_tangling"]
+
+
+class TestTraceVerification:
+    def make_trace(self):
+        moderator = AspectModerator()
+        tracer = Tracer()
+        moderator.events.subscribe(tracer)
+        moderator.register_aspect("open", "sync", FunctionAspect(
+            concern="sync", postaction=lambda jp: None,
+        ))
+
+        class Store:
+            def open(self):
+                return "ok"
+
+        proxy = ComponentProxy(Store(), moderator)
+        proxy.open()
+        return tracer
+
+    def test_verify_figure3_passes_on_real_trace(self):
+        tracer = self.make_trace()
+        result = verify_figure3(tracer, "open")
+        assert result
+        assert len(result.matched_events) == 6
+
+    def test_verify_figure3_fails_without_activation(self):
+        assert not verify_figure3(Tracer(), "open")
+
+    def test_match_subsequence_reports_missing_arrow(self):
+        tracer = self.make_trace()
+        result = match_subsequence(
+            tracer.events, [("preactivation", "open"), ("abort", "open")]
+        )
+        assert not result
+        assert "abort" in result.detail
+
+    def test_postactivation_reverses_preactivation(self):
+        moderator = AspectModerator()
+        tracer = Tracer()
+        moderator.events.subscribe(tracer)
+        for concern in ("auth", "sync"):
+            moderator.register_aspect("open", concern, FunctionAspect(
+                concern=concern, postaction=lambda jp: None,
+            ))
+
+        class Store:
+            def open(self):
+                return "ok"
+
+        proxy = ComponentProxy(Store(), moderator)
+        proxy.open()
+        activation = next(
+            e.activation_id for e in tracer.events if e.kind == "invoke"
+        )
+        assert postactivation_reverses_preactivation(tracer, activation)
+
+    def test_render_figure_includes_title_and_events(self):
+        tracer = self.make_trace()
+        text = render_figure(tracer, title="figure 3")
+        assert "figure 3" in text
+        assert "preactivation" in text

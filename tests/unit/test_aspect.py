@@ -1,0 +1,114 @@
+"""Unit tests for the Aspect base classes and coercion."""
+
+import pytest
+
+from repro.core.aspect import (
+    Aspect,
+    FunctionAspect,
+    NullAspect,
+    StatefulAspect,
+    as_aspect,
+)
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import ABORT, BLOCK, RESUME
+
+
+def jp(method="m"):
+    return JoinPoint(method_id=method)
+
+
+class TestAspectDefaults:
+    def test_default_precondition_resumes(self):
+        class Plain(Aspect):
+            pass
+
+        assert Plain().evaluate_precondition(jp()) is RESUME
+
+    def test_default_postaction_and_on_abort_are_noops(self):
+        aspect = NullAspect()
+        aspect.postaction(jp())
+        aspect.on_abort(jp())
+
+    def test_describe_includes_class_and_concern(self):
+        text = NullAspect().describe()
+        assert "NullAspect" in text
+        assert "null" in text
+
+
+class TestResultCoercion:
+    def test_true_coerces_to_resume(self):
+        aspect = FunctionAspect(precondition=lambda _jp: True)
+        assert aspect.evaluate_precondition(jp()) is RESUME
+
+    def test_false_coerces_to_block(self):
+        aspect = FunctionAspect(precondition=lambda _jp: False)
+        assert aspect.evaluate_precondition(jp()) is BLOCK
+
+    def test_none_coerces_to_resume(self):
+        aspect = FunctionAspect(precondition=lambda _jp: None)
+        assert aspect.evaluate_precondition(jp()) is RESUME
+
+    def test_explicit_results_pass_through(self):
+        for result in (RESUME, BLOCK, ABORT):
+            aspect = FunctionAspect(precondition=lambda _jp, r=result: r)
+            assert aspect.evaluate_precondition(jp()) is result
+
+    def test_garbage_result_raises(self):
+        aspect = FunctionAspect(precondition=lambda _jp: 42)
+        with pytest.raises(TypeError):
+            aspect.evaluate_precondition(jp())
+
+
+class TestFunctionAspect:
+    def test_postaction_and_on_abort_delegate(self):
+        log = []
+        aspect = FunctionAspect(
+            concern="x",
+            postaction=lambda _jp: log.append("post"),
+            on_abort=lambda _jp: log.append("abort"),
+        )
+        aspect.postaction(jp())
+        aspect.on_abort(jp())
+        assert log == ["post", "abort"]
+
+    def test_missing_callbacks_are_noops(self):
+        aspect = FunctionAspect()
+        assert aspect.evaluate_precondition(jp()) is RESUME
+        aspect.postaction(jp())
+        aspect.on_abort(jp())
+
+
+class TestAsAspect:
+    def test_aspect_passthrough(self):
+        aspect = NullAspect()
+        assert as_aspect(aspect) is aspect
+
+    def test_callable_becomes_precondition(self):
+        aspect = as_aspect(lambda _jp: BLOCK, concern="c")
+        assert aspect.concern == "c"
+        assert aspect.evaluate_precondition(jp()) is BLOCK
+
+    def test_pair_becomes_pre_and_post(self):
+        log = []
+        aspect = as_aspect(
+            (lambda _jp: True, lambda _jp: log.append("post"))
+        )
+        assert aspect.evaluate_precondition(jp()) is RESUME
+        aspect.postaction(jp())
+        assert log == ["post"]
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError):
+            as_aspect(42)
+
+
+class TestStatefulAspect:
+    def test_snapshot_excludes_private(self):
+        class Counting(StatefulAspect):
+            def __init__(self):
+                super().__init__()
+                self.count = 3
+                self._hidden = 5
+
+        snap = Counting().snapshot()
+        assert snap == {"count": 3}

@@ -1,0 +1,114 @@
+"""Unit tests for the audit log and audit aspect."""
+
+import pytest
+
+from repro.aspects.audit import AuditAspect, AuditLog
+from repro.core import (
+    AspectModerator,
+    ComponentProxy,
+    FunctionAspect,
+    JoinPoint,
+    MethodAborted,
+)
+from repro.core.results import ABORT
+
+
+class TestAuditLog:
+    def test_append_chains_hashes(self):
+        log = AuditLog()
+        first = log.append("open", "alice", "ok", 0.0, 0.1)
+        second = log.append("open", "bob", "ok", 0.2, 0.1)
+        assert first.previous_hash == AuditLog.GENESIS
+        assert second.previous_hash == first.record_hash
+        assert len(log) == 2
+
+    def test_verify_chain_detects_tampering(self):
+        log = AuditLog()
+        log.append("open", "alice", "ok", 0.0, 0.1)
+        log.append("assign", "bob", "ok", 0.2, 0.1)
+        assert log.verify_chain()
+        # tamper with an internal record
+        record = log._records[0]
+        log._records[0] = type(record)(**{
+            **vars(record), "principal": "mallory",
+        })
+        assert not log.verify_chain()
+
+    def test_outcomes_histogram(self):
+        log = AuditLog()
+        log.append("m", None, "ok", 0, 0)
+        log.append("m", None, "ok", 0, 0)
+        log.append("m", None, "aborted", 0, 0)
+        assert log.outcomes() == {"ok": 2, "aborted": 1}
+
+    def test_iteration_snapshot(self):
+        log = AuditLog()
+        log.append("m", None, "ok", 0, 0)
+        records = list(log)
+        assert len(records) == 1
+        assert records[0].sequence == 0
+
+
+class TestAuditAspect:
+    def test_successful_call_recorded_ok(self, echo, moderator):
+        aspect = AuditAspect()
+        moderator.register_aspect("ping", "audit", aspect)
+        ComponentProxy(echo, moderator).ping(1)
+        assert [r.outcome for r in aspect.log] == ["ok"]
+
+    def test_body_exception_recorded_error(self, echo, moderator):
+        aspect = AuditAspect()
+        moderator.register_aspect("boom", "audit", aspect)
+        with pytest.raises(RuntimeError):
+            ComponentProxy(echo, moderator).boom()
+        assert [r.outcome for r in aspect.log] == ["error"]
+
+    def test_abort_by_later_guard_recorded_aborted(self, echo, moderator):
+        aspect = AuditAspect()
+        moderator.register_aspect("ping", "audit", aspect)
+        moderator.register_aspect("ping", "guard", FunctionAspect(
+            concern="guard", precondition=lambda jp: ABORT,
+        ))
+        with pytest.raises(MethodAborted):
+            ComponentProxy(echo, moderator).ping()
+        assert [r.outcome for r in aspect.log] == ["aborted"]
+
+    def test_block_rounds_not_recorded(self, echo, moderator, threaded):
+        """A transiently BLOCKed activation audits once, as ok."""
+        from repro.core.results import BLOCK, RESUME
+        votes = [BLOCK, RESUME]
+        aspect = AuditAspect()
+        moderator.register_aspect("ping", "audit", aspect)
+        moderator.register_aspect("ping", "gate", FunctionAspect(
+            concern="gate",
+            precondition=lambda jp: votes.pop(0) if votes else RESUME,
+        ))
+        proxy = ComponentProxy(echo, moderator)
+        import threading
+        import time
+
+        thread = threading.Thread(target=proxy.ping)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while moderator.stats.blocks < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        moderator.notify()
+        thread.join(5)
+        assert [r.outcome for r in aspect.log] == ["ok"]
+
+    def test_principal_captured_from_context(self, echo, moderator):
+        aspect = AuditAspect()
+        moderator.register_aspect("ping", "audit", aspect)
+        proxy = ComponentProxy(echo, moderator)
+        proxy.call("ping", caller="alice")
+        assert list(aspect.log)[0].principal == "alice"
+
+    def test_duration_positive(self, echo, moderator):
+        aspect = AuditAspect()
+        moderator.register_aspect("ping", "audit", aspect)
+        ComponentProxy(echo, moderator).ping()
+        assert list(aspect.log)[0].duration >= 0
+
+    def test_is_observer_marker(self):
+        assert AuditAspect().is_observer

@@ -1,0 +1,71 @@
+"""Unit tests for audit-log persistence (JSONL, tamper-evident)."""
+
+import json
+
+import pytest
+
+from repro.aspects.audit import AuditLog
+
+
+def build_log(entries=3):
+    log = AuditLog()
+    for index in range(entries):
+        log.append(f"method-{index}", "alice", "ok", float(index), 0.01)
+    return log
+
+
+class TestExportImport:
+    def test_roundtrip_preserves_records_and_chain(self, tmp_path):
+        log = build_log(5)
+        path = tmp_path / "audit.jsonl"
+        assert log.export_jsonl(path) == 5
+        loaded = AuditLog.import_jsonl(path)
+        assert len(loaded) == 5
+        assert loaded.verify_chain()
+        original = [record.record_hash for record in log]
+        restored = [record.record_hash for record in loaded]
+        assert original == restored
+
+    def test_empty_log_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert build_log(0).export_jsonl(path) == 0
+        assert len(AuditLog.import_jsonl(path)) == 0
+
+    def test_edited_file_rejected(self, tmp_path):
+        log = build_log(3)
+        path = tmp_path / "audit.jsonl"
+        log.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        record = json.loads(lines[1])
+        record["principal"] = "mallory"
+        lines[1] = json.dumps(record)
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match="fails verification"):
+            AuditLog.import_jsonl(path)
+
+    def test_dropped_record_rejected(self, tmp_path):
+        log = build_log(3)
+        path = tmp_path / "audit.jsonl"
+        log.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        del lines[1]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            AuditLog.import_jsonl(path)
+
+    def test_reordered_records_rejected(self, tmp_path):
+        log = build_log(3)
+        path = tmp_path / "audit.jsonl"
+        log.export_jsonl(path)
+        lines = path.read_text().splitlines()
+        lines[0], lines[1] = lines[1], lines[0]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError):
+            AuditLog.import_jsonl(path)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        log = build_log(2)
+        path = tmp_path / "audit.jsonl"
+        log.export_jsonl(path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(AuditLog.import_jsonl(path)) == 2

@@ -1,0 +1,126 @@
+"""Unit tests for credential store, sessions and the authentication aspect."""
+
+import pytest
+
+from repro.aspects.authentication import (
+    AuthenticationAspect,
+    CredentialStore,
+    SessionManager,
+)
+from repro.core import AuthenticationError, JoinPoint
+from repro.core.results import ABORT, BLOCK, RESUME
+
+
+@pytest.fixture
+def sessions():
+    credentials = CredentialStore()
+    credentials.add_user("alice", "pw-a")
+    credentials.add_user("bob", "pw-b")
+    return SessionManager(credentials)
+
+
+class TestCredentialStore:
+    def test_verify_good_and_bad(self):
+        store = CredentialStore()
+        store.add_user("alice", "secret")
+        assert store.verify("alice", "secret")
+        assert not store.verify("alice", "wrong")
+        assert not store.verify("mallory", "secret")
+
+    def test_contains_and_remove(self):
+        store = CredentialStore()
+        store.add_user("alice", "x")
+        assert "alice" in store
+        store.remove_user("alice")
+        assert "alice" not in store
+        assert not store.verify("alice", "x")
+
+    def test_same_secret_different_users_different_digests(self):
+        store = CredentialStore()
+        store.add_user("a", "same")
+        store.add_user("b", "same")
+        assert store._users["a"]["digest"] != store._users["b"]["digest"]
+
+
+class TestSessionManager:
+    def test_login_issues_unique_tokens(self, sessions):
+        first = sessions.login("alice", "pw-a")
+        second = sessions.login("alice", "pw-a")
+        assert first != second
+        assert sessions.active_sessions() == 2
+
+    def test_bad_credentials_raise(self, sessions):
+        with pytest.raises(AuthenticationError):
+            sessions.login("alice", "nope")
+        with pytest.raises(AuthenticationError):
+            sessions.login("mallory", "pw-a")
+
+    def test_session_lookup_and_logout(self, sessions):
+        token = sessions.login("alice", "pw-a")
+        assert sessions.session_for(token).principal == "alice"
+        sessions.logout(token)
+        assert sessions.session_for(token) is None
+
+    def test_logout_principal_kills_all_tokens(self, sessions):
+        tokens = [sessions.login("alice", "pw-a") for _ in range(3)]
+        sessions.logout_principal("alice")
+        assert all(sessions.session_for(t) is None for t in tokens)
+        assert not sessions.is_authenticated("alice")
+
+    def test_ttl_expiry(self):
+        credentials = CredentialStore()
+        credentials.add_user("alice", "pw")
+        manager = SessionManager(credentials, ttl=0.0)
+        token = manager.login("alice", "pw")
+        assert manager.session_for(token) is None
+        assert not manager.is_authenticated("alice")
+
+
+class TestAuthenticationAspect:
+    def test_no_caller_aborts(self, sessions):
+        aspect = AuthenticationAspect(sessions)
+        assert aspect.precondition(JoinPoint(method_id="m")) is ABORT
+        assert aspect.denied == 1
+
+    def test_token_caller_resumes_and_records_principal(self, sessions):
+        aspect = AuthenticationAspect(sessions)
+        token = sessions.login("alice", "pw-a")
+        jp = JoinPoint(method_id="m", caller=token)
+        assert aspect.precondition(jp) is RESUME
+        assert jp.context["principal"] == "alice"
+        assert aspect.granted == 1
+
+    def test_principal_name_with_live_session_resumes(self, sessions):
+        aspect = AuthenticationAspect(sessions)
+        sessions.login("bob", "pw-b")
+        jp = JoinPoint(method_id="m", caller="bob")
+        assert aspect.precondition(jp) is RESUME
+
+    def test_caller_kwarg_recognized(self, sessions):
+        aspect = AuthenticationAspect(sessions)
+        token = sessions.login("alice", "pw-a")
+        jp = JoinPoint(method_id="m", kwargs={"caller": token})
+        assert aspect.precondition(jp) is RESUME
+
+    def test_unknown_token_aborts(self, sessions):
+        aspect = AuthenticationAspect(sessions)
+        jp = JoinPoint(method_id="m", caller="tok-999-fake")
+        assert aspect.precondition(jp) is ABORT
+
+    def test_block_until_login_mode(self, sessions):
+        aspect = AuthenticationAspect(sessions, block_until_login=True)
+        jp = JoinPoint(method_id="m", caller="alice")
+        assert aspect.precondition(jp) is BLOCK
+        sessions.login("alice", "pw-a")
+        assert aspect.precondition(jp) is RESUME
+
+    def test_on_abort_corrects_grant_counter(self, sessions):
+        aspect = AuthenticationAspect(sessions)
+        token = sessions.login("alice", "pw-a")
+        jp = JoinPoint(method_id="m", caller=token)
+        aspect.precondition(jp)
+        aspect.on_abort(jp)
+        assert aspect.granted == 0
+
+    def test_is_guard_marker(self, sessions):
+        assert AuthenticationAspect(sessions).is_guard

@@ -1,0 +1,75 @@
+"""Unit tests for role-based authorization."""
+
+import pytest
+
+from repro.aspects.authorization import AuthorizationAspect, RoleRegistry
+from repro.core import JoinPoint
+from repro.core.results import ABORT, RESUME
+
+
+@pytest.fixture
+def roles():
+    registry = RoleRegistry()
+    registry.permit("admin", "open", "close")
+    registry.permit("user", "open")
+    registry.assign("alice", "admin")
+    registry.assign("bob", "user")
+    return registry
+
+
+class TestRoleRegistry:
+    def test_allowed_through_role(self, roles):
+        assert roles.allowed("alice", "close")
+        assert roles.allowed("bob", "open")
+        assert not roles.allowed("bob", "close")
+
+    def test_unknown_principal_denied(self, roles):
+        assert not roles.allowed("mallory", "open")
+
+    def test_revoke(self, roles):
+        roles.revoke("alice", "admin")
+        assert not roles.allowed("alice", "open")
+
+    def test_multiple_roles_union(self, roles):
+        roles.assign("carol", "user", "admin")
+        assert roles.allowed("carol", "close")
+        assert roles.roles_of("carol") == {"user", "admin"}
+
+    def test_method_listed(self, roles):
+        assert roles.method_listed("open")
+        assert not roles.method_listed("mystery")
+
+
+class TestAuthorizationAspect:
+    def test_permitted_caller_resumes(self, roles):
+        aspect = AuthorizationAspect(roles)
+        jp = JoinPoint(method_id="close", caller="alice")
+        assert aspect.precondition(jp) is RESUME
+        assert aspect.granted == 1
+
+    def test_unpermitted_caller_aborts(self, roles):
+        aspect = AuthorizationAspect(roles)
+        jp = JoinPoint(method_id="close", caller="bob")
+        assert aspect.precondition(jp) is ABORT
+        assert aspect.denied == 1
+
+    def test_missing_principal_aborts(self, roles):
+        aspect = AuthorizationAspect(roles)
+        assert aspect.precondition(JoinPoint(method_id="open")) is ABORT
+
+    def test_principal_from_context_wins(self, roles):
+        """Authentication chains its resolved principal to authorization."""
+        aspect = AuthorizationAspect(roles)
+        jp = JoinPoint(method_id="close", caller="tok-1-opaque")
+        jp.context["principal"] = "alice"
+        assert aspect.precondition(jp) is RESUME
+
+    def test_allow_unlisted_opens_unknown_methods(self, roles):
+        aspect = AuthorizationAspect(roles, allow_unlisted=True)
+        jp = JoinPoint(method_id="ping", caller="bob")
+        assert aspect.precondition(jp) is RESUME
+        listed = JoinPoint(method_id="close", caller="bob")
+        assert aspect.precondition(listed) is ABORT
+
+    def test_is_guard_marker(self, roles):
+        assert AuthorizationAspect(roles).is_guard

@@ -1,0 +1,119 @@
+"""Unit tests for the two-dimensional aspect bank (paper Figure 9)."""
+
+import pytest
+
+from repro.core.bank import AspectBank
+from repro.core.aspect import NullAspect
+from repro.core.errors import RegistrationError, UnknownAspectError
+
+
+@pytest.fixture
+def bank():
+    return AspectBank()
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, bank):
+        aspect = NullAspect()
+        bank.register("open", "sync", aspect)
+        assert bank.lookup("open", "sync") is aspect
+
+    def test_lookup_returns_same_first_class_object(self, bank):
+        aspect = NullAspect()
+        bank.register("open", "sync", aspect)
+        assert bank.lookup("open", "sync") is bank.lookup("open", "sync")
+
+    def test_duplicate_registration_rejected(self, bank):
+        bank.register("open", "sync", NullAspect())
+        with pytest.raises(RegistrationError):
+            bank.register("open", "sync", NullAspect())
+
+    def test_replace_swaps_aspect_in_place(self, bank):
+        bank.register("open", "sync", NullAspect())
+        replacement = NullAspect()
+        bank.register("open", "sync", replacement, replace=True)
+        assert bank.lookup("open", "sync") is replacement
+        # order unchanged: still a single concern
+        assert bank.concerns_for("open") == ["sync"]
+
+    def test_non_aspect_rejected(self, bank):
+        with pytest.raises(RegistrationError):
+            bank.register("open", "sync", object())
+
+    def test_unknown_lookup_raises(self, bank):
+        with pytest.raises(UnknownAspectError):
+            bank.lookup("open", "sync")
+
+    def test_unregister_returns_aspect(self, bank):
+        aspect = NullAspect()
+        bank.register("open", "sync", aspect)
+        assert bank.unregister("open", "sync") is aspect
+        assert not bank.contains("open", "sync")
+
+    def test_unregister_unknown_raises(self, bank):
+        with pytest.raises(UnknownAspectError):
+            bank.unregister("open", "sync")
+
+
+class TestTwoDimensionality:
+    def test_methods_and_concerns_independent(self, bank):
+        a, b, c = NullAspect(), NullAspect(), NullAspect()
+        bank.register("open", "sync", a)
+        bank.register("open", "auth", b)
+        bank.register("assign", "sync", c)
+        assert bank.lookup("open", "sync") is a
+        assert bank.lookup("open", "auth") is b
+        assert bank.lookup("assign", "sync") is c
+        assert len(bank) == 3
+        assert sorted(bank.methods()) == ["assign", "open"]
+
+    def test_contains_protocol(self, bank):
+        bank.register("open", "sync", NullAspect())
+        assert ("open", "sync") in bank
+        assert ("open", "auth") not in bank
+
+    def test_iteration_yields_cells_in_order(self, bank):
+        bank.register("open", "sync", NullAspect())
+        bank.register("open", "auth", NullAspect())
+        cells = [(m, c) for m, c, _a in bank]
+        assert cells == [("open", "sync"), ("open", "auth")]
+
+    def test_grid_renders_descriptions(self, bank):
+        bank.register("open", "sync", NullAspect())
+        grid = bank.grid()
+        assert "open" in grid
+        assert "sync" in grid["open"]
+        assert "NullAspect" in grid["open"]["sync"]
+
+
+class TestOrdering:
+    def test_registration_order_preserved(self, bank):
+        for concern in ("sync", "auth", "audit"):
+            bank.register("open", concern, NullAspect())
+        assert bank.concerns_for("open") == ["sync", "auth", "audit"]
+
+    def test_set_order_permutes(self, bank):
+        for concern in ("sync", "auth"):
+            bank.register("open", concern, NullAspect())
+        bank.set_order("open", ["auth", "sync"])
+        assert bank.concerns_for("open") == ["auth", "sync"]
+        assert [c for c, _ in bank.aspects_for("open")] == ["auth", "sync"]
+
+    def test_set_order_requires_permutation(self, bank):
+        bank.register("open", "sync", NullAspect())
+        with pytest.raises(RegistrationError):
+            bank.set_order("open", ["sync", "extra"])
+        with pytest.raises(RegistrationError):
+            bank.set_order("open", [])
+
+    def test_unregister_removes_from_order(self, bank):
+        for concern in ("a", "b", "c"):
+            bank.register("m", concern, NullAspect())
+        bank.unregister("m", "b")
+        assert bank.concerns_for("m") == ["a", "c"]
+
+    def test_empty_method_disappears(self, bank):
+        bank.register("m", "a", NullAspect())
+        bank.unregister("m", "a")
+        assert bank.methods() == []
+        assert bank.concerns_for("m") == []

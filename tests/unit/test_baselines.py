@@ -1,0 +1,115 @@
+"""Unit tests for the baseline implementations."""
+
+import threading
+
+import pytest
+
+from repro.baselines import (
+    MonitorBoundedBuffer,
+    QueueBoundedBuffer,
+    TangledAccessDenied,
+    TangledTicketServer,
+)
+from repro.concurrency import Ticket
+
+
+class TestMonitorBuffer:
+    def test_fifo(self):
+        buffer = MonitorBoundedBuffer(4)
+        for value in range(4):
+            buffer.put(value)
+        assert [buffer.take() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_put_timeout_when_full(self):
+        buffer = MonitorBoundedBuffer(1)
+        buffer.put("x")
+        with pytest.raises(TimeoutError):
+            buffer.put("y", timeout=0.01)
+
+    def test_take_timeout_when_empty(self):
+        with pytest.raises(TimeoutError):
+            MonitorBoundedBuffer(1).take(timeout=0.01)
+
+    def test_blocking_handoff_between_threads(self, threaded):
+        buffer = MonitorBoundedBuffer(1)
+        got = []
+
+        def consumer():
+            for _ in range(20):
+                got.append(buffer.take(timeout=5))
+
+        def producer():
+            for value in range(20):
+                buffer.put(value, timeout=5)
+
+        threaded(consumer, producer)
+        assert got == list(range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MonitorBoundedBuffer(0)
+
+
+class TestQueueBuffer:
+    def test_roundtrip(self):
+        buffer = QueueBoundedBuffer(2)
+        buffer.put("a")
+        assert buffer.take() == "a"
+
+    def test_take_timeout(self):
+        with pytest.raises(TimeoutError):
+            QueueBoundedBuffer(1).take(timeout=0.01)
+
+    def test_len(self):
+        buffer = QueueBoundedBuffer(4)
+        buffer.put(1)
+        assert len(buffer) == 1
+
+
+class TestTangledTicketServer:
+    def test_basic_flow_without_optional_concerns(self):
+        server = TangledTicketServer(capacity=2)
+        server.open(Ticket(summary="a"))
+        ticket = server.assign("alice")
+        assert ticket.assignee == "alice"
+        assert server.pending == 0
+
+    def test_authentication_tangled_in(self):
+        server = TangledTicketServer(capacity=2, authenticate=True)
+        with pytest.raises(TangledAccessDenied):
+            server.open(Ticket(summary="x"), caller="nobody")
+        server.login("alice", "pw")
+        server.open(Ticket(summary="x"), caller="alice")
+        assert server.pending == 1
+
+    def test_audit_records_aborts_and_oks(self):
+        server = TangledTicketServer(capacity=2, authenticate=True,
+                                     audit=True)
+        with pytest.raises(TangledAccessDenied):
+            server.open(Ticket(summary="x"), caller="ghost")
+        server.login("alice", "pw")
+        server.open(Ticket(summary="x"), caller="alice")
+        outcomes = [entry["outcome"] for entry in server.audit_trail]
+        assert outcomes == ["aborted", "ok"]
+
+    def test_timing_collected(self):
+        server = TangledTicketServer(capacity=2, timing=True)
+        server.open(Ticket(summary="x"))
+        server.assign()
+        assert len(server.latencies["open"]) == 1
+        assert len(server.latencies["assign"]) == 1
+
+    def test_blocking_producer_consumer(self, threaded):
+        server = TangledTicketServer(capacity=1)
+        got = []
+
+        def producer():
+            for index in range(10):
+                server.open(Ticket(summary=str(index)))
+
+        def consumer():
+            for _ in range(10):
+                got.append(server.assign().summary)
+
+        threaded(producer, consumer)
+        assert got == [str(i) for i in range(10)]

@@ -1,0 +1,120 @@
+"""Unit tests for the sequential bounded buffer and ticket store."""
+
+import pytest
+
+from repro.concurrency.buffer import (
+    BoundedBuffer,
+    BufferEmpty,
+    BufferFull,
+    Ticket,
+    TicketStore,
+)
+
+
+class TestBoundedBuffer:
+    def test_fifo_order(self):
+        buffer = BoundedBuffer(3)
+        for value in (1, 2, 3):
+            buffer.put(value)
+        assert [buffer.take() for _ in range(3)] == [1, 2, 3]
+
+    def test_full_raises(self):
+        buffer = BoundedBuffer(1)
+        buffer.put("x")
+        with pytest.raises(BufferFull):
+            buffer.put("y")
+
+    def test_empty_raises(self):
+        with pytest.raises(BufferEmpty):
+            BoundedBuffer(1).take()
+
+    def test_wraparound(self):
+        buffer = BoundedBuffer(2)
+        for round_ in range(5):
+            buffer.put(round_)
+            assert buffer.take() == round_
+        assert len(buffer) == 0
+        assert buffer.total_put == 5
+        assert buffer.total_taken == 5
+
+    def test_peek_does_not_remove(self):
+        buffer = BoundedBuffer(2)
+        buffer.put("a")
+        assert buffer.peek() == "a"
+        assert len(buffer) == 1
+
+    def test_peek_empty_raises(self):
+        with pytest.raises(BufferEmpty):
+            BoundedBuffer(1).peek()
+
+    def test_free_and_len(self):
+        buffer = BoundedBuffer(3)
+        buffer.put(1)
+        assert len(buffer) == 1
+        assert buffer.free == 2
+
+    def test_snapshot_oldest_first(self):
+        buffer = BoundedBuffer(3)
+        buffer.put(1)
+        buffer.put(2)
+        buffer.take()
+        buffer.put(3)
+        buffer.put(4)
+        assert buffer.snapshot() == [2, 3, 4]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedBuffer(0)
+
+
+class TestTicket:
+    def test_ids_unique(self):
+        a, b = Ticket(summary="a"), Ticket(summary="b")
+        assert a.ticket_id != b.ticket_id
+
+    def test_assign_and_resolve(self):
+        ticket = Ticket(summary="x")
+        ticket.assign_to("alice")
+        ticket.resolve()
+        assert ticket.assignee == "alice"
+        assert ticket.resolved
+
+
+class TestTicketStore:
+    def test_open_assign_roundtrip(self):
+        store = TicketStore(capacity=2)
+        ticket = Ticket(summary="vpn down", reporter="bob")
+        ticket_id = store.open(ticket)
+        assert store.pending == 1
+        assigned = store.assign("alice")
+        assert assigned.ticket_id == ticket_id
+        assert assigned.assignee == "alice"
+        assert store.pending == 0
+
+    def test_fifo_assignment(self):
+        store = TicketStore(capacity=3)
+        ids = [store.open(Ticket(summary=str(i))) for i in range(3)]
+        assert [store.assign().ticket_id for _ in range(3)] == ids
+
+    def test_open_beyond_capacity_raises(self):
+        store = TicketStore(capacity=1)
+        store.open(Ticket(summary="a"))
+        with pytest.raises(BufferFull):
+            store.open(Ticket(summary="b"))
+
+    def test_assign_empty_raises(self):
+        with pytest.raises(BufferEmpty):
+            TicketStore(capacity=1).assign()
+
+    def test_history_lists(self):
+        store = TicketStore(capacity=2)
+        first = store.open(Ticket(summary="a"))
+        store.assign()
+        assert store.opened == [first]
+        assert store.assigned == [first]
+
+    def test_no_items_paper_alias(self):
+        store = TicketStore(capacity=2)
+        assert store.no_items == 0
+        store.open(Ticket(summary="a"))
+        assert store.no_items == 1

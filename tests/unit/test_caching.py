@@ -1,0 +1,105 @@
+"""Unit tests for the caching aspect (skip-invocation extension)."""
+
+import pytest
+
+from repro.aspects.caching import CachingAspect, default_key
+from repro.core import AspectModerator, ComponentProxy, JoinPoint
+
+
+class Expensive:
+    def __init__(self):
+        self.calls = 0
+
+    def compute(self, x):
+        self.calls += 1
+        return x * x
+
+    def lookup(self, key):
+        self.calls += 1
+        return f"value-{key}"
+
+
+@pytest.fixture
+def rig():
+    component = Expensive()
+    moderator = AspectModerator()
+    cache = CachingAspect(max_entries=4)
+    moderator.register_aspect("compute", "cache", cache)
+    return component, ComponentProxy(component, moderator), cache
+
+
+class TestCachingAspect:
+    def test_hit_skips_method_body(self, rig):
+        component, proxy, cache = rig
+        assert proxy.compute(3) == 9
+        assert proxy.compute(3) == 9
+        assert component.calls == 1
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_distinct_args_distinct_entries(self, rig):
+        component, proxy, cache = rig
+        assert proxy.compute(2) == 4
+        assert proxy.compute(3) == 9
+        assert component.calls == 2
+
+    def test_lru_eviction(self, rig):
+        component, proxy, cache = rig
+        for value in range(5):  # max_entries=4 -> evicts compute(0)
+            proxy.compute(value)
+        proxy.compute(0)
+        assert component.calls == 6  # recomputed after eviction
+
+    def test_exception_not_cached(self):
+        class Flaky:
+            def __init__(self):
+                self.calls = 0
+
+            def compute(self, x):
+                self.calls += 1
+                if self.calls == 1:
+                    raise RuntimeError("first call fails")
+                return x
+
+        moderator = AspectModerator()
+        moderator.register_aspect("compute", "cache", CachingAspect())
+        flaky = Flaky()
+        proxy = ComponentProxy(flaky, moderator)
+        with pytest.raises(RuntimeError):
+            proxy.compute(1)
+        assert proxy.compute(1) == 1  # retried, not served from cache
+
+    def test_unhashable_args_bypass_cache(self):
+        component = Expensive()
+        moderator = AspectModerator()
+        cache = CachingAspect()
+        moderator.register_aspect("lookup", "cache", cache)
+        proxy = ComponentProxy(component, moderator)
+        proxy.lookup(("ok",))          # hashable: cached
+        proxy.lookup(("ok",))
+        assert component.calls == 1
+        proxy.lookup(["unhashable"])   # list key: bypasses cache
+        proxy.lookup(["unhashable"])
+        assert component.calls == 3
+
+    def test_invalidate_all_and_by_method(self, rig):
+        component, proxy, cache = rig
+        proxy.compute(1)
+        assert cache.invalidate("compute") == 1
+        proxy.compute(1)
+        assert component.calls == 2
+        proxy.compute(2)
+        assert cache.invalidate() == 2
+        assert cache.invalidate() == 0
+
+    def test_default_key_includes_method_args_kwargs(self):
+        a = default_key(JoinPoint(method_id="m", args=(1,),
+                                  kwargs={"k": 2}))
+        b = default_key(JoinPoint(method_id="m", args=(1,),
+                                  kwargs={"k": 3}))
+        assert a != b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CachingAspect(max_entries=0)

@@ -1,0 +1,119 @@
+"""Unit tests for the circuit-breaker aspect."""
+
+import pytest
+
+from repro.aspects.circuit_breaker import BreakerState, CircuitBreakerAspect
+from repro.core import AspectModerator, ComponentProxy, MethodAborted
+from repro.sim.clock import VirtualClock
+
+
+class Service:
+    def __init__(self):
+        self.healthy = False
+        self.calls = 0
+
+    def act(self):
+        self.calls += 1
+        if not self.healthy:
+            raise ConnectionError("down")
+        return "ok"
+
+
+@pytest.fixture
+def rig():
+    clock = VirtualClock()
+    breaker = CircuitBreakerAspect(
+        failure_threshold=3, reset_timeout=10.0, clock=clock,
+    )
+    moderator = AspectModerator()
+    moderator.register_aspect("act", "breaker", breaker)
+    service = Service()
+    proxy = ComponentProxy(service, moderator)
+    return clock, breaker, service, proxy
+
+
+def fail_times(proxy, n):
+    for _ in range(n):
+        with pytest.raises(ConnectionError):
+            proxy.act()
+
+
+class TestBreakerLifecycle:
+    def test_trips_after_threshold(self, rig):
+        clock, breaker, service, proxy = rig
+        fail_times(proxy, 3)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_open_breaker_sheds_load(self, rig):
+        clock, breaker, service, proxy = rig
+        fail_times(proxy, 3)
+        calls_before = service.calls
+        with pytest.raises(MethodAborted):
+            proxy.act()
+        assert service.calls == calls_before  # method never ran
+        assert breaker.rejected == 1
+
+    def test_half_open_probe_success_closes(self, rig):
+        clock, breaker, service, proxy = rig
+        fail_times(proxy, 3)
+        clock.advance_by(11.0)
+        service.healthy = True
+        assert proxy.act() == "ok"
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_probe_failure_reopens(self, rig):
+        clock, breaker, service, proxy = rig
+        fail_times(proxy, 3)
+        clock.advance_by(11.0)
+        with pytest.raises(ConnectionError):
+            proxy.act()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+
+    def test_success_resets_consecutive_failures(self, rig):
+        clock, breaker, service, proxy = rig
+        fail_times(proxy, 2)
+        service.healthy = True
+        proxy.act()
+        service.healthy = False
+        fail_times(proxy, 2)
+        assert breaker.state is BreakerState.CLOSED  # never hit 3 in a row
+
+    def test_force_open_and_close(self, rig):
+        clock, breaker, service, proxy = rig
+        breaker.force_open()
+        with pytest.raises(MethodAborted):
+            proxy.act()
+        breaker.force_close()
+        service.healthy = True
+        assert proxy.act() == "ok"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreakerAspect(failure_threshold=0)
+
+
+class TestHalfOpenProbeLimit:
+    def test_probe_budget_bounds_concurrency(self):
+        clock = VirtualClock()
+        breaker = CircuitBreakerAspect(
+            failure_threshold=1, reset_timeout=1.0,
+            half_open_probes=1, clock=clock,
+        )
+        from repro.core import JoinPoint
+        from repro.core.results import ABORT, RESUME
+        # trip
+        jp = JoinPoint(method_id="act")
+        breaker.precondition(jp)
+        jp.exception = ConnectionError()
+        breaker.postaction(jp)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance_by(2.0)
+        first = JoinPoint(method_id="act")
+        assert breaker.precondition(first) is RESUME  # the probe
+        second = JoinPoint(method_id="act")
+        assert breaker.precondition(second) is ABORT  # budget exhausted
+        # probe succeeds -> closed
+        breaker.postaction(first)
+        assert breaker.state is BreakerState.CLOSED

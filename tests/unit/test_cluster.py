@@ -1,0 +1,127 @@
+"""Unit tests for Cluster: the Figure 1 architecture as one object."""
+
+import pytest
+
+from repro.core import Cluster, MethodAborted, UnknownAspectError
+from repro.core.aspect import NullAspect, FunctionAspect
+from repro.core.factory import RegistryAspectFactory
+from repro.core.results import ABORT
+
+
+class Store:
+    def __init__(self):
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+        return len(self.items)
+
+    def take(self):
+        return self.items.pop(0)
+
+
+def make_factory():
+    factory = RegistryAspectFactory()
+    factory.register("put", "sync", lambda c: NullAspect())
+    factory.register("take", "sync", lambda c: NullAspect())
+    return factory
+
+
+class TestClusterInitialization:
+    def test_bindings_create_and_register(self):
+        cluster = Cluster(
+            component=Store(),
+            factory=make_factory(),
+            bindings={"put": ["sync"], "take": ["sync"]},
+        )
+        assert cluster.bank.contains("put", "sync")
+        assert cluster.bank.contains("take", "sync")
+        assert cluster.bindings == {"put": ["sync"], "take": ["sync"]}
+
+    def test_proxy_guards_bound_methods(self):
+        cluster = Cluster(
+            component=Store(),
+            factory=make_factory(),
+            bindings={"put": ["sync"]},
+        )
+        cluster.proxy.put("x")
+        assert cluster.moderator.stats.preactivations == 1
+        cluster.proxy.take()  # unbound -> passthrough
+        assert cluster.moderator.stats.preactivations == 1
+
+    def test_bind_unknown_cell_raises(self):
+        cluster = Cluster(component=Store(), factory=make_factory())
+        with pytest.raises(UnknownAspectError):
+            cluster.bind("put", "mystery")
+
+    def test_cluster_without_factory_cannot_bind(self):
+        cluster = Cluster(component=Store())
+        with pytest.raises(UnknownAspectError):
+            cluster.bind("put", "sync")
+
+
+class TestClusterAdaptability:
+    def test_extend_adds_concern_without_touching_existing(self):
+        cluster = Cluster(
+            component=Store(),
+            factory=make_factory(),
+            bindings={"put": ["sync"]},
+        )
+        original_sync = cluster.bank.lookup("put", "sync")
+        extension = RegistryAspectFactory()
+        extension.register("put", "guard", lambda c: FunctionAspect(
+            concern="guard", precondition=lambda jp: ABORT,
+        ))
+        cluster.extend(extension, bindings={"put": ["guard"]})
+        # existing aspect object untouched
+        assert cluster.bank.lookup("put", "sync") is original_sync
+        # new concern is live immediately
+        with pytest.raises(MethodAborted):
+            cluster.proxy.put("x")
+
+    def test_unbind_removes_concern(self):
+        cluster = Cluster(
+            component=Store(),
+            factory=make_factory(),
+            bindings={"put": ["sync"]},
+        )
+        cluster.unbind("put", "sync")
+        assert not cluster.bank.contains("put", "sync")
+        assert cluster.bindings == {"put": []}
+        cluster.proxy.put("x")  # now unguarded
+        assert cluster.moderator.stats.preactivations == 0
+
+
+class TestClusterIntrospection:
+    def test_architecture_names_all_roles(self):
+        cluster = Cluster(
+            component=Store(),
+            factory=make_factory(),
+            bindings={"put": ["sync"]},
+        )
+        arch = cluster.architecture()
+        assert arch["functional_component"] == "Store"
+        assert arch["proxy"] == "ComponentProxy"
+        assert arch["aspect_moderator"] == "AspectModerator"
+        assert "RegistryAspectFactory" in arch["aspect_factory"]
+        assert "put" in arch["aspect_bank"]
+
+    def test_trace_subscribes_tracer(self):
+        cluster = Cluster(
+            component=Store(),
+            factory=make_factory(),
+            bindings={"put": ["sync"]},
+        )
+        tracer, unsubscribe = cluster.trace()
+        cluster.proxy.put("x")
+        assert tracer.count("preactivation") == 1
+        unsubscribe()
+        cluster.proxy.put("y")
+        assert tracer.count("preactivation") == 1
+
+    def test_repr(self):
+        cluster = Cluster(
+            component=Store(), factory=make_factory(),
+            bindings={"put": ["sync"]},
+        )
+        assert "Store" in repr(cluster)

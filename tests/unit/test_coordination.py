@@ -1,0 +1,159 @@
+"""Unit tests for coordination aspects."""
+
+import pytest
+
+from repro.aspects.coordination import (
+    DependencyAspect,
+    PhaseAspect,
+    QuorumAspect,
+    TurnTakingAspect,
+)
+from repro.core import AspectModerator, JoinPoint
+from repro.core.results import ABORT, BLOCK, RESUME
+
+
+def jp(method="m", caller=None):
+    return JoinPoint(method_id=method, caller=caller)
+
+
+class TestTurnTaking:
+    def make(self):
+        return TurnTakingAspect(first={"ping"}, second={"pong"})
+
+    def test_first_group_goes_first(self):
+        turns = self.make()
+        assert turns.precondition(jp("pong")) is BLOCK
+        assert turns.precondition(jp("ping")) is RESUME
+
+    def test_alternation(self):
+        turns = self.make()
+        ping = jp("ping")
+        turns.precondition(ping)
+        turns.postaction(ping)
+        assert turns.precondition(jp("ping")) is BLOCK
+        pong = jp("pong")
+        assert turns.precondition(pong) is RESUME
+        turns.postaction(pong)
+        assert turns.precondition(jp("ping")) is RESUME
+        assert turns.transitions == 2
+
+    def test_failed_body_does_not_flip_turn(self):
+        turns = self.make()
+        ping = jp("ping")
+        turns.precondition(ping)
+        ping.exception = RuntimeError()
+        turns.postaction(ping)
+        assert turns.precondition(jp("ping")) is RESUME
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            TurnTakingAspect(first={"x"}, second={"x"})
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(LookupError):
+            self.make().precondition(jp("other"))
+
+
+class TestPhaseAspect:
+    def make(self):
+        return PhaseAspect(
+            schedule={"reserve": {"booking"}, "refund": {"closed"}},
+            initial="booking",
+        )
+
+    def test_method_enabled_in_phase(self):
+        phase = self.make()
+        assert phase.precondition(jp("reserve")) is RESUME
+        assert phase.precondition(jp("refund")) is BLOCK
+
+    def test_transition_flips_enablement(self):
+        phase = self.make()
+        phase.transition("closed")
+        assert phase.precondition(jp("reserve")) is BLOCK
+        assert phase.precondition(jp("refund")) is RESUME
+        assert phase.history == ["booking", "closed"]
+
+    def test_transition_notifies_moderator(self):
+        moderator = AspectModerator()
+        notified = []
+        original = moderator.notify
+        moderator.notify = lambda *a, **k: (notified.append(1),
+                                            original(*a, **k))
+        phase = self.make()
+        phase.transition("closed", moderator)
+        assert notified == [1]
+
+    def test_unknown_method_policy(self):
+        strict = self.make()
+        assert strict.precondition(jp("mystery")) is ABORT
+        lenient = PhaseAspect(schedule={}, initial="x", abort_unknown=False)
+        assert lenient.precondition(jp("mystery")) is RESUME
+
+
+class TestQuorumAspect:
+    def test_quorum_of_two_distinct_callers(self):
+        quorum = QuorumAspect(quorum=2)
+        a = jp(caller="alice")
+        assert quorum.precondition(a) is BLOCK
+        b = jp(caller="bob")
+        assert quorum.precondition(b) is RESUME  # quorum reached
+        assert quorum.precondition(a) is RESUME  # released member
+        assert quorum.rounds_completed == 1
+
+    def test_same_caller_does_not_fill_quorum(self):
+        quorum = QuorumAspect(quorum=2)
+        first = jp(caller="alice")
+        second = jp(caller="alice")
+        assert quorum.precondition(first) is BLOCK
+        assert quorum.precondition(second) is BLOCK
+        assert len(quorum.requesters) == 1
+
+    def test_abort_removes_requester(self):
+        quorum = QuorumAspect(quorum=2)
+        a = jp(caller="alice")
+        quorum.precondition(a)
+        quorum.on_abort(a)
+        assert len(quorum.requesters) == 0
+
+    def test_rounds_reset(self):
+        quorum = QuorumAspect(quorum=2)
+        a, b = jp(caller="a"), jp(caller="b")
+        quorum.precondition(a)
+        quorum.precondition(b)
+        quorum.precondition(a)
+        # next round starts empty
+        c = jp(caller="c")
+        assert quorum.precondition(c) is BLOCK
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QuorumAspect(quorum=0)
+
+
+class TestDependencyAspect:
+    def test_dependent_blocks_until_prerequisite_completes(self):
+        depends = DependencyAspect(requires={"serve": {"init"}})
+        assert depends.precondition(jp("serve")) is BLOCK
+        init = jp("init")
+        assert depends.precondition(init) is RESUME
+        depends.postaction(init)
+        assert depends.precondition(jp("serve")) is RESUME
+
+    def test_failed_prerequisite_does_not_count(self):
+        depends = DependencyAspect(requires={"serve": {"init"}})
+        init = jp("init")
+        depends.precondition(init)
+        init.exception = RuntimeError()
+        depends.postaction(init)
+        assert depends.precondition(jp("serve")) is BLOCK
+
+    def test_multiple_prerequisites(self):
+        depends = DependencyAspect(requires={"go": {"a", "b"}})
+        a = jp("a")
+        depends.precondition(a)
+        depends.postaction(a)
+        assert depends.precondition(jp("go")) is BLOCK
+        b = jp("b")
+        depends.precondition(b)
+        depends.postaction(b)
+        assert depends.precondition(jp("go")) is RESUME

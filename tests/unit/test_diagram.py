@@ -1,0 +1,75 @@
+"""Unit tests for the architecture-diagram renderers."""
+
+from repro.analysis.diagram import bank_to_table, cluster_to_dot
+from repro.apps import build_ticketing_cluster, make_session_manager
+from repro.core import Cluster
+
+
+class TestClusterToDot:
+    def test_contains_all_figure1_roles(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        dot = cluster_to_dot(cluster, name="fig1")
+        assert dot.startswith("digraph fig1 {")
+        assert "TicketStore" in dot
+        assert "ComponentProxy" in dot
+        assert "AspectModerator" in dot
+        assert "pre/post-activation" in dot
+
+    def test_one_node_per_aspect_instance(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        dot = cluster_to_dot(cluster)
+        # two distinct sync aspects -> aspect0 and aspect1 exist
+        assert "aspect0 [" in dot
+        assert "aspect1 [" in dot
+        assert "aspect2 [" not in dot
+
+    def test_bank_cells_become_labelled_edges(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        dot = cluster_to_dot(cluster)
+        assert "open x sync" in dot
+        assert "assign x sync" in dot
+
+    def test_extension_adds_factory_nodes(self):
+        sessions = make_session_manager({"a": "pw"})
+        cluster = build_ticketing_cluster(capacity=4, sessions=sessions)
+        dot = cluster_to_dot(cluster)
+        assert "factory0" in dot
+        assert "factory1" in dot  # the extension factory
+
+    def test_dot_is_balanced(self):
+        cluster = build_ticketing_cluster(capacity=4)
+        dot = cluster_to_dot(cluster)
+        assert dot.count("{") == dot.count("}")
+
+
+class TestBankToTable:
+    def test_methods_rows_concerns_columns(self):
+        sessions = make_session_manager({"a": "pw"})
+        cluster = build_ticketing_cluster(capacity=4, sessions=sessions)
+        table = bank_to_table(cluster)
+        lines = table.splitlines()
+        assert "sync" in lines[0]
+        assert "authenticate" in lines[0]
+        assert any(line.startswith("open") for line in lines[1:])
+        assert any(line.startswith("assign") for line in lines[1:])
+
+    def test_missing_cells_rendered_as_dash(self):
+        class Thing:
+            def act(self):
+                return 1
+
+            def other(self):
+                return 2
+
+        from repro.core import NullAspect
+        cluster = Cluster(component=Thing())
+        cluster.moderator.register_aspect("act", "sync", NullAspect())
+        cluster.moderator.register_aspect("other", "audit", NullAspect())
+        table = bank_to_table(cluster)
+        assert "-" in table
+
+    def test_empty_bank(self):
+        class Thing:
+            pass
+
+        assert bank_to_table(Cluster(component=Thing())) == "(empty bank)"

@@ -1,0 +1,84 @@
+"""Unit tests for messages and the wire-safety contract."""
+
+import pytest
+
+from repro.dist.message import (
+    Message,
+    WireFormatError,
+    check_wire_safe,
+    error_reply,
+    reply,
+    request,
+)
+
+
+class TestWireSafety:
+    def test_scalars_are_safe(self):
+        for value in (None, True, 1, 2.5, "s", b"b"):
+            assert check_wire_safe(value)
+
+    def test_containers_of_safe_values(self):
+        assert check_wire_safe([1, 2, (3, "x")])
+        assert check_wire_safe({"k": [1, {"nested": None}]})
+
+    def test_objects_rejected(self):
+        assert not check_wire_safe(object())
+        assert not check_wire_safe({"k": object()})
+
+    def test_non_string_dict_keys_rejected(self):
+        assert not check_wire_safe({1: "x"})
+
+    def test_depth_bound(self):
+        value = "leaf"
+        for _ in range(20):
+            value = [value]
+        assert not check_wire_safe(value)
+
+
+class TestMessage:
+    def test_unsafe_payload_rejected_at_construction(self):
+        with pytest.raises(WireFormatError):
+            Message(source="a", dest="b", kind="event",
+                    payload={"obj": object()})
+
+    def test_ids_unique(self):
+        a = Message(source="a", dest="b", kind="event")
+        b = Message(source="a", dest="b", kind="event")
+        assert a.msg_id != b.msg_id
+
+    def test_copy_for_delivery_is_deep(self):
+        original = Message(source="a", dest="b", kind="event",
+                           payload={"items": [1, 2]})
+        delivered = original.copy_for_delivery()
+        assert delivered.payload == original.payload
+        assert delivered.payload is not original.payload
+        assert delivered.payload["items"] is not original.payload["items"]
+        assert delivered.msg_id == original.msg_id
+
+
+class TestBuilders:
+    def test_request_shape(self):
+        message = request("client", "server", "tickets", "open",
+                          args=("x",), kwargs={"severity": 2},
+                          caller="alice")
+        assert message.kind == "request"
+        assert message.payload["service"] == "tickets"
+        assert message.payload["method"] == "open"
+        assert message.payload["args"] == ["x"]
+        assert message.payload["kwargs"] == {"severity": 2}
+        assert message.payload["caller"] == "alice"
+
+    def test_reply_routes_back(self):
+        req = request("client", "server", "s", "m")
+        rep = reply(req, 42)
+        assert rep.source == "server"
+        assert rep.dest == "client"
+        assert rep.reply_to == req.msg_id
+        assert rep.payload["result"] == 42
+
+    def test_error_reply_carries_type_and_text(self):
+        req = request("client", "server", "s", "m")
+        rep = error_reply(req, ValueError("broken"))
+        assert rep.kind == "error"
+        assert rep.payload["error_type"] == "ValueError"
+        assert "broken" in rep.payload["error"]

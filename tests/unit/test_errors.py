@@ -1,0 +1,73 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    ActivationTimeout,
+    AuthenticationError,
+    FrameworkError,
+    MethodAborted,
+    NameNotFound,
+    NetworkError,
+    NodeUnreachable,
+    RegistrationError,
+    SimulationError,
+    UnknownAspectError,
+    WeavingError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_framework_error(self):
+        for exc in (
+            MethodAborted("m"),
+            RegistrationError("r"),
+            UnknownAspectError("m", "c"),
+            WeavingError("w"),
+            ActivationTimeout("m", 1.0),
+            AuthenticationError("a"),
+            NodeUnreachable("n"),
+            NameNotFound("x"),
+            SimulationError("s"),
+        ):
+            assert isinstance(exc, FrameworkError)
+
+    def test_dual_inheritance_for_stdlib_compatibility(self):
+        assert isinstance(UnknownAspectError("m", "c"), KeyError)
+        assert isinstance(NameNotFound("x"), KeyError)
+        assert isinstance(ActivationTimeout("m", 1.0), TimeoutError)
+        assert isinstance(NodeUnreachable("n"), NetworkError)
+
+
+class TestMethodAborted:
+    def test_carries_method_and_concern(self):
+        exc = MethodAborted("open", concern="auth", reason="no session")
+        assert exc.method_id == "open"
+        assert exc.concern == "auth"
+        assert "open" in str(exc)
+        assert "auth" in str(exc)
+        assert "no session" in str(exc)
+
+    def test_minimal_form(self):
+        exc = MethodAborted("open")
+        assert exc.concern is None
+        assert "open" in str(exc)
+
+
+class TestMessages:
+    def test_unknown_aspect_names_the_cell(self):
+        exc = UnknownAspectError("open", "sync")
+        assert "open" in str(exc)
+        assert "sync" in str(exc)
+        assert exc.method_id == "open"
+        assert exc.concern == "sync"
+
+    def test_activation_timeout_reports_duration(self):
+        exc = ActivationTimeout("open", 1.5)
+        assert "1.500" in str(exc)
+        assert exc.timeout == 1.5
+
+    def test_node_unreachable_names_node(self):
+        exc = NodeUnreachable("dc1")
+        assert exc.node_id == "dc1"
+        assert "dc1" in str(exc)

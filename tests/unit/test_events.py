@@ -1,0 +1,91 @@
+"""Unit tests for the protocol event bus and tracer."""
+
+from repro.core.events import EventBus, TraceEvent, Tracer
+
+
+class TestEventBus:
+    def test_emit_without_listeners_is_noop(self):
+        bus = EventBus()
+        bus.emit("preactivation", "open")  # must not raise
+        assert not bus.has_listeners
+
+    def test_subscribe_and_receive(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe(received.append)
+        bus.emit("invoke", "open", detail="x", activation_id=7)
+        assert len(received) == 1
+        event = received[0]
+        assert event.kind == "invoke"
+        assert event.method_id == "open"
+        assert event.activation_id == 7
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        received = []
+        unsubscribe = bus.subscribe(received.append)
+        bus.emit("a")
+        unsubscribe()
+        bus.emit("b")
+        assert [e.kind for e in received] == ["a"]
+        unsubscribe()  # idempotent
+
+    def test_multiple_listeners_all_receive(self):
+        bus = EventBus()
+        first, second = [], []
+        bus.subscribe(first.append)
+        bus.subscribe(second.append)
+        bus.emit("x")
+        assert len(first) == len(second) == 1
+
+
+class TestTraceEvent:
+    def test_format_includes_fields(self):
+        event = TraceEvent(kind="precondition", method_id="open",
+                           concern="sync", detail="resume")
+        text = event.format()
+        assert "precondition" in text
+        assert "open" in text
+        assert "[sync]" in text
+        assert "resume" in text
+
+    def test_timestamps_monotonic(self):
+        a = TraceEvent(kind="a")
+        b = TraceEvent(kind="b")
+        assert b.timestamp >= a.timestamp
+
+
+class TestTracer:
+    def make_traced_bus(self):
+        bus = EventBus()
+        tracer = Tracer()
+        bus.subscribe(tracer)
+        return bus, tracer
+
+    def test_collects_in_order(self):
+        bus, tracer = self.make_traced_bus()
+        for kind in ("preactivation", "invoke", "postactivation"):
+            bus.emit(kind, "open")
+        assert tracer.kinds() == ["preactivation", "invoke", "postactivation"]
+
+    def test_filters_by_activation_and_method(self):
+        bus, tracer = self.make_traced_bus()
+        bus.emit("invoke", "open", activation_id=1)
+        bus.emit("invoke", "assign", activation_id=2)
+        assert len(tracer.for_activation(1)) == 1
+        assert len(tracer.for_method("assign")) == 1
+
+    def test_count_and_summary(self):
+        bus, tracer = self.make_traced_bus()
+        bus.emit("invoke", "open")
+        bus.emit("invoke", "open")
+        bus.emit("notify", "open")
+        assert tracer.count("invoke") == 2
+        assert tracer.summary() == {"invoke": 2, "notify": 1}
+
+    def test_render_and_clear(self):
+        bus, tracer = self.make_traced_bus()
+        bus.emit("invoke", "open")
+        assert "invoke open" in tracer.render()
+        tracer.clear()
+        assert tracer.events == []

@@ -1,0 +1,58 @@
+"""Unit tests for RemoteTicketFacade (the wire boundary of the app)."""
+
+import pytest
+
+from repro.apps import (
+    RemoteTicketFacade,
+    build_ticketing_cluster,
+    make_session_manager,
+)
+from repro.core import MethodAborted
+from repro.dist.message import check_wire_safe
+
+
+@pytest.fixture
+def facade():
+    cluster = build_ticketing_cluster(capacity=4)
+    return RemoteTicketFacade(cluster.proxy), cluster
+
+
+class TestFacade:
+    def test_open_returns_wire_safe_id(self, facade):
+        remote, cluster = facade
+        ticket_id = remote.open("printer on fire", reporter="bob",
+                                severity=1)
+        assert isinstance(ticket_id, int)
+        assert cluster.component.pending == 1
+
+    def test_assign_returns_wire_safe_dict(self, facade):
+        remote, cluster = facade
+        remote.open("vpn down")
+        result = remote.assign("alice")
+        assert check_wire_safe(result)
+        assert result["assignee"] == "alice"
+        assert result["summary"] == "vpn down"
+
+    def test_pending_reflects_component(self, facade):
+        remote, cluster = facade
+        assert remote.pending == 0
+        remote.open("x")
+        assert remote.pending == 1
+
+    def test_caller_routed_through_moderation(self):
+        sessions = make_session_manager({"alice": "pw"})
+        cluster = build_ticketing_cluster(capacity=4, sessions=sessions)
+        remote = RemoteTicketFacade(cluster.proxy)
+        with pytest.raises(MethodAborted):
+            remote.open("sneaky", caller="nobody")
+        token = sessions.login("alice", "pw")
+        assert remote.open("legit", caller=token)
+        assert remote.assign("alice", caller=token)["summary"] == "legit"
+
+    def test_facade_over_bare_component(self):
+        """The facade also wraps an unmoderated store (degenerate case)."""
+        from repro.concurrency import TicketStore
+
+        remote = RemoteTicketFacade(TicketStore(capacity=2))
+        remote.open("plain")
+        assert remote.assign()["summary"] == "plain"

@@ -1,0 +1,130 @@
+"""Unit tests for the Factory Method machinery (paper Figures 4-6, 15)."""
+
+import pytest
+
+from repro.core.aspect import Aspect, NullAspect
+from repro.core.errors import RegistrationError, UnknownAspectError
+from repro.core.factory import (
+    CompositeFactory,
+    RegistryAspectFactory,
+    factory_from_table,
+)
+
+
+class Tagged(NullAspect):
+    def __init__(self, component=None, tag=""):
+        self.component = component
+        self.tag = tag
+
+
+class TestRegistryFactory:
+    def test_create_builds_per_cell(self):
+        factory = RegistryAspectFactory()
+        factory.register("open", "sync", lambda c: Tagged(c, "open-sync"))
+        component = object()
+        aspect = factory.create("open", "sync", component)
+        assert isinstance(aspect, Tagged)
+        assert aspect.component is component
+        assert aspect.tag == "open-sync"
+
+    def test_unknown_cell_raises(self):
+        factory = RegistryAspectFactory()
+        with pytest.raises(UnknownAspectError):
+            factory.create("open", "sync", None)
+
+    def test_duplicate_registration_rejected_unless_replace(self):
+        factory = RegistryAspectFactory()
+        factory.register("open", "sync", Tagged)
+        with pytest.raises(RegistrationError):
+            factory.register("open", "sync", Tagged)
+        factory.register("open", "sync", Tagged, replace=True)
+
+    def test_non_callable_builder_rejected(self):
+        factory = RegistryAspectFactory()
+        with pytest.raises(RegistrationError):
+            factory.register("open", "sync", "not-callable")
+
+    def test_builder_must_return_aspect(self):
+        factory = RegistryAspectFactory()
+        factory.register("open", "sync", lambda c: "nope")
+        with pytest.raises(RegistrationError):
+            factory.create("open", "sync", None)
+
+    def test_fresh_instances_per_create_by_default(self):
+        factory = RegistryAspectFactory()
+        factory.register("open", "sync", lambda c: Tagged(c))
+        component = object()
+        first = factory.create("open", "sync", component)
+        second = factory.create("open", "sync", component)
+        assert first is not second
+
+    def test_shared_cell_caches_per_component(self):
+        factory = RegistryAspectFactory()
+        factory.register("open", "sync", lambda c: Tagged(c), shared=True)
+        component_a, component_b = object(), object()
+        assert factory.create("open", "sync", component_a) \
+            is factory.create("open", "sync", component_a)
+        assert factory.create("open", "sync", component_a) \
+            is not factory.create("open", "sync", component_b)
+
+    def test_register_shared_spans_methods(self):
+        factory = RegistryAspectFactory()
+        factory.register_shared(["put", "take"], "sync", lambda c: Tagged(c))
+        component = object()
+        put_aspect = factory.create("put", "sync", component)
+        take_aspect = factory.create("take", "sync", component)
+        assert put_aspect is take_aspect
+
+    def test_products_lists_cells(self):
+        factory = RegistryAspectFactory()
+        factory.register("open", "sync", Tagged)
+        factory.register("assign", "sync", Tagged)
+        assert set(factory.products()) == {
+            ("open", "sync"), ("assign", "sync"),
+        }
+        assert factory.can_create("open", "sync")
+        assert not factory.can_create("open", "auth")
+
+
+class TestCompositeFactory:
+    def test_extension_adds_products_without_editing_base(self):
+        base = RegistryAspectFactory()
+        base.register("open", "sync", lambda c: Tagged(c, "base"))
+        extension = RegistryAspectFactory()
+        extension.register("open", "auth", lambda c: Tagged(c, "ext"))
+        composite = CompositeFactory([base]).extend(extension)
+        assert composite.create("open", "sync", None).tag == "base"
+        assert composite.create("open", "auth", None).tag == "ext"
+
+    def test_most_derived_factory_wins(self):
+        base = RegistryAspectFactory()
+        base.register("open", "sync", lambda c: Tagged(c, "base"))
+        override = RegistryAspectFactory()
+        override.register("open", "sync", lambda c: Tagged(c, "override"))
+        composite = CompositeFactory([base, override])
+        assert composite.create("open", "sync", None).tag == "override"
+
+    def test_empty_composite_raises(self):
+        with pytest.raises(UnknownAspectError):
+            CompositeFactory().create("open", "sync", None)
+
+    def test_products_deduplicated_across_chain(self):
+        a = RegistryAspectFactory()
+        a.register("open", "sync", Tagged)
+        b = RegistryAspectFactory()
+        b.register("open", "sync", Tagged)
+        b.register("open", "auth", Tagged)
+        composite = CompositeFactory([a, b])
+        assert sorted(composite.products()) == [
+            ("open", "auth"), ("open", "sync"),
+        ]
+
+
+class TestFactoryFromTable:
+    def test_builds_registry(self):
+        factory = factory_from_table({
+            ("open", "sync"): lambda c: Tagged(c, "o"),
+            ("assign", "sync"): lambda c: Tagged(c, "a"),
+        })
+        assert factory.create("open", "sync", None).tag == "o"
+        assert factory.create("assign", "sync", None).tag == "a"

@@ -1,0 +1,117 @@
+"""Unit tests for heartbeat failure detection."""
+
+import time
+
+import pytest
+
+from repro.dist import Network
+from repro.dist.failure_detector import (
+    HeartbeatDetector,
+    HeartbeatEmitter,
+    detector_failover,
+)
+
+
+@pytest.fixture
+def world():
+    network = Network()
+    detector = HeartbeatDetector(
+        network, "monitor", suspect_after=0.12, dead_after=0.3,
+    )
+    emitters = []
+
+    def emit(node_id, interval=0.03):
+        network.register(node_id)
+        emitter = HeartbeatEmitter(
+            network, node_id, "monitor", interval=interval,
+        ).start()
+        emitters.append(emitter)
+        return emitter
+
+    yield network, detector, emit
+    for emitter in emitters:
+        emitter.stop()
+    detector.close()
+    network.close()
+
+
+class TestDetection:
+    def test_heartbeating_node_is_alive(self, world):
+        network, detector, emit = world
+        emit("node-1")
+        assert detector.wait_for_state("node-1", "alive", timeout=2.0)
+        assert detector.heartbeats_received >= 1
+
+    def test_silent_node_becomes_suspect_then_dead(self, world):
+        network, detector, emit = world
+        emitter = emit("node-1")
+        assert detector.wait_for_state("node-1", "alive", timeout=2.0)
+        emitter.stop()
+        assert detector.wait_for_state("node-1", "suspect", timeout=2.0)
+        assert detector.wait_for_state("node-1", "dead", timeout=2.0)
+
+    def test_recovered_node_returns_to_alive(self, world):
+        network, detector, emit = world
+        emitter = emit("node-1")
+        detector.wait_for_state("node-1", "alive", timeout=2.0)
+        emitter.stop()
+        detector.wait_for_state("node-1", "dead", timeout=2.0)
+        emitter2 = HeartbeatEmitter(
+            network, "node-1", "monitor", interval=0.03,
+        ).start()
+        try:
+            assert detector.wait_for_state("node-1", "alive", timeout=2.0)
+        finally:
+            emitter2.stop()
+
+    def test_crashed_node_detected_without_network_introspection(
+        self, world,
+    ):
+        """Detection from silence alone — no is_up() calls."""
+        network, detector, emit = world
+        emit("node-1")
+        detector.wait_for_state("node-1", "alive", timeout=2.0)
+        network.take_down("node-1")  # heartbeats now dropped in flight
+        assert detector.wait_for_state("node-1", "dead", timeout=2.0)
+
+    def test_unknown_and_watched_states(self, world):
+        network, detector, emit = world
+        assert detector.state_of("ghost") == "unknown"
+        detector.watch("pending-node")
+        assert detector.state_of("pending-node") == "alive"
+
+    def test_snapshot_lists_all_tracked(self, world):
+        network, detector, emit = world
+        emit("node-1")
+        emit("node-2")
+        detector.wait_for_state("node-1", "alive", timeout=2.0)
+        detector.wait_for_state("node-2", "alive", timeout=2.0)
+        snapshot = detector.snapshot()
+        assert set(snapshot) >= {"node-1", "node-2"}
+
+    def test_validation(self, world):
+        network, _detector, _emit = world
+        with pytest.raises(ValueError):
+            HeartbeatDetector(network, "m2", suspect_after=0.5,
+                              dead_after=0.4)
+
+
+class TestDetectorFailover:
+    def test_chooses_first_alive_candidate(self, world):
+        network, detector, emit = world
+        primary = emit("primary")
+        emit("backup")
+        detector.wait_for_state("primary", "alive", timeout=2.0)
+        detector.wait_for_state("backup", "alive", timeout=2.0)
+        choose = detector_failover(detector, ["primary", "backup"])
+        assert choose() == "primary"
+        primary.stop()
+        detector.wait_for_state("primary", "dead", timeout=2.0)
+        assert choose() == "backup"
+
+    def test_no_alive_candidate_returns_none(self, world):
+        network, detector, emit = world
+        detector.watch("only")
+        time.sleep(0.35)
+        choose = detector_failover(detector, ["only"])
+        assert choose() is None

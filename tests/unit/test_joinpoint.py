@@ -1,0 +1,70 @@
+"""Unit tests for JoinPoint."""
+
+import pytest
+
+from repro.core.joinpoint import JoinPoint
+from repro.core.results import Phase
+
+
+class TestJoinPoint:
+    def test_defaults(self):
+        jp = JoinPoint(method_id="open")
+        assert jp.method_id == "open"
+        assert jp.phase is Phase.PRE_ACTIVATION
+        assert jp.args == ()
+        assert jp.kwargs == {}
+        assert jp.caller is None
+        assert jp.context == {}
+
+    def test_activation_ids_are_unique_and_increasing(self):
+        first = JoinPoint(method_id="a")
+        second = JoinPoint(method_id="b")
+        assert second.activation_id > first.activation_id
+
+    def test_result_unset_raises(self):
+        jp = JoinPoint(method_id="open")
+        assert not jp.has_result
+        with pytest.raises(AttributeError):
+            _ = jp.result
+
+    def test_result_roundtrip_including_none(self):
+        jp = JoinPoint(method_id="open")
+        jp.result = None
+        assert jp.has_result
+        assert jp.result is None
+
+    def test_replace_result(self):
+        jp = JoinPoint(method_id="open")
+        jp.result = 1
+        jp.replace_result(2)
+        assert jp.result == 2
+
+    def test_exception_recording(self):
+        jp = JoinPoint(method_id="open")
+        assert jp.exception is None
+        error = ValueError("x")
+        jp.exception = error
+        assert jp.exception is error
+
+    def test_skip_invocation_sets_result_and_flag(self):
+        jp = JoinPoint(method_id="open")
+        assert not jp.invocation_skipped
+        jp.skip_invocation("cached")
+        assert jp.invocation_skipped
+        assert jp.result == "cached"
+
+    def test_describe_mentions_method_and_id(self):
+        jp = JoinPoint(method_id="open", args=(1, 2), kwargs={"k": 1})
+        text = jp.describe()
+        assert "open" in text
+        assert str(jp.activation_id) in text
+
+    def test_context_is_per_joinpoint(self):
+        a = JoinPoint(method_id="m")
+        b = JoinPoint(method_id="m")
+        a.context["x"] = 1
+        assert "x" not in b.context
+
+    def test_thread_name_recorded(self):
+        jp = JoinPoint(method_id="m")
+        assert jp.thread_name

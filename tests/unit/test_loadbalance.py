@@ -1,0 +1,126 @@
+"""Unit tests for load-balancing policies and the balancer."""
+
+import pytest
+
+from repro.dist import (
+    Client,
+    LeastLoaded,
+    LoadBalancer,
+    NameService,
+    Network,
+    Node,
+    RandomChoice,
+    RemoteError,
+    RoundRobin,
+    WeightedChoice,
+)
+from repro.dist.loadbalance import BalancingPolicy
+
+
+class Backend:
+    def __init__(self, tag):
+        self.tag = tag
+        self.calls = 0
+
+    def work(self):
+        self.calls += 1
+        return self.tag
+
+    def explode(self):
+        raise RuntimeError(f"app error on {self.tag}")
+
+
+@pytest.fixture
+def rig():
+    network = Network()
+    names = NameService()
+    nodes, backends = [], []
+    for index in range(3):
+        node = Node(f"node-{index}", network).start()
+        backend = Backend(f"backend-{index}")
+        node.export("svc", backend)
+        names.bind(f"svc-{index}", f"node-{index}", "svc")
+        nodes.append(node)
+        backends.append(backend)
+    client = Client("client", network, names, default_timeout=2.0)
+    yield network, names, nodes, backends, client
+    client.close()
+    for node in nodes:
+        node.stop()
+    network.close()
+
+
+BACKEND_NAMES = ["svc-0", "svc-1", "svc-2"]
+
+
+class TestPolicies:
+    def test_round_robin_cycles(self):
+        policy = RoundRobin()
+        picks = [policy.choose(BACKEND_NAMES) for _ in range(6)]
+        assert picks == BACKEND_NAMES * 2
+
+    def test_random_choice_seeded_reproducible(self):
+        a = [RandomChoice(seed=5).choose(BACKEND_NAMES) for _ in range(10)]
+        b = [RandomChoice(seed=5).choose(BACKEND_NAMES) for _ in range(10)]
+        # regenerate with fresh instances per draw is wrong; compare streams
+        first = RandomChoice(seed=5)
+        second = RandomChoice(seed=5)
+        assert [first.choose(BACKEND_NAMES) for _ in range(10)] == \
+            [second.choose(BACKEND_NAMES) for _ in range(10)]
+
+    def test_least_loaded_uses_probe(self):
+        loads = {"svc-0": 5.0, "svc-1": 1.0, "svc-2": 3.0}
+        policy = LeastLoaded(probe=loads.__getitem__)
+        assert policy.choose(BACKEND_NAMES) == "svc-1"
+
+    def test_weighted_respects_weights(self):
+        policy = WeightedChoice({"svc-0": 9.0, "svc-1": 1.0}, seed=3)
+        picks = [policy.choose(["svc-0", "svc-1"]) for _ in range(500)]
+        assert picks.count("svc-0") > 350
+
+    def test_weighted_validation(self):
+        with pytest.raises(ValueError):
+            WeightedChoice({})
+        with pytest.raises(ValueError):
+            WeightedChoice({"a": 0.0})
+
+
+class TestLoadBalancer:
+    def test_round_robin_distributes_evenly(self, rig):
+        network, names, nodes, backends, client = rig
+        balancer = LoadBalancer(client, BACKEND_NAMES, policy=RoundRobin())
+        for _ in range(9):
+            balancer.call("work")
+        assert balancer.distribution() == {
+            "svc-0": 3, "svc-1": 3, "svc-2": 3,
+        }
+        assert [backend.calls for backend in backends] == [3, 3, 3]
+
+    def test_attribute_dispatch(self, rig):
+        network, names, nodes, backends, client = rig
+        balancer = LoadBalancer(client, BACKEND_NAMES)
+        assert balancer.work() in {"backend-0", "backend-1", "backend-2"}
+
+    def test_failover_to_other_backend(self, rig):
+        network, names, nodes, backends, client = rig
+        network.take_down("node-0")
+        balancer = LoadBalancer(
+            client, BACKEND_NAMES, policy=RoundRobin(), retries=2,
+        )
+        client.default_timeout = 0.3
+        results = [balancer.call("work") for _ in range(3)]
+        assert all(r in {"backend-1", "backend-2"} for r in results)
+        assert balancer.failovers >= 1
+
+    def test_application_errors_do_not_fail_over(self, rig):
+        network, names, nodes, backends, client = rig
+        balancer = LoadBalancer(client, BACKEND_NAMES, policy=RoundRobin())
+        with pytest.raises(RemoteError):
+            balancer.call("explode")
+        # only the first backend was attempted
+        assert sum(backend.calls for backend in backends) == 0
+
+    def test_empty_backends_rejected(self, rig):
+        network, names, nodes, backends, client = rig
+        with pytest.raises(ValueError):
+            LoadBalancer(client, [])

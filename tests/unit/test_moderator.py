@@ -1,0 +1,305 @@
+"""Unit tests for the AspectModerator: the paper's Figure 11/17 machinery."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    ActivationTimeout,
+    AspectModerator,
+    FunctionAspect,
+    JoinPoint,
+    MethodAborted,
+)
+from repro.core.aspect import Aspect
+from repro.core.moderator import CHAIN_KEY
+from repro.core.results import ABORT, BLOCK, RESUME, AspectResult
+
+
+class Recorder(Aspect):
+    """Scripted aspect: returns queued results, records protocol calls."""
+
+    def __init__(self, concern, results=None):
+        self.concern = concern
+        self.results = list(results or [])
+        self.log = []
+
+    def precondition(self, jp):
+        self.log.append("pre")
+        if self.results:
+            return self.results.pop(0)
+        return RESUME
+
+    def postaction(self, jp):
+        self.log.append("post")
+
+    def on_abort(self, jp):
+        self.log.append("compensate")
+
+
+class TestPreActivation:
+    def test_no_aspects_means_resume(self, moderator):
+        assert moderator.preactivation("open") is RESUME
+
+    def test_all_resume(self, moderator):
+        a, b = Recorder("a"), Recorder("b")
+        moderator.register_aspect("open", "a", a)
+        moderator.register_aspect("open", "b", b)
+        jp = JoinPoint(method_id="open")
+        assert moderator.preactivation("open", jp) is RESUME
+        assert a.log == ["pre"]
+        assert b.log == ["pre"]
+        assert jp.context[CHAIN_KEY] == [("a", a), ("b", b)]
+
+    def test_abort_stops_chain(self, moderator):
+        a = Recorder("a")
+        b = Recorder("b", results=[ABORT])
+        c = Recorder("c")
+        for concern, aspect in (("a", a), ("b", b), ("c", c)):
+            moderator.register_aspect("open", concern, aspect)
+        jp = JoinPoint(method_id="open")
+        assert moderator.preactivation("open", jp) is ABORT
+        assert c.log == []  # never reached
+        assert jp.context["abort_concern"] == "b"
+
+    def test_abort_compensates_resumed_aspects_in_reverse(self, moderator):
+        order = []
+
+        def make(concern):
+            aspect = Recorder(concern)
+            original = aspect.on_abort
+            aspect.on_abort = lambda jp: (order.append(concern),
+                                          original(jp))
+            return aspect
+
+        a, b = make("a"), make("b")
+        killer = Recorder("k", results=[ABORT])
+        for concern, aspect in (("a", a), ("b", b), ("k", killer)):
+            moderator.register_aspect("open", concern, aspect)
+        moderator.preactivation("open", JoinPoint(method_id="open"))
+        assert order == ["b", "a"]
+        assert moderator.stats.compensations == 2
+
+    def test_stats_counted(self, moderator):
+        moderator.register_aspect("open", "a", Recorder("a"))
+        moderator.preactivation("open", JoinPoint(method_id="open"))
+        assert moderator.stats.preactivations == 1
+        assert moderator.stats.resumes == 1
+
+
+class TestBlockingAndNotify:
+    def test_block_then_notify_resumes(self, moderator, threaded):
+        gate = Recorder("gate", results=[BLOCK, RESUME])
+        moderator.register_aspect("open", "gate", gate)
+        results = {}
+
+        def caller():
+            results["result"] = moderator.preactivation(
+                "open", JoinPoint(method_id="open")
+            )
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while moderator.stats.blocks < 1:
+            assert time.monotonic() < deadline, "caller never blocked"
+            time.sleep(0.01)
+        moderator.notify("open")
+        thread.join(5)
+        assert results["result"] is RESUME
+        assert moderator.stats.waits == 1
+        assert moderator.stats.wakeups == 1
+
+    def test_postactivation_wakes_other_methods_queue(self, moderator):
+        gate = Recorder("gate", results=[BLOCK, RESUME])
+        moderator.register_aspect("take", "gate", gate)
+        moderator.register_aspect("put", "other", Recorder("other"))
+        results = {}
+
+        def consumer():
+            results["result"] = moderator.preactivation(
+                "take", JoinPoint(method_id="take")
+            )
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while moderator.stats.blocks < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        # completing a *put* activation must wake the blocked *take*
+        jp = JoinPoint(method_id="put")
+        assert moderator.preactivation("put", jp) is RESUME
+        moderator.postactivation("put", jp)
+        thread.join(5)
+        assert results["result"] is RESUME
+
+    def test_block_compensates_earlier_resumes_each_round(self, moderator):
+        first = Recorder("first")
+        gate = Recorder("gate", results=[BLOCK, RESUME])
+        moderator.register_aspect("open", "first", first)
+        moderator.register_aspect("open", "gate", gate)
+        done = {}
+
+        def caller():
+            done["r"] = moderator.preactivation(
+                "open", JoinPoint(method_id="open")
+            )
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while "compensate" not in first.log:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        moderator.notify()
+        thread.join(5)
+        assert done["r"] is RESUME
+        # first resumed twice (one per round), compensated once
+        assert first.log.count("pre") == 2
+        assert first.log.count("compensate") == 1
+
+    def test_timeout_raises(self, moderator):
+        moderator.register_aspect(
+            "open", "gate", FunctionAspect(precondition=lambda jp: BLOCK)
+        )
+        with pytest.raises(ActivationTimeout):
+            moderator.preactivation(
+                "open", JoinPoint(method_id="open"), timeout=0.05
+            )
+
+    def test_default_timeout_applies(self):
+        moderator = AspectModerator(default_timeout=0.05)
+        moderator.register_aspect(
+            "open", "gate", FunctionAspect(precondition=lambda jp: BLOCK)
+        )
+        with pytest.raises(ActivationTimeout):
+            moderator.preactivation("open", JoinPoint(method_id="open"))
+
+
+class TestPostActivation:
+    def test_postactions_run_in_reverse_order(self, moderator):
+        order = []
+
+        def make(concern):
+            return FunctionAspect(
+                concern=concern,
+                postaction=lambda jp: order.append(concern),
+            )
+
+        for concern in ("a", "b", "c"):
+            moderator.register_aspect("open", concern, make(concern))
+        jp = JoinPoint(method_id="open")
+        moderator.preactivation("open", jp)
+        moderator.postactivation("open", jp)
+        assert order == ["c", "b", "a"]
+
+    def test_postactivation_uses_recorded_chain(self, moderator):
+        """Aspects registered after preactivation don't run in post."""
+        ran = []
+        early = FunctionAspect(
+            concern="early", postaction=lambda jp: ran.append("early")
+        )
+        moderator.register_aspect("open", "early", early)
+        jp = JoinPoint(method_id="open")
+        moderator.preactivation("open", jp)
+        late = FunctionAspect(
+            concern="late", postaction=lambda jp: ran.append("late")
+        )
+        moderator.register_aspect("open", "late", late)
+        moderator.postactivation("open", jp)
+        assert ran == ["early"]
+
+    def test_postactivation_without_chain_falls_back_to_bank(self, moderator):
+        ran = []
+        moderator.register_aspect(
+            "open", "a",
+            FunctionAspect(concern="a", postaction=lambda jp: ran.append("a")),
+        )
+        moderator.postactivation("open", JoinPoint(method_id="open"))
+        assert ran == ["a"]
+
+
+class TestActivationContext:
+    def test_activation_brackets_body(self, moderator):
+        events = []
+        moderator.register_aspect("open", "a", FunctionAspect(
+            concern="a",
+            precondition=lambda jp: events.append("pre") or True,
+            postaction=lambda jp: events.append("post"),
+        ))
+        with moderator.activation("open"):
+            events.append("body")
+        assert events == ["pre", "body", "post"]
+
+    def test_activation_raises_method_aborted(self, moderator):
+        moderator.register_aspect("open", "a", FunctionAspect(
+            concern="a", precondition=lambda jp: ABORT,
+        ))
+        with pytest.raises(MethodAborted) as excinfo:
+            with moderator.activation("open"):
+                pytest.fail("body must not run")
+        assert excinfo.value.method_id == "open"
+        assert excinfo.value.concern == "a"
+
+    def test_activation_runs_post_on_body_exception(self, moderator):
+        seen = {}
+        moderator.register_aspect("open", "a", FunctionAspect(
+            concern="a",
+            postaction=lambda jp: seen.update(exc=jp.exception),
+        ))
+        with pytest.raises(ValueError):
+            with moderator.activation("open"):
+                raise ValueError("body failed")
+        assert isinstance(seen["exc"], ValueError)
+
+    def test_moderate_call_returns_result(self, moderator):
+        moderator.register_aspect("double", "a", FunctionAspect(concern="a"))
+        result = moderator.moderate_call("double", lambda x: x * 2, 21)
+        assert result == 42
+
+
+class TestDynamicRegistration:
+    def test_unregister_wakes_waiters(self, moderator):
+        moderator.register_aspect("open", "gate", FunctionAspect(
+            concern="gate", precondition=lambda jp: BLOCK,
+        ))
+        result = {}
+
+        def caller():
+            result["r"] = moderator.preactivation(
+                "open", JoinPoint(method_id="open")
+            )
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while moderator.stats.blocks < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        moderator.unregister_aspect("open", "gate")
+        thread.join(5)
+        assert result["r"] is RESUME
+
+    def test_participates(self, moderator):
+        assert not moderator.participates("open")
+        moderator.register_aspect("open", "a", FunctionAspect(concern="a"))
+        assert moderator.participates("open")
+
+    def test_queue_lengths_reports_waiters(self, moderator):
+        moderator.register_aspect("open", "gate", FunctionAspect(
+            concern="gate", precondition=lambda jp: BLOCK,
+        ))
+        thread = threading.Thread(
+            target=lambda: moderator.preactivation(
+                "open", JoinPoint(method_id="open"), timeout=2.0,
+            )
+        )
+        thread.start()
+        deadline = time.monotonic() + 5
+        while moderator.queue_lengths().get("open", 0) < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.01)
+        moderator.unregister_aspect("open", "gate")
+        thread.join(5)

@@ -1,0 +1,68 @@
+"""Unit tests for the naming service."""
+
+import pytest
+
+from repro.core.errors import NameNotFound
+from repro.dist.naming import NameService
+
+
+class TestBinding:
+    def test_bind_and_resolve(self):
+        names = NameService()
+        names.bind("tickets", "node-1", "svc")
+        binding = names.resolve("tickets")
+        assert binding.node_id == "node-1"
+        assert binding.service == "svc"
+        assert binding.version == 1
+
+    def test_double_bind_rejected(self):
+        names = NameService()
+        names.bind("tickets", "node-1", "svc")
+        with pytest.raises(ValueError):
+            names.bind("tickets", "node-2", "svc")
+
+    def test_rebind_bumps_version(self):
+        names = NameService()
+        names.bind("tickets", "node-1", "svc")
+        binding = names.rebind("tickets", "node-2", "svc")
+        assert binding.node_id == "node-2"
+        assert binding.version == 2
+
+    def test_rebind_fresh_name_allowed(self):
+        names = NameService()
+        binding = names.rebind("tickets", "node-1", "svc")
+        assert binding.version == 1
+
+    def test_unbind(self):
+        names = NameService()
+        names.bind("tickets", "node-1", "svc")
+        names.unbind("tickets")
+        with pytest.raises(NameNotFound):
+            names.resolve("tickets")
+
+    def test_unbind_unknown_raises(self):
+        with pytest.raises(NameNotFound):
+            NameService().unbind("ghost")
+
+    def test_names_sorted(self):
+        names = NameService()
+        names.bind("zeta", "n", "s")
+        names.bind("alpha", "n", "s")
+        assert names.names() == ["alpha", "zeta"]
+
+
+class TestWatch:
+    def test_watcher_notified_on_bind_and_rebind(self):
+        names = NameService()
+        seen = []
+        names.watch("tickets", lambda b: seen.append(b.node_id))
+        names.bind("tickets", "node-1", "svc")
+        names.rebind("tickets", "node-2", "svc")
+        assert seen == ["node-1", "node-2"]
+
+    def test_watchers_are_per_name(self):
+        names = NameService()
+        seen = []
+        names.watch("other", lambda b: seen.append(b))
+        names.bind("tickets", "node-1", "svc")
+        assert seen == []

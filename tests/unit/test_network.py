@@ -1,0 +1,125 @@
+"""Unit tests for the simulated network."""
+
+import time
+
+import pytest
+
+from repro.core.errors import NodeUnreachable
+from repro.dist.message import Message
+from repro.dist.network import Network
+
+
+def msg(source, dest, tag=0):
+    return Message(source=source, dest=dest, kind="event",
+                   payload={"tag": tag})
+
+
+@pytest.fixture
+def network():
+    net = Network()
+    yield net
+    net.close()
+
+
+def drain(inbox, n, timeout=2.0):
+    return [inbox.get(timeout) for _ in range(n)]
+
+
+class TestDelivery:
+    def test_basic_delivery(self, network):
+        inbox = network.register("b")
+        network.register("a")
+        network.send(msg("a", "b", tag=1))
+        delivered = inbox.get(2.0)
+        assert delivered.payload["tag"] == 1
+        assert network.stats()["delivered"] == 1
+
+    def test_unknown_destination_raises(self, network):
+        network.register("a")
+        with pytest.raises(NodeUnreachable):
+            network.send(msg("a", "ghost"))
+
+    def test_fifo_per_link_without_jitter(self, network):
+        inbox = network.register("b")
+        network.register("a")
+        for tag in range(10):
+            network.send(msg("a", "b", tag))
+        received = [m.payload["tag"] for m in drain(inbox, 10)]
+        assert received == list(range(10))
+
+    def test_latency_delays_delivery(self):
+        net = Network(latency=0.1)
+        try:
+            inbox = net.register("b")
+            net.register("a")
+            started = time.monotonic()
+            net.send(msg("a", "b"))
+            inbox.get(2.0)
+            assert time.monotonic() - started >= 0.08
+        finally:
+            net.close()
+
+    def test_duplicate_registration_rejected(self, network):
+        network.register("x")
+        with pytest.raises(ValueError):
+            network.register("x")
+
+    def test_endpoints_listing(self, network):
+        network.register("a")
+        network.register("b")
+        assert sorted(network.endpoints()) == ["a", "b"]
+
+
+class TestFaults:
+    def test_loss_drops_messages(self):
+        net = Network(loss=1.0)
+        try:
+            net.register("a")
+            net.register("b")
+            net.send(msg("a", "b"))
+            assert net.stats()["dropped"] == 1
+            assert net.stats()["delivered"] == 0
+        finally:
+            net.close()
+
+    def test_partition_blocks_cross_group_traffic(self, network):
+        inbox_b = network.register("b")
+        inbox_c = network.register("c")
+        network.register("a")
+        network.partition({"a"}, {"b"})
+        network.send(msg("a", "b"))       # cross-partition: dropped
+        network.send(msg("a", "c"))       # c in neither group: a is isolated from...
+        # a is in group {a}; c is in no group -> a/c differ on group {a} membership
+        assert network.stats()["dropped"] == 2
+
+    def test_same_group_traffic_flows(self, network):
+        inbox = network.register("b")
+        network.register("a")
+        network.partition({"a", "b"}, {"c"})
+        network.send(msg("a", "b"))
+        assert inbox.get(2.0).source == "a"
+
+    def test_heal_restores_traffic(self, network):
+        inbox = network.register("b")
+        network.register("a")
+        network.partition({"a"}, {"b"})
+        network.send(msg("a", "b"))
+        network.heal()
+        network.send(msg("a", "b"))
+        assert inbox.get(2.0) is not None
+        assert network.stats()["dropped"] == 1
+
+    def test_down_node_drops_traffic(self, network):
+        network.register("b")
+        network.register("a")
+        network.take_down("b")
+        assert not network.is_up("b")
+        network.send(msg("a", "b"))
+        assert network.stats()["dropped"] == 1
+        network.bring_up("b")
+        assert network.is_up("b")
+
+    def test_unregister_closes_inbox(self, network):
+        inbox = network.register("b")
+        network.unregister("b")
+        assert inbox.closed

@@ -1,0 +1,103 @@
+"""Unit tests for the node's wire-result coercion and caller forwarding."""
+
+import pytest
+
+from repro.dist import Client, NameService, Network, Node
+
+
+class Shapes:
+    """Servant returning progressively less wire-friendly results."""
+
+    def scalar(self):
+        return 42
+
+    def containers(self):
+        return {"items": [1, 2, 3], "nested": {"ok": True}}
+
+    def rich_object(self):
+        class Ticket:
+            def __init__(self):
+                self.ticket_id = 7
+                self.summary = "vpn"
+                self.handler = lambda: None  # not wire-safe
+
+        return Ticket()
+
+    def opaque(self):
+        return object()
+
+
+class CallerEcho:
+    def with_caller(self, caller=None):
+        return f"caller={caller}"
+
+    def kwargs_sink(self, **kwargs):
+        return sorted(kwargs)
+
+    def no_caller(self, value):
+        return value
+
+
+@pytest.fixture
+def rig():
+    network = Network()
+    names = NameService()
+    node = Node("server", network).start()
+    node.export("shapes", Shapes())
+    node.export("echo", CallerEcho())
+    names.bind("shapes", "server", "shapes")
+    names.bind("echo", "server", "echo")
+    client = Client("client", network, names, default_timeout=2.0)
+    yield node, client
+    client.close()
+    node.stop()
+    network.close()
+
+
+class TestWireResultCoercion:
+    def test_scalars_pass_through(self, rig):
+        _node, client = rig
+        assert client.call_name("shapes", "scalar") == 42
+
+    def test_containers_pass_through(self, rig):
+        _node, client = rig
+        result = client.call_name("shapes", "containers")
+        assert result == {"items": [1, 2, 3], "nested": {"ok": True}}
+
+    def test_rich_objects_flattened_with_type_tag(self, rig):
+        _node, client = rig
+        result = client.call_name("shapes", "rich_object")
+        assert result["__type__"] == "Ticket"
+        assert result["ticket_id"] == 7
+        assert result["summary"] == "vpn"
+        assert "handler" not in result  # unsafe attr dropped
+
+    def test_opaque_objects_become_repr(self, rig):
+        _node, client = rig
+        result = client.call_name("shapes", "opaque")
+        assert isinstance(result, str)
+        assert "object" in result
+
+
+class TestCallerForwarding:
+    def test_caller_param_receives_principal(self, rig):
+        _node, client = rig
+        assert client.call_name(
+            "echo", "with_caller", caller="alice"
+        ) == "caller=alice"
+
+    def test_var_kwargs_servant_receives_caller(self, rig):
+        _node, client = rig
+        assert client.call_name(
+            "echo", "kwargs_sink", caller="alice"
+        ) == ["caller"]
+
+    def test_servant_without_caller_param_unchanged(self, rig):
+        _node, client = rig
+        assert client.call_name(
+            "echo", "no_caller", "payload", caller="alice"
+        ) == "payload"
+
+    def test_no_caller_no_injection(self, rig):
+        _node, client = rig
+        assert client.call_name("echo", "with_caller") == "caller=None"

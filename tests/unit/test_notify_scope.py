@@ -1,0 +1,178 @@
+"""Unit tests for the moderator's notify_scope wakeup policies."""
+
+import threading
+import time
+
+import pytest
+
+from repro.apps.ticketing import (
+    AssignSynchronizationAspect,
+    OpenSynchronizationAspect,
+    TicketSyncState,
+)
+from repro.aspects.synchronization import BoundedBufferSync, MutexAspect
+from repro.core import AspectModerator, ComponentProxy, JoinPoint
+from repro.core.aspect import FunctionAspect, NullAspect
+from repro.core.results import BLOCK, RESUME
+
+
+class Buffer:
+    def __init__(self, capacity=2):
+        self.capacity = capacity
+        self.items = []
+
+    def put(self, item):
+        self.items.append(item)
+
+    def take(self):
+        return self.items.pop(0)
+
+    def unrelated(self):
+        return "independent"
+
+
+def wait_for(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never held"
+        time.sleep(0.01)
+
+
+class TestValidation:
+    def test_scope_validated(self):
+        with pytest.raises(ValueError):
+            AspectModerator(notify_scope="broadcast")
+
+
+class TestLinkedScopeCorrectness:
+    def make_rig(self, scope):
+        moderator = AspectModerator(notify_scope=scope)
+        buffer = Buffer(capacity=1)
+        sync = BoundedBufferSync(buffer, producer="put", consumer="take")
+        moderator.register_aspect("put", "sync", sync)
+        moderator.register_aspect("take", "sync", sync)
+        return moderator, ComponentProxy(buffer, moderator)
+
+    @pytest.mark.parametrize("scope", ["all", "linked"])
+    def test_producer_consumer_handoff_works(self, scope, threaded):
+        moderator, proxy = self.make_rig(scope)
+        got = []
+
+        def consumer():
+            for _ in range(10):
+                got.append(proxy.take())
+
+        def producer():
+            for index in range(10):
+                proxy.put(index)
+
+        threaded(consumer, producer)
+        assert got == list(range(10))
+
+    def test_shared_instance_links_methods(self):
+        moderator, _proxy = self.make_rig("linked")
+        with moderator._lock:
+            linked = moderator._linked_methods("put")
+        assert linked == {"put", "take"}
+
+    def test_paper_style_shared_state_links_methods(self):
+        """Distinct aspect instances sharing TicketSyncState are linked."""
+        moderator = AspectModerator(notify_scope="linked")
+        state = TicketSyncState(capacity=2)
+        moderator.register_aspect(
+            "open", "sync", OpenSynchronizationAspect(state),
+        )
+        moderator.register_aspect(
+            "assign", "sync", AssignSynchronizationAspect(state),
+        )
+        with moderator._lock:
+            assert moderator._linked_methods("open") == {"open", "assign"}
+
+    def test_unrelated_methods_not_linked(self):
+        moderator, _proxy = self.make_rig("linked")
+        moderator.register_aspect("unrelated", "mutex", MutexAspect())
+        with moderator._lock:
+            assert "unrelated" not in moderator._linked_methods("put")
+            assert moderator._linked_methods("unrelated") == {"unrelated"}
+
+    def test_linkage_map_invalidated_on_registration(self):
+        moderator, _proxy = self.make_rig("linked")
+        with moderator._lock:
+            moderator._linked_methods("put")  # build the map
+        shared = NullAspect()
+        moderator.register_aspect("put", "extra", shared)
+        moderator.register_aspect("other", "extra", shared)
+        with moderator._lock:
+            assert "other" in moderator._linked_methods("put")
+
+
+class TestLinkedScopeReducesWakeups:
+    def test_unrelated_waiter_not_woken_by_linked_scope(self):
+        moderator = AspectModerator(notify_scope="linked")
+        buffer = Buffer(capacity=4)
+        sync = BoundedBufferSync(buffer, producer="put", consumer="take")
+        moderator.register_aspect("put", "sync", sync)
+        moderator.register_aspect("take", "sync", sync)
+        evaluations = {"count": 0}
+
+        def gate(joinpoint):
+            evaluations["count"] += 1
+            return BLOCK
+
+        moderator.register_aspect(
+            "unrelated", "gate", FunctionAspect(
+                concern="gate", precondition=gate,
+            ),
+        )
+        proxy = ComponentProxy(buffer, moderator)
+
+        blocker = threading.Thread(
+            target=lambda: moderator.preactivation(
+                "unrelated", JoinPoint(method_id="unrelated"), timeout=2.0,
+            )
+        )
+        blocker.start()
+        wait_for(lambda: evaluations["count"] >= 1)
+        baseline = evaluations["count"]
+
+        for index in range(4):  # capacity 4: stay below blocking
+            proxy.put(index)  # completions on an unlinked method
+        time.sleep(0.2)
+        # the unrelated waiter was not re-evaluated by put completions
+        assert evaluations["count"] == baseline
+
+        moderator.notify("unrelated")  # explicit wake still works
+        wait_for(lambda: evaluations["count"] > baseline)
+        moderator.unregister_aspect("unrelated", "gate")
+        blocker.join(5)
+
+    def test_all_scope_wakes_everyone(self):
+        moderator = AspectModerator(notify_scope="all")
+        buffer = Buffer(capacity=4)
+        sync = BoundedBufferSync(buffer, producer="put", consumer="take")
+        moderator.register_aspect("put", "sync", sync)
+        moderator.register_aspect("take", "sync", sync)
+        evaluations = {"count": 0}
+        moderator.register_aspect(
+            "unrelated", "gate", FunctionAspect(
+                concern="gate",
+                precondition=lambda jp: (
+                    evaluations.__setitem__(
+                        "count", evaluations["count"] + 1
+                    ) or BLOCK
+                ),
+            ),
+        )
+        proxy = ComponentProxy(buffer, moderator)
+        blocker = threading.Thread(
+            target=lambda: moderator.preactivation(
+                "unrelated", JoinPoint(method_id="unrelated"), timeout=2.0,
+            )
+        )
+        blocker.start()
+        wait_for(lambda: evaluations["count"] >= 1)
+        baseline = evaluations["count"]
+        proxy.put(1)
+        wait_for(lambda: evaluations["count"] > baseline)
+        moderator.unregister_aspect("unrelated", "gate")
+        blocker.join(5)

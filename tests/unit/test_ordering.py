@@ -1,0 +1,96 @@
+"""Unit tests for composition-ordering policies (paper Section 5.3)."""
+
+import pytest
+
+from repro.core.aspect import NullAspect
+from repro.core.errors import RegistrationError
+from repro.core.ordering import (
+    ExplicitOrder,
+    PriorityOrder,
+    guards_first,
+    registration_order,
+)
+
+
+def pairs(*concerns):
+    return [(concern, NullAspect()) for concern in concerns]
+
+
+def order_of(result):
+    return [concern for concern, _ in result]
+
+
+class TestRegistrationOrder:
+    def test_identity(self):
+        p = pairs("a", "b", "c")
+        assert registration_order("m", p) == p
+
+
+class TestPriorityOrder:
+    def test_sorts_by_priority(self):
+        policy = PriorityOrder({"auth": 0, "sync": 10})
+        result = policy("m", pairs("sync", "auth"))
+        assert order_of(result) == ["auth", "sync"]
+
+    def test_unlisted_go_last_in_registration_order(self):
+        policy = PriorityOrder({"auth": 0})
+        result = policy("m", pairs("x", "auth", "y"))
+        assert order_of(result) == ["auth", "x", "y"]
+
+    def test_ties_break_by_registration(self):
+        policy = PriorityOrder({"a": 5, "b": 5})
+        assert order_of(policy("m", pairs("b", "a"))) == ["b", "a"]
+
+
+class TestExplicitOrder:
+    def test_orders_by_list(self):
+        policy = ExplicitOrder(["auth", "sync", "audit"])
+        result = policy("m", pairs("audit", "sync", "auth"))
+        assert order_of(result) == ["auth", "sync", "audit"]
+
+    def test_per_method_override(self):
+        policy = ExplicitOrder(
+            ["a", "b"], per_method={"special": ["b", "a"]}
+        )
+        assert order_of(policy("m", pairs("a", "b"))) == ["a", "b"]
+        assert order_of(policy("special", pairs("a", "b"))) == ["b", "a"]
+
+    def test_missing_concern_raises(self):
+        policy = ExplicitOrder(["a"])
+        with pytest.raises(RegistrationError):
+            policy("m", pairs("a", "mystery"))
+
+
+class TestGuardsFirst:
+    def test_auth_label_promoted_before_sync(self):
+        result = guards_first("m", pairs("sync", "authenticate"))
+        assert order_of(result) == ["authenticate", "sync"]
+
+    def test_is_guard_attribute_promoted(self):
+        guard = NullAspect()
+        guard.is_guard = True
+        result = guards_first("m", [("custom", guard)] + pairs("sync"))
+        # attribute-marked guard stays before plain concerns
+        assert order_of(result)[0] == "custom"
+
+    def test_observers_run_before_guards(self):
+        result = guards_first(
+            "m", pairs("sync", "authenticate", "audit")
+        )
+        assert order_of(result) == ["audit", "authenticate", "sync"]
+
+    def test_is_observer_attribute_promoted(self):
+        observer = NullAspect()
+        observer.is_observer = True
+        result = guards_first(
+            "m", [("watcher", observer)] + pairs("authenticate", "sync")
+        )
+        assert order_of(result) == ["watcher", "authenticate", "sync"]
+
+    def test_relative_order_within_groups_preserved(self):
+        result = guards_first(
+            "m", pairs("sync", "audit", "timing", "auth", "authorize")
+        )
+        assert order_of(result) == [
+            "audit", "timing", "auth", "authorize", "sync",
+        ]

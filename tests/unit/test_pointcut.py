@@ -1,0 +1,98 @@
+"""Unit tests for the pointcut mini-language."""
+
+from repro.core.pointcut import (
+    all_public,
+    matching,
+    named,
+    none,
+    on_type,
+    predicate,
+    regex,
+)
+
+
+class Sample:
+    def get_a(self):
+        return 1
+
+    def get_b(self):
+        return 2
+
+    def set_a(self, v):
+        pass
+
+    def _private(self):
+        pass
+
+    attr = 42
+
+
+class TestPrimitives:
+    def test_named(self):
+        pc = named("open", "assign")
+        assert pc.matches("open")
+        assert pc.matches("assign")
+        assert not pc.matches("close")
+
+    def test_matching_glob(self):
+        pc = matching("get_*")
+        assert pc.matches("get_a")
+        assert not pc.matches("set_a")
+
+    def test_regex_fullmatch_semantics(self):
+        pc = regex(r"get_[ab]")
+        assert pc.matches("get_a")
+        assert not pc.matches("get_c")
+        assert not pc.matches("get_ab")  # fullmatch, not search
+
+    def test_predicate(self):
+        pc = predicate(lambda m, c: m.endswith("_a"))
+        assert pc.matches("get_a")
+        assert not pc.matches("get_b")
+
+    def test_on_type(self):
+        pc = on_type(Sample)
+        assert pc.matches("anything", Sample())
+        assert not pc.matches("anything", object())
+
+    def test_all_public_and_none(self):
+        assert all_public().matches("open")
+        assert not all_public().matches("_hidden")
+        assert not none().matches("open")
+
+
+class TestCombinators:
+    def test_and(self):
+        pc = matching("get_*") & named("get_a")
+        assert pc.matches("get_a")
+        assert not pc.matches("get_b")
+
+    def test_or(self):
+        pc = named("get_a") | named("set_a")
+        assert pc.matches("get_a")
+        assert pc.matches("set_a")
+        assert not pc.matches("get_b")
+
+    def test_invert(self):
+        pc = ~named("get_a")
+        assert not pc.matches("get_a")
+        assert pc.matches("get_b")
+
+    def test_composed_description(self):
+        pc = (named("a") | named("b")) & ~named("c")
+        assert "named" in repr(pc)
+
+
+class TestSelect:
+    def test_select_scans_public_callables(self):
+        selected = matching("get_*").select(Sample())
+        assert sorted(selected) == ["get_a", "get_b"]
+
+    def test_select_ignores_private_and_attrs(self):
+        selected = all_public().select(Sample())
+        assert "_private" not in selected
+        assert "attr" not in selected
+
+    def test_select_with_explicit_candidates(self):
+        selected = named("x").select(Sample(), candidates=["x", "y"])
+        assert selected == ["x"]

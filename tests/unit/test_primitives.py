@@ -1,0 +1,179 @@
+"""Unit tests for concurrency primitives."""
+
+import threading
+import time
+
+import pytest
+
+from repro.concurrency.primitives import (
+    CountdownLatch,
+    Future,
+    FutureError,
+    Latch,
+    WaitQueue,
+)
+
+
+class TestLatch:
+    def test_open_releases_waiters(self, threaded):
+        latch = Latch()
+        seen = []
+
+        def waiter():
+            assert latch.wait(5)
+            seen.append(1)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        latch.open()
+        thread.join(5)
+        assert seen == [1]
+        assert latch.is_open
+
+    def test_wait_timeout(self):
+        assert not Latch().wait(0.01)
+
+
+class TestCountdownLatch:
+    def test_counts_down_to_open(self):
+        latch = CountdownLatch(2)
+        assert not latch.wait(0.01)
+        latch.count_down()
+        assert latch.remaining == 1
+        latch.count_down()
+        assert latch.wait(1)
+
+    def test_extra_count_downs_harmless(self):
+        latch = CountdownLatch(1)
+        latch.count_down()
+        latch.count_down()
+        assert latch.remaining == 0
+
+    def test_zero_starts_open(self):
+        assert CountdownLatch(0).wait(0.01)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CountdownLatch(-1)
+
+
+class TestFuture:
+    def test_result_roundtrip(self):
+        future = Future()
+        future.set_result(42)
+        assert future.done
+        assert future.result(0.1) == 42
+
+    def test_exception_propagates(self):
+        future = Future()
+        future.set_exception(ValueError("nope"))
+        with pytest.raises(ValueError):
+            future.result(0.1)
+        assert isinstance(future.exception(0.1), ValueError)
+
+    def test_double_completion_rejected(self):
+        future = Future()
+        future.set_result(1)
+        with pytest.raises(FutureError):
+            future.set_result(2)
+
+    def test_result_timeout(self):
+        with pytest.raises(TimeoutError):
+            Future().result(0.01)
+
+    def test_blocking_get_across_threads(self):
+        future = Future()
+
+        def producer():
+            time.sleep(0.05)
+            future.set_result("late")
+
+        threading.Thread(target=producer).start()
+        assert future.result(5) == "late"
+
+    def test_callback_after_completion_runs_immediately(self):
+        future = Future()
+        future.set_result(1)
+        seen = []
+        future.add_callback(lambda f: seen.append(f.result(0)))
+        assert seen == [1]
+
+    def test_callback_before_completion_runs_on_complete(self):
+        future = Future()
+        seen = []
+        future.add_callback(lambda f: seen.append(f.result(0)))
+        assert seen == []
+        future.set_result(7)
+        assert seen == [7]
+
+
+class TestWaitQueue:
+    def test_fifo(self):
+        queue = WaitQueue()
+        for value in (1, 2, 3):
+            queue.put(value)
+        assert [queue.get(0.1) for _ in range(3)] == [1, 2, 3]
+
+    def test_get_timeout(self):
+        with pytest.raises(TimeoutError):
+            WaitQueue().get(timeout=0.01)
+
+    def test_bounded_put_blocks_then_timeout(self):
+        queue = WaitQueue(maxsize=1)
+        queue.put("a")
+        with pytest.raises(TimeoutError):
+            queue.put("b", timeout=0.01)
+
+    def test_bounded_put_unblocks_on_get(self):
+        queue = WaitQueue(maxsize=1)
+        queue.put("a")
+        results = []
+
+        def producer():
+            queue.put("b", timeout=5)
+            results.append("put")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert queue.get(1) == "a"
+        thread.join(5)
+        assert results == ["put"]
+        assert queue.get(1) == "b"
+
+    def test_close_drains_then_raises(self):
+        queue = WaitQueue()
+        queue.put("last")
+        queue.close()
+        assert queue.closed
+        assert queue.get(0.1) == "last"
+        with pytest.raises(WaitQueue.Closed):
+            queue.get(0.1)
+
+    def test_put_after_close_rejected(self):
+        queue = WaitQueue()
+        queue.close()
+        with pytest.raises(WaitQueue.Closed):
+            queue.put("x")
+
+    def test_close_wakes_blocked_getter(self):
+        queue = WaitQueue()
+        outcome = {}
+
+        def getter():
+            try:
+                queue.get(timeout=5)
+            except WaitQueue.Closed:
+                outcome["closed"] = True
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        time.sleep(0.05)
+        queue.close()
+        thread.join(5)
+        assert outcome.get("closed")
+
+    def test_len(self):
+        queue = WaitQueue()
+        queue.put(1)
+        queue.put(2)
+        assert len(queue) == 2

@@ -1,0 +1,164 @@
+"""Unit tests for ComponentProxy and GuardedMethod (paper Figure 10)."""
+
+import pytest
+
+from repro.core import (
+    AspectModerator,
+    ComponentProxy,
+    FunctionAspect,
+    MethodAborted,
+)
+from repro.core.proxy import GuardedMethod
+from repro.core.results import ABORT, RESUME
+
+
+class TestComponentProxyInterception:
+    def test_non_participating_passthrough(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.ping(1) == 1
+        assert moderator.stats.preactivations == 0
+
+    def test_participating_methods_are_moderated(self, echo, moderator):
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.ping(2) == 2
+        assert moderator.stats.preactivations == 1
+        assert moderator.stats.postactivations == 1
+
+    def test_dynamic_participation_follows_bank(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        assert not proxy.is_participating("ping")
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        assert proxy.is_participating("ping")
+        proxy.ping()
+        assert moderator.stats.preactivations == 1
+
+    def test_explicit_participation_list(self, echo, moderator):
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        proxy = ComponentProxy(echo, moderator, participating=["boom"])
+        # ping has aspects but is not in the explicit list -> passthrough
+        proxy.ping()
+        assert moderator.stats.preactivations == 0
+
+    def test_abort_raises_method_aborted(self, echo, moderator):
+        moderator.register_aspect("ping", "guard", FunctionAspect(
+            concern="guard", precondition=lambda jp: ABORT,
+        ))
+        proxy = ComponentProxy(echo, moderator)
+        with pytest.raises(MethodAborted) as excinfo:
+            proxy.ping()
+        assert excinfo.value.concern == "guard"
+        assert echo.calls == []  # method never executed
+
+    def test_body_exception_propagates_and_post_runs(self, echo, moderator):
+        seen = {}
+        moderator.register_aspect("boom", "a", FunctionAspect(
+            concern="a", postaction=lambda jp: seen.update(exc=jp.exception),
+        ))
+        proxy = ComponentProxy(echo, moderator)
+        with pytest.raises(RuntimeError):
+            proxy.boom()
+        assert isinstance(seen["exc"], RuntimeError)
+        assert moderator.stats.postactivations == 1
+
+    def test_non_callable_attributes_pass_through(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.calls == []
+
+    def test_component_and_moderator_accessors(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.component is echo
+        assert proxy.moderator is moderator
+
+    def test_repr_mentions_component(self, echo, moderator):
+        assert "Echo" in repr(ComponentProxy(echo, moderator))
+
+
+class TestProxyCall:
+    def test_call_attaches_caller(self, echo, moderator):
+        seen = {}
+        moderator.register_aspect("ping", "a", FunctionAspect(
+            concern="a",
+            precondition=lambda jp: seen.update(caller=jp.caller) or True,
+        ))
+        proxy = ComponentProxy(echo, moderator)
+        proxy.call("ping", 1, caller="alice")
+        assert seen["caller"] == "alice"
+
+    def test_proxy_default_caller_used(self, echo, moderator):
+        seen = {}
+        moderator.register_aspect("ping", "a", FunctionAspect(
+            concern="a",
+            precondition=lambda jp: seen.update(caller=jp.caller) or True,
+        ))
+        proxy = ComponentProxy(echo, moderator, caller="bob")
+        proxy.ping()
+        assert seen["caller"] == "bob"
+
+    def test_call_on_non_participating_is_plain(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.call("ping", 3) == 3
+        assert moderator.stats.preactivations == 0
+
+
+class TestSkipInvocation:
+    def test_skip_returns_replacement_without_calling_body(
+        self, echo, moderator
+    ):
+        moderator.register_aspect("ping", "cache", FunctionAspect(
+            concern="cache",
+            precondition=lambda jp: jp.skip_invocation("cached!") or True,
+        ))
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.ping("real") == "cached!"
+        assert echo.calls == []  # body skipped
+        assert moderator.stats.postactivations == 1  # protocol balanced
+
+
+class TestGuardedMethod:
+    def make_class(self):
+        class Base:
+            def __init__(self):
+                self.ran = []
+
+            def act(self, value):
+                self.ran.append(value)
+                return value * 2
+
+        class Proxy(Base):
+            act = GuardedMethod("act")
+
+            def __init__(self, moderator):
+                super().__init__()
+                self.moderator = moderator
+
+        return Proxy
+
+    def test_guarded_method_brackets_super_call(self):
+        moderator = AspectModerator()
+        events = []
+        moderator.register_aspect("act", "a", FunctionAspect(
+            concern="a",
+            precondition=lambda jp: events.append("pre") or True,
+            postaction=lambda jp: events.append("post"),
+        ))
+        proxy_class = self.make_class()
+        proxy = proxy_class(moderator)
+        assert proxy.act(21) == 42
+        assert events == ["pre", "post"]
+        assert proxy.ran == [21]
+
+    def test_guarded_method_abort(self):
+        moderator = AspectModerator()
+        moderator.register_aspect("act", "g", FunctionAspect(
+            concern="g", precondition=lambda jp: ABORT,
+        ))
+        proxy_class = self.make_class()
+        proxy = proxy_class(moderator)
+        with pytest.raises(MethodAborted):
+            proxy.act(1)
+        assert proxy.ran == []
+
+    def test_class_access_returns_descriptor(self):
+        proxy_class = self.make_class()
+        assert isinstance(proxy_class.__dict__["act"], GuardedMethod)

@@ -1,0 +1,130 @@
+"""Unit tests for throughput-regulation aspects."""
+
+import pytest
+
+from repro.aspects.rate_limit import (
+    ConcurrencyWindowAspect,
+    TokenBucket,
+    TokenBucketAspect,
+)
+from repro.core import AspectModerator, ComponentProxy, JoinPoint, MethodAborted
+from repro.core.aspect import FunctionAspect
+from repro.core.results import ABORT, BLOCK, RESUME
+from repro.sim.clock import VirtualClock
+
+
+def jp(method="m"):
+    return JoinPoint(method_id=method)
+
+
+class TestTokenBucket:
+    def test_burst_then_deny(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, burst=2.0, clock=clock)
+        assert bucket.try_take()
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_over_time(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=2.0, burst=2.0, clock=clock)
+        bucket.try_take()
+        bucket.try_take()
+        clock.advance_by(0.5)  # refills 1 token
+        assert bucket.try_take()
+        assert not bucket.try_take()
+
+    def test_refill_caps_at_burst(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=100.0, burst=3.0, clock=clock)
+        clock.advance_by(100.0)
+        bucket.refill()
+        assert bucket.tokens == 3.0
+
+    def test_give_back(self):
+        clock = VirtualClock()
+        bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+        bucket.try_take()
+        bucket.give_back()
+        assert bucket.try_take()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0, burst=1)
+
+
+class TestTokenBucketAspect:
+    def test_abort_mode_sheds(self):
+        clock = VirtualClock()
+        aspect = TokenBucketAspect(rate=1.0, burst=1.0, mode="abort",
+                                   clock=clock)
+        assert aspect.precondition(jp()) is RESUME
+        assert aspect.precondition(jp()) is ABORT
+        assert aspect.admitted == 1
+        assert aspect.rejected == 1
+
+    def test_block_mode_parks(self):
+        clock = VirtualClock()
+        aspect = TokenBucketAspect(rate=1.0, burst=1.0, mode="block",
+                                   clock=clock)
+        aspect.precondition(jp())
+        assert aspect.precondition(jp()) is BLOCK
+
+    def test_on_abort_returns_token(self):
+        clock = VirtualClock()
+        aspect = TokenBucketAspect(rate=0.0001, burst=1.0, clock=clock)
+        activation = jp()
+        aspect.precondition(activation)
+        aspect.on_abort(activation)
+        assert aspect.precondition(jp()) is RESUME  # token came back
+
+    def test_moderated_shedding_end_to_end(self, echo):
+        clock = VirtualClock()
+        moderator = AspectModerator()
+        moderator.register_aspect("ping", "ratelimit", TokenBucketAspect(
+            rate=1.0, burst=2.0, clock=clock,
+        ))
+        proxy = ComponentProxy(echo, moderator)
+        proxy.ping()
+        proxy.ping()
+        with pytest.raises(MethodAborted):
+            proxy.ping()
+        clock.advance_by(1.0)
+        proxy.ping()  # refilled
+
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucketAspect(rate=1.0, mode="banana")
+
+
+class TestConcurrencyWindow:
+    def test_limit_enforced(self):
+        window = ConcurrencyWindowAspect(limit=2)
+        a, b = jp(), jp()
+        assert window.precondition(a) is RESUME
+        assert window.precondition(b) is RESUME
+        assert window.precondition(jp()) is BLOCK
+        window.postaction(a)
+        assert window.precondition(jp()) is RESUME
+
+    def test_abort_mode(self):
+        window = ConcurrencyWindowAspect(limit=1, mode="abort")
+        window.precondition(jp())
+        assert window.precondition(jp()) is ABORT
+
+    def test_peak_and_per_method_stats(self):
+        window = ConcurrencyWindowAspect(limit=3)
+        activations = [jp("a"), jp("a"), jp("b")]
+        for activation in activations:
+            window.precondition(activation)
+        assert window.peak == 3
+        assert window.per_method == {"a": 2, "b": 1}
+        for activation in activations:
+            window.postaction(activation)
+        assert window.in_flight == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConcurrencyWindowAspect(limit=0)
+        with pytest.raises(ValueError):
+            ConcurrencyWindowAspect(limit=1, mode="nope")

@@ -1,0 +1,140 @@
+"""Unit tests for primary-backup replication and failover."""
+
+import time
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.dist import (
+    Client,
+    FailoverMonitor,
+    NameService,
+    Network,
+    Node,
+    ReplicatedServant,
+)
+
+
+class KVStore:
+    def __init__(self):
+        self.data = {}
+
+    def put(self, key, value):
+        self.data[key] = value
+        return True
+
+    def get(self, key):
+        return self.data.get(key)
+
+
+@pytest.fixture
+def rig():
+    network = Network()
+    names = NameService()
+    primary = Node("primary", network).start()
+    backup = Node("backup", network).start()
+
+    primary_store, backup_store = KVStore(), KVStore()
+    backup.export("kv", backup_store)
+    names.bind("kv-backup", "backup", "kv")
+
+    forwarder = Client("forwarder", network, names, default_timeout=1.0)
+    replicated = ReplicatedServant(
+        primary_store, forwarder, replica_names=["kv-backup"],
+        mutating=["put"],
+    )
+    primary.export("kv", replicated)
+    names.bind("kv", "primary", "kv")
+
+    client = Client("client", network, names, default_timeout=1.0)
+    yield (network, names, primary, backup, primary_store, backup_store,
+           replicated, client)
+    client.close()
+    forwarder.close()
+    primary.stop()
+    backup.stop()
+    network.close()
+
+
+class TestReplication:
+    def test_mutations_applied_to_both_replicas(self, rig):
+        (network, names, primary, backup,
+         primary_store, backup_store, replicated, client) = rig
+        client.call_name("kv", "put", "k", "v")
+        deadline = time.monotonic() + 2
+        while backup_store.data.get("k") != "v":
+            assert time.monotonic() < deadline, "replication never arrived"
+            time.sleep(0.01)
+        assert primary_store.data["k"] == "v"
+        assert replicated.forwarded == 1
+
+    def test_reads_not_forwarded(self, rig):
+        (network, names, primary, backup,
+         primary_store, backup_store, replicated, client) = rig
+        primary_store.data["k"] = "v"
+        assert client.call_name("kv", "get", "k") == "v"
+        assert replicated.forwarded == 0
+
+    def test_dead_backup_recorded_not_fatal(self, rig):
+        (network, names, primary, backup,
+         primary_store, backup_store, replicated, client) = rig
+        network.take_down("backup")
+        assert client.call_name("kv", "put", "k", "v", timeout=3.0)
+        assert primary_store.data["k"] == "v"
+        assert replicated.forward_failures == 1
+
+
+class TestFailover:
+    def test_check_once_promotes_backup(self, rig):
+        (network, names, primary, backup,
+         primary_store, backup_store, replicated, client) = rig
+        monitor = FailoverMonitor(
+            names, network, public_name="kv",
+            primary=primary, backups=[backup], service="kv",
+        )
+        assert not monitor.check_once()  # healthy: no failover
+        primary.crash()
+        assert monitor.check_once()
+        assert names.resolve("kv").node_id == "backup"
+        assert monitor.failovers == ["backup"]
+
+    def test_client_follows_failover(self, rig):
+        (network, names, primary, backup,
+         primary_store, backup_store, replicated, client) = rig
+        backup_store.data["k"] = "replicated"
+        monitor = FailoverMonitor(
+            names, network, public_name="kv",
+            primary=primary, backups=[backup], service="kv",
+        )
+        primary.crash()
+        monitor.check_once()
+        assert client.call_name("kv", "get", "k") == "replicated"
+
+    def test_no_live_replica_raises(self, rig):
+        (network, names, primary, backup,
+         primary_store, backup_store, replicated, client) = rig
+        monitor = FailoverMonitor(
+            names, network, public_name="kv",
+            primary=primary, backups=[backup], service="kv",
+        )
+        primary.crash()
+        backup.crash()
+        with pytest.raises(NetworkError):
+            monitor.check_once()
+
+    def test_background_monitor_rebinds(self, rig):
+        (network, names, primary, backup,
+         primary_store, backup_store, replicated, client) = rig
+        monitor = FailoverMonitor(
+            names, network, public_name="kv",
+            primary=primary, backups=[backup], service="kv",
+            interval=0.02,
+        ).start()
+        try:
+            primary.crash()
+            deadline = time.monotonic() + 3
+            while names.resolve("kv").node_id != "backup":
+                assert time.monotonic() < deadline, "monitor never rebound"
+                time.sleep(0.02)
+        finally:
+            monitor.stop()

@@ -1,0 +1,52 @@
+"""Unit tests for AspectResult, Phase and result combination."""
+
+import pytest
+
+from repro.core.results import ABORT, BLOCK, RESUME, AspectResult, Phase, combine
+
+
+class TestAspectResult:
+    def test_three_outcomes_exist(self):
+        assert {r.value for r in AspectResult} == {"resume", "block", "abort"}
+
+    def test_module_aliases_match_members(self):
+        assert RESUME is AspectResult.RESUME
+        assert BLOCK is AspectResult.BLOCK
+        assert ABORT is AspectResult.ABORT
+
+    def test_only_resume_is_truthy(self):
+        assert RESUME
+        assert not BLOCK
+        assert not ABORT
+
+    def test_members_are_singletons(self):
+        assert AspectResult("resume") is RESUME
+
+
+class TestCombine:
+    def test_empty_combines_to_resume(self):
+        assert combine([]) is RESUME
+
+    def test_all_resume(self):
+        assert combine([RESUME, RESUME, RESUME]) is RESUME
+
+    def test_block_dominates_resume(self):
+        assert combine([RESUME, BLOCK, RESUME]) is BLOCK
+
+    def test_abort_dominates_block(self):
+        assert combine([BLOCK, ABORT]) is ABORT
+        assert combine([ABORT, BLOCK]) is ABORT
+
+    def test_single_values(self):
+        for result in (RESUME, BLOCK, ABORT):
+            assert combine([result]) is result
+
+
+class TestPhase:
+    def test_phases(self):
+        assert {p.value for p in Phase} == {
+            "pre_activation", "invocation", "post_activation", "aborted",
+        }
+
+    def test_phase_identity(self):
+        assert Phase("invocation") is Phase.INVOCATION

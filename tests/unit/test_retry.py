@@ -1,0 +1,128 @@
+"""Unit tests for retry policies and failure accounting."""
+
+import pytest
+
+from repro.aspects.retry import (
+    FailureAccountingAspect,
+    RetryPolicy,
+    retrying,
+)
+from repro.core import AspectModerator, ComponentProxy
+
+
+class Flaky:
+    def __init__(self, failures):
+        self.failures = failures
+        self.calls = 0
+
+    def act(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise ConnectionError(f"transient #{self.calls}")
+        return "ok"
+
+
+class TestRetryPolicy:
+    def test_should_retry_respects_attempts_and_types(self):
+        policy = RetryPolicy(max_attempts=3, retry_on=(ConnectionError,))
+        assert policy.should_retry(1, ConnectionError())
+        assert policy.should_retry(2, ConnectionError())
+        assert not policy.should_retry(3, ConnectionError())
+        assert not policy.should_retry(1, ValueError())
+
+    def test_backoff_grows_exponentially_with_cap(self):
+        policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.35)
+        assert policy.delay_for(2) == pytest.approx(0.1)
+        assert policy.delay_for(3) == pytest.approx(0.2)
+        assert policy.delay_for(4) == pytest.approx(0.35)  # capped
+
+    def test_zero_base_delay_means_no_sleep(self):
+        assert RetryPolicy(base_delay=0.0).delay_for(5) == 0.0
+
+    def test_jitter_reduces_delay_within_bounds(self):
+        import random
+        policy = RetryPolicy(base_delay=1.0, multiplier=1.0,
+                             max_delay=1.0, jitter=0.5)
+        rng = random.Random(1)
+        for attempt in range(2, 10):
+            delay = policy.delay_for(attempt, rng)
+            assert 0.5 <= delay <= 1.0
+
+
+class TestRetrying:
+    def test_retries_until_success(self):
+        flaky = Flaky(failures=2)
+        wrapped = retrying(flaky.act, RetryPolicy(max_attempts=5))
+        assert wrapped() == "ok"
+        assert flaky.calls == 3
+
+    def test_exhausted_attempts_raise_last_error(self):
+        flaky = Flaky(failures=10)
+        wrapped = retrying(flaky.act, RetryPolicy(max_attempts=3))
+        with pytest.raises(ConnectionError):
+            wrapped()
+        assert flaky.calls == 3
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        def bad():
+            raise ValueError("permanent")
+
+        wrapped = retrying(
+            bad, RetryPolicy(max_attempts=5, retry_on=(ConnectionError,))
+        )
+        with pytest.raises(ValueError):
+            wrapped()
+
+    def test_sleep_called_with_backoff(self):
+        sleeps = []
+        flaky = Flaky(failures=2)
+        wrapped = retrying(
+            flaky.act,
+            RetryPolicy(max_attempts=3, base_delay=0.1, multiplier=2.0,
+                        max_delay=10.0),
+            sleep=sleeps.append,
+        )
+        wrapped()
+        assert sleeps == [pytest.approx(0.1), pytest.approx(0.2)]
+
+    def test_retried_moderated_call_passes_moderation_each_attempt(self):
+        moderator = AspectModerator()
+        accounting = FailureAccountingAspect()
+        moderator.register_aspect("act", "fault", accounting)
+        flaky = Flaky(failures=1)
+        proxy = ComponentProxy(flaky, moderator)
+        wrapped = retrying(proxy.act, RetryPolicy(max_attempts=3))
+        assert wrapped() == "ok"
+        assert moderator.stats.preactivations == 2  # both attempts moderated
+
+
+class TestFailureAccounting:
+    def test_counts_failures_and_successes(self):
+        moderator = AspectModerator()
+        accounting = FailureAccountingAspect()
+        moderator.register_aspect("act", "fault", accounting)
+        flaky = Flaky(failures=2)
+        proxy = ComponentProxy(flaky, moderator)
+        for _ in range(2):
+            with pytest.raises(ConnectionError):
+                proxy.act()
+        proxy.act()
+        report = accounting.report()["act"]
+        assert report["calls"] == 3
+        assert report["failures"] == 2
+        assert report["failure_rate"] == pytest.approx(2 / 3)
+        assert report["consecutive_failures"] == 0  # reset by success
+
+    def test_by_exception_histogram(self):
+        moderator = AspectModerator()
+        accounting = FailureAccountingAspect()
+        moderator.register_aspect("boom", "fault", accounting)
+
+        class Exploder:
+            def boom(self):
+                raise KeyError("k")
+
+        proxy = ComponentProxy(Exploder(), moderator)
+        with pytest.raises(KeyError):
+            proxy.boom()
+        assert accounting.stats["boom"].by_exception == {"KeyError": 1}

@@ -1,0 +1,132 @@
+"""Unit tests for nodes, the RPC client, and remote proxies."""
+
+import pytest
+
+from repro.core import AspectModerator, ComponentProxy, FunctionAspect, MethodAborted
+from repro.core.results import ABORT
+from repro.dist import (
+    Client,
+    NameService,
+    Network,
+    Node,
+    RemoteError,
+    RequestTimeout,
+)
+
+
+class Calculator:
+    def add(self, a, b):
+        return a + b
+
+    def div(self, a, b):
+        return a / b
+
+
+@pytest.fixture
+def rig():
+    network = Network()
+    names = NameService()
+    node = Node("server", network).start()
+    node.export("calc", Calculator())
+    names.bind("calculator", "server", "calc")
+    client = Client("client", network, names, default_timeout=2.0)
+    yield network, names, node, client
+    client.close()
+    node.stop()
+    network.close()
+
+
+class TestNode:
+    def test_export_withdraw_services(self, rig):
+        network, names, node, client = rig
+        assert node.services() == ["calc"]
+        node.export("extra", Calculator())
+        assert node.services() == ["calc", "extra"]
+        node.withdraw("extra")
+        assert node.services() == ["calc"]
+
+    def test_duplicate_export_rejected(self, rig):
+        network, names, node, client = rig
+        with pytest.raises(ValueError):
+            node.export("calc", Calculator())
+
+    def test_requests_served_counter(self, rig):
+        network, names, node, client = rig
+        client.call_node("server", "calc", "add", 1, 2)
+        assert node.requests_served == 1
+
+
+class TestClientCalls:
+    def test_call_node_roundtrip(self, rig):
+        network, names, node, client = rig
+        assert client.call_node("server", "calc", "add", 2, 3) == 5
+
+    def test_call_name_resolves(self, rig):
+        network, names, node, client = rig
+        assert client.call_name("calculator", "add", 10, 5) == 15
+
+    def test_remote_exception_surfaces_as_remote_error(self, rig):
+        network, names, node, client = rig
+        with pytest.raises(RemoteError) as excinfo:
+            client.call_name("calculator", "div", 1, 0)
+        assert excinfo.value.error_type == "ZeroDivisionError"
+        assert node.requests_failed == 1
+
+    def test_unknown_service_is_remote_error(self, rig):
+        network, names, node, client = rig
+        with pytest.raises(RemoteError):
+            client.call_node("server", "ghost", "add", 1, 2)
+
+    def test_timeout_on_dead_node(self, rig):
+        network, names, node, client = rig
+        network.take_down("server")
+        with pytest.raises(RequestTimeout):
+            client.call_name("calculator", "add", 1, 2, timeout=0.2)
+        assert client.timeouts == 1
+
+    def test_rebind_redirects_subsequent_calls(self, rig):
+        network, names, node, client = rig
+        second = Node("server-2", network).start()
+        second.export("calc", Calculator())
+        names.rebind("calculator", "server-2", "calc")
+        assert client.call_name("calculator", "add", 1, 1) == 2
+        assert second.requests_served == 1
+        second.stop()
+
+
+class TestRemoteProxy:
+    def test_attribute_calls_dispatch_remotely(self, rig):
+        network, names, node, client = rig
+        stub = client.proxy("calculator")
+        assert stub.add(4, 4) == 8
+
+    def test_private_attributes_raise(self, rig):
+        network, names, node, client = rig
+        stub = client.proxy("calculator")
+        with pytest.raises(AttributeError):
+            stub._secret()
+
+
+class TestModeratedServant:
+    def test_remote_call_passes_through_moderation(self, rig):
+        network, names, node, client = rig
+        moderator = AspectModerator()
+        seen = {}
+        moderator.register_aspect("add", "auth", FunctionAspect(
+            concern="auth",
+            precondition=lambda jp: (
+                seen.update(caller=jp.caller) or
+                (True if jp.caller == "alice" else ABORT)
+            ),
+        ))
+        proxy = ComponentProxy(Calculator(), moderator)
+        node.export("guarded", proxy)
+        names.bind("guarded-calc", "server", "guarded")
+
+        assert client.call_name(
+            "guarded-calc", "add", 1, 2, caller="alice"
+        ) == 3
+        assert seen["caller"] == "alice"
+
+        with pytest.raises(MethodAborted):
+            client.call_name("guarded-calc", "add", 1, 2, caller="mallory")

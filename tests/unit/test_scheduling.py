@@ -1,0 +1,157 @@
+"""Unit tests for scheduling aspects (FIFO / LIFO / priority)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.aspects.scheduling import (
+    FifoSchedulingAspect,
+    LifoSchedulingAspect,
+    PrioritySchedulingAspect,
+)
+from repro.core import AspectModerator, ComponentProxy, JoinPoint
+from repro.core.results import BLOCK, RESUME
+
+
+def jp(method="m", **kwargs):
+    return JoinPoint(method_id=method, kwargs=kwargs)
+
+
+class TestFifoScheduling:
+    def test_single_slot_admits_in_arrival_order(self):
+        fifo = FifoSchedulingAspect(concurrency=1)
+        first, second = jp(), jp()
+        assert fifo.precondition(first) is RESUME
+        assert fifo.precondition(second) is BLOCK
+        fifo.postaction(first)
+        assert fifo.precondition(second) is RESUME
+
+    def test_head_of_queue_wins_over_later_arrival(self):
+        fifo = FifoSchedulingAspect(concurrency=1)
+        running = jp()
+        fifo.precondition(running)
+        early, late = jp(), jp()
+        fifo.precondition(early)   # queued first
+        fifo.precondition(late)    # queued second
+        fifo.postaction(running)
+        assert fifo.precondition(late) is BLOCK   # not its turn
+        assert fifo.precondition(early) is RESUME
+
+    def test_concurrency_two(self):
+        fifo = FifoSchedulingAspect(concurrency=2)
+        a, b = jp(), jp()
+        assert fifo.precondition(a) is RESUME
+        assert fifo.precondition(b) is RESUME
+        assert fifo.precondition(jp()) is BLOCK
+
+    def test_abort_of_waiter_leaves_queue(self):
+        fifo = FifoSchedulingAspect(concurrency=1)
+        running, waiter = jp(), jp()
+        fifo.precondition(running)
+        fifo.precondition(waiter)
+        fifo.on_abort(waiter)
+        assert fifo.queue_length == 0
+
+    def test_abort_of_admitted_releases_slot(self):
+        fifo = FifoSchedulingAspect(concurrency=1)
+        admitted = jp()
+        fifo.precondition(admitted)
+        fifo.on_abort(admitted)
+        assert fifo.in_flight == 0
+        assert fifo.precondition(jp()) is RESUME
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FifoSchedulingAspect(concurrency=0)
+
+
+class TestLifoScheduling:
+    def test_most_recent_waiter_admitted_first(self):
+        lifo = LifoSchedulingAspect(concurrency=1)
+        running = jp()
+        lifo.precondition(running)
+        early, late = jp(), jp()
+        lifo.precondition(early)
+        lifo.precondition(late)
+        lifo.postaction(running)
+        assert lifo.precondition(early) is BLOCK
+        assert lifo.precondition(late) is RESUME
+
+
+class TestPriorityScheduling:
+    def test_lowest_priority_value_admitted_first(self):
+        sched = PrioritySchedulingAspect(concurrency=1)
+        running = jp()
+        sched.precondition(running)
+        low = jp(priority=10)
+        urgent = jp(priority=1)
+        sched.precondition(low)
+        sched.precondition(urgent)
+        sched.postaction(running)
+        assert sched.precondition(low) is BLOCK
+        assert sched.precondition(urgent) is RESUME
+
+    def test_ties_break_fifo(self):
+        sched = PrioritySchedulingAspect(concurrency=1)
+        running = jp()
+        sched.precondition(running)
+        first, second = jp(priority=5), jp(priority=5)
+        sched.precondition(first)
+        sched.precondition(second)
+        sched.postaction(running)
+        assert sched.precondition(second) is BLOCK
+        assert sched.precondition(first) is RESUME
+
+    def test_custom_priority_function(self):
+        sched = PrioritySchedulingAspect(
+            concurrency=1,
+            priority_of=lambda jp_: len(jp_.kwargs.get("name", "")),
+        )
+        running = jp()
+        sched.precondition(running)
+        longer = jp(name="zzzz")
+        shorter = jp(name="a")
+        sched.precondition(longer)
+        sched.precondition(shorter)
+        sched.postaction(running)
+        assert sched.precondition(shorter) is RESUME
+
+    def test_default_priority_for_unmarked_calls(self):
+        sched = PrioritySchedulingAspect(concurrency=1, default_priority=100)
+        running = jp()
+        sched.precondition(running)
+        unmarked = jp()
+        marked = jp(priority=1)
+        sched.precondition(unmarked)
+        sched.precondition(marked)
+        sched.postaction(running)
+        assert sched.precondition(unmarked) is BLOCK
+        assert sched.precondition(marked) is RESUME
+
+
+class TestEndToEndFairness:
+    def test_fifo_ordering_under_contention(self):
+        """Threads arriving in sequence are served in sequence."""
+        moderator = AspectModerator()
+        fifo = FifoSchedulingAspect(concurrency=1)
+        moderator.register_aspect("work", "sched", fifo)
+        order = []
+        lock = threading.Lock()
+
+        class Worker:
+            def work(self, tag):
+                with lock:
+                    order.append(tag)
+
+        proxy = ComponentProxy(Worker(), moderator)
+        threads = []
+        for tag in range(6):
+            thread = threading.Thread(target=proxy.work, args=(tag,))
+            thread.start()
+            # stagger arrivals so queue order is deterministic
+            time.sleep(0.02)
+            threads.append(thread)
+        for thread in threads:
+            thread.join(5)
+        assert order == sorted(order)

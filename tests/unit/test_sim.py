@@ -1,0 +1,273 @@
+"""Unit tests for the discrete-event simulation substrate."""
+
+import pytest
+
+from repro.core.errors import ClockError, SimulationError
+from repro.sim import Engine, SimResource, SimStore, VirtualClock, WorkloadRNG
+
+
+class TestVirtualClock:
+    def test_advances(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        clock.advance_by(2.5)
+        assert clock.now == 7.5
+        assert clock() == 7.5
+
+    def test_backwards_rejected(self):
+        clock = VirtualClock(start=10.0)
+        with pytest.raises(ClockError):
+            clock.advance_to(5.0)
+        with pytest.raises(ClockError):
+            clock.advance_by(-1.0)
+
+
+class TestEngine:
+    def test_events_fire_in_time_order(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(3.0, lambda: fired.append(3))
+        engine.call_at(1.0, lambda: fired.append(1))
+        engine.call_at(2.0, lambda: fired.append(2))
+        engine.run()
+        assert fired == [1, 2, 3]
+        assert engine.now == 3.0
+
+    def test_fifo_tiebreak_for_equal_times(self):
+        engine = Engine()
+        fired = []
+        for tag in range(5):
+            engine.call_at(1.0, lambda t=tag: fired.append(t))
+        engine.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_scheduling_in_past_rejected(self):
+        engine = Engine()
+        engine.call_at(5.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.call_at(1.0, lambda: None)
+
+    def test_run_until_bound(self):
+        engine = Engine()
+        fired = []
+        engine.call_at(1.0, lambda: fired.append(1))
+        engine.call_at(10.0, lambda: fired.append(10))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending == 1
+
+    def test_step(self):
+        engine = Engine()
+        engine.call_at(1.0, lambda: None)
+        assert engine.step()
+        assert not engine.step()
+
+    def test_process_sleep_and_return(self):
+        engine = Engine()
+
+        def worker():
+            yield 2.0
+            yield 3.0
+            return "finished"
+
+        process = engine.process(worker())
+        engine.run()
+        assert process.finished
+        assert process.result == "finished"
+        assert engine.now == 5.0
+
+    def test_process_waits_on_event(self):
+        engine = Engine()
+        gate = engine.event("gate")
+        log = []
+
+        def waiter():
+            value = yield gate
+            log.append((engine.now, value))
+
+        def opener():
+            yield 4.0
+            gate.trigger("opened")
+
+        engine.process(waiter())
+        engine.process(opener())
+        engine.run()
+        assert log == [(4.0, "opened")]
+
+    def test_process_waits_on_process(self):
+        engine = Engine()
+
+        def child():
+            yield 3.0
+            return "child-result"
+
+        def parent():
+            result = yield engine.process(child(), name="child")
+            return f"got {result}"
+
+        parent_proc = engine.process(parent(), name="parent")
+        engine.run()
+        assert parent_proc.result == "got child-result"
+
+    def test_strict_mode_raises_process_errors(self):
+        engine = Engine(strict=True)
+
+        def bad():
+            yield 1.0
+            raise ValueError("sim error")
+
+        engine.process(bad())
+        with pytest.raises(ValueError):
+            engine.run()
+
+    def test_lenient_mode_records_failure(self):
+        engine = Engine(strict=False)
+
+        def bad():
+            yield 1.0
+            raise ValueError("sim error")
+
+        process = engine.process(bad())
+        engine.run()
+        assert isinstance(process.failure, ValueError)
+
+    def test_double_trigger_rejected(self):
+        engine = Engine()
+        event = engine.event()
+        event.trigger()
+        with pytest.raises(SimulationError):
+            event.trigger()
+
+    def test_yielding_garbage_raises(self):
+        engine = Engine()
+
+        def bad():
+            yield "banana"
+
+        engine.process(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_max_events_guard(self):
+        engine = Engine()
+
+        def forever():
+            while True:
+                yield 1.0
+
+        engine.process(forever())
+        with pytest.raises(SimulationError):
+            engine.run(max_events=100)
+
+
+class TestSimResource:
+    def test_capacity_and_queueing(self):
+        engine = Engine()
+        resource = SimResource(engine, capacity=1)
+        log = []
+
+        def user(tag, hold):
+            grant = resource.acquire()
+            yield grant
+            log.append((engine.now, tag, "in"))
+            yield hold
+            resource.release()
+            log.append((engine.now, tag, "out"))
+
+        engine.process(user("a", 5.0))
+        engine.process(user("b", 1.0))
+        engine.run()
+        assert log == [
+            (0.0, "a", "in"), (5.0, "a", "out"),
+            (5.0, "b", "in"), (6.0, "b", "out"),
+        ]
+        assert resource.grants == 2
+        assert resource.peak_queue == 1
+
+    def test_release_idle_rejected(self):
+        engine = Engine()
+        resource = SimResource(engine)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+
+class TestSimStore:
+    def test_handoff_to_waiting_getter(self):
+        engine = Engine()
+        store = SimStore(engine)
+        got = []
+
+        def consumer():
+            item = yield store.get()
+            got.append((engine.now, item.value if hasattr(item, 'value') else item))
+
+        def producer():
+            yield 2.0
+            yield store.put("payload")
+
+        consume = engine.process(consumer())
+        engine.process(producer())
+        engine.run()
+        assert got[0][0] == 2.0
+
+    def test_capacity_blocks_putter(self):
+        engine = Engine()
+        store = SimStore(engine, capacity=1)
+        times = []
+
+        def producer():
+            yield store.put("a")
+            times.append(("a", engine.now))
+            yield store.put("b")
+            times.append(("b", engine.now))
+
+        def consumer():
+            yield 4.0
+            yield store.get()
+
+        engine.process(producer())
+        engine.process(consumer())
+        engine.run()
+        assert times == [("a", 0.0), ("b", 4.0)]
+        assert store.total_put == 2
+
+
+class TestWorkloadRNG:
+    def test_same_seed_same_stream(self):
+        a, b = WorkloadRNG(7), WorkloadRNG(7)
+        assert [a.uniform(0, 1) for _ in range(5)] == [
+            b.uniform(0, 1) for _ in range(5)
+        ]
+
+    def test_fork_is_deterministic_and_independent(self):
+        a_fork = WorkloadRNG(7).fork("clients")
+        b_fork = WorkloadRNG(7).fork("clients")
+        other = WorkloadRNG(7).fork("servers")
+        stream = [a_fork.uniform(0, 1) for _ in range(3)]
+        assert stream == [b_fork.uniform(0, 1) for _ in range(3)]
+        assert stream != [other.uniform(0, 1) for _ in range(3)]
+
+    def test_poisson_arrivals_sorted_within_horizon(self):
+        rng = WorkloadRNG(3)
+        arrivals = rng.poisson_arrivals(rate=10.0, horizon=5.0)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 5.0 for t in arrivals)
+        assert 20 <= len(arrivals) <= 90  # ~50 expected
+
+    def test_zipf_rank_zero_most_popular(self):
+        rng = WorkloadRNG(5)
+        draws = [rng.zipf_index(10, s=1.2) for _ in range(2000)]
+        counts = [draws.count(rank) for rank in range(10)]
+        assert counts[0] == max(counts)
+        assert all(0 <= d < 10 for d in draws)
+
+    def test_lognormal_mean_roughly_matches(self):
+        rng = WorkloadRNG(11)
+        samples = [rng.lognormal(2.0, sigma=0.3) for _ in range(4000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_exponential_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadRNG().exponential(0)

@@ -1,0 +1,271 @@
+"""Unit tests for the synchronization aspect library (paper Figure 7)."""
+
+import threading
+import time
+
+import pytest
+
+from repro.aspects.synchronization import (
+    BarrierAspect,
+    BoundedBufferSync,
+    GuardAspect,
+    MutexAspect,
+    ReadersWriterAspect,
+    ReentrantMutexAspect,
+    SemaphoreAspect,
+)
+from repro.core import AspectModerator, ComponentProxy, JoinPoint
+from repro.core.results import ABORT, BLOCK, RESUME
+
+
+class FakeBuffer:
+    def __init__(self, capacity):
+        self.capacity = capacity
+
+
+def jp(method, **kwargs):
+    return JoinPoint(method_id=method, **kwargs)
+
+
+class TestBoundedBufferSync:
+    def make(self, capacity=2, exclusive=True):
+        return BoundedBufferSync(
+            FakeBuffer(capacity), producer="put", consumer="take",
+            exclusive=exclusive,
+        )
+
+    def test_put_resumes_when_space(self):
+        sync = self.make()
+        assert sync.precondition(jp("put")) is RESUME
+
+    def test_take_blocks_when_empty(self):
+        sync = self.make()
+        assert sync.precondition(jp("take")) is BLOCK
+
+    def test_put_blocks_at_capacity(self):
+        sync = self.make(capacity=1)
+        first = jp("put")
+        assert sync.precondition(first) is RESUME
+        sync.postaction(first)
+        assert sync.occupancy == 1
+        assert sync.precondition(jp("put")) is BLOCK
+
+    def test_take_after_put_resumes(self):
+        sync = self.make()
+        put_jp = jp("put")
+        sync.precondition(put_jp)
+        sync.postaction(put_jp)
+        assert sync.precondition(jp("take")) is RESUME
+
+    def test_exclusive_blocks_second_producer_in_flight(self):
+        sync = self.make(capacity=10, exclusive=True)
+        assert sync.precondition(jp("put")) is RESUME
+        assert sync.precondition(jp("put")) is BLOCK
+
+    def test_non_exclusive_allows_concurrent_producers(self):
+        sync = self.make(capacity=10, exclusive=False)
+        assert sync.precondition(jp("put")) is RESUME
+        assert sync.precondition(jp("put")) is RESUME
+
+    def test_reservation_prevents_oversubscription(self):
+        sync = self.make(capacity=1, exclusive=False)
+        assert sync.precondition(jp("put")) is RESUME
+        # capacity 1, one reservation in flight -> second must block
+        assert sync.precondition(jp("put")) is BLOCK
+
+    def test_on_abort_rolls_back_reservation(self):
+        sync = self.make(capacity=1)
+        activation = jp("put")
+        sync.precondition(activation)
+        sync.on_abort(activation)
+        assert sync.precondition(jp("put")) is RESUME
+
+    def test_failed_body_does_not_commit(self):
+        sync = self.make()
+        activation = jp("put")
+        sync.precondition(activation)
+        activation.exception = RuntimeError("body failed")
+        sync.postaction(activation)
+        assert sync.occupancy == 0
+
+    def test_unknown_method_raises(self):
+        sync = self.make()
+        with pytest.raises(LookupError):
+            sync.precondition(jp("other"))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedBufferSync(FakeBuffer(0), producer="p", consumer="c")
+
+
+class TestMutexAspect:
+    def test_mutual_exclusion_lifecycle(self):
+        mutex = MutexAspect()
+        first = jp("a")
+        assert mutex.precondition(first) is RESUME
+        assert mutex.precondition(jp("b")) is BLOCK
+        mutex.postaction(first)
+        assert mutex.precondition(jp("b")) is RESUME
+
+    def test_on_abort_releases(self):
+        mutex = MutexAspect()
+        first = jp("a")
+        mutex.precondition(first)
+        mutex.on_abort(first)
+        assert mutex.precondition(jp("b")) is RESUME
+
+    def test_release_by_non_holder_ignored(self):
+        mutex = MutexAspect()
+        first = jp("a")
+        mutex.precondition(first)
+        mutex.postaction(jp("b"))  # not the holder
+        assert mutex.holder == first.activation_id
+
+
+class TestReentrantMutex:
+    def test_same_thread_reenters(self):
+        mutex = ReentrantMutexAspect()
+        outer, inner = jp("a"), jp("b")
+        assert mutex.precondition(outer) is RESUME
+        assert mutex.precondition(inner) is RESUME
+        mutex.postaction(inner)
+        mutex.postaction(outer)
+        assert mutex.owner is None
+
+    def test_other_thread_blocks(self):
+        mutex = ReentrantMutexAspect()
+        mutex.precondition(jp("a"))
+        results = {}
+
+        def other():
+            results["r"] = mutex.precondition(jp("b"))
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join(5)
+        assert results["r"] is BLOCK
+
+
+class TestSemaphoreAspect:
+    def test_permits_bound_concurrency(self):
+        semaphore = SemaphoreAspect(permits=2)
+        a, b = jp("m"), jp("m")
+        assert semaphore.precondition(a) is RESUME
+        assert semaphore.precondition(b) is RESUME
+        assert semaphore.precondition(jp("m")) is BLOCK
+        semaphore.postaction(a)
+        assert semaphore.precondition(jp("m")) is RESUME
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SemaphoreAspect(permits=0)
+
+
+class TestReadersWriter:
+    def make(self):
+        return ReadersWriterAspect(readers={"read"}, writers={"write"})
+
+    def test_concurrent_readers(self):
+        rw = self.make()
+        assert rw.precondition(jp("read")) is RESUME
+        assert rw.precondition(jp("read")) is RESUME
+        assert rw.active_readers == 2
+
+    def test_writer_excludes_readers_and_writers(self):
+        rw = self.make()
+        writer = jp("write")
+        assert rw.precondition(writer) is RESUME
+        assert rw.precondition(jp("read")) is BLOCK
+        second_writer = jp("write")
+        assert rw.precondition(second_writer) is BLOCK
+        rw.postaction(writer)
+        # writer preference: the waiting writer goes before new readers
+        assert rw.precondition(jp("read")) is BLOCK
+        assert rw.precondition(second_writer) is RESUME
+        rw.postaction(second_writer)
+        assert rw.precondition(jp("read")) is RESUME
+
+    def test_waiting_writer_blocks_new_readers(self):
+        rw = self.make()
+        reader = jp("read")
+        rw.precondition(reader)
+        writer = jp("write")
+        assert rw.precondition(writer) is BLOCK  # registered as waiting
+        assert rw.writers_waiting == 1
+        assert rw.precondition(jp("read")) is BLOCK  # writer preference
+        rw.postaction(reader)
+        assert rw.precondition(writer) is RESUME
+        assert rw.writers_waiting == 0
+
+    def test_role_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ReadersWriterAspect(readers={"x"}, writers={"x"})
+
+    def test_undeclared_method_raises(self):
+        with pytest.raises(LookupError):
+            self.make().precondition(jp("mystery"))
+
+
+class TestBarrierAspect:
+    def test_cohort_released_together(self):
+        barrier = BarrierAspect(parties=3)
+        first, second, third = jp("m"), jp("m"), jp("m")
+        assert barrier.precondition(first) is BLOCK
+        assert barrier.precondition(second) is BLOCK
+        assert barrier.precondition(third) is RESUME  # final party
+        # earlier arrivals resume on re-evaluation
+        assert barrier.precondition(first) is RESUME
+        assert barrier.precondition(second) is RESUME
+
+    def test_next_generation_independent(self):
+        barrier = BarrierAspect(parties=2)
+        a, b = jp("m"), jp("m")
+        barrier.precondition(a)
+        barrier.precondition(b)
+        barrier.precondition(a)
+        # new cohort starts empty
+        c = jp("m")
+        assert barrier.precondition(c) is BLOCK
+        assert barrier.arrived == 1
+
+    def test_abort_removes_arrival(self):
+        barrier = BarrierAspect(parties=2)
+        a = jp("m")
+        barrier.precondition(a)
+        barrier.on_abort(a)
+        b, c = jp("m"), jp("m")
+        assert barrier.precondition(b) is BLOCK
+        assert barrier.precondition(c) is RESUME
+
+    def test_end_to_end_with_moderator(self, threaded):
+        moderator = AspectModerator()
+        moderator.register_aspect("meet", "barrier", BarrierAspect(parties=3))
+
+        class Meeting:
+            def __init__(self):
+                self.lock = threading.Lock()
+                self.attendees = 0
+
+            def meet(self):
+                with self.lock:
+                    self.attendees += 1
+
+        meeting = Meeting()
+        proxy = ComponentProxy(meeting, moderator)
+        threaded(*[proxy.meet for _ in range(3)])
+        assert meeting.attendees == 3
+
+
+class TestGuardAspect:
+    def test_condition_controls_result(self):
+        state = {"ready": False}
+        guard = GuardAspect(lambda _jp: state["ready"])
+        assert guard.precondition(jp("m")) is BLOCK
+        state["ready"] = True
+        assert guard.precondition(jp("m")) is RESUME
+
+    def test_abort_when(self):
+        guard = GuardAspect(
+            lambda _jp: False, abort_when=lambda _jp: True
+        )
+        assert guard.precondition(jp("m")) is ABORT

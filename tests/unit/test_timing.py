@@ -1,0 +1,116 @@
+"""Unit tests for streaming statistics and the timing aspect."""
+
+import math
+
+import pytest
+
+from repro.aspects.timing import StreamingStats, ThroughputWindow, TimingAspect
+from repro.core import AspectModerator, ComponentProxy
+from repro.sim.clock import VirtualClock
+
+
+class TestStreamingStats:
+    def test_mean_min_max(self):
+        stats = StreamingStats()
+        for value in (1.0, 2.0, 3.0):
+            stats.observe(value)
+        assert stats.count == 3
+        assert stats.mean == pytest.approx(2.0)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 3.0
+
+    def test_variance_matches_textbook(self):
+        stats = StreamingStats()
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        for value in values:
+            stats.observe(value)
+        mean = sum(values) / len(values)
+        expected = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert stats.variance == pytest.approx(expected)
+        assert stats.stddev == pytest.approx(math.sqrt(expected))
+
+    def test_variance_degenerate_cases(self):
+        stats = StreamingStats()
+        assert stats.variance == 0.0
+        stats.observe(5.0)
+        assert stats.variance == 0.0
+
+    def test_percentiles_exact_on_small_samples(self):
+        stats = StreamingStats()
+        for value in range(1, 101):
+            stats.observe(float(value))
+        assert stats.percentile(0) == 1.0
+        assert stats.percentile(100) == 100.0
+        assert stats.percentile(50) == pytest.approx(50.5)
+
+    def test_percentile_empty_is_nan(self):
+        assert math.isnan(StreamingStats().percentile(50))
+
+    def test_reservoir_bounded(self):
+        stats = StreamingStats(reservoir_size=16)
+        for value in range(1000):
+            stats.observe(float(value))
+        assert len(stats._reservoir) == 16
+        assert stats.count == 1000
+
+    def test_summary_keys(self):
+        stats = StreamingStats()
+        stats.observe(1.0)
+        summary = stats.summary()
+        assert set(summary) == {
+            "count", "mean", "min", "max", "stddev", "p50", "p99",
+        }
+
+
+class TestThroughputWindow:
+    def test_rate(self):
+        window = ThroughputWindow(started_at=0.0)
+        window.completed = 50
+        assert window.rate(now=10.0) == pytest.approx(5.0)
+
+    def test_zero_elapsed(self):
+        window = ThroughputWindow(started_at=5.0)
+        assert window.rate(now=5.0) == 0.0
+
+
+class TestTimingAspect:
+    def test_measures_virtual_latency(self, echo):
+        clock = VirtualClock()
+        aspect = TimingAspect(clock=clock)
+        moderator = AspectModerator()
+        moderator.register_aspect("ping", "timing", aspect)
+
+        # advance the virtual clock inside the method body
+        class SlowEcho:
+            def ping(self):
+                clock.advance_by(0.25)
+                return "pong"
+
+        proxy = ComponentProxy(SlowEcho(), moderator)
+        proxy.ping()
+        report = aspect.report()
+        assert report["ping"]["count"] == 1
+        assert report["ping"]["mean"] == pytest.approx(0.25)
+
+    def test_window_counts_completions(self, echo):
+        aspect = TimingAspect()
+        moderator = AspectModerator()
+        moderator.register_aspect("ping", "timing", aspect)
+        proxy = ComponentProxy(echo, moderator)
+        for _ in range(5):
+            proxy.ping()
+        assert aspect.window.completed == 5
+        aspect.reset_window()
+        assert aspect.window.completed == 0
+
+    def test_per_method_separation(self, echo):
+        aspect = TimingAspect()
+        moderator = AspectModerator()
+        moderator.register_aspect("ping", "timing", aspect)
+        moderator.register_aspect("boom", "timing", aspect)
+        proxy = ComponentProxy(echo, moderator)
+        proxy.ping()
+        with pytest.raises(RuntimeError):
+            proxy.boom()
+        report = aspect.report()
+        assert set(report) == {"ping", "boom"}

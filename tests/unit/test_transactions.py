@@ -1,0 +1,162 @@
+"""Unit tests for transactional aspects."""
+
+import pytest
+
+from repro.aspects.transactions import (
+    SnapshotTransactionAspect,
+    UndoLogAspect,
+)
+from repro.core import AspectModerator, ComponentProxy, FunctionAspect
+from repro.core.results import ABORT
+
+
+class Ledger:
+    def __init__(self):
+        self.balance = 100
+        self.history = []
+
+    def transfer(self, amount, fail_after_debit=False):
+        self.balance -= amount
+        self.history.append(("debit", amount))
+        if fail_after_debit:
+            raise RuntimeError("wire failure mid-transfer")
+        self.history.append(("credit", amount))
+        return self.balance
+
+
+@pytest.fixture
+def rig():
+    ledger = Ledger()
+    moderator = AspectModerator()
+    txn = SnapshotTransactionAspect()
+    moderator.register_aspect("transfer", "txn", txn)
+    return ledger, ComponentProxy(ledger, moderator), txn
+
+
+class TestSnapshotTransaction:
+    def test_success_commits(self, rig):
+        ledger, proxy, txn = rig
+        proxy.transfer(30)
+        assert ledger.balance == 70
+        assert txn.commits == 1
+        assert txn.rollbacks == 0
+
+    def test_failure_rolls_back_all_attributes(self, rig):
+        ledger, proxy, txn = rig
+        with pytest.raises(RuntimeError):
+            proxy.transfer(30, fail_after_debit=True)
+        assert ledger.balance == 100         # debit undone
+        assert ledger.history == []           # partial history undone
+        assert txn.rollbacks == 1
+
+    def test_rollback_is_per_activation(self, rig):
+        ledger, proxy, txn = rig
+        proxy.transfer(10)
+        with pytest.raises(RuntimeError):
+            proxy.transfer(20, fail_after_debit=True)
+        assert ledger.balance == 90  # first transfer survives
+        proxy.transfer(5)
+        assert ledger.balance == 85
+
+    def test_explicit_attribute_list(self):
+        ledger = Ledger()
+        moderator = AspectModerator()
+        moderator.register_aspect(
+            "transfer", "txn",
+            SnapshotTransactionAspect(attributes=["balance"]),
+        )
+        proxy = ComponentProxy(ledger, moderator)
+        with pytest.raises(RuntimeError):
+            proxy.transfer(30, fail_after_debit=True)
+        assert ledger.balance == 100
+        # history was NOT protected -> partial entry remains
+        assert ledger.history == [("debit", 30)]
+
+    def test_snapshots_are_deep(self, rig):
+        ledger, proxy, txn = rig
+        ledger.history.append(("seed", 0))
+        with pytest.raises(RuntimeError):
+            proxy.transfer(30, fail_after_debit=True)
+        assert ledger.history == [("seed", 0)]
+
+    def test_abort_by_later_aspect_discards_snapshot(self, rig):
+        ledger, proxy, txn = rig
+        proxy.moderator.register_aspect("transfer", "guard", FunctionAspect(
+            concern="guard", precondition=lambda jp: ABORT,
+        ))
+        from repro.core import MethodAborted
+        with pytest.raises(MethodAborted):
+            proxy.transfer(30)
+        assert ledger.balance == 100
+        assert txn.commits == 0
+        assert txn.rollbacks == 0
+
+
+class TestUndoLog:
+    def test_undo_entries_run_in_reverse_on_failure(self):
+        log = []
+
+        class Device:
+            def configure(self, jp_holder):
+                jp = jp_holder["jp"]
+                log.append("step1")
+                UndoLogAspect.record(jp, lambda: log.append("undo1"))
+                log.append("step2")
+                UndoLogAspect.record(jp, lambda: log.append("undo2"))
+                raise RuntimeError("configure failed")
+
+        moderator = AspectModerator()
+        undo_aspect = UndoLogAspect()
+        moderator.register_aspect("configure", "txn", undo_aspect)
+        holder = {}
+        moderator.register_aspect("configure", "capture", FunctionAspect(
+            concern="capture",
+            precondition=lambda jp: holder.__setitem__("jp", jp) or True,
+        ))
+        proxy = ComponentProxy(Device(), moderator)
+        with pytest.raises(RuntimeError):
+            proxy.configure(holder)
+        assert log == ["step1", "step2", "undo2", "undo1"]
+        assert undo_aspect.rollbacks == 1
+
+    def test_success_skips_undo(self):
+        ran = []
+
+        class Device:
+            def ok(self, jp_holder):
+                UndoLogAspect.record(jp_holder["jp"],
+                                     lambda: ran.append("undo"))
+                return "fine"
+
+        moderator = AspectModerator()
+        undo_aspect = UndoLogAspect()
+        moderator.register_aspect("ok", "txn", undo_aspect)
+        holder = {}
+        moderator.register_aspect("ok", "capture", FunctionAspect(
+            concern="capture",
+            precondition=lambda jp: holder.__setitem__("jp", jp) or True,
+        ))
+        proxy = ComponentProxy(Device(), moderator)
+        assert proxy.ok(holder) == "fine"
+        assert ran == []
+        assert undo_aspect.commits == 1
+
+    def test_crashing_undo_counted_not_masking(self):
+        class Device:
+            def act(self, jp_holder):
+                UndoLogAspect.record(jp_holder["jp"],
+                                     lambda: 1 / 0)
+                raise RuntimeError("original failure")
+
+        moderator = AspectModerator()
+        undo_aspect = UndoLogAspect()
+        moderator.register_aspect("act", "txn", undo_aspect)
+        holder = {}
+        moderator.register_aspect("act", "capture", FunctionAspect(
+            concern="capture",
+            precondition=lambda jp: holder.__setitem__("jp", jp) or True,
+        ))
+        proxy = ComponentProxy(Device(), moderator)
+        with pytest.raises(RuntimeError, match="original failure"):
+            proxy.act(holder)
+        assert undo_aspect.undo_failures == 1

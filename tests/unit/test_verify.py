@@ -1,0 +1,190 @@
+"""Unit tests for the aspect-composition model checker."""
+
+import pytest
+
+from repro.aspects.coordination import DependencyAspect, TurnTakingAspect
+from repro.aspects.synchronization import (
+    BarrierAspect,
+    BoundedBufferSync,
+    MutexAspect,
+    SemaphoreAspect,
+)
+from repro.aspects.validation import ValidationAspect
+from repro.verify import (
+    ActivationSpec,
+    Explorer,
+    concurrency_bound,
+    mutual_exclusion,
+    occupancy_bound,
+    verify,
+)
+
+
+class FakeBuffer:
+    capacity = 2
+
+
+def buffer_chains(capacity=2):
+    class Sized:
+        pass
+
+    sized = Sized()
+    sized.capacity = capacity
+    sync = BoundedBufferSync(sized, producer="put", consumer="take")
+    return {"put": [sync], "take": [sync]}
+
+
+class TestVerifiedCompositions:
+    def test_bounded_buffer_safe_and_deadlock_free(self):
+        report = verify(
+            lambda: buffer_chains(capacity=2),
+            specs=[
+                ActivationSpec("p1", "put", 2),
+                ActivationSpec("p2", "put", 2),
+                ActivationSpec("c1", "take", 2),
+                ActivationSpec("c2", "take", 2),
+            ],
+            properties=[occupancy_bound("put", capacity=2)],
+        )
+        assert report.ok, report.summary()
+        assert report.states_explored > 10
+
+    def test_mutex_guarantees_mutual_exclusion(self):
+        report = verify(
+            lambda: {"work": [MutexAspect()]},
+            specs=[ActivationSpec(f"t{i}", "work", 2) for i in range(3)],
+            properties=[mutual_exclusion("work")],
+        )
+        assert report.ok, report.summary()
+
+    def test_semaphore_bounds_concurrency(self):
+        report = verify(
+            lambda: {"work": [SemaphoreAspect(2)]},
+            specs=[ActivationSpec(f"t{i}", "work", 1) for i in range(4)],
+            properties=[concurrency_bound(2, "work")],
+        )
+        assert report.ok, report.summary()
+
+    def test_barrier_releases_full_cohort(self):
+        report = verify(
+            lambda: {"meet": [BarrierAspect(3)]},
+            specs=[ActivationSpec(c, "meet", 1) for c in "abc"],
+        )
+        assert report.ok, report.summary()
+
+    def test_dependency_ordering_deadlock_free(self):
+        def chains():
+            dependency = DependencyAspect({"serve": {"init"}})
+            return {"init": [dependency], "serve": [dependency]}
+
+        report = verify(
+            chains,
+            specs=[
+                ActivationSpec("boot", "init", 1),
+                ActivationSpec("web", "serve", 2),
+            ],
+        )
+        assert report.ok, report.summary()
+
+
+class TestDetectedBugs:
+    def test_producers_without_consumers_deadlock(self):
+        report = verify(
+            lambda: buffer_chains(capacity=1),
+            specs=[ActivationSpec("p1", "put", 3)],
+        )
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.kind == "deadlock"
+        assert "p1" in violation.detail
+        assert violation.trace  # a witness path exists
+
+    def test_undersized_barrier_cohort_deadlocks(self):
+        report = verify(
+            lambda: {"meet": [BarrierAspect(3)]},
+            specs=[ActivationSpec(c, "meet", 1) for c in "ab"],
+        )
+        assert not report.ok
+        assert report.violations[0].kind == "deadlock"
+
+    def test_missing_sync_aspect_violates_occupancy(self):
+        report = verify(
+            lambda: {"put": [], "take": []},
+            specs=[ActivationSpec("p1", "put", 2),
+                   ActivationSpec("p2", "put", 2)],
+            properties=[occupancy_bound("put", capacity=1)],
+        )
+        assert not report.ok
+        assert report.violations[0].kind == "property"
+
+    def test_unsound_semaphore_caught(self):
+        """A semaphore with too many permits violates the bound."""
+        report = verify(
+            lambda: {"work": [SemaphoreAspect(3)]},
+            specs=[ActivationSpec(f"t{i}", "work", 1) for i in range(3)],
+            properties=[concurrency_bound(2, "work")],
+        )
+        assert not report.ok
+        assert "bound 2 exceeded" in report.violations[0].detail
+
+    def test_counterexample_trace_is_replayable(self):
+        report = verify(
+            lambda: buffer_chains(capacity=1),
+            specs=[ActivationSpec("p1", "put", 2)],
+        )
+        violation = report.violations[0]
+        # the witness must be the shortest path: start, finish, start(block)
+        assert len(violation.trace) <= 3
+        formatted = violation.format()
+        assert "deadlock" in formatted
+        assert "p1" in formatted
+
+
+class TestExplorerMechanics:
+    def test_aborting_aspects_consume_turns(self):
+        def chains():
+            return {"work": [ValidationAspect(
+                rules=[("never", lambda _jp: False)],
+            )]}
+
+        report = verify(
+            chains,
+            specs=[ActivationSpec("t", "work", 2)],
+        )
+        # aborted attempts complete the script: no deadlock, no hang
+        assert report.ok, report.summary()
+
+    def test_max_states_truncation_flagged(self):
+        explorer = Explorer(
+            lambda: {"work": [SemaphoreAspect(4)]},
+            specs=[ActivationSpec(f"t{i}", "work", 3) for i in range(4)],
+            max_states=10,
+        )
+        report = explorer.run()
+        assert report.truncated
+        assert not report.ok
+
+    def test_stop_at_first_vs_collect_all(self):
+        args = dict(
+            build_chains=lambda: {"work": [SemaphoreAspect(3)]},
+            specs=[ActivationSpec(f"t{i}", "work", 1) for i in range(3)],
+            properties=[concurrency_bound(1, "work")],
+        )
+        first = verify(stop_at_first=True, **args)
+        every = verify(stop_at_first=False, **args)
+        assert len(first.violations) == 1
+        assert len(every.violations) >= len(first.violations)
+
+    def test_exploration_is_deterministic(self):
+        def run():
+            return verify(
+                lambda: buffer_chains(capacity=2),
+                specs=[
+                    ActivationSpec("p", "put", 2),
+                    ActivationSpec("c", "take", 2),
+                ],
+            )
+
+        first, second = run(), run()
+        assert first.states_explored == second.states_explored
+        assert first.transitions_taken == second.transitions_taken

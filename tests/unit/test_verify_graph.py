@@ -1,0 +1,61 @@
+"""Unit tests for state-graph collection and DOT rendering."""
+
+from repro.aspects.synchronization import MutexAspect
+from repro.verify import ActivationSpec, Explorer
+
+
+def run_explorer(collect_graph):
+    explorer = Explorer(
+        lambda: {"work": [MutexAspect()]},
+        specs=[ActivationSpec("a", "work", 1),
+               ActivationSpec("b", "work", 1)],
+    )
+    return explorer.run(collect_graph=collect_graph)
+
+
+class TestGraphCollection:
+    def test_edges_collected_when_requested(self):
+        report = run_explorer(collect_graph=True)
+        assert report.ok
+        assert report.edges
+        # every recorded transition appears as an edge (including
+        # convergent ones into already-visited states)
+        assert len(report.edges) == report.transitions_taken
+
+    def test_edges_absent_by_default(self):
+        report = run_explorer(collect_graph=False)
+        assert report.edges == []
+
+    def test_edge_labels_name_transition_and_client(self):
+        report = run_explorer(collect_graph=True)
+        labels = {label for _s, label, _t in report.edges}
+        assert any(label.startswith("start(") for label in labels)
+        assert any(label.startswith("finish(") for label in labels)
+        assert any("(a)" in label for label in labels)
+
+    def test_root_is_node_zero(self):
+        report = run_explorer(collect_graph=True)
+        sources = {source for source, _l, _t in report.edges}
+        assert 0 in sources
+
+    def test_node_ids_dense(self):
+        report = run_explorer(collect_graph=True)
+        nodes = {source for source, _l, _t in report.edges} | {
+            target for _s, _l, target in report.edges
+        }
+        assert nodes == set(range(len(nodes)))
+
+
+class TestDotRendering:
+    def test_dot_output_is_valid_shape(self):
+        report = run_explorer(collect_graph=True)
+        dot = report.to_dot(name="mutex")
+        assert dot.startswith("digraph mutex {")
+        assert dot.rstrip().endswith("}")
+        assert '0 [shape=doublecircle, label="init"]' in dot
+        assert "->" in dot
+
+    def test_dot_edge_count_matches(self):
+        report = run_explorer(collect_graph=True)
+        dot = report.to_dot()
+        assert dot.count("->") == len(report.edges)

@@ -1,0 +1,200 @@
+"""Unit tests for the weaving layer: decorators, metaclass, weave()."""
+
+import pytest
+
+from repro.core import (
+    AspectModerator,
+    FunctionAspect,
+    MethodAborted,
+    WeavingError,
+)
+from repro.core.factory import RegistryAspectFactory
+from repro.core.pointcut import matching
+from repro.core.weaver import (
+    ModeratedMeta,
+    moderated,
+    participating,
+    participating_methods,
+    weave,
+)
+from repro.core.results import ABORT
+from repro.core.aspect import NullAspect
+
+
+class TestParticipatingDecorator:
+    def test_marks_concerns(self):
+        class Thing:
+            @participating("sync", "auth")
+            def act(self):
+                return 1
+
+        assert participating_methods(Thing) == {"act": ["sync", "auth"]}
+
+    def test_bare_usage_without_parentheses(self):
+        class Thing:
+            @participating
+            def act(self):
+                return 1
+
+        assert participating_methods(Thing) == {"act": []}
+
+    def test_unmarked_methods_ignored(self):
+        class Thing:
+            def plain(self):
+                return 0
+
+            @participating("sync")
+            def act(self):
+                return 1
+
+        assert "plain" not in participating_methods(Thing)
+
+
+class TestModeratedDecorator:
+    def make(self):
+        @moderated
+        class Server:
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+                self.log = []
+
+            @participating("sync")
+            def put(self, item):
+                self.log.append(item)
+                return len(self.log)
+
+        return Server
+
+    def test_instances_without_moderator_behave_plainly(self):
+        server = self.make()(moderator=None)
+        assert server.put("a") == 1
+
+    def test_instances_with_moderator_are_guarded(self):
+        server_class = self.make()
+        moderator = AspectModerator()
+        events = []
+        moderator.register_aspect("put", "sync", FunctionAspect(
+            concern="sync",
+            precondition=lambda jp: events.append("pre") or True,
+            postaction=lambda jp: events.append("post"),
+        ))
+        server = server_class(moderator=moderator)
+        assert server.put("a") == 1
+        assert events == ["pre", "post"]
+
+    def test_abort_propagates(self):
+        server_class = self.make()
+        moderator = AspectModerator()
+        moderator.register_aspect("put", "g", FunctionAspect(
+            concern="g", precondition=lambda jp: ABORT,
+        ))
+        server = server_class(moderator=moderator)
+        with pytest.raises(MethodAborted):
+            server.put("a")
+        assert server.log == []
+
+    def test_weaving_classes_without_marks_raises(self):
+        with pytest.raises(WeavingError):
+            @moderated
+            class Empty:
+                def act(self):
+                    return 1
+
+    def test_custom_moderator_attribute(self):
+        @moderated(moderator_attr="mod")
+        class Server:
+            def __init__(self, mod):
+                self.mod = mod
+
+            @participating("sync")
+            def act(self):
+                return "ok"
+
+        moderator = AspectModerator()
+        ran = []
+        moderator.register_aspect("act", "sync", FunctionAspect(
+            concern="sync", postaction=lambda jp: ran.append(1),
+        ))
+        assert Server(moderator).act() == "ok"
+        assert ran == [1]
+
+
+class TestModeratedMeta:
+    def test_metaclass_weaves_at_class_creation(self):
+        class Server(metaclass=ModeratedMeta):
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+
+            @participating("sync")
+            def act(self):
+                return "woven"
+
+        moderator = AspectModerator()
+        ran = []
+        moderator.register_aspect("act", "sync", FunctionAspect(
+            concern="sync", postaction=lambda jp: ran.append(1),
+        ))
+        assert Server(moderator).act() == "woven"
+        assert ran == [1]
+        assert getattr(Server.act, "__woven__", False)
+
+
+class TestWeaveFunction:
+    def make_component(self):
+        class Store:
+            def __init__(self):
+                self.items = []
+
+            @participating("sync")
+            def put(self, item):
+                self.items.append(item)
+
+            @participating("sync")
+            def take(self):
+                return self.items.pop(0)
+
+            def peek(self):
+                return self.items[0]
+
+        return Store()
+
+    def make_factory(self):
+        factory = RegistryAspectFactory()
+        factory.register("put", "sync", lambda c: NullAspect())
+        factory.register("take", "sync", lambda c: NullAspect())
+        return factory
+
+    def test_weave_registers_aspects_and_returns_proxy(self):
+        component = self.make_component()
+        moderator = AspectModerator()
+        proxy = weave(component, moderator, factory=self.make_factory())
+        assert moderator.bank.contains("put", "sync")
+        assert moderator.bank.contains("take", "sync")
+        proxy.put("x")
+        assert proxy.take() == "x"
+        assert moderator.stats.preactivations == 2
+
+    def test_weave_with_pointcut_selects_methods(self):
+        component = self.make_component()
+        moderator = AspectModerator()
+        factory = RegistryAspectFactory()
+        factory.register("put", "audit", lambda c: NullAspect())
+        proxy = weave(
+            component, moderator,
+            factory=factory,
+            pointcut=matching("pu*"),
+            concerns=["audit"],
+        )
+        assert moderator.bank.contains("put", "audit")
+        assert not moderator.bank.contains("take", "audit")
+        # peek matched the component but not the pointcut
+        assert proxy.is_participating("put")
+        assert not proxy.is_participating("peek")
+
+    def test_weave_nothing_raises(self):
+        class Bare:
+            def act(self):
+                return 1
+
+        with pytest.raises(WeavingError):
+            weave(Bare(), AspectModerator())

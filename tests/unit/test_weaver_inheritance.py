@@ -1,0 +1,171 @@
+"""Unit tests for weaving across inheritance hierarchies."""
+
+import pytest
+
+from repro.core import (
+    AspectModerator,
+    FunctionAspect,
+    MethodAborted,
+)
+from repro.core.weaver import (
+    ModeratedMeta,
+    moderated,
+    participating,
+    participating_methods,
+)
+from repro.core.results import ABORT
+
+
+def make_moderator_with(concern_log):
+    moderator = AspectModerator()
+
+    def register(method):
+        moderator.register_aspect(method, "probe", FunctionAspect(
+            concern="probe",
+            precondition=lambda jp: concern_log.append(
+                ("pre", jp.method_id)
+            ) or True,
+            postaction=lambda jp: concern_log.append(
+                ("post", jp.method_id)
+            ),
+        ))
+
+    return moderator, register
+
+
+class TestInheritedParticipation:
+    def test_subclass_inherits_woven_methods(self):
+        @moderated
+        class Base:
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+
+            @participating("sync")
+            def act(self):
+                return "base"
+
+        class Derived(Base):
+            pass
+
+        log = []
+        moderator, register = make_moderator_with(log)
+        register("act")
+        assert Derived(moderator).act() == "base"
+        assert log == [("pre", "act"), ("post", "act")]
+
+    def test_subclass_override_unwoven_until_rewoven(self):
+        @moderated
+        class Base:
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+
+            @participating("sync")
+            def act(self):
+                return "base"
+
+        class Derived(Base):
+            def act(self):  # plain override: not marked, not woven
+                return "derived"
+
+        log = []
+        moderator, register = make_moderator_with(log)
+        register("act")
+        assert Derived(moderator).act() == "derived"
+        assert log == []  # override bypassed moderation
+
+    def test_rewoven_subclass_override_guarded(self):
+        @moderated
+        class Base:
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+
+            @participating("sync")
+            def act(self):
+                return "base"
+
+        @moderated
+        class Derived(Base):
+            @participating("sync")
+            def act(self):
+                return "derived"
+
+        log = []
+        moderator, register = make_moderator_with(log)
+        register("act")
+        assert Derived(moderator).act() == "derived"
+        assert log == [("pre", "act"), ("post", "act")]
+
+    def test_metaclass_hierarchy_weaves_each_level_once(self):
+        class Base(metaclass=ModeratedMeta):
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+
+            @participating("sync")
+            def ping(self):
+                return "ping"
+
+        class Derived(Base):
+            @participating("sync")
+            def pong(self):
+                return "pong"
+
+        log = []
+        moderator, register = make_moderator_with(log)
+        register("ping")
+        register("pong")
+        instance = Derived(moderator)
+        assert instance.ping() == "ping"
+        assert instance.pong() == "pong"
+        assert log.count(("pre", "ping")) == 1
+        assert log.count(("pre", "pong")) == 1
+
+    def test_participating_methods_sees_inherited_marks(self):
+        class Base:
+            @participating("sync")
+            def act(self):
+                return 1
+
+        class Derived(Base):
+            @participating("audit")
+            def extra(self):
+                return 2
+
+        marks = participating_methods(Derived)
+        assert marks == {"act": ["sync"], "extra": ["audit"]}
+
+    def test_double_weaving_is_idempotent(self):
+        @moderated
+        class Once:
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+
+            @participating("sync")
+            def act(self):
+                return "ok"
+
+        rewoven = moderated(Once)  # second application: no double bracket
+        log = []
+        moderator, register = make_moderator_with(log)
+        register("act")
+        assert rewoven(moderator).act() == "ok"
+        assert log == [("pre", "act"), ("post", "act")]
+
+    def test_abort_travels_through_inheritance(self):
+        @moderated
+        class Base:
+            def __init__(self, moderator=None):
+                self.moderator = moderator
+
+            @participating("sync")
+            def act(self):
+                return "never"
+
+        class Derived(Base):
+            pass
+
+        moderator = AspectModerator()
+        moderator.register_aspect("act", "guard", FunctionAspect(
+            concern="guard", precondition=lambda jp: ABORT,
+        ))
+        with pytest.raises(MethodAborted):
+            Derived(moderator).act()
