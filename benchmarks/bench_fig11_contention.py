@@ -43,6 +43,33 @@ def test_framework_buffer_contention(benchmark, pc_workload,
 
 
 @pytest.mark.parametrize("producers,consumers", THREAD_GRID)
+def test_framework_single_domain_ablation(benchmark, pc_workload,
+                                          producers, consumers):
+    """Seed-lock ablation: open+assign forced into one shared domain.
+
+    Reproduces the pre-striping moderator (one lock for every method) so
+    the framework rows above can be read as a before/after pair.
+    """
+    cluster = build_ticketing_cluster(capacity=8, lock_domain="seed-lock")
+
+    def workload():
+        return pc_workload(
+            cluster.proxy.open,
+            cluster.proxy.assign,
+            producers, consumers,
+            ITEMS // producers,
+            lambda w, i: Ticket(summary=f"{w}:{i}"),
+        )
+
+    moved = benchmark.pedantic(workload, rounds=3, iterations=1)
+    assert moved == (ITEMS // producers) * producers
+    benchmark.extra_info["producers"] = producers
+    benchmark.extra_info["consumers"] = consumers
+    benchmark.extra_info["lock_domain"] = "seed-lock"
+    benchmark.extra_info["blocks"] = cluster.moderator.stats.blocks
+
+
+@pytest.mark.parametrize("producers,consumers", THREAD_GRID)
 def test_tangled_buffer_contention(benchmark, pc_workload,
                                    producers, consumers):
     server = TangledTicketServer(capacity=8)

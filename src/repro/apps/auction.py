@@ -146,6 +146,10 @@ def build_auction_cluster(
         ordering=guards_first,
         default_timeout=default_timeout,
     )
+    # All three methods contend on one shared mutex aspect: admission of
+    # any of them can change when any other completes, so they moderate
+    # in a single shared lock domain rather than per-method stripes.
+    cluster.moderator.assign_lock_domain("auction:mutex", *methods)
     if roles is not None:
         authz_factory = RegistryAspectFactory()
         shared = AuthorizationAspect(roles)

@@ -163,6 +163,9 @@ def build_reservation_cluster(
         bindings=bindings,
         default_timeout=default_timeout,
     )
+    # reserve/confirm/cancel all contend on the shared mutex and phase
+    # aspects (and capacity frees on cancel): one shared lock domain.
+    cluster.moderator.assign_lock_domain("reservation:mutex", *methods)
     # Make the phase aspect reachable for operators (close booking etc.).
     cluster.phase = phase  # type: ignore[attr-defined]
     return cluster

@@ -281,6 +281,7 @@ def build_ticketing_cluster(
     timing: bool = False,
     default_timeout: Optional[float] = None,
     notify_scope: str = "all",
+    lock_domain: Optional[str] = None,
 ) -> Cluster:
     """Framework-style construction of the same application.
 
@@ -288,6 +289,11 @@ def build_ticketing_cluster(
     ``open`` and ``assign`` with the synchronization aspects, plus —
     depending on the arguments — authentication (wrapping sync, as in
     the paper's extension), auditing, and timing.
+
+    ``lock_domain`` places ``open`` and ``assign`` in one shared lock
+    domain (the seed's single-moderator-lock behaviour); by default each
+    method moderates on its own stripe — safe here because the sync
+    aspects guard their shared :class:`TicketSyncState` with its lock.
     """
     store = TicketStore(capacity=capacity)
     cluster = Cluster(
@@ -298,6 +304,8 @@ def build_ticketing_cluster(
         default_timeout=default_timeout,
         notify_scope=notify_scope,
     )
+    if lock_domain is not None:
+        cluster.moderator.assign_lock_domain(lock_domain, "open", "assign")
     if sessions is not None:
         cluster.extend(
             ExtendedAspectFactory(sessions),

@@ -141,6 +141,7 @@ class AuditAspect(StatefulAspect):
 
     concern = "audit"
     is_observer = True
+    never_blocks = True
 
     def __init__(self, log: Optional[AuditLog] = None) -> None:
         super().__init__()

@@ -63,6 +63,7 @@ class AuthorizationAspect(StatefulAspect):
 
     concern = "authorize"
     is_guard = True
+    never_blocks = True
 
     def __init__(self, registry: RoleRegistry,
                  allow_unlisted: bool = False) -> None:

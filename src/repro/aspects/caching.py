@@ -34,6 +34,7 @@ class CachingAspect(StatefulAspect):
     """LRU memoization of participating-method results."""
 
     concern = "cache"
+    never_blocks = True
 
     def __init__(self, max_entries: int = 128, key=default_key) -> None:
         super().__init__()

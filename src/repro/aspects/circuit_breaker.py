@@ -49,6 +49,7 @@ class CircuitBreakerAspect(StatefulAspect):
     """
 
     concern = "breaker"
+    never_blocks = True
 
     def __init__(
         self,

@@ -109,6 +109,7 @@ class FailureAccountingAspect(StatefulAspect):
     """Observe method outcomes and keep failure statistics per method."""
 
     concern = "fault"
+    never_blocks = True
 
     def __init__(self, clock=time.monotonic) -> None:
         super().__init__()

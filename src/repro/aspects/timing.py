@@ -109,6 +109,7 @@ class TimingAspect(StatefulAspect):
 
     concern = "timing"
     is_observer = True
+    never_blocks = True
 
     def __init__(self, clock=time.monotonic) -> None:
         super().__init__()

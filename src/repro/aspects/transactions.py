@@ -41,6 +41,7 @@ class SnapshotTransactionAspect(StatefulAspect):
     """
 
     concern = "txn"
+    never_blocks = True
 
     def __init__(self, attributes: Optional[Iterable[str]] = None) -> None:
         super().__init__()
@@ -98,6 +99,7 @@ class UndoLogAspect(StatefulAspect):
     """
 
     concern = "txn"
+    never_blocks = True
     CONTEXT_KEY = "__txn_undo_log__"
 
     def __init__(self) -> None:

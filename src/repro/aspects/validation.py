@@ -34,6 +34,7 @@ class ValidationAspect(StatefulAspect):
     """
 
     concern = "validate"
+    never_blocks = True
 
     def __init__(self, rules: Optional[List[Rule]] = None) -> None:
         super().__init__()
@@ -73,6 +74,7 @@ class TypeContractAspect(StatefulAspect):
     """
 
     concern = "typecheck"
+    never_blocks = True
 
     def __init__(self, contracts: Dict[str, Tuple[type, ...]]) -> None:
         super().__init__()
@@ -106,6 +108,7 @@ class StateInvariantAspect(StatefulAspect):
     """
 
     concern = "invariant"
+    never_blocks = True
 
     def __init__(self, invariant: Callable[[Any], bool],
                  description: str = "component invariant") -> None:

@@ -14,6 +14,7 @@ from .primitives import (
     Future,
     FutureError,
     Latch,
+    LockDomain,
     WaitQueue,
 )
 
@@ -26,6 +27,7 @@ __all__ = [
     "Future",
     "FutureError",
     "Latch",
+    "LockDomain",
     "MethodRequest",
     "Ticket",
     "TicketStore",

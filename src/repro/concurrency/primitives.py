@@ -64,6 +64,66 @@ class CountdownLatch:
             )
 
 
+class LockDomain:
+    """A lock shared by a group of named condition queues.
+
+    The aspect moderator assigns every participating method to one lock
+    domain. By default each method gets a private domain, so the
+    moderation of unrelated methods proceeds in parallel (the paper's
+    per-method Java monitors); methods whose aspects share unguarded
+    state opt into one *shared* domain, restoring a single-monitor
+    atomicity guarantee for exactly that group.
+
+    All operations may be called without holding the domain lock; they
+    acquire it internally. ``notify_all`` in particular is safe to call
+    from a thread that holds a *different* domain's lock only if that is
+    never done symmetrically — the moderator therefore performs all
+    cross-domain wakeups while holding no domain lock at all (its
+    two-phase wake).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.lock = threading.RLock()
+        self._conditions: "dict[str, threading.Condition]" = {}
+
+    def condition(self, key: str) -> threading.Condition:
+        """The condition queue for ``key``, created on first use."""
+        with self.lock:
+            condition = self._conditions.get(key)
+            if condition is None:
+                condition = threading.Condition(self.lock)
+                self._conditions[key] = condition
+            return condition
+
+    def conditions(self) -> List["tuple[str, threading.Condition]"]:
+        """Snapshot of ``(key, condition)`` pairs in this domain."""
+        with self.lock:
+            return list(self._conditions.items())
+
+    def notify_all(self, key: Optional[str] = None) -> None:
+        """Wake every waiter of one queue (or of all queues)."""
+        with self.lock:
+            if key is None:
+                for condition in self._conditions.values():
+                    condition.notify_all()
+            else:
+                condition = self._conditions.get(key)
+                if condition is not None:
+                    condition.notify_all()
+
+    def waiter_counts(self) -> "dict[str, int]":
+        """Approximate number of parked threads per queue key."""
+        with self.lock:
+            return {
+                key: len(condition._waiters)  # noqa: SLF001 - CPython detail
+                for key, condition in self._conditions.items()
+            }
+
+    def __repr__(self) -> str:
+        return f"<LockDomain {self.name!r} queues={len(self._conditions)}>"
+
+
 class FutureError(RuntimeError):
     """Raised on misuse of :class:`Future` (double completion, etc.)."""
 

@@ -63,6 +63,23 @@ class Aspect(abc.ABC):
     #: authoritative binding is the bank registration.
     concern: str = "aspect"
 
+    #: Contract flag: ``True`` promises that :meth:`precondition` never
+    #: returns BLOCK *and* that :meth:`postaction` never enables another
+    #: method's blocked precondition. Methods whose entire chain carries
+    #: the promise moderate on a lock-free fast path (no wait queue, no
+    #: domain lock). Observers (timing, audit), caches and pure guards
+    #: (which may ABORT but never BLOCK) qualify; synchronization,
+    #: scheduling and rate-limiting aspects do not.
+    never_blocks: bool = False
+
+    #: Optional shared lock-domain name. Aspects that mutate state shared
+    #: across several methods *without their own lock* set this (or pass
+    #: ``lock_domain=`` at registration) so every method they guard
+    #: moderates under one lock, preserving the atomicity a single
+    #: moderator-wide monitor used to give them. Aspects with their own
+    #: lock (:class:`StatefulAspect`) don't need it.
+    lock_domain: Optional[str] = None
+
     def precondition(self, joinpoint: JoinPoint) -> AspectResult:
         """Evaluate this aspect's constraint before the method runs.
 
@@ -99,6 +116,7 @@ class NullAspect(Aspect):
     """An aspect with no constraints and no state. Always RESUMEs."""
 
     concern = "null"
+    never_blocks = True
 
 
 class FunctionAspect(Aspect):
@@ -119,11 +137,15 @@ class FunctionAspect(Aspect):
         precondition: Optional[PreconditionFn] = None,
         postaction: Optional[PostactionFn] = None,
         on_abort: Optional[PostactionFn] = None,
+        never_blocks: bool = False,
+        lock_domain: Optional[str] = None,
     ) -> None:
         self.concern = concern
         self._precondition = precondition
         self._postaction = postaction
         self._on_abort = on_abort
+        self.never_blocks = never_blocks
+        self.lock_domain = lock_domain
 
     def precondition(self, joinpoint: JoinPoint) -> AspectResult:
         if self._precondition is None:

@@ -39,6 +39,15 @@ class AspectBank:
         self._cells: Dict[str, Dict[str, Aspect]] = {}
         # method_id -> concern order (explicit composition order)
         self._order: Dict[str, List[str]] = {}
+        # bumped on every mutation; caches (proxy wrappers, moderator
+        # linkage maps) key on it to invalidate after (un)registration
+        self._revision = 0
+
+    @property
+    def revision(self) -> int:
+        """Monotonic counter incremented by every mutating operation."""
+        with self._lock:
+            return self._revision
 
     # ------------------------------------------------------------------
     # registration (paper Figure 9)
@@ -68,6 +77,7 @@ class AspectBank:
             row[concern] = aspect
             if fresh:
                 self._order.setdefault(method_id, []).append(concern)
+            self._revision += 1
 
     def unregister(self, method_id: str, concern: str) -> Aspect:
         """Remove and return the aspect at ``(method_id, concern)``."""
@@ -80,6 +90,7 @@ class AspectBank:
             if not row:
                 del self._cells[method_id]
                 del self._order[method_id]
+            self._revision += 1
             return aspect
 
     # ------------------------------------------------------------------
@@ -150,6 +161,7 @@ class AspectBank:
                     f"{method_id!r}"
                 )
             self._order[method_id] = list(concerns)
+            self._revision += 1
 
     def grid(self) -> Dict[str, Dict[str, str]]:
         """Render the two-dimensional composition as nested dicts of names.

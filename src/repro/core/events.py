@@ -23,6 +23,8 @@ kind                 meaning
 ``notify``           moderator notified wait queues
 ``abort``            activation aborted
 ``compensate``       on_abort compensation ran for an aspect
+``lock_domain``      method (re)assigned to a lock domain (detail holds
+                     the domain name; empty = back to its own stripe)
 ==================  ====================================================
 """
 

@@ -15,27 +15,54 @@ participating method, the proxy delegates to the moderator, which
 Concurrency design
 ------------------
 
-The paper synchronizes each phase on per-method Java monitors. The
-framework uses one lock per moderator shared by per-method
-``threading.Condition`` queues:
+The paper synchronizes each phase on a *per-method* Java monitor. The
+framework reproduces exactly that via **lock domains**
+(:class:`~repro.concurrency.primitives.LockDomain`): every participating
+method is assigned to a domain holding one lock and one condition queue
+per method. Three regimes coexist:
 
-* all precondition chains evaluate under the lock, so an activation
-  observes and mutates aspect counters atomically with respect to every
-  other activation moderated by this object (exactly the guarantee the
-  paper's ``synchronized`` blocks provide);
-* the participating method itself runs *outside* the lock — functional
-  work proceeds concurrently; only moderation is serialized;
-* post-activation re-acquires the lock, runs postactions, and notifies
-  *all* method queues: a completing ``open`` may unblock waiters of
-  ``assign`` (the paper hard-codes that cross-notification; notifying
-  every queue generalizes it to arbitrary concern graphs at the cost of
-  spurious wakeups, which the re-evaluation loop absorbs).
+* **striped (default)** — each method gets a private domain, so the
+  precondition chains of unrelated methods (say ``open`` and ``assign``)
+  evaluate concurrently. Within one method, rounds stay atomic: an
+  activation observes and mutates aspect state atomically with respect
+  to every other activation *of the same method*. Aspects whose state
+  spans several methods must either carry their own lock
+  (:class:`~repro.core.aspect.StatefulAspect` does) or opt into…
+* **shared domains (opt-in)** — registering an aspect with a
+  ``lock_domain`` (parameter or aspect attribute) places its method in
+  that named domain. All methods of one domain moderate under a single
+  lock, restoring the seed's moderator-wide monitor for exactly the
+  group that needs it — e.g. paper-style sync aspects that mutate a
+  shared counter in ``precondition()`` without any lock of their own.
+* **lock-free fast path** — when every aspect in a method's chain
+  declares ``never_blocks = True`` (timing, audit, caching, validation:
+  aspects that may RESUME or ABORT but never BLOCK, and whose
+  postactions never enable another method's blocked precondition), the
+  moderator skips the condition machinery entirely: no domain lock is
+  taken for either phase. Completions on the fast path still perform a
+  wake when (and only when) some activation is parked anywhere on the
+  moderator, so a mixed deployment cannot lose wakeups.
+
+Post-activation uses a **two-phase wake**: postactions run under the
+method's own domain lock, which is then *released* before any queue is
+notified. Each target queue is notified under its own lock, so a
+completion of ``open`` can wake waiters of ``assign`` across domains
+without ever holding two domain locks at once — no lock-order cycles by
+construction. A waiter cannot miss such a wake: it evaluates and parks
+while continuously holding its own domain lock, which the notifier must
+acquire, so the notification is always ordered after the park.
+
+The functional method itself always runs *outside* every moderator lock
+— only moderation is serialized, and only per domain.
 
 Fix over the paper: the published listings mutate synchronization
 counters inside ``precondition()`` but never undo them when a *later*
 aspect in the chain blocks or aborts. The moderator closes that hole by
 invoking ``on_abort()`` on already-RESUMEd aspects, in reverse order,
-before waiting or aborting.
+before waiting or aborting. A second repair: when a timeout expires
+while an activation is parked, the chain is re-evaluated one final time
+before :class:`ActivationTimeout` is raised, so a notification that
+races the deadline is honoured rather than dropped.
 """
 
 from __future__ import annotations
@@ -46,9 +73,11 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.concurrency.primitives import LockDomain
+
 from .aspect import Aspect
 from .bank import AspectBank
-from .errors import ActivationTimeout, MethodAborted
+from .errors import ActivationTimeout, MethodAborted, RegistrationError
 from .events import EventBus
 from .joinpoint import JoinPoint
 from .ordering import OrderingPolicy, registration_order
@@ -57,10 +86,20 @@ from .results import AspectResult, Phase
 #: context key under which the RESUMEd chain is stashed between phases
 CHAIN_KEY = "__moderation_chain__"
 
+#: prefix of the private (per-method) lock-domain namespace; user-chosen
+#: shared domain names never collide with it
+_PRIVATE_DOMAIN_PREFIX = "~method:"
+
 
 @dataclass
 class ModerationStats:
-    """Aggregate counters maintained by a moderator (under its lock)."""
+    """Aggregate counters maintained by a moderator.
+
+    Increments go through :meth:`bump`, which serializes on an internal
+    lock: with per-method lock domains (and the lock-free fast path)
+    counters are updated from concurrent activations that no longer
+    share any moderation lock.
+    """
 
     preactivations: int = 0
     resumes: int = 0
@@ -71,9 +110,22 @@ class ModerationStats:
     postactivations: int = 0
     notifications: int = 0
     compensations: int = 0
+    fastpaths: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def bump(self, *names: str, amount: int = 1) -> None:
+        """Atomically increment each named counter by ``amount``."""
+        with self._lock:
+            for name in names:
+                setattr(self, name, getattr(self, name) + amount)
 
     def as_dict(self) -> Dict[str, int]:
-        return dict(vars(self))
+        return {
+            key: value for key, value in vars(self).items()
+            if not key.startswith("_")
+        }
 
 
 class AspectModerator:
@@ -90,6 +142,7 @@ class AspectModerator:
         default_timeout: optional bound, in seconds, on how long a
             BLOCKed activation may wait before :class:`ActivationTimeout`
             (``None`` reproduces the paper's unbounded wait).
+        notify_scope: wakeup policy after post-activation — see below.
     """
 
     def __init__(
@@ -109,33 +162,134 @@ class AspectModerator:
         #: wakeup policy after post-activation: ``"all"`` notifies every
         #: method queue (the paper's conservative behaviour, absorbed by
         #: re-evaluation); ``"linked"`` notifies only methods sharing at
-        #: least one aspect instance with the completed method — fewer
-        #: spurious wakeups, same safety, measured in bench A-ABL.
+        #: least one aspect instance (or state holder, or lock domain)
+        #: with the completed method — fewer spurious wakeups, same
+        #: safety, measured in bench A-ABL.
         self.notify_scope = notify_scope
         self.stats = ModerationStats()
+        #: registry lock: guards the domain maps and the linkage cache,
+        #: never held while moderating or notifying a foreign domain.
         self._lock = threading.RLock()
-        self._queues: Dict[str, threading.Condition] = {}
+        self._domains: Dict[str, LockDomain] = {}
+        #: explicit shared-domain assignments (method_id -> domain name);
+        #: methods absent here use their private per-method domain
+        self._method_domains: Dict[str, str] = {}
         self._links: Optional[Dict[str, set]] = None
+        self._links_revision = -1
+        #: number of activations currently inside the blocking slow path;
+        #: fast-path completions consult it to decide whether a wake is
+        #: needed at all (see :meth:`postactivation`)
+        self._waiters = 0
+        #: number of activations actually parked in ``Condition.wait``,
+        #: and the wake epoch pairing with it: a completion bumps the
+        #: epoch and reads the count atomically, a blocker re-checks the
+        #: epoch atomically before parking — together they let
+        #: :meth:`_wake` skip touching any domain lock when nothing is
+        #: parked, without losing a wakeup
+        self._parked = 0
+        self._wake_epoch = 0
+        self._waiter_guard = threading.Lock()
 
     # ------------------------------------------------------------------
     # registration (paper Figure 9)
     # ------------------------------------------------------------------
     def register_aspect(self, method_id: str, concern: str, aspect: Aspect,
-                        replace: bool = False) -> None:
-        """Store a first-class aspect object for future reference."""
-        self.bank.register(method_id, concern, aspect, replace=replace)
+                        replace: bool = False,
+                        lock_domain: Optional[str] = None) -> None:
+        """Store a first-class aspect object for future reference.
+
+        ``lock_domain`` (or, when omitted, the aspect's own
+        ``lock_domain`` attribute) places ``method_id`` into a named
+        shared lock domain; methods of one domain moderate under a
+        single lock, which is what paper-style aspects that mutate
+        shared counters without their own lock require. Conflicting
+        explicit domains for one method raise
+        :class:`RegistrationError`.
+        """
+        domain_name = (
+            lock_domain if lock_domain is not None
+            else getattr(aspect, "lock_domain", None)
+        )
+        moved_from: Optional[LockDomain] = None
         with self._lock:
-            self._links = None  # linkage map is stale
+            if domain_name is not None:
+                current = self._method_domains.get(method_id)
+                if current is not None and current != domain_name:
+                    raise RegistrationError(
+                        f"{method_id!r} is already in lock domain "
+                        f"{current!r}; cannot also join {domain_name!r}"
+                    )
+            self.bank.register(method_id, concern, aspect, replace=replace)
+            self._links = None
+            if domain_name is not None and \
+                    method_id not in self._method_domains:
+                self._method_domains[method_id] = domain_name
+                moved_from = self._domains.get(
+                    _PRIVATE_DOMAIN_PREFIX + method_id
+                )
+        if moved_from is not None:
+            # Waiters parked in the old private domain re-evaluate and
+            # re-park under the shared one.
+            moved_from.notify_all(method_id)
         self.events.emit("register_aspect", method_id, concern,
                          detail=aspect.describe())
+        if domain_name is not None:
+            self.events.emit("lock_domain", method_id, detail=domain_name)
 
     def unregister_aspect(self, method_id: str, concern: str) -> Aspect:
         """Remove an aspect; wakes blocked activations to re-evaluate."""
         aspect = self.bank.unregister(method_id, concern)
         with self._lock:
             self._links = None
-            self._notify_all_queues()
+        self.notify()
         return aspect
+
+    def assign_lock_domain(self, lock_domain: Optional[str],
+                           *method_ids: str) -> None:
+        """Place ``method_ids`` into one shared lock domain.
+
+        The explicit form of the ``lock_domain`` registration parameter:
+        existing assignments are overwritten, and ``lock_domain=None``
+        returns the methods to their private per-method domains (the
+        striped default). Waiters parked under a previous domain are
+        woken so they re-evaluate and re-park under the new one.
+        """
+        moved: List[Tuple[LockDomain, str]] = []
+        with self._lock:
+            for method_id in method_ids:
+                old_name = self._method_domains.get(
+                    method_id, _PRIVATE_DOMAIN_PREFIX + method_id
+                )
+                if lock_domain is None:
+                    self._method_domains.pop(method_id, None)
+                else:
+                    self._method_domains[method_id] = lock_domain
+                old = self._domains.get(old_name)
+                if old is not None:
+                    moved.append((old, method_id))
+            self._links = None
+        for domain, method_id in moved:
+            domain.notify_all(method_id)
+        for method_id in method_ids:
+            self.events.emit("lock_domain", method_id,
+                             detail=lock_domain or "")
+
+    def lock_domain_of(self, method_id: str) -> str:
+        """Name of the lock domain currently assigned to ``method_id``."""
+        with self._lock:
+            return self._method_domains.get(
+                method_id, _PRIVATE_DOMAIN_PREFIX + method_id
+            )
+
+    @property
+    def registration_version(self) -> int:
+        """Monotonic epoch of the aspect composition.
+
+        Proxies key their guarded-wrapper caches on this value: any
+        (un)registration — including direct bank mutation — invalidates
+        cached wrappers and linkage maps.
+        """
+        return self.bank.revision
 
     def participates(self, method_id: str) -> bool:
         """Whether any aspect is registered for ``method_id``."""
@@ -160,7 +314,9 @@ class AspectModerator:
         the method's queue and re-evaluating, as in the paper.
 
         Raises :class:`ActivationTimeout` when a timeout (argument or
-        moderator default) elapses while blocked.
+        moderator default) elapses while blocked — but only after one
+        final re-evaluation of the chain, so a notification racing the
+        deadline admits the activation instead of being dropped.
         """
         joinpoint = joinpoint or JoinPoint(method_id=method_id)
         joinpoint.phase = Phase.PRE_ACTIVATION
@@ -173,60 +329,141 @@ class AspectModerator:
         )
         self.events.emit("preactivation", method_id,
                          activation_id=joinpoint.activation_id)
+        self.stats.bump("preactivations")
 
-        queue = self._queue_for(method_id)
-        with queue:  # the shared moderator lock
-            self.stats.preactivations += 1
-            while True:
-                outcome, resumed, failed_concern = self._evaluate_chain(
-                    method_id, joinpoint
-                )
+        pairs = self.ordering(method_id, self.bank.aspects_for(method_id))
+        if all(aspect.never_blocks for _, aspect in pairs):
+            # Lock-free fast path: the chain has promised never to
+            # BLOCK, so no wait queue — hence no lock — is needed.
+            outcome = self._run_round(method_id, joinpoint)
+            if outcome is not AspectResult.BLOCK:
                 if outcome is AspectResult.RESUME:
-                    joinpoint.context[CHAIN_KEY] = resumed
-                    self.stats.resumes += 1
-                    return AspectResult.RESUME
+                    self.stats.bump("fastpaths")
+                return outcome
+            # An aspect broke its never_blocks promise; fall through to
+            # the locked path and moderate properly.
+        return self._moderated_preactivation(
+            method_id, joinpoint, deadline, effective_timeout
+        )
 
-                # Undo side effects of the aspects that had already
-                # voted RESUME in this round, in reverse order. Aspects
-                # can distinguish a transient BLOCK round from a final
-                # ABORT via the compensation-reason context key.
-                joinpoint.context["__compensation__"] = outcome.value
-                self._compensate(resumed, joinpoint)
-                joinpoint.context.pop("__compensation__", None)
+    def _moderated_preactivation(
+        self,
+        method_id: str,
+        joinpoint: JoinPoint,
+        deadline: Optional[float],
+        effective_timeout: Optional[float],
+    ) -> AspectResult:
+        """Figure 11's blocking evaluation loop, under the method's domain.
 
-                if outcome is AspectResult.ABORT:
-                    self.stats.aborts += 1
-                    joinpoint.phase = Phase.ABORTED
-                    joinpoint.context["abort_concern"] = failed_concern
-                    self.events.emit(
-                        "abort", method_id, failed_concern or "",
-                        activation_id=joinpoint.activation_id,
-                    )
-                    return AspectResult.ABORT
+        Registers in the moderator-wide waiter count for the whole
+        attempt (before the first evaluation round), which is what lets
+        fast-path completions skip the wake when nothing can be parked:
+        any waiter that could miss their state change is registered
+        before it evaluates, so the completion either happens before the
+        evaluation (and is seen) or after registration (and triggers the
+        wake).
+        """
+        with self._waiter_guard:
+            self._waiters += 1
+        try:
+            timed_out = False
+            while True:
+                queue = self._queue_for(method_id)
+                with queue:
+                    if self._queue_for(method_id) is not queue:
+                        continue  # method changed domains; re-acquire
+                    while True:
+                        # Bare read is safe: a stale value only makes the
+                        # pre-park re-check conservatively re-evaluate.
+                        epoch = self._wake_epoch
+                        outcome = self._run_round(method_id, joinpoint)
+                        if outcome is not AspectResult.BLOCK:
+                            return outcome
+                        if timed_out:
+                            raise ActivationTimeout(
+                                method_id, effective_timeout
+                            )
+                        with self._waiter_guard:
+                            raced = self._wake_epoch != epoch
+                            if not raced:
+                                self._parked += 1
+                        if raced:
+                            # A completion landed while this round was
+                            # evaluating (its wake may have skipped the
+                            # not-yet-parked queue): re-evaluate against
+                            # the post-postaction state instead of
+                            # parking on a notification already sent.
+                            continue
+                        self.stats.bump("waits")
+                        try:
+                            if deadline is None:
+                                queue.wait()
+                            else:
+                                remaining = deadline - time.monotonic()
+                                if remaining <= 0 or not queue.wait(
+                                    remaining
+                                ):
+                                    # Deadline passed while parked; loop
+                                    # for one final round before giving
+                                    # up — a notify may have raced the
+                                    # timeout.
+                                    timed_out = True
+                                    continue
+                        finally:
+                            with self._waiter_guard:
+                                self._parked -= 1
+                        self.stats.bump("wakeups")
+                        self.events.emit(
+                            "unblocked", method_id,
+                            activation_id=joinpoint.activation_id,
+                        )
+                        if self._queue_for(method_id) is not queue:
+                            break  # re-park under the new domain
+        finally:
+            with self._waiter_guard:
+                self._waiters -= 1
 
-                # BLOCK: park on this method's wait queue, then retry.
-                self.stats.blocks += 1
-                self.events.emit(
-                    "blocked", method_id, failed_concern or "",
-                    activation_id=joinpoint.activation_id,
-                )
-                self.stats.waits += 1
-                if deadline is None:
-                    queue.wait()
-                else:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not queue.wait(remaining):
-                        raise ActivationTimeout(method_id, effective_timeout)
-                self.stats.wakeups += 1
-                self.events.emit(
-                    "unblocked", method_id,
-                    activation_id=joinpoint.activation_id,
-                )
+    def _run_round(self, method_id: str, joinpoint: JoinPoint) -> AspectResult:
+        """One evaluation round, including compensation and bookkeeping.
+
+        RESUME records the chain on the join point; ABORT and BLOCK
+        compensate the RESUMEd prefix in reverse order first (aspects
+        distinguish the transient ``block`` round from a final ``abort``
+        via the compensation-reason context key).
+        """
+        outcome, resumed, failed_concern = self._evaluate_chain(
+            method_id, joinpoint
+        )
+        if outcome is AspectResult.RESUME:
+            joinpoint.context[CHAIN_KEY] = resumed
+            self.stats.bump("resumes")
+            return outcome
+
+        joinpoint.context["__compensation__"] = outcome.value
+        self._compensate(resumed, joinpoint)
+        joinpoint.context.pop("__compensation__", None)
+
+        if outcome is AspectResult.ABORT:
+            self.stats.bump("aborts")
+            joinpoint.phase = Phase.ABORTED
+            joinpoint.context["abort_concern"] = failed_concern
+            self.events.emit(
+                "abort", method_id, failed_concern or "",
+                activation_id=joinpoint.activation_id,
+            )
+            return outcome
+
+        self.stats.bump("blocks")
+        self.events.emit(
+            "blocked", method_id, failed_concern or "",
+            activation_id=joinpoint.activation_id,
+        )
+        return outcome
 
     def _evaluate_chain(
         self, method_id: str, joinpoint: JoinPoint
     ) -> Tuple[AspectResult, List[Tuple[str, Aspect]], Optional[str]]:
-        """Run one round of precondition evaluation. Caller holds the lock.
+        """Run one round of precondition evaluation.
 
         Returns ``(outcome, resumed_pairs, failed_concern)`` where
         ``resumed_pairs`` are the aspects that voted RESUME before the
@@ -250,7 +487,7 @@ class AspectModerator:
                     joinpoint: JoinPoint) -> None:
         for concern, aspect in reversed(resumed):
             aspect.on_abort(joinpoint)
-            self.stats.compensations += 1
+            self.stats.bump("compensations")
             self.events.emit(
                 "compensate", joinpoint.method_id, concern,
                 activation_id=joinpoint.activation_id,
@@ -265,8 +502,13 @@ class AspectModerator:
 
         Runs ``postaction()`` of the activation's aspects in *reverse*
         composition order (Section 5.3: synchronization unwinds before
-        authentication) and notifies every wait queue so blocked
-        activations re-evaluate their preconditions.
+        authentication) under the method's domain lock, then — in a
+        second phase, with no domain lock held — notifies wait queues so
+        blocked activations re-evaluate their preconditions.
+
+        Chains consisting solely of ``never_blocks`` aspects skip the
+        lock, and skip the wake entirely unless some activation is
+        parked on the moderator.
         """
         joinpoint = joinpoint or JoinPoint(method_id=method_id)
         joinpoint.phase = Phase.POST_ACTIVATION
@@ -279,23 +521,34 @@ class AspectModerator:
             # current bank contents (the paper's behaviour, which always
             # re-reads the array).
             chain = self.ordering(method_id, self.bank.aspects_for(method_id))
+        chain = list(chain)
+
+        if all(aspect.never_blocks for _, aspect in chain):
+            self.stats.bump("postactivations")
+            self._run_postactions(method_id, chain, joinpoint)
+            if self._waiters:
+                # Someone is parked somewhere: wake conservatively, a
+                # spurious wakeup only costs a re-evaluation.
+                self._wake(method_id, joinpoint)
+            return
 
         queue = self._queue_for(method_id)
         with queue:
-            self.stats.postactivations += 1
-            for concern, aspect in reversed(list(chain)):
-                aspect.postaction(joinpoint)
-                self.events.emit(
-                    "postaction", method_id, concern,
-                    activation_id=joinpoint.activation_id,
-                )
-            if self.notify_scope == "linked":
-                self._notify_linked(method_id)
-            else:
-                self._notify_all_queues()
-            self.stats.notifications += 1
-            self.events.emit("notify", method_id,
-                             activation_id=joinpoint.activation_id)
+            self.stats.bump("postactivations")
+            self._run_postactions(method_id, chain, joinpoint)
+        # Phase two: wake target queues without holding the method's
+        # domain lock, so cross-domain notification cannot deadlock.
+        self._wake(method_id, joinpoint)
+
+    def _run_postactions(self, method_id: str,
+                         chain: List[Tuple[str, Aspect]],
+                         joinpoint: JoinPoint) -> None:
+        for concern, aspect in reversed(chain):
+            aspect.postaction(joinpoint)
+            self.events.emit(
+                "postaction", method_id, concern,
+                activation_id=joinpoint.activation_id,
+            )
 
     # ------------------------------------------------------------------
     # whole-activation convenience
@@ -350,75 +603,136 @@ class AspectModerator:
         return joinpoint.result
 
     # ------------------------------------------------------------------
-    # wait-queue plumbing
+    # lock-domain / wait-queue plumbing
     # ------------------------------------------------------------------
-    def _queue_for(self, method_id: str) -> threading.Condition:
-        """The per-method wait queue (conditions share the moderator lock)."""
+    def _domain_for(self, method_id: str) -> LockDomain:
+        """The lock domain currently owning ``method_id``."""
         with self._lock:
-            queue = self._queues.get(method_id)
-            if queue is None:
-                queue = threading.Condition(self._lock)
-                self._queues[method_id] = queue
-            return queue
+            name = self._method_domains.get(
+                method_id, _PRIVATE_DOMAIN_PREFIX + method_id
+            )
+            domain = self._domains.get(name)
+            if domain is None:
+                domain = LockDomain(name)
+                self._domains[name] = domain
+            return domain
 
-    def _notify_all_queues(self) -> None:
-        """Wake every parked activation for re-evaluation. Lock held."""
-        for queue in self._queues.values():
-            queue.notify_all()
+    def _queue_for(self, method_id: str) -> threading.Condition:
+        """The method's wait queue inside its current lock domain."""
+        return self._domain_for(method_id).condition(method_id)
+
+    def _all_domains(self) -> List[LockDomain]:
+        with self._lock:
+            return list(self._domains.values())
+
+    def _wake(self, method_id: str,
+              joinpoint: Optional[JoinPoint] = None) -> None:
+        """Second phase of post-activation: notify target queues.
+
+        Must be called while holding **no** domain lock; each target
+        condition is notified under its own domain's lock, which orders
+        the notification after any in-flight park on that queue.
+
+        When nothing is parked anywhere the lock acquisitions are
+        skipped entirely — otherwise every completion on one stripe
+        would contend every *other* stripe's lock (held for the full
+        length of a precondition round) just to notify an empty queue,
+        re-coupling the domains the striping exists to separate. The
+        elision is race-free via the wake epoch: the epoch bump and the
+        parked-count read happen atomically here, and a blocker
+        re-checks the epoch atomically before parking — so a completion
+        either sees the waiter parked (and notifies, ordered by the
+        waiter's domain lock) or forces it to re-evaluate against the
+        post-postaction state.
+        """
+        with self._waiter_guard:
+            self._wake_epoch += 1
+            parked = self._parked
+        if not parked:
+            self.stats.bump("notifications")
+            self.events.emit(
+                "notify", method_id,
+                activation_id=joinpoint.activation_id if joinpoint else 0,
+            )
+            return
+        if self.notify_scope == "linked":
+            targets = self._linked_methods(method_id)
+            own_domain = self._domain_for(method_id)
+            for domain in self._all_domains():
+                if domain is own_domain:
+                    # Domain mates share the method's lock (and usually
+                    # its state): always eligible.
+                    domain.notify_all()
+                    continue
+                for key, _condition in domain.conditions():
+                    if key in targets:
+                        domain.notify_all(key)
+        else:
+            for domain in self._all_domains():
+                domain.notify_all()
+        self.stats.bump("notifications")
+        self.events.emit(
+            "notify", method_id,
+            activation_id=joinpoint.activation_id if joinpoint else 0,
+        )
 
     def _linked_methods(self, method_id: str) -> set:
         """Methods sharing at least one aspect instance with ``method_id``.
 
         The completing method itself is always included (its own waiters
         may now be eligible). The map is rebuilt lazily after any
-        (un)registration. Lock held.
+        (un)registration — tracked via the bank revision, so direct bank
+        mutations are caught too.
         """
-        if self._links is None:
-            links: Dict[str, set] = {}
-            owners: Dict[int, set] = {}
-            for owner_method, _concern, aspect in self.bank:
-                # linkage keys: the aspect itself plus any shared state
-                # holders it references (paper-style sibling aspects
-                # share a state object rather than being one instance)
-                keys = [id(aspect)]
-                for value in vars(aspect).values():
-                    if hasattr(value, "__dict__") and not callable(value):
-                        keys.append(id(value))
-                for key in keys:
-                    owners.setdefault(key, set()).add(owner_method)
-            for methods in owners.values():
-                for method in methods:
-                    links.setdefault(method, set()).update(methods)
-            self._links = links
-        linked = set(self._links.get(method_id, ()))
+        with self._lock:
+            revision = self.bank.revision
+            if self._links is None or self._links_revision != revision:
+                links: Dict[str, set] = {}
+                owners: Dict[int, set] = {}
+                for owner_method, _concern, aspect in self.bank:
+                    # linkage keys: the aspect itself plus any shared state
+                    # holders it references (paper-style sibling aspects
+                    # share a state object rather than being one instance)
+                    keys = [id(aspect)]
+                    for value in vars(aspect).values():
+                        if hasattr(value, "__dict__") and not callable(value):
+                            keys.append(id(value))
+                    for key in keys:
+                        owners.setdefault(key, set()).add(owner_method)
+                for methods in owners.values():
+                    for method in methods:
+                        links.setdefault(method, set()).update(methods)
+                self._links = links
+                self._links_revision = revision
+            linked = set(self._links.get(method_id, ()))
         linked.add(method_id)
         return linked
-
-    def _notify_linked(self, method_id: str) -> None:
-        """Wake only queues whose preconditions this completion can
-        affect. Lock held."""
-        for linked in self._linked_methods(method_id):
-            queue = self._queues.get(linked)
-            if queue is not None:
-                queue.notify_all()
 
     def notify(self, method_id: Optional[str] = None) -> None:
         """Explicitly wake waiters (all methods, or one method's queue).
 
         External state changes that affect preconditions — e.g. an
         authentication session being granted by an out-of-band login —
-        must call this so parked activations re-evaluate.
+        must call this so parked activations re-evaluate. Safe to call
+        from any thread; no moderator lock may be held by the caller.
         """
-        with self._lock:
-            if method_id is None:
-                self._notify_all_queues()
-            else:
-                self._queue_for(method_id).notify_all()
+        if method_id is None:
+            for domain in self._all_domains():
+                domain.notify_all()
+        else:
+            self._domain_for(method_id).notify_all(method_id)
 
     def queue_lengths(self) -> Dict[str, int]:
         """Approximate number of threads parked per method queue."""
-        with self._lock:
-            return {
-                method_id: len(queue._waiters)  # noqa: SLF001 - CPython detail
-                for method_id, queue in self._queues.items()
-            }
+        lengths: Dict[str, int] = {}
+        for domain in self._all_domains():
+            for method_id, count in domain.waiter_counts().items():
+                lengths[method_id] = lengths.get(method_id, 0) + count
+        return lengths
+
+    def lock_domains(self) -> Dict[str, List[str]]:
+        """Current domain layout: domain name -> method queues in it."""
+        layout: Dict[str, List[str]] = {}
+        for domain in self._all_domains():
+            layout[domain.name] = [key for key, _ in domain.conditions()]
+        return layout

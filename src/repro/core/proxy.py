@@ -49,6 +49,7 @@ class ComponentProxy:
     # Instance attributes that live on the proxy, not the component.
     _OWN = frozenset({
         "_component", "_moderator", "_participating", "_caller", "_timeout",
+        "_wrappers", "_wrapper_revision",
     })
 
     def __init__(
@@ -66,6 +67,11 @@ class ComponentProxy:
         )
         self._caller = caller
         self._timeout = timeout
+        # guarded-wrapper cache, invalidated when the moderator's aspect
+        # composition changes (registration_version) or the underlying
+        # attribute is rebound on the component
+        self._wrappers: dict = {}
+        self._wrapper_revision = moderator.registration_version
 
     # ------------------------------------------------------------------
     # introspection
@@ -94,7 +100,33 @@ class ComponentProxy:
         target = getattr(self._component, name)
         if not callable(target) or not self.is_participating(name):
             return target
-        return self._guard(name, target)
+        revision = self._moderator.registration_version
+        if revision != self._wrapper_revision:
+            self._wrappers.clear()
+            object.__setattr__(self, "_wrapper_revision", revision)
+        cached = self._wrappers.get(name)
+        # equality, not identity: getattr on the component yields a fresh
+        # bound-method object per access, but equal ones are interchangeable
+        if cached is not None and getattr(cached, "__wrapped__", None) == target:
+            return cached
+        wrapper = self._guard(name, target)
+        self._wrappers[name] = wrapper
+        return wrapper
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        # The proxy owns only its _OWN slots; every other write belongs to
+        # the component. Without this, ``proxy.attr = x`` would land on the
+        # proxy and shadow the component's attribute on subsequent reads.
+        if name in self._OWN:
+            object.__setattr__(self, name, value)
+        else:
+            setattr(self._component, name, value)
+
+    def __delattr__(self, name: str) -> None:
+        if name in self._OWN:
+            object.__delattr__(self, name)
+        else:
+            delattr(self._component, name)
 
     def _guard(self, method_id: str,
                target: Callable[..., Any]) -> Callable[..., Any]:
@@ -143,14 +175,15 @@ class ComponentProxy:
         to individual calls rather than to the proxy.
         """
         target = getattr(self._component, method_id)
+        if not self.is_participating(method_id):
+            # pass-through: no join point (or activation id) is allocated
+            return target(*args, **kwargs)
         joinpoint = JoinPoint(
             method_id=method_id, component=self._component,
             args=args, kwargs=kwargs,
             caller=caller if caller is not None else self._caller,
         )
         effective_timeout = timeout if timeout is not None else self._timeout
-        if not self.is_participating(method_id):
-            return target(*args, **kwargs)
         result = self._moderator.preactivation(
             method_id, joinpoint, timeout=effective_timeout
         )

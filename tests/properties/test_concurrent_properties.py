@@ -6,6 +6,7 @@ small so each example runs in milliseconds.
 """
 
 import threading
+import time
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -13,7 +14,9 @@ from hypothesis import strategies as st
 from repro.apps import build_ticketing_cluster
 from repro.aspects.synchronization import SemaphoreAspect
 from repro.concurrency import Ticket
-from repro.core import AspectModerator, ComponentProxy
+from repro.core import AspectModerator, ComponentProxy, JoinPoint
+from repro.core.aspect import Aspect
+from repro.core.results import BLOCK, RESUME
 
 
 @given(
@@ -93,3 +96,128 @@ def test_semaphore_concurrency_never_exceeds_permits(permits, threads):
         thread.join(30)
     assert peak["value"] <= permits
     assert peak["current"] == 0
+
+
+@given(
+    methods=st.integers(min_value=2, max_value=4),
+    per_method=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=15, deadline=None)
+def test_disjoint_methods_overlap_under_striping(methods, per_method):
+    """Activations of methods with unrelated aspects must overlap.
+
+    Every activation's precondition parks at a barrier sized to the whole
+    fleet: it can only fall through if activations of *all* methods sit
+    inside their precondition simultaneously. A single moderator-wide
+    lock (the seed behaviour) deadlocks this barrier; per-method lock
+    domains satisfy it.
+    """
+    # one stripe per method: activations of the SAME method still
+    # serialize, so the rendezvous spans distinct methods only (one
+    # thread each), on the first activation of each
+    barrier = threading.Barrier(methods, timeout=20)
+    moderator = AspectModerator()
+
+    class Rendezvous(Aspect):
+        concern = "sync"
+
+        def __init__(self):
+            self.met = False
+
+        def precondition(self, joinpoint):
+            if not self.met:
+                self.met = True
+                barrier.wait()
+            return RESUME
+
+    for index in range(methods):
+        moderator.register_aspect(f"m{index}", "sync", Rendezvous())
+
+    failures = []
+
+    def run(method_id):
+        try:
+            for _ in range(per_method):
+                joinpoint = JoinPoint(method_id=method_id)
+                moderator.preactivation(method_id, joinpoint)
+                moderator.postactivation(method_id, joinpoint)
+        except Exception as exc:  # includes BrokenBarrierError
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=run, args=(f"m{index}",))
+        for index in range(methods)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+    assert not any(thread.is_alive() for thread in threads)
+    assert failures == []
+
+
+@given(
+    limit=st.integers(min_value=1, max_value=3),
+    workers=st.integers(min_value=2, max_value=4),
+    rounds=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=10, deadline=None)
+def test_shared_domain_never_over_admits(limit, workers, rounds):
+    """Paper-style unlocked counter aspects shared across methods stay
+    correct when their methods share one lock domain."""
+
+    class NaiveWindowSync(Aspect):
+        """check-then-act with no lock of its own (paper Figure 7)."""
+
+        concern = "sync"
+        lock_domain = "window"
+
+        def __init__(self, limit):
+            self.limit = limit
+            self.admitted = 0
+
+        def precondition(self, joinpoint):
+            if self.admitted >= self.limit:
+                return BLOCK
+            observed = self.admitted
+            time.sleep(0.0005)
+            self.admitted = observed + 1
+            return RESUME
+
+        def postaction(self, joinpoint):
+            self.admitted -= 1
+
+    moderator = AspectModerator()
+    sync = NaiveWindowSync(limit)
+    method_ids = [f"m{index}" for index in range(workers)]
+    for method_id in method_ids:
+        moderator.register_aspect(method_id, "sync", sync)
+    peak = {"current": 0, "max": 0}
+    gauge = threading.Lock()
+
+    def run(method_id):
+        for _ in range(rounds):
+            joinpoint = JoinPoint(method_id=method_id)
+            assert moderator.preactivation(method_id, joinpoint) is RESUME
+            with gauge:
+                peak["current"] += 1
+                peak["max"] = max(peak["max"], peak["current"])
+            with gauge:
+                peak["current"] -= 1
+            moderator.postactivation(method_id, joinpoint)
+
+    threads = [
+        threading.Thread(target=run, args=(method_id,))
+        for method_id in method_ids
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(60)
+    assert not any(thread.is_alive() for thread in threads)
+    assert peak["max"] <= limit
+    assert sync.admitted == 0
+    # every method ended up in the shared domain
+    assert {
+        moderator.lock_domain_of(method_id) for method_id in method_ids
+    } == {"window"}

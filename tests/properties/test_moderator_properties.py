@@ -7,15 +7,27 @@ For any chain of aspects with scripted votes, the moderator must:
 * compensate exactly the RESUMEd prefix, in reverse, on ABORT;
 * never invoke postactions for an aborted activation;
 * run postactions in exact reverse order of the resumed chain;
-* pair every RESUME with exactly one post-activation.
+* pair every RESUME with exactly one post-activation;
+* honour a notification that races an expiring timeout;
+* moderate methods in disjoint lock domains concurrently, and methods
+  sharing a lock domain atomically.
 """
+
+import threading
+import time
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import AspectModerator, JoinPoint, MethodAborted
-from repro.core.aspect import Aspect
-from repro.core.results import ABORT, RESUME, AspectResult
+from repro.core import (
+    ActivationTimeout,
+    AspectModerator,
+    JoinPoint,
+    MethodAborted,
+)
+from repro.core.aspect import Aspect, FunctionAspect
+from repro.core.errors import RegistrationError
+from repro.core.results import ABORT, BLOCK, RESUME, AspectResult
 
 # a chain is a list of per-aspect votes: True = RESUME, False = ABORT
 chains = st.lists(st.booleans(), min_size=1, max_size=8)
@@ -126,3 +138,254 @@ def test_moderation_is_repeatable(votes):
         for _ in range(3)
     }
     assert len(outcomes) == 1
+
+
+class TestTimeoutNotifyRace:
+    """Regression: a precondition that becomes true exactly as the wait
+    times out must be honoured, not dropped.
+
+    The waiter's ``Condition.wait(remaining)`` returns False at the
+    deadline even when the gating state flipped just before (no notify
+    was sent, or the notify raced the expiry). The moderator must
+    re-evaluate the chain one final time before raising
+    :class:`ActivationTimeout`.
+    """
+
+    def test_state_flip_without_notify_admits_at_deadline(self):
+        moderator = AspectModerator()
+        gate = {"open": False}
+        moderator.register_aspect("m", "gate", FunctionAspect(
+            concern="gate",
+            precondition=lambda jp: RESUME if gate["open"] else BLOCK,
+        ))
+        outcome = {}
+
+        def caller():
+            outcome["result"] = moderator.preactivation(
+                "m", JoinPoint(method_id="m"), timeout=0.3,
+            )
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while moderator.stats.blocks < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        # Flip the gate but deliberately do NOT notify: the waiter can
+        # only see it on the timeout path's final re-evaluation.
+        gate["open"] = True
+        thread.join(10)
+        assert not thread.is_alive()
+        assert outcome["result"] is AspectResult.RESUME
+
+    def test_timeout_still_raises_when_chain_stays_blocked(self):
+        moderator = AspectModerator()
+        moderator.register_aspect("m", "gate", FunctionAspect(
+            concern="gate", precondition=lambda jp: BLOCK,
+        ))
+        start = time.monotonic()
+        try:
+            moderator.preactivation(
+                "m", JoinPoint(method_id="m"), timeout=0.05,
+            )
+        except ActivationTimeout:
+            pass
+        else:  # pragma: no cover - regression guard
+            raise AssertionError("expected ActivationTimeout")
+        assert time.monotonic() - start < 5
+
+
+class TestLockStriping:
+    def test_disjoint_methods_moderate_concurrently(self):
+        """Preconditions of two unrelated methods must be able to overlap.
+
+        Each method's precondition announces itself and then waits for
+        the *other* method's announcement. Under the old moderator-wide
+        lock the two chains serialize and neither rendezvous completes;
+        under per-method lock domains both run at once.
+        """
+        moderator = AspectModerator()
+        here, there = threading.Event(), threading.Event()
+
+        def meet(mine, other):
+            def precondition(joinpoint):
+                mine.set()
+                assert other.wait(5), "peer precondition never ran"
+                return RESUME
+            return precondition
+
+        moderator.register_aspect("a", "sync", FunctionAspect(
+            concern="sync", precondition=meet(here, there),
+        ))
+        moderator.register_aspect("b", "sync", FunctionAspect(
+            concern="sync", precondition=meet(there, here),
+        ))
+        results = {}
+
+        def run(method):
+            results[method] = moderator.preactivation(
+                method, JoinPoint(method_id=method)
+            )
+
+        threads = [
+            threading.Thread(target=run, args=(method,))
+            for method in ("a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert not any(thread.is_alive() for thread in threads)
+        assert results == {"a": AspectResult.RESUME, "b": AspectResult.RESUME}
+
+    def test_shared_domain_restores_cross_method_atomicity(self):
+        """A paper-style sync aspect with *no lock of its own* shared by
+        two methods must never over-admit when both methods opt into one
+        lock domain."""
+
+        class NaiveCounterSync(Aspect):
+            """Unlocked read-modify-write, as in the paper's listings."""
+
+            concern = "sync"
+
+            def __init__(self, limit):
+                self.limit = limit
+                self.admitted = 0
+
+            def precondition(self, joinpoint):
+                if self.admitted >= self.limit:
+                    return BLOCK
+                observed = self.admitted
+                time.sleep(0.001)  # widen the check-then-act window
+                self.admitted = observed + 1
+                return RESUME
+
+            def postaction(self, joinpoint):
+                self.admitted -= 1
+
+        moderator = AspectModerator()
+        sync = NaiveCounterSync(limit=1)
+        moderator.register_aspect("a", "sync", sync, lock_domain="d")
+        moderator.register_aspect("b", "sync", sync, lock_domain="d")
+        peak = {"current": 0, "max": 0}
+        gauge = threading.Lock()
+
+        def run(method):
+            for _ in range(10):
+                joinpoint = JoinPoint(method_id=method)
+                assert moderator.preactivation(method, joinpoint) is RESUME
+                with gauge:
+                    peak["current"] += 1
+                    peak["max"] = max(peak["max"], peak["current"])
+                with gauge:
+                    peak["current"] -= 1
+                moderator.postactivation(method, joinpoint)
+
+        threads = [
+            threading.Thread(target=run, args=(method,))
+            for method in ("a", "b", "a", "b")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert not any(thread.is_alive() for thread in threads)
+        assert peak["max"] <= 1
+        assert sync.admitted == 0
+
+    def test_conflicting_domains_rejected(self):
+        moderator = AspectModerator()
+        moderator.register_aspect(
+            "m", "a", FunctionAspect(concern="a"), lock_domain="one",
+        )
+        try:
+            moderator.register_aspect(
+                "m", "b", FunctionAspect(concern="b"), lock_domain="two",
+            )
+        except RegistrationError:
+            pass
+        else:  # pragma: no cover - regression guard
+            raise AssertionError("conflicting lock domains must be rejected")
+
+    def test_aspect_attribute_assigns_domain(self):
+        moderator = AspectModerator()
+        aspect = FunctionAspect(concern="sync", lock_domain="shared")
+        moderator.register_aspect("m", "sync", aspect)
+        assert moderator.lock_domain_of("m") == "shared"
+
+
+class TestNeverBlocksFastPath:
+    def test_fast_path_taken_for_never_blocks_chain(self):
+        moderator = AspectModerator()
+        moderator.register_aspect("m", "audit", FunctionAspect(
+            concern="audit", never_blocks=True,
+        ))
+        joinpoint = JoinPoint(method_id="m")
+        assert moderator.preactivation("m", joinpoint) is RESUME
+        moderator.postactivation("m", joinpoint)
+        assert moderator.stats.fastpaths == 1
+        # no wait queue (hence no lock) was ever materialized for "m"
+        assert moderator.queue_lengths() == {}
+
+    def test_fast_path_completion_wakes_parked_waiters(self):
+        """Mixed deployment: a fast-path completion whose postaction
+        enables a parked slow-path waiter must still wake it."""
+        moderator = AspectModerator()
+        gate = {"open": False}
+        moderator.register_aspect("slow", "gate", FunctionAspect(
+            concern="gate",
+            precondition=lambda jp: RESUME if gate["open"] else BLOCK,
+        ))
+        moderator.register_aspect("fast", "flip", FunctionAspect(
+            concern="flip", never_blocks=True,
+            postaction=lambda jp: gate.__setitem__("open", True),
+        ))
+        outcome = {}
+
+        def waiter():
+            outcome["result"] = moderator.preactivation(
+                "slow", JoinPoint(method_id="slow")
+            )
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while moderator.stats.blocks < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        joinpoint = JoinPoint(method_id="fast")
+        assert moderator.preactivation("fast", joinpoint) is RESUME
+        moderator.postactivation("fast", joinpoint)
+        thread.join(10)
+        assert not thread.is_alive()
+        assert outcome["result"] is AspectResult.RESUME
+
+    def test_broken_promise_falls_back_to_slow_path(self):
+        """An aspect that declares never_blocks but BLOCKs anyway must
+        not wedge: the moderator falls back to the locked path."""
+        moderator = AspectModerator()
+        votes = [BLOCK, BLOCK, RESUME]  # fast round, slow round, wake
+        moderator.register_aspect("m", "liar", FunctionAspect(
+            concern="liar", never_blocks=True,
+            precondition=lambda jp: votes.pop(0),
+        ))
+        outcome = {}
+
+        def caller():
+            outcome["result"] = moderator.preactivation(
+                "m", JoinPoint(method_id="m")
+            )
+
+        thread = threading.Thread(target=caller)
+        thread.start()
+        deadline = time.monotonic() + 5
+        # wait for the *slow-path park* (waits), not the fast-path BLOCK:
+        # notify() acquires the domain lock, so once waits is visible the
+        # wakeup cannot be lost
+        while moderator.stats.waits < 1:
+            assert time.monotonic() < deadline
+            time.sleep(0.005)
+        moderator.notify("m")
+        thread.join(10)
+        assert not thread.is_alive()
+        assert outcome["result"] is AspectResult.RESUME

@@ -101,6 +101,95 @@ class TestProxyCall:
         assert moderator.stats.preactivations == 0
 
 
+class TestAttributeDelegation:
+    """Regression: ``proxy.attr = x`` must reach the component.
+
+    The proxy intercepts reads via ``__getattr__`` but used to let writes
+    land on the proxy instance itself, silently shadowing the component's
+    attribute on every subsequent read through the proxy.
+    """
+
+    def test_write_reaches_component(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        proxy.calls = ["seeded"]
+        assert echo.calls == ["seeded"]          # component mutated
+        assert "calls" not in vars(proxy)        # nothing shadowed
+
+    def test_write_then_read_is_consistent(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        proxy.label = "a"
+        echo.label = "b"  # direct component write must stay visible
+        assert proxy.label == "b"
+
+    def test_delete_reaches_component(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        proxy.label = "x"
+        del proxy.label
+        assert not hasattr(echo, "label")
+        with pytest.raises(AttributeError):
+            del proxy.label
+
+    def test_own_slots_stay_on_proxy(self, echo, moderator):
+        proxy = ComponentProxy(echo, moderator)
+        proxy._caller = "alice"  # _OWN slot: proxy state, not component's
+        assert not hasattr(echo, "_caller")
+        assert proxy._caller == "alice"
+
+
+class TestWrapperCache:
+    def test_repeated_access_returns_cached_wrapper(self, echo, moderator):
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.ping is proxy.ping
+
+    def test_cache_invalidated_on_registration(self, echo, moderator):
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        proxy = ComponentProxy(echo, moderator)
+        first = proxy.ping
+        moderator.register_aspect("boom", "b", FunctionAspect(concern="b"))
+        assert proxy.ping is not first  # epoch bumped -> rebuilt
+
+    def test_cache_invalidated_on_unregister(self, echo, moderator):
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        proxy = ComponentProxy(echo, moderator)
+        assert proxy.ping is proxy.ping
+        moderator.unregister_aspect("ping", "a")
+        assert proxy.ping() is None  # back to passthrough
+        assert moderator.stats.preactivations == 0
+
+    def test_rebound_component_method_defeats_stale_cache(
+        self, echo, moderator
+    ):
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        proxy = ComponentProxy(echo, moderator)
+        proxy.ping(1)
+        echo.ping = lambda value=None: "rebound"
+        assert proxy.ping(2) == "rebound"
+        assert moderator.stats.preactivations == 2  # still moderated
+
+    def test_cached_wrapper_still_moderates(self, echo, moderator):
+        moderator.register_aspect("ping", "a", FunctionAspect(concern="a"))
+        proxy = ComponentProxy(echo, moderator)
+        for index in range(5):
+            proxy.ping(index)
+        assert moderator.stats.preactivations == 5
+        assert moderator.stats.postactivations == 5
+
+
+class TestCallAllocations:
+    def test_passthrough_call_builds_no_joinpoint(self, echo, moderator):
+        """Regression: ``call`` allocated (and numbered) a JoinPoint even
+        for non-participating methods, then threw it away."""
+        from repro.core import JoinPoint
+
+        proxy = ComponentProxy(echo, moderator)
+        before = JoinPoint(method_id="probe").activation_id
+        assert proxy.call("ping", 7) == 7
+        after = JoinPoint(method_id="probe").activation_id
+        # consecutive probe ids -> no activation id was consumed in between
+        assert after == before + 1
+
+
 class TestSkipInvocation:
     def test_skip_returns_replacement_without_calling_body(
         self, echo, moderator
