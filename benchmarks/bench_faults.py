@@ -1,0 +1,120 @@
+"""B-FAULT bench: price of the fault-containment layer.
+
+The containment guards sit on the hottest path in the framework — every
+precondition and postaction call is wrapped, every round consults the
+health tracker's ``active`` flag, and every site checks for an installed
+fault injector. This bench isolates each guard's cost:
+
+* ``contained_baseline`` — the moderated call with containment compiled
+  in but nothing armed (the number EXPERIMENTS.md compares against the
+  pre-containment FIG3 ``moderated_one_aspect`` row);
+* ``injector_empty_plan`` — a live injector with an empty plan: the
+  per-site visit-counting overhead chaos tests pay;
+* ``quarantined_fail_open`` — one cell degraded: the health tracker's
+  slow path (dict lookup per aspect) plus the skip;
+* ``fault_unwind`` — a precondition that raises every call: the full
+  contain-compensate-wrap path, the price of an actual fault;
+* ``watchdog_armed`` — a watchdog polling while calls run: expected to
+  be free (observer thread, no protocol participation).
+
+Expected shape: baseline ≈ injector_empty ≈ watchdog_armed (the ≤5%
+criterion), quarantined slightly above, fault_unwind an order of
+magnitude above — faults are exceptional, their path may be slow.
+"""
+
+import pytest
+
+from repro.core import (
+    ActivationWatchdog,
+    AspectFault,
+    AspectModerator,
+    ComponentProxy,
+    FunctionAspect,
+    NullAspect,
+)
+from repro.faults import FaultInjector, FaultPlan
+
+
+class Component:
+    def service(self, value=1):
+        return value + 1
+
+
+def _moderated_proxy(**register_kwargs):
+    moderator = AspectModerator()
+    moderator.register_aspect("service", "null", NullAspect(),
+                              **register_kwargs)
+    proxy = ComponentProxy(Component(), moderator)
+    return moderator, proxy
+
+
+def test_contained_baseline(benchmark):
+    """Moderated call, containment guards present, nothing armed."""
+    moderator, proxy = _moderated_proxy()
+    result = benchmark(lambda: proxy.service())
+    assert result == 2
+    assert moderator.stats.faults == 0
+
+
+def test_injector_empty_plan(benchmark):
+    """Injector installed with an empty plan: pure visit accounting."""
+    moderator, proxy = _moderated_proxy()
+    FaultInjector(FaultPlan()).install(moderator)
+    result = benchmark(lambda: proxy.service())
+    assert result == 2
+    assert moderator.fault_injector.visits(
+        "precondition", "service", "null") > 0
+
+
+def test_quarantined_fail_open(benchmark):
+    """One quarantined fail-open cell: health slow path + skip."""
+    moderator = AspectModerator(fault_threshold=1)
+    exploded = {"armed": True}
+
+    def explode_once(joinpoint):
+        if exploded.pop("armed", False):
+            raise RuntimeError("one fault, then quarantined")
+
+    moderator.register_aspect(
+        "service", "flaky",
+        FunctionAspect(concern="flaky", precondition=explode_once),
+        fault_policy="fail_open",
+    )
+    proxy = ComponentProxy(Component(), moderator)
+    try:
+        proxy.service()
+    except AspectFault:
+        pass
+    assert moderator.stats.quarantines == 1
+    result = benchmark(lambda: proxy.service())
+    assert result == 2
+    assert moderator.stats.degraded_skips > 0
+
+
+def test_fault_unwind(benchmark):
+    """Every call faults: contain, compensate, wrap, raise."""
+    moderator = AspectModerator()
+    # no policy: the aspect faults forever without quarantining
+    moderator.register_aspect("service", "bad", FunctionAspect(
+        concern="bad",
+        precondition=lambda jp: (_ for _ in ()).throw(ValueError("x")),
+    ))
+    proxy = ComponentProxy(Component(), moderator)
+
+    def faulted_call():
+        try:
+            proxy.service()
+        except AspectFault:
+            return True
+        return False
+
+    assert benchmark(faulted_call)
+    assert moderator.stats.faults > 0
+
+
+def test_watchdog_armed(benchmark):
+    """Watchdog polling in the background: must not tax the hot path."""
+    moderator, proxy = _moderated_proxy()
+    with ActivationWatchdog(moderator, deadline=0.5, interval=0.05):
+        result = benchmark(lambda: proxy.service())
+    assert result == 2

@@ -142,6 +142,8 @@ class AuditAspect(StatefulAspect):
     concern = "audit"
     is_observer = True
     never_blocks = True
+    # a broken audit log should not take the service down: skip when degraded
+    fault_policy = "fail_open"
 
     def __init__(self, log: Optional[AuditLog] = None) -> None:
         super().__init__()

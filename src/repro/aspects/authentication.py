@@ -159,6 +159,8 @@ class AuthenticationAspect(StatefulAspect):
 
     concern = "authenticate"
     is_guard = True
+    # a broken authenticator must fail the activation, not wave it through
+    fault_policy = "fail_closed"
 
     def __init__(self, sessions: SessionManager,
                  block_until_login: bool = False) -> None:

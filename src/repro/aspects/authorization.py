@@ -64,6 +64,8 @@ class AuthorizationAspect(StatefulAspect):
     concern = "authorize"
     is_guard = True
     never_blocks = True
+    # a broken permission check must never admit unchecked callers
+    fault_policy = "fail_closed"
 
     def __init__(self, registry: RoleRegistry,
                  allow_unlisted: bool = False) -> None:

@@ -45,7 +45,13 @@ class RetryPolicy:
 
     def delay_for(self, attempt: int,
                   rng: Optional[random.Random] = None) -> float:
-        """Backoff before attempt number ``attempt`` (attempt 2 = first retry)."""
+        """Backoff before attempt number ``attempt`` (attempt 2 = first retry).
+
+        Jitter draws from ``rng`` — an explicit seeded instance keeps a
+        retry schedule replayable. When omitted, a process-wide seeded
+        generator is used (never the module-level ``random``, whose
+        global state any library may reseed or advance).
+        """
         if self.base_delay <= 0:
             return 0.0
         delay = min(
@@ -53,7 +59,7 @@ class RetryPolicy:
             self.max_delay,
         )
         if self.jitter > 0:
-            rng = rng if rng is not None else random
+            rng = rng if rng is not None else _default_rng()
             delay *= 1.0 - self.jitter * rng.random()
         return delay
 
@@ -61,14 +67,38 @@ class RetryPolicy:
         return attempt < self.max_attempts and isinstance(exc, self.retry_on)
 
 
+#: default jitter seed: private to the framework so nothing else
+#: advances the sequence, fixed so unseeded wrappers are still replayable
+_JITTER_SEED = 0x52657472  # "Retr"
+_DEFAULT_RNG: Optional[random.Random] = None
+
+
+def _default_rng() -> random.Random:
+    """Process-wide seeded jitter source (lazily created)."""
+    global _DEFAULT_RNG
+    if _DEFAULT_RNG is None:
+        _DEFAULT_RNG = random.Random(_JITTER_SEED)
+    return _DEFAULT_RNG
+
+
 def retrying(func: Callable[..., Any], policy: RetryPolicy,
              sleep: Callable[[float], None] = time.sleep,
-             rng: Optional[random.Random] = None) -> Callable[..., Any]:
+             rng: Optional[random.Random] = None,
+             seed: Optional[int] = None) -> Callable[..., Any]:
     """Wrap ``func`` so transient failures are retried per ``policy``.
 
     Returns a callable with the same signature. The last exception is
     re-raised when attempts are exhausted.
+
+    Jitter determinism: every wrapper owns a seeded ``random.Random`` —
+    pass ``rng`` to share one across wrappers, ``seed`` to derive a
+    private one, or neither for a fixed default seed. Retry schedules in
+    tests and benches are therefore reproducible run over run; the
+    module-level ``random`` (shared, reseedable global state) is never
+    consulted.
     """
+    if rng is None:
+        rng = random.Random(_JITTER_SEED if seed is None else seed)
 
     def call_with_retry(*args: Any, **kwargs: Any) -> Any:
         attempt = 0

@@ -110,6 +110,8 @@ class TimingAspect(StatefulAspect):
     concern = "timing"
     is_observer = True
     never_blocks = True
+    # pure observer: losing latency samples beats losing the service
+    fault_policy = "fail_open"
 
     def __init__(self, clock=time.monotonic) -> None:
         super().__init__()

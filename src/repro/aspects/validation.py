@@ -104,7 +104,10 @@ class StateInvariantAspect(StatefulAspect):
 
     A violated invariant before the call aborts it; a violated invariant
     after the call raises immediately (the component is corrupt — hiding
-    that would be worse than failing).
+    that would be worse than failing). Callers see the containment
+    wrapper: an :class:`~repro.core.AspectFault` whose ``original`` is
+    this aspect's ``AssertionError``; the rest of the reverse unwind
+    still runs, so sibling aspects release their state first.
     """
 
     concern = "invariant"

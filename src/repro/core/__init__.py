@@ -16,8 +16,10 @@ from .aspect import (
 from .bank import AspectBank
 from .errors import (
     ActivationTimeout,
+    AspectFault,
     AuthenticationError,
     AuthorizationError,
+    CompositionErrors,
     FrameworkError,
     MethodAborted,
     NameNotFound,
@@ -29,6 +31,7 @@ from .errors import (
     WeavingError,
 )
 from .events import EventBus, TraceEvent, Tracer
+from .health import FAIL_CLOSED, FAIL_OPEN, AspectHealth, HealthTracker
 from .factory import (
     AspectFactory,
     CompositeFactory,
@@ -55,6 +58,7 @@ from .pointcut import (
 from .proxy import ComponentProxy, GuardedMethod
 from .registry import Cluster
 from .results import ABORT, BLOCK, RESUME, AspectResult, Phase, combine
+from .watchdog import ActivationWatchdog, StallReport
 from .weaver import (
     ModeratedMeta,
     moderated,
@@ -66,9 +70,12 @@ from .weaver import (
 __all__ = [
     "ABORT",
     "ActivationTimeout",
+    "ActivationWatchdog",
     "Aspect",
     "AspectBank",
     "AspectFactory",
+    "AspectFault",
+    "AspectHealth",
     "AspectModerator",
     "AspectResult",
     "AuthenticationError",
@@ -77,9 +84,13 @@ __all__ = [
     "Cluster",
     "ComponentProxy",
     "CompositeFactory",
+    "CompositionErrors",
     "EventBus",
     "ExplicitOrder",
+    "FAIL_CLOSED",
+    "FAIL_OPEN",
     "FrameworkError",
+    "HealthTracker",
     "FunctionAspect",
     "GuardedMethod",
     "JoinPoint",
@@ -97,6 +108,7 @@ __all__ = [
     "RESUME",
     "RegistrationError",
     "RegistryAspectFactory",
+    "StallReport",
     "StatefulAspect",
     "TraceEvent",
     "Tracer",

@@ -72,6 +72,19 @@ class Aspect(abc.ABC):
     #: scheduling and rate-limiting aspects do not.
     never_blocks: bool = False
 
+    #: Quarantine policy applied when this aspect keeps *raising* out of
+    #: protocol phases (a contract violation — see ``repro.core.health``):
+    #: ``"fail_open"`` skips the degraded aspect (observers: audit,
+    #: timing), ``"fail_closed"`` ABORTs activations instead of admitting
+    #: them unguarded (guards: auth, sync), ``None`` (default) never
+    #: quarantines — every fault propagates, the aspect stays in the
+    #: chain. Overridable per registration via ``fault_policy=``.
+    fault_policy: Optional[str] = None
+
+    #: Faults tolerated before quarantine kicks in; ``None`` defers to
+    #: the moderator's default threshold.
+    fault_threshold: Optional[int] = None
+
     #: Optional shared lock-domain name. Aspects that mutate state shared
     #: across several methods *without their own lock* set this (or pass
     #: ``lock_domain=`` at registration) so every method they guard
@@ -139,6 +152,8 @@ class FunctionAspect(Aspect):
         on_abort: Optional[PostactionFn] = None,
         never_blocks: bool = False,
         lock_domain: Optional[str] = None,
+        fault_policy: Optional[str] = None,
+        fault_threshold: Optional[int] = None,
     ) -> None:
         self.concern = concern
         self._precondition = precondition
@@ -146,6 +161,8 @@ class FunctionAspect(Aspect):
         self._on_abort = on_abort
         self.never_blocks = never_blocks
         self.lock_domain = lock_domain
+        self.fault_policy = fault_policy
+        self.fault_threshold = fault_threshold
 
     def precondition(self, joinpoint: JoinPoint) -> AspectResult:
         if self._precondition is None:

@@ -93,6 +93,32 @@ class AspectBank:
             self._revision += 1
             return aspect
 
+    def swap(self, method_id: str, concern: str, aspect: Aspect) -> Aspect:
+        """Atomically replace the aspect at a cell; returns the old one.
+
+        The recovery half of runtime adaptability: quarantined or buggy
+        aspects are swapped for repaired instances in place, keeping the
+        cell's composition-order slot. The moderator resets the cell's
+        fault history when the swap goes through ``register_aspect(...,
+        replace=True)``; direct bank swaps leave health tracking to the
+        caller. Raises :class:`UnknownAspectError` when the cell is
+        empty — swapping is for occupied cells, registering is for new
+        ones.
+        """
+        if not isinstance(aspect, Aspect):
+            raise RegistrationError(
+                f"expected an Aspect for ({method_id!r}, {concern!r}), "
+                f"got {type(aspect).__name__}"
+            )
+        with self._lock:
+            row = self._cells.get(method_id, {})
+            if concern not in row:
+                raise UnknownAspectError(method_id, concern)
+            old = row[concern]
+            row[concern] = aspect
+            self._revision += 1
+            return old
+
     # ------------------------------------------------------------------
     # lookup
     # ------------------------------------------------------------------

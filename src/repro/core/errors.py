@@ -33,6 +33,53 @@ class MethodAborted(FrameworkError):
         super().__init__(detail)
 
 
+class AspectFault(FrameworkError):
+    """An aspect raised out of a protocol phase — a contract violation.
+
+    The moderation contract (paper Figures 11/18) expects ``precondition``,
+    ``postaction`` and ``on_abort`` to *return*: RESUME/BLOCK/ABORT are the
+    only sanctioned ways to influence an activation. An aspect that raises
+    instead is wrapped in this error, which carries enough context
+    (method, concern, phase) to drive quarantine policy and diagnostics.
+    The original exception is available as ``original`` and as
+    ``__cause__``.
+    """
+
+    def __init__(self, method_id: str, concern: str, phase: str,
+                 original: BaseException) -> None:
+        self.method_id = method_id
+        self.concern = concern
+        self.phase = phase
+        self.original = original
+        self.__cause__ = original
+        super().__init__(
+            f"aspect {concern!r} raised during {phase} of {method_id!r}: "
+            f"{type(original).__name__}: {original}"
+        )
+
+
+class CompositionErrors(FrameworkError):
+    """Several aspects faulted in one protocol phase (ExceptionGroup-style).
+
+    The moderator never lets one faulty aspect abandon the rest of a
+    reverse chain: every postaction / compensation still runs, and the
+    faults collected along the way are aggregated here. ``exceptions``
+    holds the individual :class:`AspectFault` instances in the order they
+    occurred. (A hand-rolled group rather than :class:`ExceptionGroup`
+    so the hierarchy works on Python 3.10.)
+    """
+
+    def __init__(self, faults: "tuple[BaseException, ...] | list") -> None:
+        self.exceptions = tuple(faults)
+        if self.exceptions:
+            self.__cause__ = self.exceptions[0]
+        detail = "; ".join(str(fault) for fault in self.exceptions)
+        super().__init__(
+            f"{len(self.exceptions)} aspect fault(s) during composition: "
+            f"{detail}"
+        )
+
+
 class RegistrationError(FrameworkError):
     """Raised on invalid aspect registration (e.g. duplicate or unknown kind)."""
 

@@ -25,6 +25,14 @@ kind                 meaning
 ``compensate``       on_abort compensation ran for an aspect
 ``lock_domain``      method (re)assigned to a lock domain (detail holds
                      the domain name; empty = back to its own stripe)
+``aspect_fault``     an aspect raised out of a protocol phase (detail:
+                     ``"<phase>: <exception type>"``)
+``quarantine``       a (method, concern) cell hit its fault threshold
+                     (detail holds the policy: fail_open/fail_closed)
+``reinstate``        a quarantined cell was manually reinstated
+``degraded_skip``    a fail-open quarantined aspect was skipped
+``watchdog_stall``   the stall watchdog found activations parked past
+                     their deadline (detail holds the summary)
 ==================  ====================================================
 """
 

@@ -1,0 +1,182 @@
+"""Per-(method, concern) aspect health tracking and quarantine policy.
+
+Lorenz & Skotiniotis (*Extending Design by Contract for AOP*, see
+PAPERS.md) argue that aspect advice is contract-bearing code whose
+violations must be detected and contained. The framework's containment
+policy follows the invasive-pattern classification: an aspect that only
+*observes* the activation (audit, timing) can safely be skipped when it
+keeps faulting — ``fail_open`` — whereas an aspect that *guards* the
+activation (authentication, synchronization) must fail the activation
+rather than silently wave it through — ``fail_closed``.
+
+:class:`HealthTracker` is the moderator-side bookkeeping: it counts
+faults per bank cell and flips a cell to *quarantined* once the count
+reaches the cell's threshold. The hot path pays one truthiness check on
+:attr:`HealthTracker.active` per round — the tracker only grows state
+after the first fault, so healthy systems never touch a dict here.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+#: Quarantine policy for observer-style aspects: once degraded, the
+#: aspect is skipped and the activation proceeds without it.
+FAIL_OPEN = "fail_open"
+
+#: Quarantine policy for guard-style aspects: once degraded, activations
+#: of the method are ABORTed rather than admitted unguarded.
+FAIL_CLOSED = "fail_closed"
+
+_POLICIES = (FAIL_OPEN, FAIL_CLOSED)
+
+
+@dataclass
+class AspectHealth:
+    """Health record of one bank cell.
+
+    ``policy is None`` means the cell never quarantines: every fault
+    still propagates to the caller (wrapped in ``AspectFault``), but the
+    aspect is never taken out of the chain.
+    """
+
+    policy: Optional[str] = None
+    threshold: int = 3
+    faults: int = 0
+    quarantined: bool = False
+    last_fault: str = ""
+    phases: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "policy": self.policy,
+            "threshold": self.threshold,
+            "faults": self.faults,
+            "quarantined": self.quarantined,
+            "last_fault": self.last_fault,
+            "phases": dict(self.phases),
+        }
+
+
+class HealthTracker:
+    """Fault accounting and quarantine state for a moderator's bank cells.
+
+    Thread safety: all mutation happens under an internal leaf lock that
+    is never held while calling aspect or listener code. ``active`` is a
+    bare boolean read — stale reads are harmless (a racing reader merely
+    checks, or skips checking, a quarantine map one round late).
+    """
+
+    def __init__(self, default_threshold: int = 3) -> None:
+        if default_threshold < 1:
+            raise ValueError("default_threshold must be at least 1")
+        self.default_threshold = default_threshold
+        self._lock = threading.Lock()
+        self._cells: Dict[Tuple[str, str], AspectHealth] = {}
+        self._policies: Dict[Tuple[str, str], Tuple[Optional[str], int]] = {}
+        #: True as soon as any cell is quarantined; hot-path guard.
+        self.active = False
+
+    # ------------------------------------------------------------------
+    # policy registration
+    # ------------------------------------------------------------------
+    def set_policy(self, method_id: str, concern: str,
+                   policy: Optional[str],
+                   threshold: Optional[int] = None) -> None:
+        """Declare the quarantine policy for a cell (registration time).
+
+        Re-registering a cell resets its fault history: a freshly swapped
+        aspect starts healthy.
+        """
+        if policy is not None and policy not in _POLICIES:
+            raise ValueError(
+                f"fault_policy must be one of {_POLICIES}, got {policy!r}"
+            )
+        key = (method_id, concern)
+        with self._lock:
+            self._policies[key] = (
+                policy, threshold if threshold is not None
+                else self.default_threshold,
+            )
+            self._cells.pop(key, None)
+            self._refresh_active_locked()
+
+    def drop(self, method_id: str, concern: str) -> None:
+        """Forget a cell entirely (unregistration)."""
+        key = (method_id, concern)
+        with self._lock:
+            self._policies.pop(key, None)
+            self._cells.pop(key, None)
+            self._refresh_active_locked()
+
+    # ------------------------------------------------------------------
+    # fault accounting
+    # ------------------------------------------------------------------
+    def record_fault(self, method_id: str, concern: str, phase: str,
+                     exc: BaseException) -> bool:
+        """Count one fault; return True when the cell just quarantined."""
+        key = (method_id, concern)
+        with self._lock:
+            cell = self._cells.get(key)
+            if cell is None:
+                policy, threshold = self._policies.get(
+                    key, (None, self.default_threshold)
+                )
+                cell = AspectHealth(policy=policy, threshold=threshold)
+                self._cells[key] = cell
+            cell.faults += 1
+            cell.phases[phase] = cell.phases.get(phase, 0) + 1
+            cell.last_fault = f"{type(exc).__name__}: {exc}"
+            if (cell.policy is not None and not cell.quarantined
+                    and cell.faults >= cell.threshold):
+                cell.quarantined = True
+                self.active = True
+                return True
+            return False
+
+    def quarantine_policy(self, method_id: str,
+                          concern: str) -> Optional[str]:
+        """The policy of a *quarantined* cell, or None when healthy."""
+        with self._lock:
+            cell = self._cells.get((method_id, concern))
+            if cell is not None and cell.quarantined:
+                return cell.policy
+            return None
+
+    def reinstate(self, method_id: str, concern: str) -> bool:
+        """Clear a cell's quarantine and fault count; True if it was set."""
+        with self._lock:
+            cell = self._cells.get((method_id, concern))
+            if cell is None:
+                return False
+            was = cell.quarantined
+            cell.quarantined = False
+            cell.faults = 0
+            cell.phases.clear()
+            self._refresh_active_locked()
+            return was
+
+    def _refresh_active_locked(self) -> None:
+        self.active = any(
+            cell.quarantined for cell in self._cells.values()
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[Tuple[str, str], Dict[str, object]]:
+        """Copy of every cell's health record (cells with faults only)."""
+        with self._lock:
+            return {
+                key: cell.as_dict() for key, cell in self._cells.items()
+            }
+
+    def quarantined_cells(self) -> Dict[Tuple[str, str], str]:
+        """Currently quarantined cells mapped to their policy."""
+        with self._lock:
+            return {
+                key: cell.policy or ""
+                for key, cell in self._cells.items() if cell.quarantined
+            }

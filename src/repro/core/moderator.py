@@ -77,8 +77,15 @@ from repro.concurrency.primitives import LockDomain
 
 from .aspect import Aspect
 from .bank import AspectBank
-from .errors import ActivationTimeout, MethodAborted, RegistrationError
+from .errors import (
+    ActivationTimeout,
+    AspectFault,
+    CompositionErrors,
+    MethodAborted,
+    RegistrationError,
+)
 from .events import EventBus
+from .health import FAIL_CLOSED, FAIL_OPEN, HealthTracker
 from .joinpoint import JoinPoint
 from .ordering import OrderingPolicy, registration_order
 from .results import AspectResult, Phase
@@ -111,6 +118,10 @@ class ModerationStats:
     notifications: int = 0
     compensations: int = 0
     fastpaths: int = 0
+    faults: int = 0
+    quarantines: int = 0
+    reinstatements: int = 0
+    degraded_skips: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -143,6 +154,9 @@ class AspectModerator:
             BLOCKed activation may wait before :class:`ActivationTimeout`
             (``None`` reproduces the paper's unbounded wait).
         notify_scope: wakeup policy after post-activation — see below.
+        fault_threshold: default number of aspect faults tolerated per
+            (method, concern) cell before its quarantine policy (if any)
+            kicks in; overridable per registration or per aspect.
     """
 
     def __init__(
@@ -152,6 +166,7 @@ class AspectModerator:
         events: Optional[EventBus] = None,
         default_timeout: Optional[float] = None,
         notify_scope: str = "all",
+        fault_threshold: int = 3,
     ) -> None:
         if notify_scope not in ("all", "linked"):
             raise ValueError("notify_scope must be 'all' or 'linked'")
@@ -167,6 +182,11 @@ class AspectModerator:
         #: safety, measured in bench A-ABL.
         self.notify_scope = notify_scope
         self.stats = ModerationStats()
+        #: per-(method, concern) fault accounting and quarantine state
+        self.health = HealthTracker(default_threshold=fault_threshold)
+        #: deterministic fault-injection hook (``repro.faults``); ``None``
+        #: in production — the hot path pays one attribute read for it
+        self.fault_injector: Optional[Any] = None
         #: registry lock: guards the domain maps and the linkage cache,
         #: never held while moderating or notifying a foreign domain.
         self._lock = threading.RLock()
@@ -189,13 +209,19 @@ class AspectModerator:
         self._parked = 0
         self._wake_epoch = 0
         self._waiter_guard = threading.Lock()
+        #: activation_id -> (method_id, parked_since) for every waiter
+        #: currently inside ``Condition.wait`` — the stall watchdog's
+        #: window into the moderator (guarded by ``_waiter_guard``)
+        self._parked_info: Dict[int, Tuple[str, float]] = {}
 
     # ------------------------------------------------------------------
     # registration (paper Figure 9)
     # ------------------------------------------------------------------
     def register_aspect(self, method_id: str, concern: str, aspect: Aspect,
                         replace: bool = False,
-                        lock_domain: Optional[str] = None) -> None:
+                        lock_domain: Optional[str] = None,
+                        fault_policy: Optional[str] = None,
+                        fault_threshold: Optional[int] = None) -> None:
         """Store a first-class aspect object for future reference.
 
         ``lock_domain`` (or, when omitted, the aspect's own
@@ -205,10 +231,26 @@ class AspectModerator:
         shared counters without their own lock require. Conflicting
         explicit domains for one method raise
         :class:`RegistrationError`.
+
+        ``fault_policy`` / ``fault_threshold`` (falling back to the
+        aspect's own attributes) declare how the cell degrades when the
+        aspect keeps raising out of protocol phases: ``"fail_open"``
+        skips it, ``"fail_closed"`` ABORTs activations, ``None`` (the
+        default) propagates every fault without ever quarantining.
+        Registration — including a ``replace=True`` swap — resets the
+        cell's fault history.
         """
         domain_name = (
             lock_domain if lock_domain is not None
             else getattr(aspect, "lock_domain", None)
+        )
+        policy = (
+            fault_policy if fault_policy is not None
+            else getattr(aspect, "fault_policy", None)
+        )
+        threshold = (
+            fault_threshold if fault_threshold is not None
+            else getattr(aspect, "fault_threshold", None)
         )
         moved_from: Optional[LockDomain] = None
         with self._lock:
@@ -220,6 +262,7 @@ class AspectModerator:
                         f"{current!r}; cannot also join {domain_name!r}"
                     )
             self.bank.register(method_id, concern, aspect, replace=replace)
+            self.health.set_policy(method_id, concern, policy, threshold)
             self._links = None
             if domain_name is not None and \
                     method_id not in self._method_domains:
@@ -239,10 +282,33 @@ class AspectModerator:
     def unregister_aspect(self, method_id: str, concern: str) -> Aspect:
         """Remove an aspect; wakes blocked activations to re-evaluate."""
         aspect = self.bank.unregister(method_id, concern)
+        self.health.drop(method_id, concern)
         with self._lock:
             self._links = None
         self.notify()
         return aspect
+
+    def reinstate_aspect(self, method_id: str, concern: str) -> bool:
+        """Manually lift a cell's quarantine (operator intervention).
+
+        Clears the fault count so the aspect gets a fresh allowance of
+        ``fault_threshold`` faults, emits a ``reinstate`` event, and
+        wakes parked activations — a formerly fail-closed guard may now
+        admit them. Returns whether the cell was actually quarantined.
+        Swapping a repaired aspect in via ``register_aspect(...,
+        replace=True)`` resets health implicitly and is the other
+        recovery path.
+        """
+        was_quarantined = self.health.reinstate(method_id, concern)
+        if was_quarantined:
+            self.stats.bump("reinstatements")
+            self.events.emit("reinstate", method_id, concern)
+            self.notify()
+        return was_quarantined
+
+    def aspect_health(self) -> Dict[Tuple[str, str], Dict[str, Any]]:
+        """Fault/quarantine records per (method, concern) with any faults."""
+        return self.health.snapshot()
 
     def assign_lock_domain(self, lock_domain: Optional[str],
                            *method_ids: str) -> None:
@@ -387,6 +453,9 @@ class AspectModerator:
                             raced = self._wake_epoch != epoch
                             if not raced:
                                 self._parked += 1
+                                self._parked_info[
+                                    joinpoint.activation_id
+                                ] = (method_id, time.monotonic())
                         if raced:
                             # A completion landed while this round was
                             # evaluating (its wake may have skipped the
@@ -412,6 +481,9 @@ class AspectModerator:
                         finally:
                             with self._waiter_guard:
                                 self._parked -= 1
+                                self._parked_info.pop(
+                                    joinpoint.activation_id, None
+                                )
                         self.stats.bump("wakeups")
                         self.events.emit(
                             "unblocked", method_id,
@@ -429,7 +501,10 @@ class AspectModerator:
         RESUME records the chain on the join point; ABORT and BLOCK
         compensate the RESUMEd prefix in reverse order first (aspects
         distinguish the transient ``block`` round from a final ``abort``
-        via the compensation-reason context key).
+        via the compensation-reason context key). Compensation faults do
+        not stop the unwind: every remaining aspect still compensates,
+        and the collected faults raise afterwards (aggregated as
+        :class:`CompositionErrors` when there are several).
         """
         outcome, resumed, failed_concern = self._evaluate_chain(
             method_id, joinpoint
@@ -440,7 +515,7 @@ class AspectModerator:
             return outcome
 
         joinpoint.context["__compensation__"] = outcome.value
-        self._compensate(resumed, joinpoint)
+        faults = self._compensate(resumed, joinpoint)
         joinpoint.context.pop("__compensation__", None)
 
         if outcome is AspectResult.ABORT:
@@ -451,6 +526,7 @@ class AspectModerator:
                 "abort", method_id, failed_concern or "",
                 activation_id=joinpoint.activation_id,
             )
+            self._raise_faults(faults)
             return outcome
 
         self.stats.bump("blocks")
@@ -458,6 +534,7 @@ class AspectModerator:
             "blocked", method_id, failed_concern or "",
             activation_id=joinpoint.activation_id,
         )
+        self._raise_faults(faults)
         return outcome
 
     def _evaluate_chain(
@@ -468,11 +545,43 @@ class AspectModerator:
         Returns ``(outcome, resumed_pairs, failed_concern)`` where
         ``resumed_pairs`` are the aspects that voted RESUME before the
         chain stopped (all of them when outcome is RESUME).
+
+        A *raising* precondition is a contract violation, not a vote:
+        the RESUMEd prefix is compensated (so no reservation leaks) and
+        the error propagates wrapped in :class:`AspectFault`. Quarantined
+        cells are handled before their aspect runs — ``fail_open`` skips
+        the aspect, ``fail_closed`` turns the round into an ABORT
+        attributed to the degraded concern.
         """
         pairs = self.ordering(method_id, self.bank.aspects_for(method_id))
         resumed: List[Tuple[str, Aspect]] = []
+        quarantine_active = self.health.active
+        injector = self.fault_injector
         for concern, aspect in pairs:
-            result = aspect.evaluate_precondition(joinpoint)
+            if quarantine_active:
+                policy = self.health.quarantine_policy(method_id, concern)
+                if policy == FAIL_OPEN:
+                    self.stats.bump("degraded_skips")
+                    self.events.emit(
+                        "degraded_skip", method_id, concern,
+                        activation_id=joinpoint.activation_id,
+                    )
+                    continue
+                if policy == FAIL_CLOSED:
+                    return AspectResult.ABORT, resumed, concern
+            try:
+                if injector is not None and injector.fire(
+                        "precondition", method_id, concern):
+                    continue  # injected no-op crash: aspect never ran
+                result = aspect.evaluate_precondition(joinpoint)
+            except Exception as exc:  # noqa: BLE001 - contract violation
+                fault = AspectFault(method_id, concern, "precondition", exc)
+                self._note_fault(method_id, concern, "precondition", exc,
+                                 joinpoint)
+                joinpoint.context["__compensation__"] = "fault"
+                comp_faults = self._compensate(resumed, joinpoint)
+                joinpoint.context.pop("__compensation__", None)
+                self._raise_faults([fault, *comp_faults])
             self.events.emit(
                 "precondition", method_id, concern, detail=result.value,
                 activation_id=joinpoint.activation_id,
@@ -484,14 +593,60 @@ class AspectModerator:
         return AspectResult.RESUME, resumed, None
 
     def _compensate(self, resumed: List[Tuple[str, Aspect]],
-                    joinpoint: JoinPoint) -> None:
+                    joinpoint: JoinPoint) -> List[AspectFault]:
+        """Unwind a RESUMEd prefix; never stops at a raising aspect.
+
+        Returns the faults encountered so callers can surface them once
+        the whole prefix has been compensated — a raising ``on_abort``
+        must not abandon the compensations still owed to earlier aspects.
+        """
+        faults: List[AspectFault] = []
+        injector = self.fault_injector
         for concern, aspect in reversed(resumed):
-            aspect.on_abort(joinpoint)
+            try:
+                if injector is not None and injector.fire(
+                        "on_abort", joinpoint.method_id, concern):
+                    continue
+                aspect.on_abort(joinpoint)
+            except Exception as exc:  # noqa: BLE001 - keep unwinding
+                self._note_fault(joinpoint.method_id, concern, "on_abort",
+                                 exc, joinpoint)
+                faults.append(AspectFault(
+                    joinpoint.method_id, concern, "on_abort", exc,
+                ))
+                continue
             self.stats.bump("compensations")
             self.events.emit(
                 "compensate", joinpoint.method_id, concern,
                 activation_id=joinpoint.activation_id,
             )
+        return faults
+
+    def _note_fault(self, method_id: str, concern: str, phase: str,
+                    exc: BaseException, joinpoint: JoinPoint) -> None:
+        """Account one aspect fault; flip the cell to quarantined at N."""
+        self.stats.bump("faults")
+        self.events.emit(
+            "aspect_fault", method_id, concern,
+            detail=f"{phase}: {type(exc).__name__}",
+            activation_id=joinpoint.activation_id,
+        )
+        if self.health.record_fault(method_id, concern, phase, exc):
+            self.stats.bump("quarantines")
+            self.events.emit(
+                "quarantine", method_id, concern,
+                detail=self.health.quarantine_policy(method_id, concern)
+                or "",
+            )
+
+    @staticmethod
+    def _raise_faults(faults: List[AspectFault]) -> None:
+        """Raise collected faults: one directly, several as a group."""
+        if not faults:
+            return
+        if len(faults) == 1:
+            raise faults[0]
+        raise CompositionErrors(faults)
 
     # ------------------------------------------------------------------
     # post-activation (paper Figure 11 / 18)
@@ -509,6 +664,13 @@ class AspectModerator:
         Chains consisting solely of ``never_blocks`` aspects skip the
         lock, and skip the wake entirely unless some activation is
         parked on the moderator.
+
+        Fault containment: a raising postaction does not stop the
+        reverse unwind — the remaining postactions still run, the wake
+        phase *always* happens (parked waiters must re-evaluate, never
+        wedge behind a faulty aspect), and only then do the collected
+        faults propagate (:class:`AspectFault`, aggregated as
+        :class:`CompositionErrors` when several raised).
         """
         joinpoint = joinpoint or JoinPoint(method_id=method_id)
         joinpoint.phase = Phase.POST_ACTIVATION
@@ -525,30 +687,53 @@ class AspectModerator:
 
         if all(aspect.never_blocks for _, aspect in chain):
             self.stats.bump("postactivations")
-            self._run_postactions(method_id, chain, joinpoint)
-            if self._waiters:
-                # Someone is parked somewhere: wake conservatively, a
-                # spurious wakeup only costs a re-evaluation.
-                self._wake(method_id, joinpoint)
+            try:
+                faults = self._run_postactions(method_id, chain, joinpoint)
+            finally:
+                if self._waiters:
+                    # Someone is parked somewhere: wake conservatively, a
+                    # spurious wakeup only costs a re-evaluation.
+                    self._wake(method_id, joinpoint)
+            self._raise_faults(faults)
             return
 
         queue = self._queue_for(method_id)
-        with queue:
-            self.stats.bump("postactivations")
-            self._run_postactions(method_id, chain, joinpoint)
-        # Phase two: wake target queues without holding the method's
-        # domain lock, so cross-domain notification cannot deadlock.
-        self._wake(method_id, joinpoint)
+        try:
+            with queue:
+                self.stats.bump("postactivations")
+                faults = self._run_postactions(method_id, chain, joinpoint)
+        finally:
+            # Phase two: wake target queues without holding the method's
+            # domain lock, so cross-domain notification cannot deadlock.
+            # Runs unconditionally — even if containment itself failed —
+            # so a faulty aspect can never strand a parked waiter.
+            self._wake(method_id, joinpoint)
+        self._raise_faults(faults)
 
     def _run_postactions(self, method_id: str,
                          chain: List[Tuple[str, Aspect]],
-                         joinpoint: JoinPoint) -> None:
+                         joinpoint: JoinPoint) -> List[AspectFault]:
+        """Reverse unwind; continues past raising aspects (faults returned)."""
+        faults: List[AspectFault] = []
+        injector = self.fault_injector
         for concern, aspect in reversed(chain):
-            aspect.postaction(joinpoint)
+            try:
+                if injector is not None and injector.fire(
+                        "postaction", method_id, concern):
+                    continue
+                aspect.postaction(joinpoint)
+            except Exception as exc:  # noqa: BLE001 - keep unwinding
+                self._note_fault(method_id, concern, "postaction", exc,
+                                 joinpoint)
+                faults.append(AspectFault(
+                    method_id, concern, "postaction", exc,
+                ))
+                continue
             self.events.emit(
                 "postaction", method_id, concern,
                 activation_id=joinpoint.activation_id,
             )
+        return faults
 
     # ------------------------------------------------------------------
     # whole-activation convenience
@@ -721,6 +906,16 @@ class AspectModerator:
                 domain.notify_all()
         else:
             self._domain_for(method_id).notify_all(method_id)
+
+    def parked_snapshot(self) -> Dict[int, Tuple[str, float]]:
+        """Activations currently parked: id -> (method, parked_since).
+
+        ``parked_since`` is a ``time.monotonic`` stamp. Consumed by the
+        stall watchdog (:class:`repro.core.watchdog.ActivationWatchdog`)
+        to turn silent hangs into diagnostics.
+        """
+        with self._waiter_guard:
+            return dict(self._parked_info)
 
     def queue_lengths(self) -> Dict[str, int]:
         """Approximate number of threads parked per method queue."""

@@ -1,0 +1,50 @@
+"""Simulated distributed runtime: nodes, network, RPC, naming, balancing."""
+
+from .loadbalance import (
+    BalancingPolicy,
+    LeastLoaded,
+    LoadBalancer,
+    RandomChoice,
+    RoundRobin,
+    WeightedChoice,
+)
+from .failure_detector import (
+    HeartbeatDetector,
+    HeartbeatEmitter,
+    detector_failover,
+)
+from .message import Message, WireFormatError, check_wire_safe
+from .migration import MigrationError, MigrationReport, Migrator
+from .naming import Binding, NameService
+from .network import Network
+from .node import Node
+from .replication import FailoverMonitor, ReplicatedServant
+from .rpc import Client, RemoteError, RemoteProxy, RequestTimeout
+
+__all__ = [
+    "BalancingPolicy",
+    "Binding",
+    "Client",
+    "FailoverMonitor",
+    "HeartbeatDetector",
+    "HeartbeatEmitter",
+    "LeastLoaded",
+    "LoadBalancer",
+    "Message",
+    "MigrationError",
+    "MigrationReport",
+    "Migrator",
+    "NameService",
+    "Network",
+    "Node",
+    "RandomChoice",
+    "RemoteError",
+    "RemoteProxy",
+    "ReplicatedServant",
+    "RequestTimeout",
+    "RoundRobin",
+    "WeightedChoice",
+    "WireFormatError",
+    "detector_failover",
+    "check_wire_safe",
+]

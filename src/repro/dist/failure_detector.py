@@ -1,0 +1,216 @@
+"""Heartbeat failure detection over the simulated network.
+
+The :class:`~repro.dist.replication.FailoverMonitor` asks the network
+whether a node is up — fine in simulation, impossible in deployment. A
+real system infers liveness from messages. This module provides:
+
+* :class:`HeartbeatEmitter` — a node-side daemon sending periodic
+  heartbeat events to a monitor endpoint;
+* :class:`HeartbeatDetector` — tracks last-seen times per node and
+  classifies nodes as alive/suspect/dead by missed-heartbeat count
+  (a timeout-based detector; the classic trade-off between detection
+  latency and false suspicion is the ``suspect_after`` /
+  ``dead_after`` knobs);
+* :func:`detector_failover` — glue: a
+  :class:`~repro.dist.replication.FailoverMonitor`-compatible health
+  check built from the detector instead of network introspection.
+
+A lost heartbeat is indistinguishable from a dead node — exactly the
+ambiguity real failure detectors live with, reproduced here because the
+network drops messages for both reasons.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.concurrency.primitives import WaitQueue
+from .message import Message
+from .network import Network
+
+
+class HeartbeatEmitter:
+    """Sends ``heartbeat`` events from a node to a monitor endpoint.
+
+    The emitter loop is fault-contained: *any* exception in one beat —
+    not just a dead link — is counted, reported through ``on_error``,
+    and the daemon keeps beating. A silently dead emitter would be
+    indistinguishable from a dead node, which is exactly the false
+    positive a failure detector must not manufacture itself.
+    """
+
+    def __init__(self, network: Network, node_id: str,
+                 monitor_endpoint: str, interval: float = 0.05,
+                 on_error: Optional[
+                     Callable[[BaseException], None]] = None) -> None:
+        self.network = network
+        self.node_id = node_id
+        self.monitor_endpoint = monitor_endpoint
+        self.interval = interval
+        self.on_error = on_error
+        self.sent = 0
+        self.errors = 0
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "HeartbeatEmitter":
+        if self._running:
+            return self
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name=f"heartbeat-{self.node_id}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while self._running:
+            try:
+                self.network.send(Message(
+                    source=self.node_id, dest=self.monitor_endpoint,
+                    kind="event",
+                    payload={"heartbeat": self.node_id,
+                             "seq": self.sent},
+                ))
+                self.sent += 1
+            except Exception as exc:  # noqa: BLE001 - loop must survive
+                self._report(exc)
+            time.sleep(self.interval)
+
+    def _report(self, exc: BaseException) -> None:
+        self.errors += 1
+        if self.on_error is not None:
+            try:
+                self.on_error(exc)
+            except Exception:  # noqa: BLE001 - hook must not kill the loop
+                pass
+
+    def stop(self) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)
+
+
+class HeartbeatDetector:
+    """Classifies nodes by heartbeat recency.
+
+    States per node: ``alive`` (heartbeat within ``suspect_after``),
+    ``suspect`` (silent longer than ``suspect_after``), ``dead``
+    (silent longer than ``dead_after``). A heartbeat from a suspect or
+    dead node restores it to alive (nodes can recover).
+    """
+
+    def __init__(self, network: Network, endpoint: str,
+                 suspect_after: float = 0.15,
+                 dead_after: float = 0.4,
+                 clock: Callable[[], float] = time.monotonic,
+                 on_error: Optional[
+                     Callable[[BaseException], None]] = None) -> None:
+        if dead_after <= suspect_after:
+            raise ValueError("dead_after must exceed suspect_after")
+        self.network = network
+        self.endpoint = endpoint
+        self.suspect_after = suspect_after
+        self.dead_after = dead_after
+        self.on_error = on_error
+        self._clock = clock
+        self.inbox = network.register(endpoint)
+        self._lock = threading.Lock()
+        self._last_seen: Dict[str, float] = {}
+        self.heartbeats_received = 0
+        self.errors = 0
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._drain, name=f"detector-{endpoint}", daemon=True,
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        # Contained like the emitter loop: a malformed heartbeat (or any
+        # other surprise) is reported and skipped — a detector whose
+        # drain thread died silently would degrade every watched node to
+        # "dead" while appearing perfectly healthy itself.
+        while self._running:
+            try:
+                message = self.inbox.get(timeout=0.1)
+            except TimeoutError:
+                continue
+            except WaitQueue.Closed:
+                return
+            try:
+                node_id = message.payload.get("heartbeat")
+                if node_id:
+                    with self._lock:
+                        self._last_seen[node_id] = self._clock()
+                        self.heartbeats_received += 1
+            except Exception as exc:  # noqa: BLE001 - loop must survive
+                self._report(exc)
+
+    def _report(self, exc: BaseException) -> None:
+        with self._lock:
+            self.errors += 1
+        if self.on_error is not None:
+            try:
+                self.on_error(exc)
+            except Exception:  # noqa: BLE001 - hook must not kill the loop
+                pass
+
+    # ------------------------------------------------------------------
+    def watch(self, node_id: str) -> None:
+        """Track ``node_id`` before its first heartbeat arrives."""
+        with self._lock:
+            self._last_seen.setdefault(node_id, self._clock())
+
+    def state_of(self, node_id: str) -> str:
+        with self._lock:
+            last = self._last_seen.get(node_id)
+        if last is None:
+            return "unknown"
+        silence = self._clock() - last
+        if silence >= self.dead_after:
+            return "dead"
+        if silence >= self.suspect_after:
+            return "suspect"
+        return "alive"
+
+    def alive(self, node_id: str) -> bool:
+        return self.state_of(node_id) == "alive"
+
+    def snapshot(self) -> Dict[str, str]:
+        with self._lock:
+            nodes = list(self._last_seen)
+        return {node_id: self.state_of(node_id) for node_id in nodes}
+
+    def wait_for_state(self, node_id: str, state: str,
+                       timeout: float = 5.0) -> bool:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.state_of(node_id) == state:
+                return True
+            time.sleep(0.02)
+        return False
+
+    def close(self) -> None:
+        self._running = False
+        self.network.unregister(self.endpoint)
+        self._thread.join(timeout=1.0)
+
+
+def detector_failover(detector: HeartbeatDetector,
+                      candidates: List[str]) -> Callable[[], Optional[str]]:
+    """Health-check closure: first *alive* candidate, else None.
+
+    Usable wherever a promote-target chooser is needed; unlike
+    ``Network.is_up`` it relies only on observed messages.
+    """
+
+    def choose() -> Optional[str]:
+        for node_id in candidates:
+            if detector.alive(node_id):
+                return node_id
+        return None
+
+    return choose

@@ -1,0 +1,156 @@
+"""Load balancing: dispatch across replicas as a separated concern.
+
+"Load balancing" heads the paper's Section 2 concern list. Here it is a
+policy object plus a dispatcher servant: clients call the balancer's
+logical name; the balancer forwards to one backend according to the
+policy. Swapping policies (round-robin / random / least-loaded /
+weighted) touches neither clients nor backends — the separation claim,
+demonstrated at the distribution layer.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.errors import NetworkError
+from .rpc import Client, RemoteError, RequestTimeout
+
+#: A backend is a (logical name, load probe) pair; probe may be None.
+Backend = str
+LoadProbe = Callable[[Backend], float]
+
+
+class BalancingPolicy:
+    """Strategy interface: pick a backend for the next call."""
+
+    def choose(self, backends: Sequence[Backend]) -> Backend:
+        raise NotImplementedError
+
+
+class RoundRobin(BalancingPolicy):
+    """Cycle through backends in order."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next = 0
+
+    def choose(self, backends: Sequence[Backend]) -> Backend:
+        with self._lock:
+            backend = backends[self._next % len(backends)]
+            self._next += 1
+            return backend
+
+
+class RandomChoice(BalancingPolicy):
+    """Uniform random backend (seeded for reproducibility)."""
+
+    def __init__(self, seed: int = 11) -> None:
+        self._rng = random.Random(seed)
+
+    def choose(self, backends: Sequence[Backend]) -> Backend:
+        return self._rng.choice(list(backends))
+
+
+class LeastLoaded(BalancingPolicy):
+    """Pick the backend whose probe reports the smallest load."""
+
+    def __init__(self, probe: LoadProbe) -> None:
+        self._probe = probe
+
+    def choose(self, backends: Sequence[Backend]) -> Backend:
+        return min(backends, key=self._probe)
+
+
+class WeightedChoice(BalancingPolicy):
+    """Static weights (capacity-proportional dispatch)."""
+
+    def __init__(self, weights: Dict[Backend, float], seed: int = 13) -> None:
+        if not weights or any(w <= 0 for w in weights.values()):
+            raise ValueError("weights must be positive")
+        self._weights = dict(weights)
+        self._rng = random.Random(seed)
+
+    def choose(self, backends: Sequence[Backend]) -> Backend:
+        candidates = [b for b in backends if b in self._weights]
+        if not candidates:
+            raise NetworkError("no weighted backend available")
+        total = sum(self._weights[b] for b in candidates)
+        draw = self._rng.random() * total
+        cumulative = 0.0
+        for backend in candidates:
+            cumulative += self._weights[backend]
+            if draw <= cumulative:
+                return backend
+        return candidates[-1]
+
+
+class LoadBalancer:
+    """Client-side balancer forwarding named calls to backend replicas.
+
+    Args:
+        client: RPC client used for forwarding.
+        backends: logical names of the replicas.
+        policy: a :class:`BalancingPolicy`.
+        retries: how many *other* backends to try after a delivery
+            failure (timeout / unreachable) — fault tolerance composed
+            with load balancing.
+    """
+
+    def __init__(self, client: Client, backends: Sequence[Backend],
+                 policy: Optional[BalancingPolicy] = None,
+                 retries: int = 1) -> None:
+        if not backends:
+            raise ValueError("at least one backend required")
+        self.client = client
+        self.backends = list(backends)
+        self.policy = policy if policy is not None else RoundRobin()
+        self.retries = retries
+        self._lock = threading.Lock()
+        self.dispatched: Dict[Backend, int] = {b: 0 for b in self.backends}
+        self.failovers = 0
+
+    def call(self, method: str, *args: Any, caller: Optional[str] = None,
+             **kwargs: Any) -> Any:
+        """Forward one invocation according to the policy."""
+        tried: List[Backend] = []
+        last_error: Optional[Exception] = None
+        attempts = 1 + max(0, self.retries)
+        for _ in range(attempts):
+            candidates = [b for b in self.backends if b not in tried]
+            if not candidates:
+                break
+            backend = self.policy.choose(candidates)
+            tried.append(backend)
+            try:
+                result = self.client.call_name(
+                    backend, method, *args, caller=caller, **kwargs
+                )
+                with self._lock:
+                    self.dispatched[backend] = (
+                        self.dispatched.get(backend, 0) + 1
+                    )
+                return result
+            except (RequestTimeout, NetworkError) as exc:
+                if isinstance(exc, RemoteError):
+                    raise  # application errors do not fail over
+                last_error = exc
+                with self._lock:
+                    self.failovers += 1
+        raise last_error if last_error else NetworkError("dispatch failed")
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def dispatched(*args: Any, **kwargs: Any) -> Any:
+            return self.call(method, *args, **kwargs)
+
+        dispatched.__name__ = method
+        return dispatched
+
+    def distribution(self) -> Dict[Backend, int]:
+        """Dispatch histogram (for the balance-quality benches)."""
+        with self._lock:
+            return dict(self.dispatched)

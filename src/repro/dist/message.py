@@ -1,0 +1,110 @@
+"""Messages for the simulated distributed runtime.
+
+Messages are value objects copied on delivery (no shared mutable state
+between "hosts" — the property a real wire gives you). Payloads must be
+plain data (the :func:`check_wire_safe` predicate enforces the subset a
+JSON-ish wire format could carry), which keeps the in-process simulation
+honest: anything that wouldn't survive serialization is rejected at send
+time, not silently shared by reference.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+_message_ids = itertools.count(1)
+
+#: Types allowed on the simulated wire.
+WIRE_SAFE_TYPES = (type(None), bool, int, float, str, bytes)
+
+
+def check_wire_safe(value: Any, depth: int = 0) -> bool:
+    """Whether ``value`` could survive a real serialization boundary."""
+    if depth > 16:
+        return False
+    if isinstance(value, WIRE_SAFE_TYPES):
+        return True
+    if isinstance(value, (list, tuple)):
+        return all(check_wire_safe(item, depth + 1) for item in value)
+    if isinstance(value, dict):
+        return all(
+            isinstance(key, str) and check_wire_safe(item, depth + 1)
+            for key, item in value.items()
+        )
+    return False
+
+
+class WireFormatError(TypeError):
+    """Raised when a payload is not wire-safe."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the simulated network."""
+
+    source: str
+    dest: str
+    kind: str  # "request" | "reply" | "error" | "event"
+    payload: Dict[str, Any] = field(default_factory=dict)
+    msg_id: int = field(default_factory=lambda: next(_message_ids))
+    reply_to: Optional[int] = None
+    sent_at: float = field(default_factory=time.monotonic)
+
+    def __post_init__(self) -> None:
+        if not check_wire_safe(self.payload):
+            raise WireFormatError(
+                f"payload of {self.kind} message {self.source}->{self.dest} "
+                f"is not wire-safe"
+            )
+
+    def copy_for_delivery(self) -> "Message":
+        """Deep-copied message, simulating deserialization at the receiver."""
+        return Message(
+            source=self.source,
+            dest=self.dest,
+            kind=self.kind,
+            payload=copy.deepcopy(self.payload),
+            msg_id=self.msg_id,
+            reply_to=self.reply_to,
+            sent_at=self.sent_at,
+        )
+
+
+def request(source: str, dest: str, service: str, method: str,
+            args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
+            caller: Optional[str] = None) -> Message:
+    """Build an RPC request message."""
+    return Message(
+        source=source, dest=dest, kind="request",
+        payload={
+            "service": service,
+            "method": method,
+            "args": list(args),
+            "kwargs": dict(kwargs or {}),
+            "caller": caller,
+        },
+    )
+
+
+def reply(to: Message, result: Any) -> Message:
+    """Build a success reply to ``to``."""
+    return Message(
+        source=to.dest, dest=to.source, kind="reply",
+        payload={"result": result}, reply_to=to.msg_id,
+    )
+
+
+def error_reply(to: Message, exc: BaseException) -> Message:
+    """Build an error reply carrying the exception type and text."""
+    return Message(
+        source=to.dest, dest=to.source, kind="error",
+        payload={
+            "error_type": type(exc).__name__,
+            "error": str(exc),
+        },
+        reply_to=to.msg_id,
+    )

@@ -1,0 +1,126 @@
+"""Live service migration: move a servant between nodes.
+
+Location transparency (paper Section 2) pays off when services *move*:
+clients address a logical name, so migration is capture state → rebuild
+on the target → rebind the name. The migrator enforces the honesty rule
+of this simulated runtime: captured state must be **wire-safe** (it
+would have to cross a real network), so in-process object handoff is
+rejected — what works here works in a real deployment.
+
+Quiescing: the optional ``quiesce`` / ``resume`` callbacks bracket the
+capture. The natural implementation is a
+:class:`~repro.aspects.coordination.PhaseAspect` transition — the same
+separated concern that closes bookings also drains a service for
+migration, which is exactly the reuse story the paper tells.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional
+
+from repro.core.errors import NetworkError
+from .message import check_wire_safe
+from .naming import Binding, NameService
+from .node import Node
+
+#: extract wire-safe state from the running servant
+CaptureFn = Callable[[Any], Dict[str, Any]]
+#: build a fresh servant from captured state (runs "on the target")
+RebuildFn = Callable[[Dict[str, Any]], Any]
+
+
+class MigrationError(NetworkError):
+    """Raised when a migration cannot proceed (bad state, dead target)."""
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Outcome of one migration."""
+
+    name: str
+    source: str
+    target: str
+    state_keys: int
+    downtime: float  # seconds between withdraw and rebind
+    binding: Binding
+
+
+class Migrator:
+    """Moves named services between nodes with bounded downtime."""
+
+    def __init__(self, names: NameService) -> None:
+        self.names = names
+        self.history: list = []
+
+    def migrate(
+        self,
+        public_name: str,
+        source: Node,
+        target: Node,
+        capture: CaptureFn,
+        rebuild: RebuildFn,
+        quiesce: Optional[Callable[[], None]] = None,
+        resume: Optional[Callable[[], None]] = None,
+    ) -> MigrationReport:
+        """Move ``public_name`` from ``source`` to ``target``.
+
+        Steps: resolve → quiesce → capture (wire-safety enforced) →
+        withdraw from source → rebuild + export on target → rebind →
+        resume. On a failed rebuild the servant is restored on the
+        source and the name left untouched (migration is all-or-nothing
+        from the clients' perspective).
+        """
+        binding = self.names.resolve(public_name)
+        if binding.node_id != source.node_id:
+            raise MigrationError(
+                f"{public_name!r} is bound to {binding.node_id!r}, "
+                f"not to source {source.node_id!r}"
+            )
+        if not target.network.is_up(target.node_id):
+            raise MigrationError(f"target {target.node_id!r} is down")
+
+        if quiesce is not None:
+            quiesce()
+        try:
+            servant = source.withdraw(binding.service)
+        except KeyError as exc:
+            raise MigrationError(
+                f"service {binding.service!r} not on {source.node_id!r}"
+            ) from exc
+        withdrawn_at = time.monotonic()
+
+        try:
+            state = capture(servant)
+            if not isinstance(state, dict) or not check_wire_safe(state):
+                raise MigrationError(
+                    f"captured state for {public_name!r} is not wire-safe"
+                )
+            replacement = rebuild(state)
+            target.export(binding.service, replacement)
+        except MigrationError:
+            source.export(binding.service, servant)  # roll back
+            raise
+        except Exception as exc:  # noqa: BLE001 - roll back, re-raise
+            source.export(binding.service, servant)
+            raise MigrationError(
+                f"rebuild failed for {public_name!r}: {exc}"
+            ) from exc
+
+        new_binding = self.names.rebind(
+            public_name, target.node_id, binding.service
+        )
+        downtime = time.monotonic() - withdrawn_at
+        if resume is not None:
+            resume()
+        report = MigrationReport(
+            name=public_name,
+            source=source.node_id,
+            target=target.node_id,
+            state_keys=len(state),
+            downtime=downtime,
+            binding=new_binding,
+        )
+        self.history.append(report)
+        return report

@@ -1,0 +1,87 @@
+"""Naming service: location transparency (paper Section 2).
+
+Services are addressed by logical name; the naming service maps names to
+``(node, service)`` locations. Client stubs resolve per call, so
+rebinding a name (migration, failover) transparently redirects traffic —
+the "location transparency" concern as infrastructure rather than
+tangled lookup code.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.errors import NameNotFound
+
+
+@dataclass(frozen=True)
+class Binding:
+    """A resolved name."""
+
+    name: str
+    node_id: str
+    service: str
+    version: int
+
+
+class NameService:
+    """Thread-safe name -> location registry with rebind versioning."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._bindings: Dict[str, Binding] = {}
+        self._watchers: Dict[str, List[Callable[[Binding], None]]] = {}
+
+    def bind(self, name: str, node_id: str, service: str) -> Binding:
+        """Bind a fresh name; raises ``ValueError`` if already bound."""
+        with self._lock:
+            if name in self._bindings:
+                raise ValueError(f"name {name!r} already bound")
+            binding = Binding(name=name, node_id=node_id,
+                              service=service, version=1)
+            self._bindings[name] = binding
+        self._notify(binding)
+        return binding
+
+    def rebind(self, name: str, node_id: str, service: str) -> Binding:
+        """Bind or replace a name (migration / failover path)."""
+        with self._lock:
+            current = self._bindings.get(name)
+            binding = Binding(
+                name=name, node_id=node_id, service=service,
+                version=(current.version + 1) if current else 1,
+            )
+            self._bindings[name] = binding
+        self._notify(binding)
+        return binding
+
+    def unbind(self, name: str) -> None:
+        with self._lock:
+            if name not in self._bindings:
+                raise NameNotFound(name)
+            del self._bindings[name]
+
+    def resolve(self, name: str) -> Binding:
+        with self._lock:
+            binding = self._bindings.get(name)
+        if binding is None:
+            raise NameNotFound(name)
+        return binding
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._bindings)
+
+    # ------------------------------------------------------------------
+    def watch(self, name: str, callback: Callable[[Binding], None]) -> None:
+        """Call ``callback`` on every (re)bind of ``name``."""
+        with self._lock:
+            self._watchers.setdefault(name, []).append(callback)
+
+    def _notify(self, binding: Binding) -> None:
+        with self._lock:
+            watchers = list(self._watchers.get(binding.name, ()))
+        for callback in watchers:
+            callback(binding)

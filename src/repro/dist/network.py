@@ -1,0 +1,255 @@
+"""Simulated network: latency, loss and partitions over thread inboxes.
+
+Substitution note (see DESIGN.md §2): the paper targets components
+"distributed across the network" but reports no networked experiments.
+This module provides the closest synthetic equivalent — per-link latency
+drawn from a seeded distribution, probabilistic loss, and explicit
+partitions — so the distributed examples and benches exercise the same
+code paths (marshalling, timeouts, retries, failover) a deployment
+would.
+
+Delivery runs on a single dispatcher thread draining a timed heap, which
+keeps per-link FIFO ordering for equal latencies and makes delivered /
+dropped counts deterministic for a fixed seed and send sequence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.core.errors import NodeUnreachable
+from repro.concurrency.primitives import WaitQueue
+from .message import Message
+
+
+class Network:
+    """An in-process network connecting named endpoints.
+
+    Args:
+        latency: mean one-way delivery latency, seconds (0 = immediate).
+        jitter: uniform +/- fraction applied to the latency.
+        loss: probability a message is silently dropped.
+        seed: RNG seed for jitter and loss decisions.
+        on_error: callback invoked with any exception the dispatcher
+            thread survives (it never dies silently; without a callback
+            errors are only counted in ``dispatch_errors``).
+    """
+
+    def __init__(self, latency: float = 0.0, jitter: float = 0.0,
+                 loss: float = 0.0, seed: int = 7,
+                 on_error: Optional[
+                     Callable[[BaseException], None]] = None) -> None:
+        self.latency = latency
+        self.jitter = jitter
+        self.loss = loss
+        self.on_error = on_error
+        self.dispatch_errors = 0
+        #: deterministic delivery-fault hook (``repro.faults``): consulted
+        #: per send for drop/delay/raise at named delivery sites
+        self.fault_injector: Optional[object] = None
+        self._rng = random.Random(seed)
+        self._lock = threading.RLock()
+        self._inboxes: Dict[str, "WaitQueue[Message]"] = {}
+        self._partitions: List[Set[str]] = []
+        self._down: Set[str] = set()
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+        self._heap: List[Tuple[float, int, Message]] = []
+        self._sequence = itertools.count()
+        self._wakeup = threading.Condition(self._lock)
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="network-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+
+    # ------------------------------------------------------------------
+    # endpoints
+    # ------------------------------------------------------------------
+    def register(self, endpoint: str) -> "WaitQueue[Message]":
+        """Attach an endpoint; returns its inbox queue."""
+        with self._lock:
+            if endpoint in self._inboxes:
+                raise ValueError(f"endpoint {endpoint!r} already registered")
+            inbox: "WaitQueue[Message]" = WaitQueue()
+            self._inboxes[endpoint] = inbox
+            return inbox
+
+    def unregister(self, endpoint: str) -> None:
+        with self._lock:
+            inbox = self._inboxes.pop(endpoint, None)
+            if inbox is not None:
+                inbox.close()
+
+    def endpoints(self) -> List[str]:
+        with self._lock:
+            return list(self._inboxes)
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def partition(self, *groups: Set[str]) -> None:
+        """Split endpoints into isolated groups (others see everyone)."""
+        with self._lock:
+            self._partitions = [set(group) for group in groups]
+
+    def heal(self) -> None:
+        with self._lock:
+            self._partitions = []
+
+    def take_down(self, endpoint: str) -> None:
+        """Crash an endpoint: messages to it are dropped."""
+        with self._lock:
+            self._down.add(endpoint)
+
+    def bring_up(self, endpoint: str) -> None:
+        with self._lock:
+            self._down.discard(endpoint)
+
+    def is_up(self, endpoint: str) -> bool:
+        with self._lock:
+            return endpoint in self._inboxes and endpoint not in self._down
+
+    def _reachable(self, source: str, dest: str) -> bool:
+        if dest in self._down or source in self._down:
+            return False
+        for group in self._partitions:
+            source_in = source in group
+            dest_in = dest in group
+            if source_in != dest_in:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Queue a message for delivery, applying faults and latency.
+
+        Unknown destinations raise :class:`NodeUnreachable` immediately
+        (the simulated analogue of a connection refusal); loss and
+        partitions drop silently, as a real network would. An installed
+        fault injector is consulted per send: its ``skip`` action drops
+        the k-th delivery to an endpoint, ``delay`` widens its latency,
+        ``raise`` surfaces :class:`~repro.faults.InjectedFault` to the
+        sender.
+        """
+        extra_delay = 0.0
+        injector = self.fault_injector
+        if injector is not None:
+            spec = injector.deliver(message.dest)
+            if spec is not None:
+                if spec.action == "raise":
+                    from repro.faults.plan import InjectedFault
+                    with self._lock:
+                        self.sent += 1
+                        self.dropped += 1
+                    raise InjectedFault(spec)
+                if spec.action == "skip":
+                    with self._lock:
+                        self.sent += 1
+                        self.dropped += 1
+                    return
+                extra_delay = spec.arg
+        with self._lock:
+            self.sent += 1
+            if message.dest not in self._inboxes:
+                raise NodeUnreachable(message.dest)
+            if not self._reachable(message.source, message.dest):
+                self.dropped += 1
+                return
+            if self.loss > 0 and self._rng.random() < self.loss:
+                self.dropped += 1
+                return
+            delay = self.latency
+            if delay > 0 and self.jitter > 0:
+                delay *= 1.0 + self.jitter * (2 * self._rng.random() - 1)
+            deliver_at = time.monotonic() + max(0.0, delay) + extra_delay
+            heapq.heappush(
+                self._heap,
+                (deliver_at, next(self._sequence), message),
+            )
+            self._wakeup.notify()
+
+    def _dispatch_loop(self) -> None:
+        # The dispatcher is the single point every delivery flows
+        # through: if it died on one bad message the whole network would
+        # silently stop. Each step is therefore contained — errors are
+        # counted, reported through on_error, and the loop continues.
+        while True:
+            try:
+                if self._dispatch_once():
+                    return
+            except Exception as exc:  # noqa: BLE001 - must survive
+                self._report_error(exc)
+
+    def _dispatch_once(self) -> bool:
+        """One wait-or-deliver step; True when the network has shut down."""
+        with self._wakeup:
+            while not self._heap and not self._closed:
+                self._wakeup.wait()
+            if self._closed and not self._heap:
+                return True
+            deliver_at, _seq, message = self._heap[0]
+            now = time.monotonic()
+            if deliver_at > now:
+                self._wakeup.wait(deliver_at - now)
+                return False
+            heapq.heappop(self._heap)
+            # Re-check reachability at delivery time: a partition or
+            # crash that happened in flight still loses the message.
+            if message.dest in self._down \
+                    or message.dest not in self._inboxes \
+                    or not self._reachable(message.source, message.dest):
+                self.dropped += 1
+                return False
+            inbox = self._inboxes[message.dest]
+            self.delivered += 1
+        try:
+            inbox.put(message.copy_for_delivery())
+        except WaitQueue.Closed:
+            with self._lock:
+                self.delivered -= 1
+                self.dropped += 1
+        except Exception:
+            # A poisoned message (bad payload copy, broken inbox) is
+            # dropped and reported; it must not take the dispatcher down.
+            with self._lock:
+                self.delivered -= 1
+                self.dropped += 1
+            raise
+        return False
+
+    def _report_error(self, exc: BaseException) -> None:
+        with self._lock:
+            self.dispatch_errors += 1
+        callback = self.on_error
+        if callback is not None:
+            try:
+                callback(exc)
+            except Exception:  # noqa: BLE001 - error hook must not kill us
+                pass
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "sent": self.sent,
+                "delivered": self.delivered,
+                "dropped": self.dropped,
+                "in_flight": len(self._heap),
+                "dispatch_errors": self.dispatch_errors,
+            }
+
+    def close(self) -> None:
+        with self._wakeup:
+            self._closed = True
+            self._wakeup.notify_all()
+        for endpoint in list(self._inboxes):
+            self.unregister(endpoint)

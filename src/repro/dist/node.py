@@ -1,0 +1,177 @@
+"""Nodes: hosts for component clusters on the simulated network.
+
+A node owns an inbox on the network, a set of exported servants
+(typically :class:`~repro.core.proxy.ComponentProxy` objects, so every
+remote invocation flows through the full moderation stack), and a pool
+of server threads draining the inbox. Requests carry a ``caller``
+principal which the node attaches to the servant call — this is how the
+authentication aspect sees remote identities.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+from repro.concurrency.primitives import WaitQueue
+from repro.core.errors import MethodAborted
+from repro.core.proxy import ComponentProxy
+from .message import Message, error_reply, reply
+from .network import Network
+
+
+class Node:
+    """One host on the simulated network."""
+
+    def __init__(self, node_id: str, network: Network,
+                 workers: int = 1) -> None:
+        self.node_id = node_id
+        self.network = network
+        self.inbox = network.register(node_id)
+        self._servants: Dict[str, Any] = {}
+        self._lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._running = False
+        self.requests_served = 0
+        self.requests_failed = 0
+        self._workers = workers
+
+    # ------------------------------------------------------------------
+    # servants
+    # ------------------------------------------------------------------
+    def export(self, service: str, servant: Any) -> None:
+        """Expose ``servant`` under a local service name."""
+        with self._lock:
+            if service in self._servants:
+                raise ValueError(
+                    f"service {service!r} already exported on {self.node_id}"
+                )
+            self._servants[service] = servant
+
+    def withdraw(self, service: str) -> Any:
+        with self._lock:
+            return self._servants.pop(service)
+
+    def services(self) -> List[str]:
+        with self._lock:
+            return sorted(self._servants)
+
+    @property
+    def load(self) -> int:
+        """Queued requests — the least-loaded balancer's signal."""
+        return len(self.inbox)
+
+    # ------------------------------------------------------------------
+    # serving
+    # ------------------------------------------------------------------
+    def start(self) -> "Node":
+        if self._running:
+            return self
+        self._running = True
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._serve_loop,
+                name=f"{self.node_id}-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def _serve_loop(self) -> None:
+        while self._running:
+            try:
+                message = self.inbox.get(timeout=0.2)
+            except TimeoutError:
+                continue
+            except WaitQueue.Closed:
+                return
+            if message.kind == "request":
+                self._handle_request(message)
+            # replies are routed by client stubs sharing the inbox of a
+            # client endpoint; a serving node ignores stray replies.
+
+    def _handle_request(self, message: Message) -> None:
+        payload = message.payload
+        service = payload.get("service", "")
+        method = payload.get("method", "")
+        args = tuple(payload.get("args", ()))
+        kwargs = dict(payload.get("kwargs", {}))
+        caller = payload.get("caller")
+        with self._lock:
+            servant = self._servants.get(service)
+        try:
+            if servant is None:
+                raise LookupError(
+                    f"no service {service!r} on node {self.node_id}"
+                )
+            if isinstance(servant, ComponentProxy):
+                result = servant.call(method, *args, caller=caller, **kwargs)
+            else:
+                target = getattr(servant, method)
+                if caller is not None and self._accepts_caller(target):
+                    kwargs.setdefault("caller", caller)
+                result = target(*args, **kwargs)
+            response = reply(message, self._wire_result(result))
+            self.requests_served += 1
+        except MethodAborted as exc:
+            self.requests_failed += 1
+            response = error_reply(message, exc)
+        except BaseException as exc:  # noqa: BLE001 - marshalled to caller
+            self.requests_failed += 1
+            response = error_reply(message, exc)
+        try:
+            self.network.send(response)
+        except Exception:  # noqa: BLE001 - reply to a vanished client
+            pass
+
+    @staticmethod
+    def _accepts_caller(target: Any) -> bool:
+        """Whether a servant method can receive the request principal."""
+        import inspect
+
+        try:
+            parameters = inspect.signature(target).parameters
+        except (TypeError, ValueError):
+            return False
+        return "caller" in parameters or any(
+            p.kind is inspect.Parameter.VAR_KEYWORD
+            for p in parameters.values()
+        )
+
+    @staticmethod
+    def _wire_result(result: Any) -> Any:
+        """Coerce servant results into wire-safe data."""
+        from .message import check_wire_safe
+
+        if check_wire_safe(result):
+            return result
+        if hasattr(result, "__dict__"):
+            flat = {
+                key: value for key, value in vars(result).items()
+                if check_wire_safe(value)
+            }
+            flat["__type__"] = type(result).__name__
+            return flat
+        return repr(result)
+
+    def stop(self) -> None:
+        self._running = False
+        for thread in self._threads:
+            thread.join(timeout=1.0)
+        self._threads.clear()
+
+    def crash(self) -> None:
+        """Fail-stop: the node stops serving and the network drops traffic."""
+        self.network.take_down(self.node_id)
+        self.stop()
+
+    def recover(self) -> None:
+        self.network.bring_up(self.node_id)
+        self.start()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Node {self.node_id} services={self.services()} "
+            f"served={self.requests_served}>"
+        )

@@ -1,0 +1,137 @@
+"""Primary-backup replication: fault tolerance for exported services.
+
+The paper names "fault tolerance" as a first-class interaction concern.
+This module composes it from the pieces already built: a
+:class:`ReplicatedService` exports the same servant on several nodes,
+clients address one logical name, and a :class:`FailoverMonitor`
+rebinds that name to a backup when the primary dies. State continuity
+uses operation forwarding: mutating calls applied at the primary are
+re-executed at the backups (deterministic servants assumed, which the
+ticketing components are).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.core.errors import NetworkError
+from .naming import NameService
+from .network import Network
+from .node import Node
+from .rpc import Client, RequestTimeout
+
+
+class ReplicatedServant:
+    """Wraps a servant on the primary; forwards mutations to backups.
+
+    Exported on the primary node in place of the bare servant. Calls are
+    applied locally first; on success the same call is forwarded to each
+    backup's replica service (best effort — a dead backup is skipped and
+    reported in :attr:`forward_failures`).
+    """
+
+    def __init__(self, servant: Any, forwarder: Client,
+                 replica_names: Sequence[str],
+                 mutating: Optional[Sequence[str]] = None) -> None:
+        self._servant = servant
+        self._forwarder = forwarder
+        self._replica_names = list(replica_names)
+        self._mutating = set(mutating) if mutating is not None else None
+        self.forwarded = 0
+        self.forward_failures = 0
+        self._lock = threading.Lock()
+
+    def _is_mutating(self, method: str) -> bool:
+        if self._mutating is None:
+            return True
+        return method in self._mutating
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+        target = getattr(self._servant, method)
+
+        def replicated(*args: Any, **kwargs: Any) -> Any:
+            result = target(*args, **kwargs)
+            if self._is_mutating(method):
+                for name in self._replica_names:
+                    try:
+                        self._forwarder.call_name(
+                            name, method, *args, **kwargs
+                        )
+                        with self._lock:
+                            self.forwarded += 1
+                    except (RequestTimeout, NetworkError):
+                        with self._lock:
+                            self.forward_failures += 1
+            return result
+
+        replicated.__name__ = method
+        return replicated
+
+
+class FailoverMonitor:
+    """Watches the primary and rebinds the logical name to a backup.
+
+    Health checks are explicit (:meth:`check_once`) or periodic
+    (:meth:`start`, daemon thread). Failover promotes the first live
+    backup, rebinds the public name, and records the event.
+    """
+
+    def __init__(self, names: NameService, network: Network,
+                 public_name: str,
+                 primary: Node, backups: Sequence[Node],
+                 service: str,
+                 interval: float = 0.1) -> None:
+        self.names = names
+        self.network = network
+        self.public_name = public_name
+        self.primary = primary
+        self.backups = list(backups)
+        self.service = service
+        self.interval = interval
+        self.failovers: List[str] = []
+        self._running = False
+        self._thread: Optional[threading.Thread] = None
+
+    def check_once(self) -> bool:
+        """One health check; returns True when a failover occurred."""
+        current = self.names.resolve(self.public_name)
+        if self.network.is_up(current.node_id):
+            return False
+        for backup in self.backups:
+            if self.network.is_up(backup.node_id):
+                self.names.rebind(
+                    self.public_name, backup.node_id, self.service
+                )
+                self.failovers.append(backup.node_id)
+                return True
+        raise NetworkError(
+            f"no live replica for {self.public_name!r}"
+        )
+
+    def start(self) -> "FailoverMonitor":
+        if self._running:
+            return self
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._loop, name=f"failover-{self.public_name}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while self._running:
+            try:
+                self.check_once()
+            except NetworkError:
+                pass
+            time.sleep(self.interval)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=1.0)

@@ -1,0 +1,153 @@
+"""RPC client: remote proxies over the simulated network.
+
+A :class:`Client` owns an endpoint on the network and matches replies to
+outstanding requests by message id. :class:`RemoteProxy` is the stub —
+attribute access yields remote methods, so calling a remote ticket
+server looks exactly like calling the local proxy (the paper's servant/
+client symmetry, Section 2). Names resolve through the naming service
+*per call*, giving location transparency across rebinds.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Optional
+
+from repro.concurrency.primitives import Future, WaitQueue
+from repro.core.errors import MethodAborted, NetworkError
+from .message import request
+from .naming import NameService
+from .network import Network
+
+
+class RemoteError(NetworkError):
+    """A remote invocation failed on the server side."""
+
+    def __init__(self, error_type: str, detail: str) -> None:
+        self.error_type = error_type
+        self.detail = detail
+        super().__init__(f"{error_type}: {detail}")
+
+
+class RequestTimeout(NetworkError, TimeoutError):
+    """No reply within the deadline (lost message or dead node)."""
+
+
+class Client:
+    """A client endpoint: sends requests, demultiplexes replies."""
+
+    def __init__(self, client_id: str, network: Network,
+                 names: Optional[NameService] = None,
+                 default_timeout: float = 5.0) -> None:
+        self.client_id = client_id
+        self.network = network
+        self.names = names
+        self.default_timeout = default_timeout
+        self.inbox = network.register(client_id)
+        self._pending: Dict[int, "Future[Message]"] = {}
+        self._lock = threading.Lock()
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._reply_loop, name=f"{client_id}-replies", daemon=True
+        )
+        self._thread.start()
+        self.calls = 0
+        self.timeouts = 0
+
+    def _reply_loop(self) -> None:
+        while self._running:
+            try:
+                message = self.inbox.get(timeout=0.2)
+            except TimeoutError:
+                continue
+            except WaitQueue.Closed:
+                return
+            if message.reply_to is None:
+                continue
+            with self._lock:
+                future = self._pending.pop(message.reply_to, None)
+            if future is not None and not future.done:
+                future.set_result(message)
+
+    # ------------------------------------------------------------------
+    def call_node(self, node_id: str, service: str, method: str,
+                  *args: Any, caller: Optional[str] = None,
+                  timeout: Optional[float] = None, **kwargs: Any) -> Any:
+        """Invoke ``service.method`` on an explicit node."""
+        message = request(
+            self.client_id, node_id, service, method,
+            args=args, kwargs=kwargs, caller=caller,
+        )
+        future: "Future[Message]" = Future()
+        with self._lock:
+            self._pending[message.msg_id] = future
+        self.calls += 1
+        self.network.send(message)
+        effective = timeout if timeout is not None else self.default_timeout
+        try:
+            response = future.result(effective)
+        except TimeoutError:
+            with self._lock:
+                self._pending.pop(message.msg_id, None)
+            self.timeouts += 1
+            raise RequestTimeout(
+                f"no reply from {node_id}/{service}.{method} "
+                f"within {effective}s"
+            ) from None
+        if response.kind == "error":
+            error_type = response.payload.get("error_type", "RemoteError")
+            detail = response.payload.get("error", "")
+            if error_type == "MethodAborted":
+                raise MethodAborted(method, reason=detail)
+            raise RemoteError(error_type, detail)
+        return response.payload.get("result")
+
+    def call_name(self, name: str, method: str, *args: Any,
+                  caller: Optional[str] = None,
+                  timeout: Optional[float] = None, **kwargs: Any) -> Any:
+        """Invoke through the naming service (location-transparent)."""
+        if self.names is None:
+            raise NetworkError("client has no naming service configured")
+        binding = self.names.resolve(name)
+        return self.call_node(
+            binding.node_id, binding.service, method, *args,
+            caller=caller, timeout=timeout, **kwargs,
+        )
+
+    def proxy(self, name: str, caller: Optional[str] = None,
+              timeout: Optional[float] = None) -> "RemoteProxy":
+        """A stub whose attribute calls go to the named remote service."""
+        return RemoteProxy(self, name, caller=caller, timeout=timeout)
+
+    def close(self) -> None:
+        self._running = False
+        self.network.unregister(self.client_id)
+        self._thread.join(timeout=1.0)
+
+
+class RemoteProxy:
+    """Attribute-level stub: ``stub.open(ticket)`` -> remote invocation."""
+
+    def __init__(self, client: Client, name: str,
+                 caller: Optional[str] = None,
+                 timeout: Optional[float] = None) -> None:
+        self._client = client
+        self._name = name
+        self._caller = caller
+        self._timeout = timeout
+
+    def __getattr__(self, method: str) -> Callable[..., Any]:
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def remote_method(*args: Any, **kwargs: Any) -> Any:
+            return self._client.call_name(
+                self._name, method, *args,
+                caller=self._caller, timeout=self._timeout, **kwargs,
+            )
+
+        remote_method.__name__ = method
+        return remote_method
+
+    def __repr__(self) -> str:
+        return f"<RemoteProxy {self._name} via {self._client.client_id}>"

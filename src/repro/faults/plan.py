@@ -1,0 +1,212 @@
+"""Fault plans: named sites, deterministic schedules, plan-space helpers.
+
+A *site* is where a fault can strike, identified by
+``(phase, method_id, concern)``:
+
+========================  =============================================
+phase                      meaning
+========================  =============================================
+``"precondition"``         before concern's precondition on a method
+``"postaction"``           before concern's postaction (reverse unwind)
+``"on_abort"``             before concern's compensation
+``"delivery"``             before a network delivery; ``method_id``
+                           holds the destination endpoint, concern is
+                           empty
+========================  =============================================
+
+``occurrence`` selects the k-th visit (1-based) to that site across the
+run, so "the second time the sync precondition of ``open`` runs" is a
+stable, replayable coordinate even under thread nondeterminism of
+everything else.
+
+Actions: ``"raise"`` throws :class:`InjectedFault` out of the site,
+``"delay"`` sleeps ``arg`` seconds inside it (widening race windows),
+``"skip"`` silently suppresses the site — the aspect (or delivery)
+simply never happens, a no-op crash.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+PHASES = ("precondition", "postaction", "on_abort", "delivery")
+ACTIONS = ("raise", "delay", "skip")
+
+#: site coordinate: (phase, method_id, concern)
+Site = Tuple[str, str, str]
+
+
+class InjectedFault(RuntimeError):
+    """The exception a ``"raise"`` fault throws out of its site.
+
+    Deliberately *not* a FrameworkError: injected faults model arbitrary
+    third-party aspect bugs, and the containment layer must not get to
+    special-case them.
+    """
+
+    def __init__(self, spec: "FaultSpec") -> None:
+        self.spec = spec
+        super().__init__(
+            f"injected fault at {spec.phase} of "
+            f"({spec.method_id!r}, {spec.concern!r}) "
+            f"occurrence {spec.occurrence}"
+        )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One planned fault at one named site."""
+
+    phase: str
+    method_id: str
+    concern: str = ""
+    occurrence: int = 1
+    action: str = "raise"
+    #: delay seconds for ``"delay"`` actions; ignored otherwise
+    arg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.phase not in PHASES:
+            raise ValueError(f"phase must be one of {PHASES}")
+        if self.action not in ACTIONS:
+            raise ValueError(f"action must be one of {ACTIONS}")
+        if self.occurrence < 1:
+            raise ValueError("occurrence is 1-based")
+        if self.arg < 0:
+            raise ValueError("arg must be non-negative")
+
+    @property
+    def site(self) -> Site:
+        return (self.phase, self.method_id, self.concern)
+
+    def describe(self) -> str:
+        extra = f" +{self.arg:.3f}s" if self.action == "delay" else ""
+        return (
+            f"{self.action}{extra}@{self.phase}"
+            f"({self.method_id},{self.concern})#{self.occurrence}"
+        )
+
+
+class FaultPlan:
+    """An immutable, deterministic schedule of faults.
+
+    Lookup is O(1) per site visit: specs are indexed by
+    ``(site, occurrence)``. Two specs may not claim the same slot — a
+    plan is a function from site visits to actions, not a lottery.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = ()) -> None:
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self._slots: Dict[Tuple[Site, int], FaultSpec] = {}
+        for spec in self.specs:
+            slot = (spec.site, spec.occurrence)
+            if slot in self._slots:
+                raise ValueError(
+                    f"duplicate fault slot {spec.describe()}"
+                )
+            self._slots[slot] = spec
+
+    def match(self, phase: str, method_id: str, concern: str,
+              occurrence: int) -> "FaultSpec | None":
+        """The spec claiming this visit, or None."""
+        return self._slots.get(((phase, method_id, concern), occurrence))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    def __or__(self, other: "FaultPlan") -> "FaultPlan":
+        """Union of two plans (disjoint slots required)."""
+        return FaultPlan(self.specs + other.specs)
+
+    def describe(self) -> str:
+        if not self.specs:
+            return "<empty plan>"
+        return " + ".join(spec.describe() for spec in self.specs)
+
+    def __repr__(self) -> str:
+        return f"<FaultPlan {self.describe()}>"
+
+    # ------------------------------------------------------------------
+    # deterministic sampling
+    # ------------------------------------------------------------------
+    @classmethod
+    def seeded(cls, seed: int, sites: Sequence[Site], faults: int = 1,
+               occurrences: Sequence[int] = (1, 2, 3),
+               actions: Sequence[str] = ("raise", "skip"),
+               delay: float = 0.005) -> "FaultPlan":
+        """Sample a plan of ``faults`` specs from the site space.
+
+        Same seed, same sites — same plan, every run, every machine:
+        the sampler is a pure function of its arguments.
+        """
+        rng = random.Random(seed)
+        slots = [
+            (site, occurrence)
+            for site in sites for occurrence in occurrences
+        ]
+        if faults > len(slots):
+            raise ValueError(
+                f"cannot place {faults} faults in {len(slots)} slots"
+            )
+        chosen = rng.sample(slots, faults)
+        specs = []
+        for (phase, method_id, concern), occurrence in chosen:
+            action = rng.choice(list(actions))
+            specs.append(FaultSpec(
+                phase=phase, method_id=method_id, concern=concern,
+                occurrence=occurrence, action=action,
+                arg=delay if action == "delay" else 0.0,
+            ))
+        return cls(specs)
+
+
+def protocol_sites(method_id: str, concerns: Sequence[str],
+                   phases: Sequence[str] = (
+                       "precondition", "postaction", "on_abort",
+                   )) -> List[Site]:
+    """Enumerate the protocol fault sites of one method's chain."""
+    return [
+        (phase, method_id, concern)
+        for concern in concerns for phase in phases
+    ]
+
+
+def single_fault_plans(sites: Sequence[Site],
+                       actions: Sequence[str] = ("raise",),
+                       occurrences: Sequence[int] = (1,),
+                       delay: float = 0.005) -> List[FaultPlan]:
+    """Every one-fault plan over the given sites — the full space."""
+    plans = []
+    for (phase, method_id, concern), occurrence, action in \
+            itertools.product(sites, occurrences, actions):
+        plans.append(FaultPlan([FaultSpec(
+            phase=phase, method_id=method_id, concern=concern,
+            occurrence=occurrence, action=action,
+            arg=delay if action == "delay" else 0.0,
+        )]))
+    return plans
+
+
+def double_fault_plans(sites: Sequence[Site],
+                       actions: Sequence[str] = ("raise",),
+                       occurrences: Sequence[int] = (1,),
+                       delay: float = 0.005) -> List[FaultPlan]:
+    """Every two-fault plan (unordered pairs of distinct *slots*).
+
+    Pairs whose specs claim the same (site, occurrence) slot with
+    different actions are not valid plans and are skipped.
+    """
+    singles = single_fault_plans(sites, actions, occurrences, delay)
+    plans = []
+    for first, second in itertools.combinations(singles, 2):
+        try:
+            plans.append(first | second)
+        except ValueError:
+            continue
+    return plans

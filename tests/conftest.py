@@ -2,9 +2,26 @@
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
+from hypothesis import HealthCheck, settings
+
+# Fixed hypothesis profiles so the property/chaos suites are
+# deterministic where it matters. "ci" (auto-loaded when $CI is set, as
+# on GitHub Actions) derandomizes every suite and bounds example counts;
+# "dev" keeps the library defaults for local exploratory runs. Override
+# with ``--hypothesis-profile=<name>``.
+settings.register_profile(
+    "ci",
+    derandomize=True,
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile("dev", deadline=None)
+settings.load_profile("ci" if os.environ.get("CI") else "dev")
 
 from repro.core import AspectModerator, ComponentProxy, EventBus, Tracer
 from repro.concurrency import TicketStore

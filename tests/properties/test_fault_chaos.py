@@ -1,0 +1,246 @@
+"""Fault-injection chaos: protocol invariants under every fault schedule.
+
+A fixed composition on one method — audit, mutex, semaphore(2), and a
+"probe" observer aspect — is stormed by real threads while a
+:class:`FaultPlan` deterministically injects faults at named protocol
+sites. The suite enumerates the *entire* single-fault plan space and the
+entire double-fault plan space, plus seeded random plans via hypothesis.
+
+Fault placement policy: ``raise``/``skip`` actions strike only the probe
+aspect's sites. A sync aspect whose own cleanup is made to crash
+legitimately leaks its admission (the framework contains the fault but
+cannot invent the cleanup) — so mutex/semaphore sites get ``delay``
+faults only, which widen race windows without destroying state.
+
+Invariants, for every plan and every interleaving:
+
+* every worker thread finishes — no wedged activations, ever;
+* sync aspects are at rest afterwards (no leaked admissions);
+* accounting balances: the component ran exactly once per RESUME, and
+  every activation is resumed, aborted, or faulted-before-resume;
+* faults surface as :class:`AspectFault` / :class:`CompositionErrors`,
+  never as a raw :class:`InjectedFault` escaping the protocol.
+"""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aspects.audit import AuditAspect
+from repro.aspects.synchronization import MutexAspect, SemaphoreAspect
+from repro.core import (
+    AspectFault,
+    AspectModerator,
+    ComponentProxy,
+    CompositionErrors,
+    FunctionAspect,
+    MethodAborted,
+)
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    double_fault_plans,
+    protocol_sites,
+    single_fault_plans,
+)
+
+THREADS = 3
+CALLS = 3
+
+# raise/skip faults strike the probe observer only
+PROBE_SITES = protocol_sites("push", ["probe"])
+# sync aspects get delay faults only (see module docstring)
+SYNC_SITES = protocol_sites("push", ["mutex", "semaphore"])
+
+_PROBE_SINGLES = single_fault_plans(
+    PROBE_SITES, actions=("raise", "skip"), occurrences=(1, 2))
+_SYNC_SINGLES = single_fault_plans(
+    SYNC_SITES, actions=("delay",), occurrences=(1, 2), delay=0.003)
+
+SINGLE_PLANS = _PROBE_SINGLES + _SYNC_SINGLES
+DOUBLE_PLANS = (
+    # destructive × destructive, all distinct probe slots
+    double_fault_plans(PROBE_SITES, actions=("raise", "skip"),
+                       occurrences=(1, 2))
+    # destructive × delay: a probe fault while a sync site dawdles
+    + [probe | sync for probe in _PROBE_SINGLES for sync in _SYNC_SINGLES]
+)
+
+
+class Sink:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self.accepted = []
+
+    def push(self, value):
+        with self.lock:
+            self.accepted.append(value)
+        return value
+
+
+def _build():
+    """Fresh moderator + chain + sink + proxy for one storm."""
+    moderator = AspectModerator(default_timeout=10.0, fault_threshold=2)
+    audit = AuditAspect()
+    mutex = MutexAspect()
+    semaphore = SemaphoreAspect(2)
+    # probe last: its precondition faults exercise compensation of the
+    # full resumed prefix, and its postaction faults lead the reverse
+    # unwind — the worst places for a fault to strike.
+    probe = FunctionAspect(concern="probe")
+    moderator.register_aspect("push", "audit", audit)
+    moderator.register_aspect("push", "mutex", mutex)
+    moderator.register_aspect("push", "semaphore", semaphore)
+    moderator.register_aspect("push", "probe", probe,
+                              fault_policy="fail_open")
+    sink = Sink()
+    return moderator, {"audit": audit, "mutex": mutex,
+                       "semaphore": semaphore}, sink, \
+        ComponentProxy(sink, moderator)
+
+
+def _storm(plan):
+    """Run the threaded storm under ``plan`` and check every invariant."""
+    moderator, aspects, sink, proxy = _build()
+    injector = FaultInjector(plan)
+    injector.install(moderator)
+
+    outcomes = {"aborted": [], "pre_faults": [], "post_faults": []}
+    outcome_lock = threading.Lock()
+
+    def classify(group_or_fault):
+        lead = group_or_fault
+        if isinstance(group_or_fault, CompositionErrors):
+            lead = group_or_fault.exceptions[0]
+        return "pre_faults" if lead.phase == "precondition" \
+            else "post_faults"
+
+    def worker(index):
+        for call in range(CALLS):
+            value = index * 100 + call
+            try:
+                proxy.push(value)
+            except MethodAborted:
+                with outcome_lock:
+                    outcomes["aborted"].append(value)
+            except (AspectFault, CompositionErrors) as fault:
+                with outcome_lock:
+                    outcomes[classify(fault)].append(value)
+            # a raw InjectedFault, or an ActivationTimeout from a
+            # wedged activation, propagates and fails the storm
+
+    pool = [
+        threading.Thread(target=worker, args=(index,))
+        for index in range(THREADS)
+    ]
+    for thread in pool:
+        thread.start()
+    for thread in pool:
+        thread.join(30)
+    assert not any(thread.is_alive() for thread in pool), \
+        f"wedged activations under plan {plan.describe()}"
+
+    stats = moderator.stats
+    total = THREADS * CALLS
+
+    # no leaked admissions: sync state fully unwound
+    assert aspects["mutex"].holder is None, plan.describe()
+    assert aspects["semaphore"].in_use == 0, plan.describe()
+
+    # the component ran exactly once per RESUME; aborted or
+    # pre-faulted activations never reached it
+    assert len(sink.accepted) == stats.resumes, plan.describe()
+    assert stats.postactivations == stats.resumes, plan.describe()
+
+    # every activation accounted for, exactly once
+    assert stats.preactivations == total, plan.describe()
+    assert (stats.resumes + stats.aborts + len(outcomes["pre_faults"])
+            == total), plan.describe()
+    assert len(outcomes["aborted"]) == stats.aborts, plan.describe()
+    assert (len(sink.accepted) + len(outcomes["aborted"])
+            + len(outcomes["pre_faults"]) == total), plan.describe()
+
+    # post-phase faults happened on resumed activations whose value
+    # landed despite the raising unwind
+    with sink.lock:
+        accepted = set(sink.accepted)
+    assert set(outcomes["post_faults"]) <= accepted, plan.describe()
+    assert not set(outcomes["aborted"]) & accepted, plan.describe()
+
+    # fault bookkeeping is consistent: each spec fires at most once
+    raise_specs = [s for s in plan.specs if s.action == "raise"]
+    if not raise_specs:
+        assert stats.faults == 0, plan.describe()
+    assert len(injector.fired) <= len(plan.specs), plan.describe()
+
+    # audit's hash chain survived the chaos
+    assert aspects["audit"].log.verify_chain()
+    return moderator, injector
+
+
+@pytest.mark.parametrize(
+    "plan", SINGLE_PLANS, ids=[plan.describe() for plan in SINGLE_PLANS])
+def test_every_single_fault_schedule(plan):
+    _storm(plan)
+
+
+@pytest.mark.parametrize(
+    "plan", DOUBLE_PLANS, ids=[plan.describe() for plan in DOUBLE_PLANS])
+def test_every_double_fault_schedule(plan):
+    _storm(plan)
+
+
+def test_repeated_raise_quarantines_probe_and_storm_recovers():
+    # both occurrences of the probe precondition raise: the fail_open
+    # policy (threshold 2) quarantines the probe and later activations
+    # flow through it untouched
+    plan = FaultPlan.seeded(
+        seed=7, sites=[("precondition", "push", "probe")], faults=1,
+        occurrences=(1,), actions=("raise",),
+    ) | FaultPlan.seeded(
+        seed=7, sites=[("precondition", "push", "probe")], faults=1,
+        occurrences=(2,), actions=("raise",),
+    )
+    moderator, injector = _storm(plan)
+    assert moderator.stats.faults == 2
+    assert moderator.stats.quarantines == 1
+    assert moderator.stats.degraded_skips >= 1
+    assert injector.all_fired()
+    assert len(injector.fired) == 2
+
+
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_seeded_random_plans_keep_invariants(seed):
+    # probe gets destructive faults, sync aspects get delays; disjoint
+    # site spaces so the union can never conflict
+    plan = FaultPlan.seeded(
+        seed=seed, sites=PROBE_SITES, faults=2,
+        occurrences=(1, 2, 3), actions=("raise", "skip"),
+    ) | FaultPlan.seeded(
+        seed=seed ^ 0x5A5A5A5A, sites=SYNC_SITES, faults=1,
+        occurrences=(1, 2, 3), actions=("delay",), delay=0.002,
+    )
+    _storm(plan)
+
+
+def test_seeded_plans_are_reproducible():
+    first = FaultPlan.seeded(seed=1234, sites=PROBE_SITES + SYNC_SITES,
+                             faults=3)
+    second = FaultPlan.seeded(seed=1234, sites=PROBE_SITES + SYNC_SITES,
+                              faults=3)
+    assert first.describe() == second.describe()
+    assert first.specs == second.specs
+    other = FaultPlan.seeded(seed=1235, sites=PROBE_SITES + SYNC_SITES,
+                             faults=3)
+    assert other.describe() != first.describe()
+
+
+def test_empty_plan_storm_is_fault_free():
+    moderator, injector = _storm(FaultPlan())
+    assert moderator.stats.faults == 0
+    assert injector.fired == []
+    # the injector still counted its visits — the harness was live
+    assert injector.visits("precondition", "push", "probe") > 0

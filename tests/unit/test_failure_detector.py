@@ -115,3 +115,100 @@ class TestDetectorFailover:
         time.sleep(0.35)
         choose = detector_failover(detector, ["only"])
         assert choose() is None
+
+
+class TestFaultContainment:
+    def test_emitter_survives_send_failures(self):
+        network = Network()
+        errors = []
+        emitter = HeartbeatEmitter(
+            network, "node-1", "monitor", interval=0.01,
+            on_error=errors.append,
+        )
+        network.register("node-1")
+        try:
+            # no monitor endpoint yet: every beat raises NodeUnreachable
+            emitter.start()
+            deadline = time.monotonic() + 2.0
+            while emitter.errors < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert emitter.errors >= 2, "emitter loop died on first error"
+            assert errors and all(e is not None for e in errors)
+            # the monitor appears; the same loop starts delivering
+            inbox = network.register("monitor")
+            beat = inbox.get(2.0)
+            assert beat.payload["heartbeat"] == "node-1"
+            assert emitter.sent >= 1
+        finally:
+            emitter.stop()
+            network.close()
+
+    def test_detector_survives_malformed_heartbeat(self, world):
+        network, detector, emit = world
+        network.register("evil")
+        from repro.dist.message import Message
+        # wire-safe but unusable as a node id: dict insertion raises
+        network.send(Message(
+            source="evil", dest="monitor", kind="event",
+            payload={"heartbeat": ["not", "hashable"]},
+        ))
+        deadline = time.monotonic() + 2.0
+        while detector.errors < 1 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert detector.errors == 1, "drain thread died on bad payload"
+        # and the drain thread still processes good heartbeats
+        emit("node-1")
+        assert detector.wait_for_state("node-1", "alive", timeout=2.0)
+
+    def test_detector_on_error_hook_sees_the_exception(self):
+        network = Network()
+        seen = []
+        detector = HeartbeatDetector(
+            network, "m", suspect_after=0.1, dead_after=0.3,
+            on_error=seen.append,
+        )
+        network.register("src")
+        from repro.dist.message import Message
+        try:
+            network.send(Message(
+                source="src", dest="m", kind="event",
+                payload={"heartbeat": ["boom"]},
+            ))
+            deadline = time.monotonic() + 2.0
+            while not seen and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert seen and isinstance(seen[0], TypeError)
+        finally:
+            detector.close()
+            network.close()
+
+    def test_raising_on_error_hook_does_not_kill_the_drain(self):
+        network = Network()
+
+        def hostile_hook(exc):
+            raise RuntimeError("hook bug")
+
+        detector = HeartbeatDetector(
+            network, "m", suspect_after=0.1, dead_after=0.3,
+            on_error=hostile_hook,
+        )
+        network.register("src")
+        from repro.dist.message import Message
+        try:
+            network.send(Message(
+                source="src", dest="m", kind="event",
+                payload={"heartbeat": ["boom"]},
+            ))
+            deadline = time.monotonic() + 2.0
+            while detector.errors < 1 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert detector.errors == 1
+            # still draining: a good heartbeat lands afterwards
+            network.send(Message(
+                source="src", dest="m", kind="event",
+                payload={"heartbeat": "src"},
+            ))
+            assert detector.wait_for_state("src", "alive", timeout=2.0)
+        finally:
+            detector.close()
+            network.close()

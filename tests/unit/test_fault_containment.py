@@ -1,0 +1,512 @@
+"""Fault containment: exception-safe unwind, quarantine, watchdog.
+
+The regression tests in the first three classes encode the exact
+failure modes the pre-containment moderator had (and would fail
+against it):
+
+* a raising precondition propagated without compensating the already
+  RESUMEd prefix — a held ``MutexAspect`` leaked forever;
+* a raising postaction abandoned the rest of the reverse unwind *and*
+  the wake phase — a parked waiter stayed wedged;
+* a raising ``on_abort`` abandoned the remaining compensations.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import (
+    ActivationWatchdog,
+    AspectFault,
+    AspectModerator,
+    ComponentProxy,
+    CompositionErrors,
+    FunctionAspect,
+    MethodAborted,
+    Tracer,
+)
+from repro.aspects.synchronization import GuardAspect, MutexAspect
+from repro.core.health import FAIL_CLOSED, FAIL_OPEN
+from repro.core.results import AspectResult
+
+
+def raiser(exc_type=ValueError, message="injected"):
+    def raise_it(joinpoint):
+        raise exc_type(message)
+    return raise_it
+
+
+class Target:
+    def __init__(self):
+        self.calls = 0
+        self._lock = threading.Lock()
+
+    def op(self, value=None):
+        with self._lock:
+            self.calls += 1
+        return value
+
+
+# ----------------------------------------------------------------------
+# regression 1: raising precondition must compensate the RESUMEd prefix
+# ----------------------------------------------------------------------
+class TestPreconditionFault:
+    def test_raising_precondition_wraps_in_aspect_fault(self, moderator):
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", precondition=raiser(KeyError)))
+        with pytest.raises(AspectFault) as info:
+            moderator.preactivation("op")
+        fault = info.value
+        assert fault.method_id == "op"
+        assert fault.concern == "bad"
+        assert fault.phase == "precondition"
+        assert isinstance(fault.original, KeyError)
+        assert fault.__cause__ is fault.original
+        assert moderator.stats.faults == 1
+
+    def test_resumed_prefix_is_compensated_before_propagation(
+            self, moderator):
+        mutex = MutexAspect()
+        moderator.register_aspect("op", "mutex", mutex)
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", precondition=raiser()))
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        # the regression: the mutex reservation used to leak forever
+        assert mutex.holder is None
+        assert moderator.stats.compensations == 1
+
+    def test_leaked_mutex_no_longer_wedges_the_next_activation(self):
+        moderator = AspectModerator(default_timeout=0.5)
+        mutex = MutexAspect()
+        moderator.register_aspect("op", "mutex", mutex)
+        first = FunctionAspect(concern="bad", precondition=raiser())
+        moderator.register_aspect("op", "bad", first)
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        # swap the faulty aspect out; the method must be usable again
+        moderator.unregister_aspect("op", "bad")
+        target = Target()
+        proxy = ComponentProxy(target, moderator)
+        assert proxy.op(7) == 7
+        assert mutex.holder is None
+
+    def test_compensation_reason_is_fault(self, moderator):
+        seen = {}
+        moderator.register_aspect("op", "spy", FunctionAspect(
+            concern="spy",
+            on_abort=lambda jp: seen.update(
+                reason=jp.context.get("__compensation__")),
+        ))
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", precondition=raiser()))
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        assert seen["reason"] == "fault"
+
+    def test_fastpath_chain_fault_is_contained_too(self, moderator):
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", precondition=raiser(), never_blocks=True))
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+
+    def test_aspect_fault_event_emitted(self, traced_moderator):
+        moderator, tracer = traced_moderator
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", precondition=raiser(OSError)))
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        events = [e for e in tracer.events if e.kind == "aspect_fault"]
+        assert len(events) == 1
+        assert events[0].concern == "bad"
+        assert "OSError" in events[0].detail
+
+
+# ----------------------------------------------------------------------
+# regression 2: raising postaction must not stop the unwind or the wake
+# ----------------------------------------------------------------------
+class TestPostactionFault:
+    def test_unwind_continues_past_raising_postaction(self, moderator):
+        # chain [mutex, bad]: reverse unwind runs bad FIRST, then mutex —
+        # the old moderator stopped at bad and leaked the mutex.
+        mutex = MutexAspect()
+        moderator.register_aspect("op", "mutex", mutex)
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", postaction=raiser(RuntimeError)))
+        target = Target()
+        proxy = ComponentProxy(target, moderator)
+        with pytest.raises(AspectFault) as info:
+            proxy.op(1)
+        assert info.value.phase == "postaction"
+        assert target.calls == 1  # the body did run
+        assert mutex.holder is None  # the mutex postaction still ran
+
+    def test_raising_postaction_does_not_strand_parked_waiter(self):
+        moderator = AspectModerator(default_timeout=5.0)
+        mutex = MutexAspect()
+        moderator.register_aspect("op", "mutex", mutex)
+        fail_once = {"armed": True}
+
+        def exploding_postaction(joinpoint):
+            if fail_once.pop("armed", False):
+                raise RuntimeError("postaction crash")
+
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", postaction=exploding_postaction))
+        target = Target()
+        proxy = ComponentProxy(target, moderator)
+        entered = threading.Event()
+        release = threading.Event()
+        outcomes = []
+
+        def holder():
+            def slow_op():
+                entered.set()
+                release.wait(5.0)
+                return "held"
+            try:
+                moderator.moderate_call("op", slow_op)
+                outcomes.append("holder-ok")
+            except AspectFault:
+                outcomes.append("holder-fault")
+
+        def waiter():
+            outcomes.append(("waiter", proxy.op(2)))
+
+        first = threading.Thread(target=holder)
+        first.start()
+        assert entered.wait(2.0)
+        second = threading.Thread(target=waiter)
+        second.start()
+        time.sleep(0.05)  # let the waiter park on the mutex
+        release.set()
+        first.join(5.0)
+        second.join(5.0)
+        # the regression: the waiter never woke because the raising
+        # postaction skipped the wake phase entirely
+        assert not second.is_alive(), "waiter wedged behind faulty aspect"
+        assert "holder-fault" in outcomes
+        assert ("waiter", 2) in outcomes
+        assert mutex.holder is None
+
+    def test_multiple_postaction_faults_aggregate(self, moderator):
+        moderator.register_aspect("op", "bad1", FunctionAspect(
+            concern="bad1", postaction=raiser(ValueError, "one")))
+        moderator.register_aspect("op", "bad2", FunctionAspect(
+            concern="bad2", postaction=raiser(KeyError, "two")))
+        with pytest.raises(CompositionErrors) as info:
+            moderator.moderate_call("op", lambda: 1)
+        group = info.value
+        assert len(group.exceptions) == 2
+        concerns = {fault.concern for fault in group.exceptions}
+        assert concerns == {"bad1", "bad2"}
+        assert all(isinstance(f, AspectFault) for f in group.exceptions)
+
+    def test_postactions_after_fault_still_see_exception(self, moderator):
+        seen = {}
+        moderator.register_aspect("op", "spy", FunctionAspect(
+            concern="spy",
+            postaction=lambda jp: seen.update(exc=jp.exception)))
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", postaction=raiser()))
+
+        def body():
+            raise OSError("body failed")
+
+        with pytest.raises(AspectFault):
+            moderator.moderate_call("op", body)
+        # spy unwinds after bad and must still observe the body failure
+        assert isinstance(seen["exc"], OSError)
+
+
+# ----------------------------------------------------------------------
+# regression 3: raising on_abort must not skip remaining compensations
+# ----------------------------------------------------------------------
+class TestOnAbortFault:
+    def test_compensation_continues_past_raising_on_abort(self, moderator):
+        # chain [mutex, bad, aborter]: the abort compensates in reverse
+        # order (bad first) — the old moderator stopped at bad's raise
+        # and never released the mutex.
+        mutex = MutexAspect()
+        moderator.register_aspect("op", "mutex", mutex)
+        moderator.register_aspect("op", "bad", FunctionAspect(
+            concern="bad", on_abort=raiser(RuntimeError)))
+        moderator.register_aspect("op", "aborter", FunctionAspect(
+            concern="aborter",
+            precondition=lambda jp: AspectResult.ABORT,
+        ))
+        with pytest.raises(AspectFault) as info:
+            moderator.preactivation("op")
+        assert info.value.phase == "on_abort"
+        assert info.value.concern == "bad"
+        assert mutex.holder is None  # the regression
+        assert moderator.stats.aborts == 1
+
+    def test_abort_and_compensation_faults_both_surface(self, moderator):
+        moderator.register_aspect("op", "bad1", FunctionAspect(
+            concern="bad1", on_abort=raiser(ValueError)))
+        moderator.register_aspect("op", "bad2", FunctionAspect(
+            concern="bad2", on_abort=raiser(KeyError)))
+        moderator.register_aspect("op", "aborter", FunctionAspect(
+            concern="aborter", precondition=raiser(OSError)))
+        with pytest.raises(CompositionErrors) as info:
+            moderator.preactivation("op")
+        phases = [fault.phase for fault in info.value.exceptions]
+        # the precondition fault leads, the on_abort faults follow in
+        # reverse chain order
+        assert phases == ["precondition", "on_abort", "on_abort"]
+        assert [f.concern for f in info.value.exceptions] == [
+            "aborter", "bad2", "bad1",
+        ]
+
+
+# ----------------------------------------------------------------------
+# quarantine: fail-open and fail-closed policies
+# ----------------------------------------------------------------------
+class TestQuarantine:
+    def _flaky(self, **kwargs):
+        return FunctionAspect(
+            concern="flaky", precondition=raiser(OSError), **kwargs)
+
+    def test_fail_open_skips_after_threshold(self):
+        moderator = AspectModerator(fault_threshold=2)
+        moderator.register_aspect(
+            "op", "flaky", self._flaky(), fault_policy=FAIL_OPEN)
+        for _ in range(2):
+            with pytest.raises(AspectFault):
+                moderator.preactivation("op")
+        # third call: the cell is quarantined; the activation proceeds
+        result = moderator.moderate_call("op", lambda: "through")
+        assert result == "through"
+        assert moderator.stats.quarantines == 1
+        assert moderator.stats.degraded_skips >= 1
+        health = moderator.aspect_health()[("op", "flaky")]
+        assert health["quarantined"] is True
+        assert health["policy"] == FAIL_OPEN
+
+    def test_fail_closed_aborts_after_threshold(self):
+        moderator = AspectModerator(fault_threshold=2)
+        moderator.register_aspect(
+            "op", "flaky", self._flaky(), fault_policy=FAIL_CLOSED)
+        for _ in range(2):
+            with pytest.raises(AspectFault):
+                moderator.preactivation("op")
+        with pytest.raises(MethodAborted) as info:
+            moderator.moderate_call("op", lambda: "never")
+        assert info.value.concern == "flaky"
+        assert moderator.stats.aborts == 1
+
+    def test_fail_closed_compensates_resumed_prefix(self):
+        moderator = AspectModerator(fault_threshold=1)
+        mutex = MutexAspect()
+        moderator.register_aspect("op", "mutex", mutex)
+        moderator.register_aspect(
+            "op", "flaky", self._flaky(), fault_policy=FAIL_CLOSED)
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        with pytest.raises(MethodAborted):
+            moderator.moderate_call("op", lambda: None)
+        assert mutex.holder is None
+
+    def test_no_policy_never_quarantines(self, moderator):
+        moderator.register_aspect("op", "flaky", self._flaky())
+        for _ in range(10):
+            with pytest.raises(AspectFault):
+                moderator.preactivation("op")
+        assert moderator.stats.quarantines == 0
+        assert not moderator.aspect_health()[("op", "flaky")]["quarantined"]
+
+    def test_policy_falls_back_to_aspect_attribute(self):
+        moderator = AspectModerator(fault_threshold=1)
+        moderator.register_aspect(
+            "op", "flaky", self._flaky(fault_policy=FAIL_OPEN))
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        assert moderator.moderate_call("op", lambda: "ok") == "ok"
+
+    def test_threshold_per_registration(self):
+        moderator = AspectModerator(fault_threshold=50)
+        moderator.register_aspect(
+            "op", "flaky", self._flaky(),
+            fault_policy=FAIL_OPEN, fault_threshold=1)
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        assert moderator.moderate_call("op", lambda: "ok") == "ok"
+
+    def test_reinstate_restores_the_aspect(self, traced_moderator):
+        moderator, tracer = traced_moderator
+        calls = {"n": 0}
+
+        def heal_after_two(joinpoint):
+            calls["n"] += 1
+            if calls["n"] <= 2:
+                raise OSError("transient")
+
+        moderator.register_aspect("op", "flaky", FunctionAspect(
+            concern="flaky", precondition=heal_after_two),
+            fault_policy=FAIL_OPEN, fault_threshold=2)
+        for _ in range(2):
+            with pytest.raises(AspectFault):
+                moderator.preactivation("op")
+        moderator.moderate_call("op", lambda: None)  # skipped while degraded
+        assert calls["n"] == 2
+        assert moderator.reinstate_aspect("op", "flaky") is True
+        moderator.moderate_call("op", lambda: None)
+        assert calls["n"] == 3  # aspect runs again, and is healed
+        kinds = tracer.kinds()
+        assert "quarantine" in kinds and "reinstate" in kinds
+        assert moderator.stats.reinstatements == 1
+
+    def test_reinstate_on_healthy_cell_is_false(self, moderator):
+        moderator.register_aspect("op", "flaky", self._flaky())
+        assert moderator.reinstate_aspect("op", "flaky") is False
+
+    def test_replace_registration_resets_health(self):
+        moderator = AspectModerator(fault_threshold=1)
+        moderator.register_aspect(
+            "op", "flaky", self._flaky(), fault_policy=FAIL_OPEN)
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        assert moderator.aspect_health()[("op", "flaky")]["quarantined"]
+        fixed = FunctionAspect(concern="flaky")
+        moderator.register_aspect("op", "flaky", fixed, replace=True,
+                                  fault_policy=FAIL_OPEN)
+        assert ("op", "flaky") not in moderator.aspect_health()
+        assert moderator.moderate_call("op", lambda: "ok") == "ok"
+
+    def test_unregister_drops_health(self):
+        moderator = AspectModerator(fault_threshold=1)
+        moderator.register_aspect(
+            "op", "flaky", self._flaky(), fault_policy=FAIL_OPEN)
+        with pytest.raises(AspectFault):
+            moderator.preactivation("op")
+        moderator.unregister_aspect("op", "flaky")
+        assert moderator.aspect_health() == {}
+
+    def test_library_aspects_declare_policies(self):
+        from repro.aspects.audit import AuditAspect
+        from repro.aspects.timing import TimingAspect
+        from repro.aspects.authorization import AuthorizationAspect
+        from repro.aspects.authentication import AuthenticationAspect
+        assert AuditAspect.fault_policy == FAIL_OPEN
+        assert TimingAspect.fault_policy == FAIL_OPEN
+        assert AuthorizationAspect.fault_policy == FAIL_CLOSED
+        assert AuthenticationAspect.fault_policy == FAIL_CLOSED
+
+
+# ----------------------------------------------------------------------
+# stuck-activation watchdog
+# ----------------------------------------------------------------------
+class TestWatchdog:
+    def test_reports_activation_parked_past_deadline(self):
+        moderator = AspectModerator()
+        gate = {"open": False}
+        moderator.register_aspect("op", "gate", GuardAspect(
+            lambda jp: gate["open"]))
+        target = Target()
+        proxy = ComponentProxy(target, moderator)
+        reports = []
+        tracer = Tracer()
+        moderator.events.subscribe(tracer)
+        watchdog = ActivationWatchdog(
+            moderator, deadline=0.1, interval=0.03,
+            on_stall=reports.append,
+        )
+        worker = threading.Thread(target=lambda: proxy.op(1))
+        with watchdog:
+            worker.start()
+            deadline = time.monotonic() + 3.0
+            while not reports and time.monotonic() < deadline:
+                time.sleep(0.02)
+            gate["open"] = True
+            moderator.notify("op")
+            worker.join(3.0)
+        assert not worker.is_alive()
+        assert reports, "watchdog missed a stalled activation"
+        report = reports[0]
+        assert report.method_id == "op"
+        assert report.domain == moderator.lock_domain_of("op")
+        assert len(report.activations) == 1
+        assert report.activations[0][1] >= 0.1
+        assert report.queue_lengths.get("op", 0) >= 1
+        assert "resumes" in report.stats
+        assert "STALL" in report.format()
+        assert tracer.count("watchdog_stall") >= 1
+        assert target.calls == 1
+
+    def test_quiet_when_nothing_stalls(self, moderator):
+        moderator.register_aspect("op", "noop", FunctionAspect(
+            concern="noop"))
+        reports = []
+        with ActivationWatchdog(moderator, deadline=0.05, interval=0.01,
+                                on_stall=reports.append):
+            for _ in range(5):
+                moderator.moderate_call("op", lambda: None)
+            time.sleep(0.1)
+        assert reports == []
+
+    def test_parked_snapshot_tracks_waiters(self):
+        moderator = AspectModerator()
+        gate = {"open": False}
+        moderator.register_aspect("op", "gate", GuardAspect(
+            lambda jp: gate["open"]))
+        worker = threading.Thread(
+            target=lambda: moderator.moderate_call("op", lambda: None))
+        worker.start()
+        deadline = time.monotonic() + 2.0
+        while not moderator.parked_snapshot() and \
+                time.monotonic() < deadline:
+            time.sleep(0.01)
+        snapshot = moderator.parked_snapshot()
+        assert len(snapshot) == 1
+        (method_id, since), = snapshot.values()
+        assert method_id == "op"
+        assert since <= time.monotonic()
+        gate["open"] = True
+        moderator.notify("op")
+        worker.join(2.0)
+        assert moderator.parked_snapshot() == {}
+
+    def test_stall_callback_errors_are_swallowed(self):
+        moderator = AspectModerator()
+        gate = {"open": False}
+        moderator.register_aspect("op", "gate", GuardAspect(
+            lambda jp: gate["open"]))
+        worker = threading.Thread(
+            target=lambda: moderator.moderate_call("op", lambda: None))
+        worker.start()
+        watchdog = ActivationWatchdog(
+            moderator, deadline=0.05, interval=0.02,
+            on_stall=raiser(RuntimeError),
+        )
+        with watchdog:
+            deadline = time.monotonic() + 2.0
+            while not watchdog.reports and time.monotonic() < deadline:
+                time.sleep(0.02)
+        assert watchdog.reports  # scan survived the raising callback
+        gate["open"] = True
+        moderator.notify("op")
+        worker.join(2.0)
+        assert not worker.is_alive()
+
+
+# ----------------------------------------------------------------------
+# error types
+# ----------------------------------------------------------------------
+class TestErrorTypes:
+    def test_composition_errors_carries_ordered_faults(self):
+        faults = [
+            AspectFault("m", "a", "postaction", ValueError("x")),
+            AspectFault("m", "b", "postaction", KeyError("y")),
+        ]
+        group = CompositionErrors(faults)
+        assert group.exceptions == tuple(faults)
+        assert group.__cause__ is faults[0]
+        assert "2 aspect fault(s)" in str(group)
+
+    def test_aspect_fault_is_framework_error(self):
+        from repro.core import FrameworkError
+        fault = AspectFault("m", "c", "precondition", ValueError("z"))
+        assert isinstance(fault, FrameworkError)
+        assert "precondition" in str(fault) and "'c'" in str(fault)

@@ -123,3 +123,157 @@ class TestFaults:
         inbox = network.register("b")
         network.unregister("b")
         assert inbox.closed
+
+
+class TestDispatcherSurvival:
+    def test_dispatcher_survives_poisoned_inbox(self):
+        errors = []
+        net = Network(on_error=errors.append)
+        try:
+            inbox = net.register("b")
+            net.register("a")
+            original_put = inbox.put
+
+            def poisoned_put(message):
+                inbox.put = original_put  # fail exactly once
+                raise RuntimeError("inbox corrupted")
+
+            inbox.put = poisoned_put
+            net.send(msg("a", "b", tag=1))
+            deadline = time.monotonic() + 2.0
+            while net.stats()["dispatch_errors"] < 1 \
+                    and time.monotonic() < deadline:
+                time.sleep(0.01)
+            stats = net.stats()
+            assert stats["dispatch_errors"] == 1, \
+                "dispatcher thread died instead of containing the error"
+            assert stats["dropped"] == 1 and stats["delivered"] == 0
+            assert errors and isinstance(errors[0], RuntimeError)
+            # the dispatcher is still alive: the next send delivers
+            net.send(msg("a", "b", tag=2))
+            assert inbox.get(2.0).payload["tag"] == 2
+        finally:
+            net.close()
+
+    def test_raising_on_error_hook_is_contained(self):
+        def hostile_hook(exc):
+            raise ValueError("hook bug")
+
+        net = Network(on_error=hostile_hook)
+        try:
+            inbox = net.register("b")
+            net.register("a")
+            original_put = inbox.put
+
+            def poisoned_put(message):
+                inbox.put = original_put
+                raise RuntimeError("inbox corrupted")
+
+            inbox.put = poisoned_put
+            net.send(msg("a", "b", tag=1))
+            net.send(msg("a", "b", tag=2))
+            assert inbox.get(2.0).payload["tag"] == 2
+            assert net.stats()["dispatch_errors"] == 1
+        finally:
+            net.close()
+
+    def test_delivery_to_closing_inbox_counts_as_drop(self, network):
+        inbox = network.register("b")
+        network.register("a")
+        inbox.close()  # closed but still registered: put raises Closed
+        network.send(msg("a", "b"))
+        deadline = time.monotonic() + 2.0
+        while network.stats()["dropped"] < 1 \
+                and time.monotonic() < deadline:
+            time.sleep(0.01)
+        stats = network.stats()
+        assert stats["dropped"] == 1 and stats["delivered"] == 0
+        # WaitQueue.Closed is an expected race, not a dispatcher error
+        assert stats["dispatch_errors"] == 0
+
+
+class TestDeliveryInjection:
+    def _wired(self, plan):
+        from repro.faults import FaultInjector
+        net = Network()
+        injector = FaultInjector(plan).install(net)
+        return net, injector
+
+    def test_skip_drops_the_kth_delivery(self):
+        from repro.faults import FaultPlan, FaultSpec
+        net, injector = self._wired(FaultPlan([FaultSpec(
+            phase="delivery", method_id="b", occurrence=2, action="skip",
+        )]))
+        try:
+            inbox = net.register("b")
+            net.register("a")
+            for tag in range(3):
+                net.send(msg("a", "b", tag))
+            received = [m.payload["tag"] for m in drain(inbox, 2)]
+            assert received == [0, 2]  # the second delivery vanished
+            assert net.stats()["dropped"] == 1
+            assert injector.all_fired()
+        finally:
+            net.close()
+
+    def test_raise_surfaces_to_the_sender(self):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.faults.plan import InjectedFault
+        net, injector = self._wired(FaultPlan([FaultSpec(
+            phase="delivery", method_id="b", occurrence=1, action="raise",
+        )]))
+        try:
+            inbox = net.register("b")
+            net.register("a")
+            with pytest.raises(InjectedFault):
+                net.send(msg("a", "b", tag=0))
+            assert net.stats()["dropped"] == 1
+            net.send(msg("a", "b", tag=1))  # only the 1st send faults
+            assert inbox.get(2.0).payload["tag"] == 1
+        finally:
+            net.close()
+
+    def test_delay_widens_latency_of_one_delivery(self):
+        from repro.faults import FaultPlan, FaultSpec
+        net, injector = self._wired(FaultPlan([FaultSpec(
+            phase="delivery", method_id="b", occurrence=1,
+            action="delay", arg=0.15,
+        )]))
+        try:
+            inbox = net.register("b")
+            net.register("a")
+            started = time.monotonic()
+            net.send(msg("a", "b"))
+            inbox.get(2.0)
+            assert time.monotonic() - started >= 0.12
+            net.send(msg("a", "b"))  # second delivery is immediate
+            started = time.monotonic()
+            inbox.get(2.0)
+            assert time.monotonic() - started < 0.1
+        finally:
+            net.close()
+
+    def test_injection_is_per_destination(self):
+        from repro.faults import FaultPlan, FaultSpec
+        net, injector = self._wired(FaultPlan([FaultSpec(
+            phase="delivery", method_id="b", occurrence=1, action="skip",
+        )]))
+        try:
+            inbox_b = net.register("b")
+            inbox_c = net.register("c")
+            net.register("a")
+            net.send(msg("a", "c", tag=7))  # c is not a planned site
+            assert inbox_c.get(2.0).payload["tag"] == 7
+            net.send(msg("a", "b", tag=8))  # b's 1st delivery: dropped
+            assert net.stats()["dropped"] == 1
+        finally:
+            net.close()
+
+    def test_install_requires_the_hook(self):
+        from repro.faults import FaultInjector
+
+        class NoHook:
+            pass
+
+        with pytest.raises(TypeError):
+            FaultInjector().install(NoHook())

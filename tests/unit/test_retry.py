@@ -126,3 +126,70 @@ class TestFailureAccounting:
         with pytest.raises(KeyError):
             proxy.boom()
         assert accounting.stats["boom"].by_exception == {"KeyError": 1}
+
+
+class TestJitterDeterminism:
+    def _delays(self, policy, rng=None):
+        return [policy.delay_for(attempt, rng) for attempt in range(2, 8)]
+
+    def test_default_jitter_ignores_module_random_state(self, monkeypatch):
+        import random as stdlib_random
+        from repro.aspects import retry as retry_module
+
+        policy = RetryPolicy(base_delay=0.1, multiplier=1.0,
+                             max_delay=0.1, jitter=0.5)
+        monkeypatch.setattr(retry_module, "_DEFAULT_RNG", None)
+        stdlib_random.seed(1)
+        first = self._delays(policy)
+        monkeypatch.setattr(retry_module, "_DEFAULT_RNG", None)
+        stdlib_random.seed(99)  # reseeding the global must not matter
+        second = self._delays(policy)
+        assert first == second
+
+    def test_retrying_same_seed_same_schedule(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1,
+                             multiplier=2.0, max_delay=1.0, jitter=0.5)
+
+        def schedule(seed):
+            sleeps = []
+            wrapped = retrying(Flaky(failures=10).act, policy,
+                               sleep=sleeps.append, seed=seed)
+            with pytest.raises(ConnectionError):
+                wrapped()
+            return sleeps
+
+        assert schedule(42) == schedule(42)
+        assert schedule(42) != schedule(43)
+
+    def test_retrying_unseeded_is_still_reproducible(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1,
+                             multiplier=2.0, max_delay=1.0, jitter=0.5)
+
+        def schedule():
+            sleeps = []
+            wrapped = retrying(Flaky(failures=10).act, policy,
+                               sleep=sleeps.append)
+            with pytest.raises(ConnectionError):
+                wrapped()
+            return sleeps
+
+        assert schedule() == schedule()
+
+    def test_retrying_accepts_shared_rng(self):
+        import random as stdlib_random
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1,
+                             multiplier=1.0, max_delay=1.0, jitter=0.5)
+        shared = stdlib_random.Random(7)
+        sleeps = []
+        wrapped = retrying(Flaky(failures=10).act, policy,
+                           sleep=sleeps.append, rng=shared)
+        with pytest.raises(ConnectionError):
+            wrapped()
+        expected = [
+            policy.delay_for(attempt, stdlib_random.Random(7))
+            for attempt in (3,)
+        ]
+        assert len(sleeps) == 2  # two retries slept
+        assert all(0.05 <= delay <= 0.1 for delay in sleeps)
+        assert expected[0] == pytest.approx(sleeps[0])

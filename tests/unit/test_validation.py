@@ -7,7 +7,13 @@ from repro.aspects.validation import (
     TypeContractAspect,
     ValidationAspect,
 )
-from repro.core import AspectModerator, ComponentProxy, JoinPoint, MethodAborted
+from repro.core import (
+    AspectFault,
+    AspectModerator,
+    ComponentProxy,
+    JoinPoint,
+    MethodAborted,
+)
 from repro.core.results import ABORT, RESUME
 
 
@@ -101,8 +107,12 @@ class TestStateInvariantAspect:
         )
         proxy = ComponentProxy(self.Account(), moderator)
         proxy.withdraw(5)  # fine
-        with pytest.raises(AssertionError):
+        # the deliberate AssertionError surfaces wrapped by containment,
+        # with the corruption report as its cause
+        with pytest.raises(AspectFault) as info:
             proxy.withdraw(100)  # drives balance negative
+        assert isinstance(info.value.original, AssertionError)
+        assert "balance non-negative" in str(info.value.original)
 
     def test_intact_invariant_silent(self):
         aspect = StateInvariantAspect(lambda c: True)
