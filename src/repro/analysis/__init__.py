@@ -1,6 +1,6 @@
 """Analysis tools: separation-of-concerns metrics and trace verification."""
 
-from .diagram import bank_to_table, cluster_to_dot
+from .diagram import bank_to_table, cluster_to_dot, plan_table, plan_to_dot
 from .metrics import (
     CONCERN_KEYWORDS,
     ConcernReport,
@@ -23,6 +23,8 @@ __all__ = [
     "CONCERN_KEYWORDS",
     "bank_to_table",
     "cluster_to_dot",
+    "plan_table",
+    "plan_to_dot",
     "ConcernReport",
     "FIGURE2_TEMPLATE",
     "FIGURE3_TEMPLATE",

@@ -104,3 +104,85 @@ def bank_to_table(cluster: Cluster) -> str:
         )
         lines.append(line.rstrip())
     return "\n".join(lines)
+
+
+def plan_to_dot(plan: "object", name: str = "plan") -> str:
+    """Render one compiled activation plan as a DOT pipeline.
+
+    Accepts an :class:`~repro.core.plan.ActivationPlan` or its
+    ``explain()`` report. The rendering is the dynamic complement of
+    :func:`cluster_to_dot`: Figure 1 shows who talks to whom, this shows
+    what one activation of ``method_id`` will actually execute, in
+    order — pre-activation left to right, post-activation implied in
+    reverse. Degraded cells are drawn filled red with their quarantine
+    policy, so a quarantined composition is visibly different from a
+    healthy one.
+    """
+    report = plan.explain() if hasattr(plan, "explain") else dict(plan)
+    method_id = report["method_id"]
+    mode = "fast-path" if report["never_blocks"] else "locked"
+    lines: List[str] = [
+        f"digraph {name} {{",
+        "  rankdir=LR;",
+        "  node [shape=box, fontsize=11];",
+        f"  method [label={_quote(method_id + ' (' + mode + ')')}, "
+        f"style=filled, fillcolor=lightyellow];",
+    ]
+    previous = "method"
+    for cell in report["cells"]:
+        node = f"cell{cell['position']}"
+        label = f"{cell['concern']}\\n{cell['aspect_class']}"
+        if cell["degraded"]:
+            label += f"\\nQUARANTINED ({cell['degraded']})"
+            style = "style=filled, fillcolor=lightcoral"
+        else:
+            style = "style=filled, fillcolor=lightblue"
+        lines.append(f"  {node} [label={_quote(label)}, {style}];")
+        lines.append(f"  {previous} -> {node} [label=\"precondition\"];")
+        previous = node
+    note = (
+        f"domain {report['lock_domain']}\\nordering {report['ordering']}"
+    )
+    lines.append(f"  key [shape=note, fontsize=9, label={_quote(note)}];")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_table(moderator: "object") -> str:
+    """Summarize every method's compiled plan as a fixed-width table.
+
+    One row per participating method: the effective pre-activation
+    order, the executor the plan selected (fast/locked), and the lock
+    domain — the at-a-glance answer to "what did compilation decide".
+    """
+    reports = moderator.explain()
+    if not reports:
+        return "(no participating methods)"
+    rows = []
+    for method_id in sorted(reports):
+        report = reports[method_id]
+        chain = " -> ".join(report["preactivation_order"]) or "(empty)"
+        flags = []
+        flags.append("fast" if report["never_blocks"] else "locked")
+        if not report["fast_executor"]:
+            flags.append("generic")
+        if report["injector_armed"]:
+            flags.append("injected")
+        if any(cell["degraded"] for cell in report["cells"]):
+            flags.append("degraded")
+        rows.append(
+            (method_id, chain, ",".join(flags), report["lock_domain"])
+        )
+    headers = ("method", "pre-activation order", "executor", "lock domain")
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) + 2
+        for i in range(4)
+    ]
+    lines = [
+        "".join(f"{headers[i]:<{widths[i]}}" for i in range(4)).rstrip()
+    ]
+    for row in rows:
+        lines.append(
+            "".join(f"{row[i]:<{widths[i]}}" for i in range(4)).rstrip()
+        )
+    return "\n".join(lines)

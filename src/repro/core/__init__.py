@@ -40,6 +40,7 @@ from .factory import (
 )
 from .joinpoint import JoinPoint
 from .moderator import AspectModerator, ModerationStats
+from .plan import ActivationPlan, PlanCell, PlanHandle
 from .ordering import (
     ExplicitOrder,
     PriorityOrder,
@@ -69,6 +70,7 @@ from .weaver import (
 
 __all__ = [
     "ABORT",
+    "ActivationPlan",
     "ActivationTimeout",
     "ActivationWatchdog",
     "Aspect",
@@ -103,6 +105,8 @@ __all__ = [
     "NotParticipatingError",
     "NullAspect",
     "Phase",
+    "PlanCell",
+    "PlanHandle",
     "Pointcut",
     "PriorityOrder",
     "RESUME",

@@ -45,9 +45,14 @@ class AspectBank:
 
     @property
     def revision(self) -> int:
-        """Monotonic counter incremented by every mutating operation."""
-        with self._lock:
-            return self._revision
+        """Monotonic counter incremented by every mutating operation.
+
+        Read without the lock: an int attribute read is atomic in
+        CPython, and every consumer (plan caches, proxy wrappers, the
+        linkage map) only needs monotonicity — a stale read makes a
+        cache revalidate one call later, never incorrectly.
+        """
+        return self._revision
 
     # ------------------------------------------------------------------
     # registration (paper Figure 9)
@@ -142,10 +147,37 @@ class AspectBank:
             return [(concern, row[concern])
                     for concern in self._order.get(method_id, [])]
 
+    def snapshot_for(
+        self, method_id: str
+    ) -> Tuple[int, List[Tuple[str, Aspect]]]:
+        """Atomically read ``(revision, ordered pairs)`` for one method.
+
+        Compile-time hook for the plan compiler: taking both under one
+        lock acquisition rules out the torn read where the pairs belong
+        to a newer revision than the one the plan is keyed under (the
+        reverse tear — older pairs under a newer key — cannot produce a
+        stale cache entry, because the key would already have moved on).
+        """
+        with self._lock:
+            row = self._cells.get(method_id, {})
+            pairs = [(concern, row[concern])
+                     for concern in self._order.get(method_id, [])]
+            return self._revision, pairs
+
     def methods(self) -> List[str]:
         """All participating methods with at least one registered aspect."""
         with self._lock:
             return list(self._cells)
+
+    def has_method(self, method_id: str) -> bool:
+        """O(1) membership: does any aspect guard ``method_id``?
+
+        Lock-free — dict membership is atomic under the GIL, and the
+        per-call participation probe (every dynamic-proxy attribute
+        access) must not build a concern list or take a lock just to
+        answer yes/no.
+        """
+        return method_id in self._cells
 
     def contains(self, method_id: str, concern: str) -> bool:
         with self._lock:

@@ -40,8 +40,9 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List
+from typing import Callable, Deque, Dict, List, Optional
 
 EventListener = Callable[["TraceEvent"], None]
 
@@ -124,20 +125,42 @@ class Tracer:
         unsubscribe = moderator.events.subscribe(tracer)
         ... exercise the system ...
         print(tracer.render())
+
+    Args:
+        maxlen: optional bound on retained events. Unbounded by default
+            (figure reproduction needs every arrow), but a tracer left
+            subscribed to a long-running moderator grows without limit —
+            soak tests and always-on diagnostics should cap it. When the
+            ring is full each new event evicts the oldest;
+            :attr:`dropped` counts the evictions, so consumers can tell
+            a short trace from a truncated one.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError("maxlen must be at least 1 (or None)")
+        self.maxlen = maxlen
         self._lock = threading.Lock()
-        self._events: List[TraceEvent] = []
+        self._events: Deque[TraceEvent] = deque(maxlen=maxlen)
+        self._dropped = 0
 
     def __call__(self, event: TraceEvent) -> None:
         with self._lock:
+            if self.maxlen is not None and \
+                    len(self._events) == self.maxlen:
+                self._dropped += 1
             self._events.append(event)
 
     @property
     def events(self) -> List[TraceEvent]:
         with self._lock:
             return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from a full ring so far (0 when unbounded)."""
+        with self._lock:
+            return self._dropped
 
     def kinds(self) -> List[str]:
         """Sequence of event kinds in emission order (diagram arrows)."""
@@ -158,8 +181,10 @@ class Tracer:
         return sum(1 for event in self.events if event.kind == kind)
 
     def clear(self) -> None:
+        """Start a fresh trace: drop retained events and the drop count."""
         with self._lock:
             self._events.clear()
+            self._dropped = 0
 
     def render(self) -> str:
         """Textual sequence diagram: one line per protocol arrow."""

@@ -78,6 +78,14 @@ class HealthTracker:
         self._policies: Dict[Tuple[str, str], Tuple[Optional[str], int]] = {}
         #: True as soon as any cell is quarantined; hot-path guard.
         self.active = False
+        #: Monotonic counter bumped by every change that could alter
+        #: what a compiled plan snapshots: a policy (re)declaration, a
+        #: cell being dropped, a quarantine flip, a reinstatement.
+        #: Activation plans fold it into their revision key, so
+        #: quarantine transitions invalidate exactly the plans they
+        #: affect. Bare reads are safe (int reads are atomic; a stale
+        #: read merely revalidates one round late, like ``active``).
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # policy registration
@@ -102,6 +110,7 @@ class HealthTracker:
             )
             self._cells.pop(key, None)
             self._refresh_active_locked()
+            self.epoch += 1
 
     def drop(self, method_id: str, concern: str) -> None:
         """Forget a cell entirely (unregistration)."""
@@ -110,6 +119,21 @@ class HealthTracker:
             self._policies.pop(key, None)
             self._cells.pop(key, None)
             self._refresh_active_locked()
+            self.epoch += 1
+
+    def declared_policy(
+        self, method_id: str, concern: str
+    ) -> Tuple[Optional[str], int]:
+        """The declared (policy, threshold) of a cell — compile-time hook.
+
+        Unlike :meth:`quarantine_policy` this reports the registration
+        contract regardless of current quarantine state; activation-plan
+        ``explain()`` reports use it to show how a cell *would* degrade.
+        """
+        with self._lock:
+            return self._policies.get(
+                (method_id, concern), (None, self.default_threshold)
+            )
 
     # ------------------------------------------------------------------
     # fault accounting
@@ -133,6 +157,7 @@ class HealthTracker:
                     and cell.faults >= cell.threshold):
                 cell.quarantined = True
                 self.active = True
+                self.epoch += 1
                 return True
             return False
 
@@ -156,6 +181,8 @@ class HealthTracker:
             cell.faults = 0
             cell.phases.clear()
             self._refresh_active_locked()
+            if was:
+                self.epoch += 1
             return was
 
     def _refresh_active_locked(self) -> None:

@@ -88,6 +88,7 @@ from .events import EventBus
 from .health import FAIL_CLOSED, FAIL_OPEN, HealthTracker
 from .joinpoint import JoinPoint
 from .ordering import OrderingPolicy, registration_order
+from .plan import ActivationPlan, PlanHandle, compile_plan
 from .results import AspectResult, Phase
 
 #: context key under which the RESUMEd chain is stashed between phases
@@ -122,6 +123,7 @@ class ModerationStats:
     quarantines: int = 0
     reinstatements: int = 0
     degraded_skips: int = 0
+    plan_compiles: int = 0
 
     def __post_init__(self) -> None:
         self._lock = threading.Lock()
@@ -133,10 +135,18 @@ class ModerationStats:
                 setattr(self, name, getattr(self, name) + amount)
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            key: value for key, value in vars(self).items()
-            if not key.startswith("_")
-        }
+        """Consistent snapshot of every counter.
+
+        Taken under the same lock :meth:`bump` serializes on — a
+        lock-free ``vars()`` walk could interleave with a multi-counter
+        bump and return a torn snapshot (e.g. a ``resumes`` that its
+        paired ``preactivations`` has not caught up with).
+        """
+        with self._lock:
+            return {
+                key: value for key, value in vars(self).items()
+                if not key.startswith("_")
+            }
 
 
 class AspectModerator:
@@ -157,6 +167,14 @@ class AspectModerator:
         fault_threshold: default number of aspect faults tolerated per
             (method, concern) cell before its quarantine policy (if any)
             kicks in; overridable per registration or per aspect.
+        compile_plans: when True (the default), activations execute
+            compiled :class:`~repro.core.plan.ActivationPlan` pipelines,
+            cached under a composite revision key and recompiled only
+            when a registration, ordering, lock-domain, quarantine or
+            injector change invalidates them. ``False`` restores the
+            paper's per-call interpreter — observably identical (the
+            differential suite proves it), only slower; kept as the
+            reference implementation.
     """
 
     def __init__(
@@ -167,11 +185,24 @@ class AspectModerator:
         default_timeout: Optional[float] = None,
         notify_scope: str = "all",
         fault_threshold: int = 3,
+        compile_plans: bool = True,
     ) -> None:
         if notify_scope not in ("all", "linked"):
             raise ValueError("notify_scope must be 'all' or 'linked'")
         self.bank = bank if bank is not None else AspectBank()
         self.events = events if events is not None else EventBus()
+        #: epoch components of the composite plan-revision key; bumped
+        #: under ``_lock`` by the property setters / mutators below.
+        #: Bare reads are atomic ints — see :meth:`_composition_key`.
+        self._domain_epoch = 0
+        self._injector_epoch = 0
+        self._ordering_epoch = 0
+        #: compiled-plan cache: method_id -> ActivationPlan, plus the
+        #: stable handles wrappers hold. Plain-dict reads are GIL-atomic;
+        #: writes race benignly (equivalent plans, last one wins).
+        self._plans: Dict[str, ActivationPlan] = {}
+        self._plan_handles: Dict[str, PlanHandle] = {}
+        self.compile_plans = compile_plans
         self.ordering = ordering
         self.default_timeout = default_timeout
         #: wakeup policy after post-activation: ``"all"`` notifies every
@@ -186,7 +217,7 @@ class AspectModerator:
         self.health = HealthTracker(default_threshold=fault_threshold)
         #: deterministic fault-injection hook (``repro.faults``); ``None``
         #: in production — the hot path pays one attribute read for it
-        self.fault_injector: Optional[Any] = None
+        self.fault_injector = None
         #: registry lock: guards the domain maps and the linkage cache,
         #: never held while moderating or notifying a foreign domain.
         self._lock = threading.RLock()
@@ -213,6 +244,120 @@ class AspectModerator:
         #: currently inside ``Condition.wait`` — the stall watchdog's
         #: window into the moderator (guarded by ``_waiter_guard``)
         self._parked_info: Dict[int, Tuple[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # revisioned collaborators (plan-key components)
+    # ------------------------------------------------------------------
+    @property
+    def ordering(self) -> OrderingPolicy:
+        """Composition-order policy; swapping it invalidates every plan."""
+        return self._ordering
+
+    @ordering.setter
+    def ordering(self, policy: OrderingPolicy) -> None:
+        self._ordering = policy
+        # Unlocked bump: ordering swaps are control-plane operations; a
+        # racing pair still moves the epoch past every compiled key.
+        self._ordering_epoch += 1
+
+    @property
+    def fault_injector(self) -> Optional[Any]:
+        """Installed fault injector (``repro.faults``), or ``None``.
+
+        Assigning (what :meth:`FaultInjector.install` does) bumps the
+        injector epoch: plans compiled without site hooks must not
+        survive an injector arming, and vice versa.
+        """
+        return self._fault_injector
+
+    @fault_injector.setter
+    def fault_injector(self, injector: Optional[Any]) -> None:
+        self._fault_injector = injector
+        self._injector_epoch += 1
+
+    # ------------------------------------------------------------------
+    # plan compilation (interpreter -> compiled pipeline)
+    # ------------------------------------------------------------------
+    def _composition_key(self) -> Tuple[int, int, int, int, int]:
+        """Composite revision key every compiled plan is cached under.
+
+        One component per mutation family — bank registrations/ordering
+        (``register``/``unregister``/``swap``/``set_order``), explicit
+        lock-domain moves, quarantine transitions, injector arming, and
+        ordering-policy swaps — so each invalidates exactly by bumping
+        its own counter. All five are monotonic ints read without locks;
+        a stale component only delays revalidation by one call.
+        """
+        return (
+            self.bank.revision,
+            self._domain_epoch,
+            self.health.epoch,
+            self._injector_epoch,
+            self._ordering_epoch,
+        )
+
+    def plan_for(self, method_id: str) -> ActivationPlan:
+        """The current compiled plan for ``method_id`` (cached).
+
+        Revalidation is a dict probe plus an int-tuple compare; a plan
+        is recompiled only when some component of the composition key
+        moved. Usable regardless of :attr:`compile_plans` — compilation
+        is pure, so introspection (``explain()``, diagrams, lint) works
+        even on an interpreting moderator.
+        """
+        key = self._composition_key()
+        plan = self._plans.get(method_id)
+        if plan is not None and plan.key == key:
+            return plan
+        return self._compile_plan(method_id, key)
+
+    def _compile_plan(self, method_id: str,
+                      key: Tuple[int, ...]) -> ActivationPlan:
+        """Compile and cache one method's plan under ``key``.
+
+        The key is captured *before* the constituents are read: if a
+        registration lands mid-compile, the stored plan's key no longer
+        matches and the very next :meth:`plan_for` recompiles — a torn
+        build can be executed for at most one round, the same staleness
+        window the interpreter's unlocked bank/health reads always had.
+        """
+        _revision, raw_pairs = self.bank.snapshot_for(method_id)
+        policy = self._ordering
+        resolve = getattr(policy, "compile", None)
+        pairs = resolve(method_id, raw_pairs) if resolve is not None \
+            else policy(method_id, raw_pairs)
+        plan = compile_plan(
+            method_id, pairs, key, self._domain_for(method_id),
+            self.health, self._fault_injector,
+            getattr(policy, "__name__", type(policy).__name__),
+        )
+        self._plans[method_id] = plan
+        self.stats.bump("plan_compiles")
+        return plan
+
+    def plan_handle(self, method_id: str) -> PlanHandle:
+        """The stable :class:`PlanHandle` for ``method_id``.
+
+        Proxies and woven wrappers cache this handle instead of a bare
+        wrapper: the handle survives every recompile, so a cached
+        wrapper picks up a swapped aspect on its very next call.
+        """
+        handle = self._plan_handles.get(method_id)
+        if handle is None:
+            with self._lock:
+                handle = self._plan_handles.setdefault(
+                    method_id, PlanHandle(self, method_id)
+                )
+        return handle
+
+    def explain(self, method_id: Optional[str] = None) -> Any:
+        """Compiled-contract report(s): one method's, or all methods'."""
+        if method_id is not None:
+            return self.plan_for(method_id).explain()
+        return {
+            method: self.plan_for(method).explain()
+            for method in self.bank.methods()
+        }
 
     # ------------------------------------------------------------------
     # registration (paper Figure 9)
@@ -267,6 +412,7 @@ class AspectModerator:
             if domain_name is not None and \
                     method_id not in self._method_domains:
                 self._method_domains[method_id] = domain_name
+                self._domain_epoch += 1
                 moved_from = self._domains.get(
                     _PRIVATE_DOMAIN_PREFIX + method_id
                 )
@@ -333,6 +479,7 @@ class AspectModerator:
                 old = self._domains.get(old_name)
                 if old is not None:
                     moved.append((old, method_id))
+            self._domain_epoch += 1
             self._links = None
         for domain, method_id in moved:
             domain.notify_all(method_id)
@@ -351,15 +498,28 @@ class AspectModerator:
     def registration_version(self) -> int:
         """Monotonic epoch of the aspect composition.
 
-        Proxies key their guarded-wrapper caches on this value: any
-        (un)registration — including direct bank mutation — invalidates
-        cached wrappers and linkage maps.
+        Proxies key their guarded-wrapper caches on this value. It is
+        the sum of every plan-key component, so anything that
+        invalidates a compiled plan — (un)registration (including
+        direct bank mutation), lock-domain moves, quarantine
+        transitions, injector arming, ordering swaps — also invalidates
+        cached wrappers: a wrapper can never outlive the plan it was
+        built against.
         """
-        return self.bank.revision
+        return (
+            self.bank.revision + self._domain_epoch + self.health.epoch
+            + self._injector_epoch + self._ordering_epoch
+        )
 
     def participates(self, method_id: str) -> bool:
-        """Whether any aspect is registered for ``method_id``."""
-        return bool(self.bank.concerns_for(method_id))
+        """Whether any aspect is registered for ``method_id``.
+
+        O(1) and lock-free: this probe runs on *every* attribute access
+        of a dynamic proxy, participating or not, so it must not build a
+        concern list (the previous implementation) or contend the bank
+        lock just to answer yes/no.
+        """
+        return self.bank.has_method(method_id)
 
     # ------------------------------------------------------------------
     # pre-activation (paper Figure 11 / 17)
@@ -369,6 +529,7 @@ class AspectModerator:
         method_id: str,
         joinpoint: Optional[JoinPoint] = None,
         timeout: Optional[float] = None,
+        plan: Optional[ActivationPlan] = None,
     ) -> AspectResult:
         """Evaluate the pre-activation phase for one activation.
 
@@ -383,6 +544,13 @@ class AspectModerator:
         moderator default) elapses while blocked — but only after one
         final re-evaluation of the chain, so a notification racing the
         deadline admits the activation instead of being dropped.
+
+        ``plan`` lets callers that already hold a validated
+        :class:`~repro.core.plan.ActivationPlan` (proxies and woven
+        wrappers, via their :class:`~repro.core.plan.PlanHandle`) skip
+        the cache probe; without it — and with :attr:`compile_plans`
+        on — the current plan is fetched here. With ``compile_plans``
+        off the paper's per-call interpreter runs instead.
         """
         joinpoint = joinpoint or JoinPoint(method_id=method_id)
         joinpoint.phase = Phase.PRE_ACTIVATION
@@ -396,6 +564,24 @@ class AspectModerator:
         self.events.emit("preactivation", method_id,
                          activation_id=joinpoint.activation_id)
         self.stats.bump("preactivations")
+
+        if self.compile_plans:
+            if plan is None:
+                plan = self.plan_for(method_id)
+            if plan.never_blocks:
+                # Lock-free fast path, compiled: the whole chain promised
+                # never to BLOCK at compile time, and the plan is only
+                # valid while that composition stands.
+                outcome = self._run_round(method_id, joinpoint, plan)
+                if outcome is not AspectResult.BLOCK:
+                    if outcome is AspectResult.RESUME:
+                        self.stats.bump("fastpaths")
+                    return outcome
+                # An aspect broke its never_blocks promise; fall through
+                # to the locked path and moderate properly.
+            return self._moderated_preactivation(
+                method_id, joinpoint, deadline, effective_timeout
+            )
 
         pairs = self.ordering(method_id, self.bank.aspects_for(method_id))
         if all(aspect.never_blocks for _, aspect in pairs):
@@ -432,17 +618,34 @@ class AspectModerator:
         with self._waiter_guard:
             self._waiters += 1
         try:
+            compiled = self.compile_plans
             timed_out = False
             while True:
-                queue = self._queue_for(method_id)
+                if compiled:
+                    plan: Optional[ActivationPlan] = \
+                        self.plan_for(method_id)
+                    queue = plan.queue
+                else:
+                    plan = None
+                    queue = self._queue_for(method_id)
                 with queue:
+                    # Same object a compiled plan resolves (LockDomain
+                    # caches conditions per key), so one check covers
+                    # both modes.
                     if self._queue_for(method_id) is not queue:
                         continue  # method changed domains; re-acquire
                     while True:
                         # Bare read is safe: a stale value only makes the
                         # pre-park re-check conservatively re-evaluate.
                         epoch = self._wake_epoch
-                        outcome = self._run_round(method_id, joinpoint)
+                        if compiled:
+                            # Revalidate per round, exactly as the
+                            # interpreter re-reads the bank per round: a
+                            # dict probe plus an int-tuple compare when
+                            # nothing changed.
+                            plan = self.plan_for(method_id)
+                        outcome = self._run_round(method_id, joinpoint,
+                                                  plan)
                         if outcome is not AspectResult.BLOCK:
                             return outcome
                         if timed_out:
@@ -495,7 +698,8 @@ class AspectModerator:
             with self._waiter_guard:
                 self._waiters -= 1
 
-    def _run_round(self, method_id: str, joinpoint: JoinPoint) -> AspectResult:
+    def _run_round(self, method_id: str, joinpoint: JoinPoint,
+                   plan: Optional[ActivationPlan] = None) -> AspectResult:
         """One evaluation round, including compensation and bookkeeping.
 
         RESUME records the chain on the join point; ABORT and BLOCK
@@ -505,10 +709,21 @@ class AspectModerator:
         not stop the unwind: every remaining aspect still compensates,
         and the collected faults raise afterwards (aggregated as
         :class:`CompositionErrors` when there are several).
+
+        With a ``plan``, the round runs the compiled executor
+        (:meth:`_evaluate_plan`); without one it interprets the bank
+        directly (:meth:`_evaluate_chain`). Everything downstream —
+        stash, stats, events, compensation — is shared, which is half of
+        what keeps the two paths observably identical.
         """
-        outcome, resumed, failed_concern = self._evaluate_chain(
-            method_id, joinpoint
-        )
+        if plan is not None:
+            outcome, resumed, failed_concern = self._evaluate_plan(
+                plan, joinpoint
+            )
+        else:
+            outcome, resumed, failed_concern = self._evaluate_chain(
+                method_id, joinpoint
+            )
         if outcome is AspectResult.RESUME:
             joinpoint.context[CHAIN_KEY] = resumed
             self.stats.bump("resumes")
@@ -592,6 +807,97 @@ class AspectModerator:
             return result, resumed, concern
         return AspectResult.RESUME, resumed, None
 
+    def _evaluate_plan(
+        self, plan: ActivationPlan, joinpoint: JoinPoint
+    ) -> Tuple[AspectResult, List[Tuple[str, Aspect]], Optional[str]]:
+        """Compiled counterpart of :meth:`_evaluate_chain`.
+
+        Two executors live here. The *fast* one runs when
+        ``plan.fast_cells`` holds (no quarantined cell, no injector
+        armed): each round is a bare walk over pre-bound callables, and
+        a full RESUME returns ``plan.pairs`` itself — zero allocations,
+        and an identity token post-activation recognizes to take its own
+        compiled unwind. A partial prefix is a slice of ``plan.pairs``,
+        not a rebuilt list of freshly looked-up aspects.
+
+        The *generic* one handles degraded cells and armed injectors by
+        mirroring the interpreter decision-for-decision — live
+        quarantine reads, per-site injector visits (pre-bound as
+        ``cell.fire_pre``, still visit-counted every call so chaos-test
+        occurrence coordinates are untouched), skipped aspects excluded
+        from the RESUMEd chain. The differential suite drives both
+        executors against the interpreter across the whole fault space.
+        """
+        method_id = plan.method_id
+        emit = self.events.emit
+        activation_id = joinpoint.activation_id
+        if plan.fast_cells:
+            index = 0
+            for cell in plan.cells:
+                try:
+                    result = cell.evaluate(joinpoint)
+                except Exception as exc:  # noqa: BLE001 - contract violation
+                    fault = AspectFault(
+                        method_id, cell.concern, "precondition", exc
+                    )
+                    self._note_fault(method_id, cell.concern,
+                                     "precondition", exc, joinpoint)
+                    joinpoint.context["__compensation__"] = "fault"
+                    comp_faults = self._compensate(
+                        list(plan.pairs[:index]), joinpoint
+                    )
+                    joinpoint.context.pop("__compensation__", None)
+                    self._raise_faults([fault, *comp_faults])
+                emit(
+                    "precondition", method_id, cell.concern,
+                    detail=result.value, activation_id=activation_id,
+                )
+                if result is AspectResult.RESUME:
+                    index += 1
+                    continue
+                return result, list(plan.pairs[:index]), cell.concern
+            return AspectResult.RESUME, plan.pairs, None
+
+        resumed: List[Tuple[str, Aspect]] = []
+        quarantine_active = self.health.active
+        for cell in plan.cells:
+            concern = cell.concern
+            if quarantine_active:
+                # Live read, not the compiled ``cell.degraded`` snapshot:
+                # a flip mid-round must act on later cells of this very
+                # round, exactly as the interpreter's would.
+                policy = self.health.quarantine_policy(method_id, concern)
+                if policy == FAIL_OPEN:
+                    self.stats.bump("degraded_skips")
+                    emit(
+                        "degraded_skip", method_id, concern,
+                        activation_id=activation_id,
+                    )
+                    continue
+                if policy == FAIL_CLOSED:
+                    return AspectResult.ABORT, resumed, concern
+            try:
+                if cell.fire_pre is not None and cell.fire_pre():
+                    continue  # injected no-op crash: aspect never ran
+                result = cell.evaluate(joinpoint)
+            except Exception as exc:  # noqa: BLE001 - contract violation
+                fault = AspectFault(method_id, concern, "precondition", exc)
+                self._note_fault(method_id, concern, "precondition", exc,
+                                 joinpoint)
+                joinpoint.context["__compensation__"] = "fault"
+                comp_faults = self._compensate(resumed, joinpoint)
+                joinpoint.context.pop("__compensation__", None)
+                self._raise_faults([fault, *comp_faults])
+            emit(
+                "precondition", method_id, concern, detail=result.value,
+                activation_id=activation_id,
+            )
+            if result is AspectResult.RESUME:
+                resumed.append(cell.pair)
+                continue
+            return result, resumed, concern
+        return AspectResult.RESUME, resumed, None
+
     def _compensate(self, resumed: List[Tuple[str, Aspect]],
                     joinpoint: JoinPoint) -> List[AspectFault]:
         """Unwind a RESUMEd prefix; never stops at a raising aspect.
@@ -652,7 +958,8 @@ class AspectModerator:
     # post-activation (paper Figure 11 / 18)
     # ------------------------------------------------------------------
     def postactivation(self, method_id: str,
-                       joinpoint: Optional[JoinPoint] = None) -> None:
+                       joinpoint: Optional[JoinPoint] = None,
+                       plan: Optional[ActivationPlan] = None) -> None:
         """Evaluate the post-activation phase for a RESUMEd activation.
 
         Runs ``postaction()`` of the activation's aspects in *reverse*
@@ -678,7 +985,33 @@ class AspectModerator:
                          activation_id=joinpoint.activation_id)
 
         chain = joinpoint.context.pop(CHAIN_KEY, None)
-        if chain is None:
+        if self.compile_plans:
+            if plan is None or plan.key != self._composition_key():
+                # No plan handed in, or the composition changed while the
+                # method body ran: fetch the current plan. A recorded
+                # chain from the superseded plan then fails the identity
+                # check below and unwinds through the interpreted path,
+                # which reads injector and health state live — exactly
+                # what the interpreter would do with that chain.
+                plan = self.plan_for(method_id)
+            if chain is None:
+                # No recorded chain: unwind what the current composition
+                # says, which is exactly what re-reading the bank would
+                # yield (the plan was just validated against it).
+                chain = plan.pairs
+            if chain is plan.pairs and plan.fast_cells:
+                # The pre-activation fast executor stashed the plan's own
+                # pairs tuple — a full-chain RESUME under a composition
+                # that has not changed since (identity implies the plan,
+                # hence the key, is the same one). Unwind through the
+                # pre-bound cells; no injector is armed, no cell is
+                # degraded, or fast_cells would be off.
+                self._compiled_postactivation(plan, joinpoint)
+                return
+            # Partial chain (stale stash, degraded cells, armed
+            # injector): interpret the recorded chain exactly as the
+            # reference path below does.
+        elif chain is None:
             # Post-activation without a recorded chain: fall back to the
             # current bank contents (the paper's behaviour, which always
             # re-reads the array).
@@ -709,6 +1042,68 @@ class AspectModerator:
             # so a faulty aspect can never strand a parked waiter.
             self._wake(method_id, joinpoint)
         self._raise_faults(faults)
+
+    def _compiled_postactivation(self, plan: ActivationPlan,
+                                 joinpoint: JoinPoint) -> None:
+        """Unwind a full-chain RESUME through its compiled plan.
+
+        Same structure as the interpreted body of :meth:`postactivation`
+        — never_blocks chains skip the lock and elide the wake when
+        nothing is parked; locked chains wake unconditionally in phase
+        two — but the unwind itself dispatches through the pre-bound
+        ``cell.postaction`` callables.
+        """
+        method_id = plan.method_id
+        if plan.never_blocks:
+            self.stats.bump("postactivations")
+            try:
+                faults = self._run_plan_postactions(plan, joinpoint)
+            finally:
+                if self._waiters:
+                    # Someone is parked somewhere: wake conservatively, a
+                    # spurious wakeup only costs a re-evaluation.
+                    self._wake(method_id, joinpoint)
+            self._raise_faults(faults)
+            return
+
+        queue = plan.queue
+        try:
+            with queue:
+                self.stats.bump("postactivations")
+                faults = self._run_plan_postactions(plan, joinpoint)
+        finally:
+            # Phase two: wake without holding the domain lock — see
+            # :meth:`postactivation`; runs even if containment failed.
+            self._wake(method_id, joinpoint)
+        self._raise_faults(faults)
+
+    def _run_plan_postactions(self, plan: ActivationPlan,
+                              joinpoint: JoinPoint) -> List[AspectFault]:
+        """Compiled reverse unwind; only valid when ``plan.fast_cells``.
+
+        No injector sites are consulted — the plan could not have
+        ``fast_cells`` with an injector armed, and an injector installed
+        since invalidated the plan before this activation fetched it.
+        """
+        faults: List[AspectFault] = []
+        method_id = plan.method_id
+        emit = self.events.emit
+        activation_id = joinpoint.activation_id
+        for cell in reversed(plan.cells):
+            try:
+                cell.postaction(joinpoint)
+            except Exception as exc:  # noqa: BLE001 - keep unwinding
+                self._note_fault(method_id, cell.concern, "postaction",
+                                 exc, joinpoint)
+                faults.append(AspectFault(
+                    method_id, cell.concern, "postaction", exc,
+                ))
+                continue
+            emit(
+                "postaction", method_id, cell.concern,
+                activation_id=activation_id,
+            )
+        return faults
 
     def _run_postactions(self, method_id: str,
                          chain: List[Tuple[str, Aspect]],

@@ -11,6 +11,21 @@ Policies are callables mapping ``(method_id, pairs)`` to a reordered list
 of ``(concern, aspect)`` pairs. The moderator applies the policy on every
 activation, so swapping the policy at runtime re-composes the system
 without touching components or aspects.
+
+Compile-time resolution
+-----------------------
+
+A compiled-pipeline moderator (``compile_plans=True``) does *not* call
+the policy per activation: it resolves the order once per plan compile
+and the compiled plan replays it until some revision-key component moves
+(assigning ``moderator.ordering`` is itself such a component). A policy
+that is a pure function of ``(method_id, pairs)`` — everything in this
+module — needs nothing extra. A policy whose answer depends on anything
+else (time of day, a feature flag, internal mutable state) must expose a
+``compile(method_id, pairs)`` hook returning the order to *freeze into
+the plan*; the moderator prefers the hook when present. A policy that
+genuinely must re-order per call has no compile-time meaning — run the
+moderator with ``compile_plans=False`` instead.
 """
 
 from __future__ import annotations
@@ -53,6 +68,10 @@ class PriorityOrder:
         )
         return [pair for _index, pair in indexed]
 
+    def compile(self, method_id: str, pairs: Pairs) -> Pairs:
+        """Compile-time hook: priorities are fixed, so resolve == call."""
+        return self(method_id, pairs)
+
 
 class ExplicitOrder:
     """Order concerns by an explicit per-method (or global) list.
@@ -79,6 +98,10 @@ class ExplicitOrder:
                 f"concerns {missing!r}"
             )
         return sorted(pairs, key=lambda pair: position[pair[0]])
+
+    def compile(self, method_id: str, pairs: Pairs) -> Pairs:
+        """Compile-time hook: the declared order is static by contract."""
+        return self(method_id, pairs)
 
 
 def guards_first(method_id: str, pairs: Pairs) -> Pairs:

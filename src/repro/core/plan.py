@@ -1,0 +1,298 @@
+"""Compiled activation plans: the moderation chain as a first-class object.
+
+The paper's moderator is an *interpreter*: every activation walks the
+aspect bank, orders the chain, and dispatches each concern dynamically —
+paying the lookup/sort/branch cost on every evaluation round. Composing
+the concerns ahead of time into an executable artifact preserves the
+modular model while removing the runtime composition tax (El-Hokayem et
+al., *Modularizing Behavioral and Architectural Crosscutting Concerns*),
+and makes the composed contract an inspectable value rather than an
+emergent property of dispatch (Lorenz & Skotiniotis, *Extending Design
+by Contract for AOP*; both in PAPERS.md).
+
+An :class:`ActivationPlan` is compiled once per participating method and
+cached under a composite *revision key*; every runtime mutation that
+could change what a round observes bumps exactly one component of the
+key, so plans invalidate precisely:
+
+=============================  =======================================
+mutation                        key component bumped
+=============================  =======================================
+``register/unregister/swap``    bank revision
+``set_order``                   bank revision
+``assign_lock_domain``          moderator domain epoch
+quarantine flip / reinstate     health epoch
+``set_policy`` / ``drop``       health epoch
+injector install / uninstall    moderator injector epoch
+ordering-policy swap            moderator ordering epoch
+=============================  =======================================
+
+A plan holds, per cell: the pre-bound ``evaluate_precondition`` /
+``postaction`` / ``on_abort`` callables (no attribute chase per round),
+the quarantine-policy snapshot (``degraded``), and the pre-resolved
+fault-injection site callables. Plan-level it resolves the
+``never_blocks`` fast-path flag, the lock-domain handle and the
+method's wait queue. :meth:`ActivationPlan.explain` renders the whole
+composed contract for diagrams (:mod:`repro.analysis.diagram`) and the
+static linter (:mod:`repro.verify.lint`).
+
+Plans are *immutable*: executors never mutate one, so a stale plan is
+simply abandoned at the next key check. A torn compile (constituents
+mutated mid-build) self-invalidates, because the key is read *before*
+the constituents — the stored plan then fails its next validation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from .aspect import Aspect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .moderator import AspectModerator
+
+
+class PlanCell:
+    """One compiled cell of an activation plan.
+
+    Carries everything one evaluation round needs for its concern,
+    resolved at compile time: bound protocol callables, the quarantine
+    snapshot, and the pre-resolved injector site hooks (``None`` when no
+    injector is armed — the executor then skips the site entirely).
+    """
+
+    __slots__ = (
+        "concern", "aspect", "pair", "evaluate", "postaction", "on_abort",
+        "never_blocks", "degraded", "policy", "threshold",
+        "fire_pre", "fire_post", "fire_abort", "injection_sites",
+    )
+
+    def __init__(self, concern: str, aspect: Aspect,
+                 degraded: Optional[str],
+                 policy: Optional[str], threshold: Optional[int],
+                 fire_pre: Optional[Any], fire_post: Optional[Any],
+                 fire_abort: Optional[Any],
+                 injection_sites: Tuple[str, ...]) -> None:
+        self.concern = concern
+        self.aspect = aspect
+        self.pair = (concern, aspect)
+        self.evaluate = aspect.evaluate_precondition
+        self.postaction = aspect.postaction
+        self.on_abort = aspect.on_abort
+        self.never_blocks = aspect.never_blocks
+        self.degraded = degraded
+        self.policy = policy
+        self.threshold = threshold
+        self.fire_pre = fire_pre
+        self.fire_post = fire_post
+        self.fire_abort = fire_abort
+        self.injection_sites = injection_sites
+
+    def describe(self) -> str:
+        flags = []
+        if self.never_blocks:
+            flags.append("never_blocks")
+        if self.degraded is not None:
+            flags.append(f"degraded:{self.degraded}")
+        suffix = f" [{', '.join(flags)}]" if flags else ""
+        return f"{self.concern}: {self.aspect.describe()}{suffix}"
+
+
+class ActivationPlan:
+    """Immutable compiled moderation pipeline for one method.
+
+    Produced by :func:`compile_plan` (via
+    :meth:`repro.core.moderator.AspectModerator.plan_for`), executed by
+    the moderator's plan executor, inspected via :meth:`explain`.
+    """
+
+    __slots__ = (
+        "method_id", "cells", "pairs", "never_blocks", "has_degraded",
+        "injector_armed", "fast_cells", "key", "domain", "_queue",
+        "domain_name", "ordering_name",
+    )
+
+    def __init__(self, method_id: str, cells: Tuple[PlanCell, ...],
+                 key: Tuple[int, ...], domain: Any,
+                 ordering_name: str) -> None:
+        self.method_id = method_id
+        self.cells = cells
+        #: raw ordered (concern, aspect) pairs — the executor stashes
+        #: this exact tuple on the join point between phases, so the
+        #: post-activation side can recognize a full-plan chain by
+        #: identity and take its own compiled path
+        self.pairs: Tuple[Tuple[str, Aspect], ...] = tuple(
+            cell.pair for cell in cells
+        )
+        self.never_blocks = all(cell.never_blocks for cell in cells)
+        self.has_degraded = any(cell.degraded is not None for cell in cells)
+        self.injector_armed = any(
+            cell.fire_pre is not None for cell in cells
+        )
+        #: whether the allocation-free prefix executor applies: no
+        #: quarantined cell to skip, no injector site to visit
+        self.fast_cells = not self.has_degraded and not self.injector_armed
+        self.key = key
+        self.domain = domain
+        #: resolved lazily — a never_blocks chain must not materialize a
+        #: wait queue (the lock-free fast path's whole point), so the
+        #: condition is only created when a locked path first needs it
+        self._queue = None
+        self.domain_name = domain.name
+        self.ordering_name = ordering_name
+
+    @property
+    def queue(self) -> Any:
+        """The method's wait queue in its domain (created on first use).
+
+        Racing initializers are benign: ``LockDomain.condition`` caches
+        per key, so both resolve the identical Condition object.
+        """
+        queue = self._queue
+        if queue is None:
+            queue = self._queue = self.domain.condition(self.method_id)
+        return queue
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def explain(self) -> Dict[str, Any]:
+        """The composed contract as data: what this plan will do and why.
+
+        Consumed by :func:`repro.analysis.diagram.plan_to_dot` (render)
+        and :func:`repro.verify.lint.lint_plan` (static checks). The
+        report is a plain dict so it can be serialized, diffed and
+        asserted in tests without importing framework types.
+        """
+        bank, domains, health, injector, ordering = self.key
+        return {
+            "method_id": self.method_id,
+            "never_blocks": self.never_blocks,
+            "fast_executor": self.fast_cells,
+            "lock_domain": self.domain_name,
+            "injector_armed": self.injector_armed,
+            "ordering": self.ordering_name,
+            "revision_key": {
+                "bank": bank,
+                "domains": domains,
+                "health": health,
+                "injector": injector,
+                "ordering": ordering,
+            },
+            "cells": [
+                {
+                    "position": index,
+                    "concern": cell.concern,
+                    "aspect": cell.aspect.describe(),
+                    "aspect_class": type(cell.aspect).__name__,
+                    "never_blocks": cell.never_blocks,
+                    "degraded": cell.degraded,
+                    "policy": cell.policy,
+                    "threshold": cell.threshold,
+                    "injection_sites": list(cell.injection_sites),
+                }
+                for index, cell in enumerate(self.cells)
+            ],
+            "preactivation_order": [cell.concern for cell in self.cells],
+            "postactivation_order": [
+                cell.concern for cell in reversed(self.cells)
+            ],
+        }
+
+    def format(self) -> str:
+        """Human-readable rendering of :meth:`explain` (one plan)."""
+        report = self.explain()
+        key = report["revision_key"]
+        lines = [
+            f"ActivationPlan({self.method_id}) "
+            f"[{'fast-path' if self.never_blocks else 'locked'}; "
+            f"domain {self.domain_name!r}; "
+            f"key bank={key['bank']} domains={key['domains']} "
+            f"health={key['health']} injector={key['injector']} "
+            f"ordering={key['ordering']}]",
+        ]
+        for cell in self.cells:
+            lines.append(f"  {len(lines)}. {cell.describe()}")
+        if self.cells:
+            lines.append(
+                "  postactivation: "
+                + " -> ".join(report["postactivation_order"])
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ActivationPlan {self.method_id!r} cells={len(self.cells)} "
+            f"never_blocks={self.never_blocks} key={self.key}>"
+        )
+
+
+class PlanHandle:
+    """Stable per-method handle onto the moderator's plan cache.
+
+    Proxies and woven wrappers hold a handle instead of a bare wrapper
+    closure: :meth:`current` revalidates the cached plan against the
+    moderator's composite revision key (a few integer compares) and
+    recompiles through the moderator only when some revision component
+    moved. Handles are shared — one per (moderator, method) — so every
+    wrapper of a method converges on the same compiled plan.
+    """
+
+    __slots__ = ("moderator", "method_id", "_plan")
+
+    def __init__(self, moderator: "AspectModerator", method_id: str) -> None:
+        self.moderator = moderator
+        self.method_id = method_id
+        self._plan: Optional[ActivationPlan] = None
+
+    def current(self) -> ActivationPlan:
+        """The currently valid plan, recompiled on revision change."""
+        plan = self._plan
+        if plan is not None and plan.key == self.moderator._composition_key():
+            return plan
+        plan = self.moderator.plan_for(self.method_id)
+        self._plan = plan
+        return plan
+
+    def __repr__(self) -> str:
+        return f"<PlanHandle {self.method_id!r}>"
+
+
+def compile_plan(
+    method_id: str,
+    pairs: List[Tuple[str, Aspect]],
+    key: Tuple[int, ...],
+    domain: Any,
+    health: Any,
+    injector: Optional[Any],
+    ordering_name: str,
+) -> ActivationPlan:
+    """Compile one method's ordered chain into an :class:`ActivationPlan`.
+
+    ``pairs`` must already be in effective composition order (the
+    moderator applies its ordering policy — or the policy's ``compile``
+    hook — before calling here). ``health`` supplies the per-cell
+    quarantine snapshot, ``injector`` (when armed) the pre-resolved
+    site callables via :meth:`repro.faults.injector.FaultInjector.resolve`.
+    """
+    cells = []
+    for concern, aspect in pairs:
+        degraded = health.quarantine_policy(method_id, concern)
+        policy, threshold = health.declared_policy(method_id, concern)
+        if injector is not None:
+            fire_pre = injector.resolve("precondition", method_id, concern)
+            fire_post = injector.resolve("postaction", method_id, concern)
+            fire_abort = injector.resolve("on_abort", method_id, concern)
+            sites = tuple(
+                spec.describe()
+                for phase in ("precondition", "postaction", "on_abort")
+                for spec in injector.site_specs(phase, method_id, concern)
+            )
+        else:
+            fire_pre = fire_post = fire_abort = None
+            sites = ()
+        cells.append(PlanCell(
+            concern, aspect, degraded, policy, threshold,
+            fire_pre, fire_post, fire_abort, sites,
+        ))
+    return ActivationPlan(method_id, tuple(cells), key, domain, ordering_name)

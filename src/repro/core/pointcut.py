@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import fnmatch
 import re
-from typing import Any, Callable, List
+from typing import Any, Callable, Iterable, List, Tuple  # noqa: F401 - Iterable/Tuple used in annotations
 
 
 class Pointcut:
@@ -74,6 +74,19 @@ class Pointcut:
         return [
             name for name in candidates if self.matches(name, component)
         ]
+
+    def resolve(self, component: Any,
+                candidates: "Iterable[str] | None" = None) -> "Tuple[str, ...]":
+        """Compile-time resolution: the selection frozen as a tuple.
+
+        :meth:`select` answers "what matches right now"; ``resolve``
+        commits that answer for callers that bake the selection into a
+        longer-lived artifact — :func:`repro.core.weaver.weave` resolves
+        the participating set once and builds the proxy (whose methods'
+        activation plans are compiled) from it, rather than re-running
+        predicate code per integration step.
+        """
+        return tuple(self.select(component, candidates))
 
     def __repr__(self) -> str:
         return f"Pointcut({self.description})"

@@ -130,20 +130,32 @@ class ComponentProxy:
 
     def _guard(self, method_id: str,
                target: Callable[..., Any]) -> Callable[..., Any]:
-        """Wrap ``target`` in the pre-/post-activation bracket (Figure 10)."""
+        """Wrap ``target`` in the pre-/post-activation bracket (Figure 10).
+
+        Compiled-pipeline moderators hand out a stable
+        :class:`~repro.core.plan.PlanHandle` per method; the wrapper
+        captures the handle (never a plan) and revalidates per call —
+        a few integer compares — so a cached wrapper sees a swapped or
+        quarantined aspect on its very next invocation.
+        """
         moderator = self._moderator
         component = self._component
         caller = self._caller
         timeout = self._timeout
+        handle = (
+            moderator.plan_handle(method_id)
+            if moderator.compile_plans else None
+        )
 
         @functools.wraps(target)
         def guarded(*args: Any, **kwargs: Any) -> Any:
+            plan = handle.current() if handle is not None else None
             joinpoint = JoinPoint(
                 method_id=method_id, component=component,
                 args=args, kwargs=kwargs, caller=caller,
             )
             result = moderator.preactivation(
-                method_id, joinpoint, timeout=timeout
+                method_id, joinpoint, timeout=timeout, plan=plan
             )
             if result is not AspectResult.RESUME:
                 raise MethodAborted(
@@ -162,7 +174,7 @@ class ComponentProxy:
                 joinpoint.exception = exc
                 raise
             finally:
-                moderator.postactivation(method_id, joinpoint)
+                moderator.postactivation(method_id, joinpoint, plan=plan)
             return joinpoint.result
 
         return guarded
@@ -184,8 +196,12 @@ class ComponentProxy:
             caller=caller if caller is not None else self._caller,
         )
         effective_timeout = timeout if timeout is not None else self._timeout
+        plan = (
+            self._moderator.plan_handle(method_id).current()
+            if self._moderator.compile_plans else None
+        )
         result = self._moderator.preactivation(
-            method_id, joinpoint, timeout=effective_timeout
+            method_id, joinpoint, timeout=effective_timeout, plan=plan
         )
         if result is not AspectResult.RESUME:
             raise MethodAborted(
@@ -202,7 +218,7 @@ class ComponentProxy:
             joinpoint.exception = exc
             raise
         finally:
-            self._moderator.postactivation(method_id, joinpoint)
+            self._moderator.postactivation(method_id, joinpoint, plan=plan)
         return joinpoint.result
 
     def __repr__(self) -> str:
@@ -242,14 +258,20 @@ class GuardedMethod:
             return self  # type: ignore[return-value]
         moderator: AspectModerator = getattr(instance, self.moderator_attr)
         target = getattr(super(self._owner, instance), self.method_id)
+        handle = (
+            moderator.plan_handle(self.method_id)
+            if moderator.compile_plans else None
+        )
 
         def guarded(*args: Any, **kwargs: Any) -> Any:
+            plan = handle.current() if handle is not None else None
             joinpoint = JoinPoint(
                 method_id=self.method_id, component=instance,
                 args=args, kwargs=kwargs,
                 caller=getattr(instance, "__caller__", None),
             )
-            result = moderator.preactivation(self.method_id, joinpoint)
+            result = moderator.preactivation(self.method_id, joinpoint,
+                                             plan=plan)
             if result is not AspectResult.RESUME:
                 raise MethodAborted(
                     self.method_id,
@@ -261,7 +283,8 @@ class GuardedMethod:
                 joinpoint.exception = exc
                 raise
             finally:
-                moderator.postactivation(self.method_id, joinpoint)
+                moderator.postactivation(self.method_id, joinpoint,
+                                         plan=plan)
             return joinpoint.result
 
         functools.update_wrapper(guarded, target)

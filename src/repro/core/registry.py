@@ -31,6 +31,9 @@ class Cluster:
             instantiate at initialization (paper Figure 5's constructor).
         ordering: concern composition-order policy for the moderator.
         default_timeout: optional BLOCK wait bound for the moderator.
+        compile_plans: forwarded to the moderator — ``True`` (default)
+            executes compiled activation plans, ``False`` the per-call
+            interpreter.
 
     Example::
 
@@ -50,6 +53,7 @@ class Cluster:
         ordering: OrderingPolicy = registration_order,
         default_timeout: Optional[float] = None,
         notify_scope: str = "all",
+        compile_plans: bool = True,
     ) -> None:
         self.component = component
         self.events = EventBus()
@@ -60,6 +64,7 @@ class Cluster:
             events=self.events,
             default_timeout=default_timeout,
             notify_scope=notify_scope,
+            compile_plans=compile_plans,
         )
         self.factory = CompositeFactory()
         if factory is not None:
@@ -129,6 +134,22 @@ class Cluster:
         tracer = Tracer()
         unsubscribe = self.events.subscribe(tracer)
         return tracer, unsubscribe
+
+    def plans(self) -> Dict[str, Any]:
+        """Current compiled :class:`ActivationPlan` per bound method.
+
+        Compilation is pure, so this works (and is useful — lint,
+        diagrams) even when the cluster runs with ``compile_plans=False``.
+        """
+        return {
+            method_id: self.moderator.plan_for(method_id)
+            for method_id in self.bank.methods()
+        }
+
+    def explain_plans(self) -> Dict[str, Dict[str, Any]]:
+        """``plan.explain()`` for every bound method — the composed
+        contracts of the whole cluster as plain data."""
+        return self.moderator.explain()
 
     def architecture(self) -> Dict[str, Any]:
         """Describe the cluster in the vocabulary of the paper's Figure 1."""

@@ -90,11 +90,15 @@ def _guarded(method_id: str, func: Callable[..., Any],
         if moderator is None:
             # Not yet wired to a moderator: behave as a plain method.
             return func(self, *args, **kwargs)
+        plan = (
+            moderator.plan_handle(method_id).current()
+            if moderator.compile_plans else None
+        )
         joinpoint = JoinPoint(
             method_id=method_id, component=self, args=args, kwargs=kwargs,
             caller=getattr(self, "__caller__", None),
         )
-        result = moderator.preactivation(method_id, joinpoint)
+        result = moderator.preactivation(method_id, joinpoint, plan=plan)
         if result is not AspectResult.RESUME:
             raise MethodAborted(
                 method_id, concern=joinpoint.context.get("abort_concern")
@@ -111,7 +115,7 @@ def _guarded(method_id: str, func: Callable[..., Any],
             joinpoint.exception = exc
             raise
         finally:
-            moderator.postactivation(method_id, joinpoint)
+            moderator.postactivation(method_id, joinpoint, plan=plan)
         return joinpoint.result
 
     setattr(guarded, "__woven__", True)
@@ -207,7 +211,7 @@ def weave(
     if pointcut is not None:
         selected: Dict[str, List[str]] = {
             name: list(concerns or [])
-            for name in pointcut.select(component)
+            for name in pointcut.resolve(component)
         }
     else:
         selected = participating_methods(type(component))

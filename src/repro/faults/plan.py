@@ -114,6 +114,14 @@ class FaultPlan:
         """The spec claiming this visit, or None."""
         return self._slots.get(((phase, method_id, concern), occurrence))
 
+    def specs_at(self, site: Site) -> List[FaultSpec]:
+        """Every spec targeting one site, across all occurrences.
+
+        Plan compilers use this to report a site's armed faults in
+        ``ActivationPlan.explain()`` without replaying visit counters.
+        """
+        return [spec for spec in self.specs if spec.site == site]
+
     def __len__(self) -> int:
         return len(self.specs)
 

@@ -8,7 +8,7 @@ every state, and deadlocks are reported with shortest counterexample
 traces.
 """
 
-from .lint import Finding, lint_chain, lint_cluster
+from .lint import Finding, lint_chain, lint_cluster, lint_plan
 from .explorer import (
     ExplorationReport,
     Explorer,
@@ -39,6 +39,7 @@ __all__ = [
     "initial_state",
     "lint_chain",
     "lint_cluster",
+    "lint_plan",
     "mutual_exclusion",
     "never_aborts",
     "occupancy_bound",

@@ -190,16 +190,66 @@ def lint_chain(method_id: str,
     return findings
 
 
+def lint_plan(plan: "object") -> List[Finding]:
+    """Lint one compiled :class:`~repro.core.plan.ActivationPlan`.
+
+    Runs every structural chain rule on the plan's effective order, then
+    adds plan-level rules that only a compiled contract exposes:
+
+    =============  ========  =============================================
+    rule id        severity  anomaly
+    =============  ========  =============================================
+    QUAR-OPEN      info      a fail-open cell is currently quarantined:
+                             activations silently proceed without it
+    QUAR-CLOSED    warning   a fail-closed cell is currently quarantined:
+                             every activation of the method ABORTs until
+                             the aspect is swapped or reinstated
+    INJ-ARMED      info      a fault injector is compiled into the plan
+                             (expected in chaos tests, not in production)
+    =============  ========  =============================================
+
+    A healthy plan (nothing quarantined, no injector) yields exactly the
+    findings :func:`lint_chain` would for the same chain.
+    """
+    report = plan.explain()
+    method_id = report["method_id"]
+    findings = lint_chain(method_id, plan.pairs)
+    for cell in report["cells"]:
+        if cell["degraded"] == "fail_open":
+            findings.append(Finding(
+                rule="QUAR-OPEN", severity="info", method_id=method_id,
+                detail=(
+                    f"quarantined fail-open cell {cell['concern']!r} is "
+                    f"compiled out: activations proceed without it"
+                ),
+            ))
+        elif cell["degraded"] == "fail_closed":
+            findings.append(Finding(
+                rule="QUAR-CLOSED", severity="warning",
+                method_id=method_id,
+                detail=(
+                    f"quarantined fail-closed cell {cell['concern']!r} "
+                    f"aborts every activation until swapped or reinstated"
+                ),
+            ))
+    if report["injector_armed"]:
+        findings.append(Finding(
+            rule="INJ-ARMED", severity="info", method_id=method_id,
+            detail="a fault injector is compiled into this plan",
+        ))
+    return findings
+
+
 def lint_cluster(cluster: Cluster) -> List[Finding]:
     """Lint every participating method of a cluster.
 
-    Chains are examined in the moderator's *effective* order (the
-    ordering policy applied), so what is linted is what runs.
+    Each method is linted through its compiled activation plan
+    (compilation is pure, so this holds even for clusters running the
+    interpreter), which is the moderator's *effective* composition —
+    ordering policy applied, quarantine state included. What is linted
+    is what runs.
     """
     findings: List[Finding] = []
     for method_id in cluster.bank.methods():
-        pairs = cluster.moderator.ordering(
-            method_id, cluster.bank.aspects_for(method_id)
-        )
-        findings.extend(lint_chain(method_id, pairs))
+        findings.extend(lint_plan(cluster.moderator.plan_for(method_id)))
     return findings

@@ -1,0 +1,187 @@
+"""Differential proof: compiled plans are observably identical to the
+interpreter.
+
+The compiled pipeline (``compile_plans=True``) is only a valid refactor
+if no observer can tell it from the paper's per-call interpreter. This
+suite runs the fault-chaos composition (audit, mutex, semaphore(2),
+fail-open probe — the same chain ``test_fault_chaos`` storms) twice per
+fault schedule — once interpreted, once compiled — through an identical
+*sequential* call script, and requires byte-equal observations:
+
+* per-call outcomes (result / abort / fault type, concern, phase);
+* the full protocol event stream — kind, method, concern, detail, and
+  activation id (normalized to appearance order: ids are drawn from a
+  process-global counter, so their absolute values differ between the
+  two runs by construction);
+* every moderation counter except ``plan_compiles`` (the one counter
+  that *must* differ: it is the refactor's own bookkeeping);
+* the component's accepted values, the injector's fired schedule and
+  at-rest sync-aspect state (no leaked admissions in either mode);
+* fault accounting and quarantine state in the health tracker.
+
+The schedule space is the chaos suite's own: every single-fault plan
+and every double-fault plan (228 schedules), imported rather than
+re-derived so the two suites can never drift apart. Sequential driving
+makes both runs deterministic — any divergence is a real semantic
+difference, not an interleaving artifact.
+"""
+
+import pytest
+
+from repro.core import (
+    AspectFault,
+    AspectModerator,
+    ComponentProxy,
+    CompositionErrors,
+    MethodAborted,
+    Tracer,
+)
+from repro.core.aspect import FunctionAspect
+from repro.aspects.audit import AuditAspect
+from repro.aspects.synchronization import MutexAspect, SemaphoreAspect
+from repro.faults import FaultInjector
+
+from tests.properties.test_fault_chaos import (
+    CALLS,
+    DOUBLE_PLANS,
+    SINGLE_PLANS,
+    THREADS,
+)
+
+pytestmark = pytest.mark.differential
+
+
+def _build(compile_plans):
+    moderator = AspectModerator(
+        default_timeout=10.0, fault_threshold=2,
+        compile_plans=compile_plans,
+    )
+    audit = AuditAspect()
+    mutex = MutexAspect()
+    semaphore = SemaphoreAspect(2)
+    probe = FunctionAspect(concern="probe")
+    moderator.register_aspect("push", "audit", audit)
+    moderator.register_aspect("push", "mutex", mutex)
+    moderator.register_aspect("push", "semaphore", semaphore)
+    moderator.register_aspect("push", "probe", probe,
+                              fault_policy="fail_open")
+
+    class Sink:
+        def __init__(self):
+            self.accepted = []
+
+        def push(self, value):
+            self.accepted.append(value)
+            return value
+
+    sink = Sink()
+    aspects = {"audit": audit, "mutex": mutex, "semaphore": semaphore}
+    return moderator, aspects, sink, ComponentProxy(sink, moderator)
+
+
+def _fault_signature(fault):
+    if isinstance(fault, CompositionErrors):
+        return ("composition",) + tuple(
+            _fault_signature(part) for part in fault.exceptions
+        )
+    assert isinstance(fault, AspectFault)
+    return ("aspect_fault", fault.concern, fault.phase)
+
+
+def _normalize_events(events):
+    """(kind, method, concern, detail, ordinal-activation-id) tuples."""
+    ordinals = {}
+    normalized = []
+    for event in events:
+        aid = event.activation_id
+        if aid not in ordinals:
+            ordinals[aid] = len(ordinals)
+        normalized.append((
+            event.kind, event.method_id, event.concern, event.detail,
+            ordinals[aid],
+        ))
+    return normalized
+
+
+def _observe(compile_plans, plan):
+    """One sequential run; everything an observer could compare."""
+    moderator, aspects, sink, proxy = _build(compile_plans)
+    injector = FaultInjector(plan)
+    injector.install(moderator)
+    tracer = Tracer()
+    unsubscribe = moderator.events.subscribe(tracer)
+
+    outcomes = []
+    for index in range(THREADS):
+        for call in range(CALLS):
+            value = index * 100 + call
+            try:
+                outcomes.append(("ok", proxy.push(value)))
+            except MethodAborted as exc:
+                outcomes.append(("aborted", value, exc.concern))
+            except (AspectFault, CompositionErrors) as fault:
+                outcomes.append(
+                    ("fault", value, _fault_signature(fault))
+                )
+    unsubscribe()
+
+    stats = moderator.stats.as_dict()
+    compiles = stats.pop("plan_compiles")
+    if compile_plans:
+        # the compiled run must actually have exercised the executor
+        assert compiles >= 1
+    else:
+        assert compiles == 0
+    return {
+        "outcomes": outcomes,
+        "events": _normalize_events(tracer.events),
+        "stats": stats,
+        "accepted": list(sink.accepted),
+        "fired": injector.fired_summary(),
+        "mutex_holder": aspects["mutex"].holder,
+        "semaphore_in_use": aspects["semaphore"].in_use,
+        "quarantined": moderator.health.quarantined_cells(),
+        "fault_counts": {
+            cell: (record["faults"], record["quarantined"])
+            for cell, record in moderator.health.snapshot().items()
+        },
+    }
+
+
+def _assert_identical(plan):
+    interpreted = _observe(False, plan)
+    compiled = _observe(True, plan)
+    for key in interpreted:
+        assert compiled[key] == interpreted[key], (
+            f"{key} diverged under plan {plan.describe()}:\n"
+            f"  interpreted: {interpreted[key]!r}\n"
+            f"  compiled:    {compiled[key]!r}"
+        )
+    # both modes are fully unwound — nothing wedged, nothing leaked
+    assert interpreted["mutex_holder"] is None
+    assert interpreted["semaphore_in_use"] == 0
+
+
+@pytest.mark.parametrize(
+    "plan", SINGLE_PLANS, ids=[plan.describe() for plan in SINGLE_PLANS])
+def test_single_fault_schedules_identical(plan):
+    _assert_identical(plan)
+
+
+@pytest.mark.parametrize(
+    "plan", DOUBLE_PLANS, ids=[plan.describe() for plan in DOUBLE_PLANS])
+def test_double_fault_schedules_identical(plan):
+    _assert_identical(plan)
+
+
+def test_fault_free_run_identical():
+    from repro.faults import FaultPlan
+
+    _assert_identical(FaultPlan())
+
+
+def test_plan_space_is_the_chaos_suites():
+    """Guard: the imported schedule space stays the chaos suite's full
+    enumeration (24 single-fault + 204 double-fault plans)."""
+    assert len(SINGLE_PLANS) == 24
+    assert len(DOUBLE_PLANS) == 204

@@ -50,7 +50,7 @@ class TestPreActivation:
         assert moderator.preactivation("open", jp) is RESUME
         assert a.log == ["pre"]
         assert b.log == ["pre"]
-        assert jp.context[CHAIN_KEY] == [("a", a), ("b", b)]
+        assert list(jp.context[CHAIN_KEY]) == [("a", a), ("b", b)]
 
     def test_abort_stops_chain(self, moderator):
         a = Recorder("a")

@@ -1,0 +1,396 @@
+"""Unit tests for compiled activation plans.
+
+Covers the compiled-pipeline contract in isolation (the differential
+suite in ``tests/properties/test_plan_differential.py`` proves runtime
+equivalence; this file proves the *compile-time* promises):
+
+* compilation correctness — cell order, pre-bound callables, the
+  ``never_blocks`` / ``fast_cells`` routing flags;
+* the invalidation matrix — every composition mutator bumps exactly its
+  own component of the composite revision key and forces exactly one
+  recompile, and nothing else does;
+* ``explain()`` — the composed contract as data;
+* :class:`PlanHandle` stability across recompiles;
+* the ``plan_compiles`` counter and its ``as_dict`` snapshot;
+* :class:`Tracer` ring-buffer mode (``maxlen`` / ``dropped``);
+* ``lint_plan`` plan-level rules and ``plan_to_dot`` / ``plan_table``
+  figure equivalence (live plan and serialized report render the same).
+"""
+
+import pytest
+
+from repro.analysis import plan_to_dot, plan_table
+from repro.core import (
+    AspectModerator,
+    FunctionAspect,
+    PlanHandle,
+    TraceEvent,
+    Tracer,
+)
+from repro.faults import FaultInjector, FaultPlan
+from repro.verify import lint_chain, lint_plan
+
+
+def _moderator(aspects=2, never_blocks=True, **kwargs):
+    moderator = AspectModerator(compile_plans=True, **kwargs)
+    for index in range(aspects):
+        moderator.register_aspect(
+            "m", f"c{index}",
+            FunctionAspect(concern=f"c{index}", never_blocks=never_blocks),
+        )
+    return moderator
+
+
+# ----------------------------------------------------------------------
+# compilation correctness
+# ----------------------------------------------------------------------
+class TestCompile:
+    def test_cells_mirror_the_effective_chain(self):
+        moderator = _moderator(aspects=3)
+        plan = moderator.plan_for("m")
+        assert plan.method_id == "m"
+        assert [cell.concern for cell in plan.cells] == ["c0", "c1", "c2"]
+        assert plan.pairs == tuple(
+            (cell.concern, cell.aspect) for cell in plan.cells
+        )
+        for cell in plan.cells:
+            # pre-bound protocol callables — no per-round attribute chase
+            assert cell.evaluate == cell.aspect.evaluate_precondition
+            assert cell.postaction == cell.aspect.postaction
+            assert cell.on_abort == cell.aspect.on_abort
+
+    def test_routing_flags_never_blocks_chain(self):
+        plan = _moderator(never_blocks=True).plan_for("m")
+        assert plan.never_blocks
+        assert plan.fast_cells
+        assert not plan.has_degraded
+        assert not plan.injector_armed
+
+    def test_routing_flags_blocking_chain(self):
+        plan = _moderator(never_blocks=False).plan_for("m")
+        assert not plan.never_blocks
+        assert plan.fast_cells  # fast cells != fast path: healthy chain
+
+    def test_one_blocking_cell_poisons_never_blocks(self):
+        moderator = _moderator(aspects=1, never_blocks=True)
+        moderator.register_aspect(
+            "m", "blocking", FunctionAspect(concern="blocking"))
+        assert not moderator.plan_for("m").never_blocks
+
+    def test_injector_disables_fast_cells(self):
+        moderator = _moderator()
+        injector = FaultInjector(FaultPlan())
+        injector.install(moderator)
+        plan = moderator.plan_for("m")
+        assert plan.injector_armed
+        assert not plan.fast_cells
+        assert all(cell.fire_pre is not None for cell in plan.cells)
+
+    def test_quarantine_disables_fast_cells(self):
+        moderator = _moderator(fault_threshold=1)
+        moderator.bank.swap(
+            "m", "c0", FunctionAspect(concern="c0", never_blocks=True))
+        moderator.health.set_policy("m", "c0", "fail_open", threshold=1)
+        moderator.health.record_fault("m", "c0", "precondition",
+                                      RuntimeError("boom"))
+        plan = moderator.plan_for("m")
+        assert plan.has_degraded
+        assert not plan.fast_cells
+        assert plan.cells[0].degraded == "fail_open"
+
+    def test_fast_path_plan_does_not_materialize_queue(self):
+        plan = _moderator(never_blocks=True).plan_for("m")
+        assert plan._queue is None
+        queue = plan.queue  # first access creates it...
+        assert plan.queue is queue  # ...and caches the same object
+
+
+# ----------------------------------------------------------------------
+# explain(): the composed contract as data
+# ----------------------------------------------------------------------
+class TestExplain:
+    def test_report_shape(self):
+        moderator = _moderator(aspects=2)
+        report = moderator.plan_for("m").explain()
+        assert report["method_id"] == "m"
+        assert report["never_blocks"] is True
+        assert report["fast_executor"] is True
+        assert report["injector_armed"] is False
+        assert set(report["revision_key"]) == {
+            "bank", "domains", "health", "injector", "ordering",
+        }
+        assert report["preactivation_order"] == ["c0", "c1"]
+        assert report["postactivation_order"] == ["c1", "c0"]
+        for position, cell in enumerate(report["cells"]):
+            assert cell["position"] == position
+            assert cell["aspect_class"] == "FunctionAspect"
+            assert cell["degraded"] is None
+
+    def test_moderator_explain_covers_all_methods(self):
+        moderator = _moderator()
+        moderator.register_aspect(
+            "other", "c0", FunctionAspect(concern="c0"))
+        reports = moderator.explain()
+        assert set(reports) == {"m", "other"}
+        single = moderator.explain("m")
+        assert single["method_id"] == "m"
+
+    def test_format_mentions_mode_and_chain(self):
+        text = _moderator().plan_for("m").format()
+        assert "ActivationPlan(m)" in text
+        assert "fast-path" in text
+        assert "postactivation: c1 -> c0" in text
+
+
+# ----------------------------------------------------------------------
+# the invalidation matrix
+# ----------------------------------------------------------------------
+def _component_moved(moderator, mutate):
+    """Run ``mutate`` and report (recompiles, changed key components)."""
+    before_plan = moderator.plan_for("m")
+    before_compiles = moderator.stats.plan_compiles
+    assert moderator.plan_for("m") is before_plan  # cache is stable
+    assert moderator.stats.plan_compiles == before_compiles
+
+    mutate(moderator)
+
+    after_plan = moderator.plan_for("m")
+    assert after_plan is not before_plan, "mutation did not invalidate"
+    assert moderator.stats.plan_compiles == before_compiles + 1
+    assert moderator.plan_for("m") is after_plan  # exactly one recompile
+
+    before_key = before_plan.explain()["revision_key"]
+    after_key = after_plan.explain()["revision_key"]
+    return sorted(
+        component for component in before_key
+        if before_key[component] != after_key[component]
+    )
+
+
+class TestInvalidation:
+    def test_register_bumps_bank_and_health(self):
+        moved = _component_moved(
+            _moderator(),
+            lambda m: m.register_aspect(
+                "m", "extra", FunctionAspect(concern="extra",
+                                             never_blocks=True)),
+        )
+        # registration also (re)declares the cell's fault policy, which
+        # resets its health history — so health legitimately moves too
+        assert moved == ["bank", "health"]
+
+    def test_unregister_bumps_bank_and_health(self):
+        moved = _component_moved(
+            _moderator(), lambda m: m.unregister_aspect("m", "c1"))
+        assert moved == ["bank", "health"]  # drop() forgets health too
+
+    def test_swap_bumps_bank_only(self):
+        moved = _component_moved(
+            _moderator(),
+            lambda m: m.bank.swap(
+                "m", "c0", FunctionAspect(concern="c0", never_blocks=True)),
+        )
+        assert moved == ["bank"]
+
+    def test_set_order_bumps_bank_only(self):
+        moved = _component_moved(
+            _moderator(), lambda m: m.bank.set_order("m", ["c1", "c0"]))
+        assert moved == ["bank"]
+
+    def test_assign_lock_domain_bumps_domains_only(self):
+        moved = _component_moved(
+            _moderator(), lambda m: m.assign_lock_domain("shared", "m"))
+        assert moved == ["domains"]
+
+    def test_quarantine_flip_bumps_health_only(self):
+        def quarantine(moderator):
+            moderator.health.set_policy("m", "c0", "fail_open", threshold=1)
+            moderator.health.record_fault(
+                "m", "c0", "precondition", RuntimeError("boom"))
+
+        # set_policy and the flip each bump the epoch; both are "health"
+        moderator = _moderator()
+        moderator.plan_for("m")
+        before = moderator.plan_for("m").explain()["revision_key"]
+        quarantine(moderator)
+        after = moderator.plan_for("m").explain()["revision_key"]
+        changed = [c for c in before if before[c] != after[c]]
+        assert changed == ["health"]
+        assert moderator.plan_for("m").has_degraded
+
+    def test_reinstate_bumps_health_only(self):
+        moderator = _moderator()
+        moderator.health.set_policy("m", "c0", "fail_open", threshold=1)
+        moderator.health.record_fault("m", "c0", "precondition",
+                                      RuntimeError("boom"))
+        moved = _component_moved(
+            moderator, lambda m: m.reinstate_aspect("m", "c0"))
+        assert moved == ["health"]
+        assert not moderator.plan_for("m").has_degraded
+
+    def test_injector_install_and_uninstall_bump_injector_only(self):
+        injector = FaultInjector(FaultPlan())
+        moved = _component_moved(
+            _moderator(), lambda m: injector.install(m))
+        assert moved == ["injector"]
+        moderator = _moderator()
+        injector.install(moderator)
+        moved = _component_moved(
+            moderator, lambda m: FaultInjector.uninstall(m))
+        assert moved == ["injector"]
+
+    def test_ordering_swap_bumps_ordering_only(self):
+        moved = _component_moved(
+            _moderator(), lambda m: setattr(m, "ordering", m.ordering))
+        assert moved == ["ordering"]
+
+    def test_no_mutation_no_recompile(self):
+        moderator = _moderator()
+        plan = moderator.plan_for("m")
+        for _ in range(50):
+            assert moderator.plan_for("m") is plan
+        assert moderator.stats.plan_compiles == 1
+
+    def test_stats_snapshot_includes_plan_compiles(self):
+        moderator = _moderator()
+        moderator.plan_for("m")
+        snapshot = moderator.stats.as_dict()
+        assert snapshot["plan_compiles"] == 1
+        assert snapshot["plan_compiles"] == moderator.stats.plan_compiles
+
+
+# ----------------------------------------------------------------------
+# handles
+# ----------------------------------------------------------------------
+class TestPlanHandle:
+    def test_handle_is_shared_and_stable(self):
+        moderator = _moderator()
+        handle = moderator.plan_handle("m")
+        assert isinstance(handle, PlanHandle)
+        assert moderator.plan_handle("m") is handle
+
+    def test_current_revalidates_across_recompiles(self):
+        moderator = _moderator()
+        handle = moderator.plan_handle("m")
+        first = handle.current()
+        assert handle.current() is first
+        moderator.bank.swap(
+            "m", "c0", FunctionAspect(concern="c0", never_blocks=True))
+        second = handle.current()
+        assert second is not first
+        assert second is moderator.plan_for("m")
+        assert moderator.plan_handle("m") is handle  # identity survives
+
+
+# ----------------------------------------------------------------------
+# Tracer ring-buffer mode
+# ----------------------------------------------------------------------
+class TestTracerRing:
+    def test_unbounded_by_default(self):
+        tracer = Tracer()
+        for index in range(100):
+            tracer(TraceEvent(kind="k", method_id=str(index)))
+        assert len(tracer.events) == 100
+        assert tracer.dropped == 0
+
+    def test_maxlen_keeps_newest_and_counts_dropped(self):
+        tracer = Tracer(maxlen=3)
+        for index in range(5):
+            tracer(TraceEvent(kind="k", method_id=str(index)))
+        assert [event.method_id for event in tracer.events] == \
+            ["2", "3", "4"]
+        assert tracer.dropped == 2
+
+    def test_clear_resets_events_and_dropped(self):
+        tracer = Tracer(maxlen=1)
+        tracer(TraceEvent(kind="a"))
+        tracer(TraceEvent(kind="b"))
+        assert tracer.dropped == 1
+        tracer.clear()
+        assert tracer.events == []
+        assert tracer.dropped == 0
+        tracer(TraceEvent(kind="c"))
+        assert tracer.dropped == 0
+
+    def test_maxlen_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(maxlen=0)
+
+
+# ----------------------------------------------------------------------
+# lint_plan
+# ----------------------------------------------------------------------
+class TestLintPlan:
+    def test_healthy_plan_matches_chain_lint(self):
+        moderator = _moderator()
+        plan = moderator.plan_for("m")
+        assert lint_plan(plan) == lint_chain("m", plan.pairs)
+
+    def _quarantined(self, policy):
+        moderator = _moderator()
+        moderator.health.set_policy("m", "c0", policy, threshold=1)
+        moderator.health.record_fault("m", "c0", "precondition",
+                                      RuntimeError("boom"))
+        return moderator.plan_for("m")
+
+    def test_quar_open_is_info(self):
+        findings = lint_plan(self._quarantined("fail_open"))
+        rules = {finding.rule: finding for finding in findings}
+        assert rules["QUAR-OPEN"].severity == "info"
+        assert "c0" in rules["QUAR-OPEN"].detail
+
+    def test_quar_closed_is_warning(self):
+        findings = lint_plan(self._quarantined("fail_closed"))
+        rules = {finding.rule: finding for finding in findings}
+        assert rules["QUAR-CLOSED"].severity == "warning"
+
+    def test_inj_armed_is_info(self):
+        moderator = _moderator()
+        FaultInjector(FaultPlan()).install(moderator)
+        rules = {f.rule for f in lint_plan(moderator.plan_for("m"))}
+        assert "INJ-ARMED" in rules
+
+
+# ----------------------------------------------------------------------
+# diagram figure equivalence
+# ----------------------------------------------------------------------
+class TestPlanDiagrams:
+    def test_dot_from_plan_and_from_report_are_identical(self):
+        """The acceptance figure: a live plan and its serialized
+        ``explain()`` report render the exact same DOT text."""
+        plan = _moderator(aspects=3).plan_for("m")
+        assert plan_to_dot(plan) == plan_to_dot(plan.explain())
+
+    def test_dot_structure(self):
+        dot = plan_to_dot(_moderator(aspects=2).plan_for("m"))
+        assert dot.startswith("digraph plan {")
+        assert 'method [label="m (fast-path)"' in dot
+        assert 'cell0 [label="c0\\nFunctionAspect", ' \
+            'style=filled, fillcolor=lightblue];' in dot
+        assert '  method -> cell0 [label="precondition"];' in dot
+        assert '  cell0 -> cell1 [label="precondition"];' in dot
+        assert "ordering" in dot  # the revision-key note
+
+    def test_dot_marks_quarantined_cells(self):
+        moderator = _moderator()
+        moderator.health.set_policy("m", "c0", "fail_open", threshold=1)
+        moderator.health.record_fault("m", "c0", "precondition",
+                                      RuntimeError("boom"))
+        dot = plan_to_dot(moderator.plan_for("m"))
+        assert "QUARANTINED (fail_open)" in dot
+        assert "lightcoral" in dot
+
+    def test_plan_table_rows(self):
+        moderator = _moderator(aspects=2)
+        moderator.register_aspect(
+            "other", "c9", FunctionAspect(concern="c9"))
+        table = plan_table(moderator)
+        lines = table.splitlines()
+        assert lines[0].startswith("method")
+        body = "\n".join(lines[1:])
+        assert "c0 -> c1" in body
+        assert "fast" in body
+        assert "locked" in body  # "other" has a blocking-capable chain
+
+    def test_plan_table_empty_moderator(self):
+        assert plan_table(AspectModerator()) == "(no participating methods)"
