@@ -23,7 +23,9 @@ Subpackages:
 * :mod:`repro.analysis` — separation-of-concerns metrics and sequence-
   trace verification;
 * :mod:`repro.verify` — explicit-state model checking of aspect
-  compositions (the paper's formal-verification open question).
+  compositions (the paper's formal-verification open question);
+* :mod:`repro.obs` — observability plane: activation spans, striped
+  metrics, Prometheus/JSON exporters, cross-node trace propagation.
 
 Quickstart::
 
@@ -43,6 +45,7 @@ from . import (
     concurrency,
     core,
     dist,
+    obs,
     sim,
     verify,
 )
@@ -88,6 +91,7 @@ __all__ = [
     "core",
     "dist",
     "moderated",
+    "obs",
     "participating",
     "sim",
     "verify",

@@ -8,7 +8,10 @@ Subcommands:
                 report (plus a deliberate deadlock's counterexample);
 * ``metrics``   print the separation-of-concerns comparison table;
 * ``lint``      run the composition linter over a correctly composed
-                cluster and over a deliberately anomalous one.
+                cluster and over a deliberately anomalous one;
+* ``obs``       run a moderated workload under the observability plane
+                and print the live summary table, per-method flame
+                breakdowns and a Prometheus metrics excerpt.
 """
 
 from __future__ import annotations
@@ -143,6 +146,50 @@ def run_lint() -> int:
     return 0
 
 
+def run_obs() -> int:
+    from repro.apps import build_ticketing_cluster
+    from repro.concurrency import Ticket
+    from repro.obs import ObservabilityPlane, start_trace
+
+    cluster = build_ticketing_cluster(capacity=4)
+    plane = ObservabilityPlane(cluster.moderator, node="demo")
+    with plane, start_trace() as context:
+        for index in range(4):
+            cluster.proxy.open(
+                Ticket(summary=f"ticket-{index}", reporter="obs-demo")
+            )
+        for index in range(4):
+            cluster.proxy.assign(f"agent-{index % 2}")
+
+    summary = plane.summary()
+    print(f"observability plane summary (node={summary['node']}, "
+          f"trace={context.trace_id[:8]}...):")
+    print(f"{'method':<12}{'activations':>12}{'mean':>12}"
+          f"{'aborted':>9}{'faults':>8}")
+    for method_id in sorted(summary["methods"]):
+        entry = summary["methods"][method_id]
+        mean = entry["total_seconds"] / entry["activations"] * 1e6
+        print(f"{method_id:<12}{entry['activations']:>12}"
+              f"{mean:>10.1f}us{entry['aborted']:>9}{entry['faults']:>8}")
+    print(f"active: {summary['active']}  "
+          f"wake edges: {summary['wake_edges']}  "
+          f"listener errors: {summary['listener_errors']}")
+
+    for method_id in sorted(summary["methods"]):
+        print()
+        print(plane.flame(method_id))
+
+    print("\nfirst activation span tree:")
+    print(plane.recorder.finished[0].format())
+
+    print("\nPrometheus exposition (excerpt):")
+    for line in plane.prometheus().splitlines():
+        if line.startswith(("repro_moderation_", "repro_park_seconds")) \
+                and not line.endswith(" 0"):
+            print(f"  {line}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -150,12 +197,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command", nargs="?", default="demo",
-        choices=["demo", "verify", "metrics", "lint"],
+        choices=["demo", "verify", "metrics", "lint", "obs"],
         help="which demo to run (default: demo)",
     )
     arguments = parser.parse_args(argv)
     runners = {"demo": run_demo, "verify": run_verify,
-               "metrics": run_metrics, "lint": run_lint}
+               "metrics": run_metrics, "lint": run_lint,
+               "obs": run_obs}
     return runners[arguments.command]()
 
 

@@ -1,6 +1,12 @@
 """Analysis tools: separation-of-concerns metrics and trace verification."""
 
-from .diagram import bank_to_table, cluster_to_dot, plan_table, plan_to_dot
+from .diagram import (
+    bank_to_table,
+    cluster_to_dot,
+    plan_table,
+    plan_to_dot,
+    span_to_dot,
+)
 from .metrics import (
     CONCERN_KEYWORDS,
     ConcernReport,
@@ -25,6 +31,7 @@ __all__ = [
     "cluster_to_dot",
     "plan_table",
     "plan_to_dot",
+    "span_to_dot",
     "ConcernReport",
     "FIGURE2_TEMPLATE",
     "FIGURE3_TEMPLATE",

@@ -33,6 +33,8 @@ kind                 meaning
 ``degraded_skip``    a fail-open quarantined aspect was skipped
 ``watchdog_stall``   the stall watchdog found activations parked past
                      their deadline (detail holds the summary)
+``timeout``          a parked activation exhausted its timeout and is
+                     about to raise ``ActivationTimeout``
 ==================  ====================================================
 """
 
@@ -42,7 +44,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 EventListener = Callable[["TraceEvent"], None]
 
@@ -60,6 +62,10 @@ class TraceEvent:
         default_factory=lambda: threading.current_thread().name
     )
     timestamp: float = field(default_factory=time.monotonic)
+    #: seconds the step took (0.0 when the emitter didn't time it —
+    #: timing is only measured when the bus has listeners, so the
+    #: allocation-free fast path stays free when nobody is watching)
+    duration: float = 0.0
 
     def format(self) -> str:
         """Render as one line of a textual sequence diagram."""
@@ -77,21 +83,38 @@ class EventBus:
     Emission with zero listeners is a few attribute lookups — the
     framework keeps the bus on the hot path without measurable cost when
     tracing is off (verified by ``benchmarks/bench_fig03_invocation.py``).
+
+    The listener list is a **copy-on-write tuple**: ``emit`` reads it
+    with one attribute load (no lock, no copy — rebinding a tuple is
+    atomic under the GIL) and mutations build a fresh tuple under the
+    subscription lock. A raising listener is **isolated**: its exception
+    is swallowed (counted in :attr:`listener_errors`) instead of
+    propagating into the moderation protocol and starving later
+    listeners — observers must never be able to abort an activation.
     """
 
     def __init__(self) -> None:
-        self._listeners: List[EventListener] = []
+        self._listeners: Tuple[EventListener, ...] = ()
         self._lock = threading.Lock()
+        #: exceptions swallowed from raising listeners so far
+        self.listener_errors = 0
+        #: wall-clock anchor: (``time.time()``, ``time.monotonic()``)
+        #: captured together once, so exporters can translate the
+        #: monotonic event timestamps into cross-process-comparable
+        #: wall-clock instants
+        self.anchor: Tuple[float, float] = (time.time(), time.monotonic())
 
     def subscribe(self, listener: EventListener) -> Callable[[], None]:
         """Add ``listener``; returns an unsubscribe callable."""
         with self._lock:
-            self._listeners.append(listener)
+            self._listeners = self._listeners + (listener,)
 
         def unsubscribe() -> None:
             with self._lock:
-                if listener in self._listeners:
-                    self._listeners.remove(listener)
+                listeners = list(self._listeners)
+                if listener in listeners:
+                    listeners.remove(listener)
+                    self._listeners = tuple(listeners)
 
         return unsubscribe
 
@@ -99,9 +122,16 @@ class EventBus:
     def has_listeners(self) -> bool:
         return bool(self._listeners)
 
+    def to_wall(self, timestamp: float) -> float:
+        """A monotonic event timestamp as a wall-clock instant."""
+        wall, mono = self.anchor
+        return timestamp - mono + wall
+
     def emit(self, kind: str, method_id: str = "", concern: str = "",
-             detail: str = "", activation_id: int = 0) -> None:
-        if not self._listeners:
+             detail: str = "", activation_id: int = 0,
+             duration: float = 0.0) -> None:
+        listeners = self._listeners
+        if not listeners:
             return
         event = TraceEvent(
             kind=kind,
@@ -109,11 +139,14 @@ class EventBus:
             concern=concern,
             detail=detail,
             activation_id=activation_id,
+            duration=duration,
         )
-        with self._lock:
-            listeners = list(self._listeners)
         for listener in listeners:
-            listener(event)
+            try:
+                listener(event)
+            except Exception:
+                with self._lock:
+                    self.listener_errors += 1
 
 
 class Tracer:
@@ -143,6 +176,8 @@ class Tracer:
         self._lock = threading.Lock()
         self._events: Deque[TraceEvent] = deque(maxlen=maxlen)
         self._dropped = 0
+        #: wall-clock anchor, captured once: see ``EventBus.anchor``
+        self.anchor: Tuple[float, float] = (time.time(), time.monotonic())
 
     def __call__(self, event: TraceEvent) -> None:
         with self._lock:
@@ -179,6 +214,11 @@ class Tracer:
 
     def count(self, kind: str) -> int:
         return sum(1 for event in self.events if event.kind == kind)
+
+    def to_wall(self, timestamp: float) -> float:
+        """A monotonic event timestamp as a wall-clock instant."""
+        wall, mono = self.anchor
+        return timestamp - mono + wall
 
     def clear(self) -> None:
         """Start a fresh trace: drop retained events and the drop count."""

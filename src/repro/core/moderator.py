@@ -74,6 +74,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.concurrency.primitives import LockDomain
+from repro.obs.metrics import MetricsRegistry
 
 from .aspect import Aspect
 from .bank import AspectBank
@@ -99,54 +100,62 @@ CHAIN_KEY = "__moderation_chain__"
 _PRIVATE_DOMAIN_PREFIX = "~method:"
 
 
-@dataclass
+#: the moderation counters, in their historical declaration order
+STAT_NAMES: Tuple[str, ...] = (
+    "preactivations", "resumes", "blocks", "aborts", "waits", "wakeups",
+    "postactivations", "notifications", "compensations", "fastpaths",
+    "faults", "quarantines", "reinstatements", "degraded_skips",
+    "plan_compiles",
+)
+
+
 class ModerationStats:
     """Aggregate counters maintained by a moderator.
 
-    Increments go through :meth:`bump`, which serializes on an internal
-    lock: with per-method lock domains (and the lock-free fast path)
-    counters are updated from concurrent activations that no longer
-    share any moderation lock.
+    Backed by a thread-striped :class:`~repro.obs.metrics.MetricsRegistry`
+    rather than one global lock: :meth:`bump` touches only the calling
+    thread's stripe, whose lock no other writer ever contends — so the
+    lock-free ``never_blocks`` fast path no longer serializes every
+    method's activations on a single cross-method lock (the last such
+    point after PR 1 striped the moderation locks themselves).
+
+    Counters remain readable as plain attributes (``stats.resumes``) and
+    :meth:`as_dict` remains a *consistent* snapshot: the merge holds all
+    stripe locks at once, so a multi-counter bump is never observed torn.
     """
 
-    preactivations: int = 0
-    resumes: int = 0
-    blocks: int = 0
-    aborts: int = 0
-    waits: int = 0
-    wakeups: int = 0
-    postactivations: int = 0
-    notifications: int = 0
-    compensations: int = 0
-    fastpaths: int = 0
-    faults: int = 0
-    quarantines: int = 0
-    reinstatements: int = 0
-    degraded_skips: int = 0
-    plan_compiles: int = 0
+    __slots__ = ("registry", "_block", "compile_seconds")
 
-    def __post_init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = (
+            registry if registry is not None else MetricsRegistry()
+        )
+        self._block = self.registry.counter_block(
+            STAT_NAMES, prefix="repro_moderation_"
+        )
+        #: plan-compilation latency histogram (seconds). Recorded on the
+        #: registry, *not* the event bus: compiled and interpreted runs
+        #: must keep byte-identical event streams (the differential
+        #: suite's contract), and only compiled runs compile.
+        self.compile_seconds = self.registry.histogram(
+            "repro_plan_compile_seconds",
+            help="Activation-plan compilation latency in seconds",
+        ).labels()
 
     def bump(self, *names: str, amount: int = 1) -> None:
-        """Atomically increment each named counter by ``amount``."""
-        with self._lock:
-            for name in names:
-                setattr(self, name, getattr(self, name) + amount)
+        """Increment each named counter by ``amount``, as one atomic cut."""
+        self._block.bump(*names, amount=amount)
+
+    def __getattr__(self, name: str) -> int:
+        if name in STAT_NAMES:
+            return int(self._block.value(name))
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     def as_dict(self) -> Dict[str, int]:
-        """Consistent snapshot of every counter.
-
-        Taken under the same lock :meth:`bump` serializes on — a
-        lock-free ``vars()`` walk could interleave with a multi-counter
-        bump and return a torn snapshot (e.g. a ``resumes`` that its
-        paired ``preactivations`` has not caught up with).
-        """
-        with self._lock:
-            return {
-                key: value for key, value in vars(self).items()
-                if not key.startswith("_")
-            }
+        """Consistent snapshot of every counter (all stripes, one cut)."""
+        return self._block.as_dict()
 
 
 class AspectModerator:
@@ -321,6 +330,7 @@ class AspectModerator:
         build can be executed for at most one round, the same staleness
         window the interpreter's unlocked bank/health reads always had.
         """
+        started = time.monotonic()
         _revision, raw_pairs = self.bank.snapshot_for(method_id)
         policy = self._ordering
         resolve = getattr(policy, "compile", None)
@@ -331,8 +341,10 @@ class AspectModerator:
             self.health, self._fault_injector,
             getattr(policy, "__name__", type(policy).__name__),
         )
+        plan.compile_seconds = time.monotonic() - started
         self._plans[method_id] = plan
         self.stats.bump("plan_compiles")
+        self.stats.compile_seconds.observe(plan.compile_seconds)
         return plan
 
     def plan_handle(self, method_id: str) -> PlanHandle:
@@ -649,6 +661,11 @@ class AspectModerator:
                         if outcome is not AspectResult.BLOCK:
                             return outcome
                         if timed_out:
+                            self.events.emit(
+                                "timeout", method_id,
+                                detail=f"{effective_timeout}s",
+                                activation_id=joinpoint.activation_id,
+                            )
                             raise ActivationTimeout(
                                 method_id, effective_timeout
                             )
@@ -684,13 +701,18 @@ class AspectModerator:
                         finally:
                             with self._waiter_guard:
                                 self._parked -= 1
-                                self._parked_info.pop(
+                                parked_info = self._parked_info.pop(
                                     joinpoint.activation_id, None
                                 )
                         self.stats.bump("wakeups")
                         self.events.emit(
                             "unblocked", method_id,
                             activation_id=joinpoint.activation_id,
+                            # park duration, for blocked-span accounting
+                            duration=(
+                                time.monotonic() - parked_info[1]
+                                if parked_info is not None else 0.0
+                            ),
                         )
                         if self._queue_for(method_id) is not queue:
                             break  # re-park under the new domain
@@ -772,6 +794,9 @@ class AspectModerator:
         resumed: List[Tuple[str, Aspect]] = []
         quarantine_active = self.health.active
         injector = self.fault_injector
+        # Per-aspect timing is measured only when someone is listening —
+        # the same gate that keeps event construction off the hot path.
+        timed = self.events.has_listeners
         for concern, aspect in pairs:
             if quarantine_active:
                 policy = self.health.quarantine_policy(method_id, concern)
@@ -784,6 +809,7 @@ class AspectModerator:
                     continue
                 if policy == FAIL_CLOSED:
                     return AspectResult.ABORT, resumed, concern
+            began = time.monotonic() if timed else 0.0
             try:
                 if injector is not None and injector.fire(
                         "precondition", method_id, concern):
@@ -800,6 +826,7 @@ class AspectModerator:
             self.events.emit(
                 "precondition", method_id, concern, detail=result.value,
                 activation_id=joinpoint.activation_id,
+                duration=time.monotonic() - began if timed else 0.0,
             )
             if result is AspectResult.RESUME:
                 resumed.append((concern, aspect))
@@ -831,9 +858,14 @@ class AspectModerator:
         method_id = plan.method_id
         emit = self.events.emit
         activation_id = joinpoint.activation_id
+        # Timing gates on listeners, exactly like event construction:
+        # with nobody subscribed the fast executor below stays a bare
+        # walk over pre-bound callables — no clock reads, no floats.
+        timed = self.events.has_listeners
         if plan.fast_cells:
             index = 0
             for cell in plan.cells:
+                began = time.monotonic() if timed else 0.0
                 try:
                     result = cell.evaluate(joinpoint)
                 except Exception as exc:  # noqa: BLE001 - contract violation
@@ -851,6 +883,7 @@ class AspectModerator:
                 emit(
                     "precondition", method_id, cell.concern,
                     detail=result.value, activation_id=activation_id,
+                    duration=time.monotonic() - began if timed else 0.0,
                 )
                 if result is AspectResult.RESUME:
                     index += 1
@@ -876,6 +909,7 @@ class AspectModerator:
                     continue
                 if policy == FAIL_CLOSED:
                     return AspectResult.ABORT, resumed, concern
+            began = time.monotonic() if timed else 0.0
             try:
                 if cell.fire_pre is not None and cell.fire_pre():
                     continue  # injected no-op crash: aspect never ran
@@ -891,6 +925,7 @@ class AspectModerator:
             emit(
                 "precondition", method_id, concern, detail=result.value,
                 activation_id=activation_id,
+                duration=time.monotonic() - began if timed else 0.0,
             )
             if result is AspectResult.RESUME:
                 resumed.append(cell.pair)
@@ -1027,6 +1062,18 @@ class AspectModerator:
                     # Someone is parked somewhere: wake conservatively, a
                     # spurious wakeup only costs a re-evaluation.
                     self._wake(method_id, joinpoint)
+                else:
+                    # Wake elided (nothing parked) — but the protocol's
+                    # notify arrow still concluded this activation, so
+                    # surface it to observers (span recorders close the
+                    # activation on it). Observer-only: no stats bump,
+                    # counters must not depend on who is subscribed, and
+                    # with no listeners emit() is a single attribute
+                    # check so the fast path stays allocation-free.
+                    self.events.emit(
+                        "notify", method_id, detail="elided",
+                        activation_id=joinpoint.activation_id,
+                    )
             self._raise_faults(faults)
             return
 
@@ -1063,6 +1110,14 @@ class AspectModerator:
                     # Someone is parked somewhere: wake conservatively, a
                     # spurious wakeup only costs a re-evaluation.
                     self._wake(method_id, joinpoint)
+                else:
+                    # Elided wake: observer-only notify arrow, exactly
+                    # as the interpreted never_blocks unwind emits it —
+                    # the differential suite holds the two streams equal.
+                    self.events.emit(
+                        "notify", method_id, detail="elided",
+                        activation_id=joinpoint.activation_id,
+                    )
             self._raise_faults(faults)
             return
 
@@ -1089,7 +1144,9 @@ class AspectModerator:
         method_id = plan.method_id
         emit = self.events.emit
         activation_id = joinpoint.activation_id
+        timed = self.events.has_listeners
         for cell in reversed(plan.cells):
+            began = time.monotonic() if timed else 0.0
             try:
                 cell.postaction(joinpoint)
             except Exception as exc:  # noqa: BLE001 - keep unwinding
@@ -1102,6 +1159,7 @@ class AspectModerator:
             emit(
                 "postaction", method_id, cell.concern,
                 activation_id=activation_id,
+                duration=time.monotonic() - began if timed else 0.0,
             )
         return faults
 
@@ -1111,7 +1169,9 @@ class AspectModerator:
         """Reverse unwind; continues past raising aspects (faults returned)."""
         faults: List[AspectFault] = []
         injector = self.fault_injector
+        timed = self.events.has_listeners
         for concern, aspect in reversed(chain):
+            began = time.monotonic() if timed else 0.0
             try:
                 if injector is not None and injector.fire(
                         "postaction", method_id, concern):
@@ -1127,6 +1187,7 @@ class AspectModerator:
             self.events.emit(
                 "postaction", method_id, concern,
                 activation_id=joinpoint.activation_id,
+                duration=time.monotonic() - began if timed else 0.0,
             )
         return faults
 

@@ -109,7 +109,7 @@ class ActivationPlan:
     __slots__ = (
         "method_id", "cells", "pairs", "never_blocks", "has_degraded",
         "injector_armed", "fast_cells", "key", "domain", "_queue",
-        "domain_name", "ordering_name",
+        "domain_name", "ordering_name", "compile_seconds",
     )
 
     def __init__(self, method_id: str, cells: Tuple[PlanCell, ...],
@@ -140,6 +140,11 @@ class ActivationPlan:
         self._queue = None
         self.domain_name = domain.name
         self.ordering_name = ordering_name
+        #: seconds the compile took; stamped by the moderator right
+        #: after construction (0.0 for hand-built plans). Observability
+        #: metadata only — never on the event bus, so compiled and
+        #: interpreted runs keep byte-identical event streams.
+        self.compile_seconds = 0.0
 
     @property
     def queue(self) -> Any:
@@ -171,6 +176,7 @@ class ActivationPlan:
             "fast_executor": self.fast_cells,
             "lock_domain": self.domain_name,
             "injector_armed": self.injector_armed,
+            "compile_seconds": self.compile_seconds,
             "ordering": self.ordering_name,
             "revision_key": {
                 "bank": bank,

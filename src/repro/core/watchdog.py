@@ -175,12 +175,18 @@ class ActivationWatchdog:
             emitted.append(report)
             with self._lock:
                 self.reports.append(report)
-            self.moderator.events.emit(
-                "watchdog_stall", method_id,
-                detail=f"{len(activations)} activation(s) parked > "
-                       f"{self.deadline:.3f}s",
-                activation_id=activations[0][0],
-            )
+            # One event per stalled activation (not per method), so a
+            # span recorder can annotate each stalled span and the
+            # metrics plane counts stalls, not stall batches.
+            for activation_id, age in activations:
+                self.moderator.events.emit(
+                    "watchdog_stall", method_id,
+                    detail=f"parked {age:.3f}s > "
+                           f"{self.deadline:.3f}s deadline "
+                           f"({len(activations)} stalled on method)",
+                    activation_id=activation_id,
+                    duration=age,
+                )
             if self.on_stall is not None:
                 try:
                     self.on_stall(report)

@@ -108,7 +108,8 @@ class HeartbeatDetector:
                  dead_after: float = 0.4,
                  clock: Callable[[], float] = time.monotonic,
                  on_error: Optional[
-                     Callable[[BaseException], None]] = None) -> None:
+                     Callable[[BaseException], None]] = None,
+                 events: Optional[object] = None) -> None:
         if dead_after <= suspect_after:
             raise ValueError("dead_after must exceed suspect_after")
         self.network = network
@@ -116,6 +117,11 @@ class HeartbeatDetector:
         self.suspect_after = suspect_after
         self.dead_after = dead_after
         self.on_error = on_error
+        #: optional protocol event bus (``repro.core.events.EventBus``):
+        #: state transitions surface as ``node_state`` events on the
+        #: same observability plane the moderation protocol reports to
+        self.events = events
+        self._state_cache: Dict[str, str] = {}
         self._clock = clock
         self.inbox = network.register(endpoint)
         self._lock = threading.Lock()
@@ -171,10 +177,25 @@ class HeartbeatDetector:
             return "unknown"
         silence = self._clock() - last
         if silence >= self.dead_after:
-            return "dead"
-        if silence >= self.suspect_after:
-            return "suspect"
-        return "alive"
+            state = "dead"
+        elif silence >= self.suspect_after:
+            state = "suspect"
+        else:
+            state = "alive"
+        events = self.events
+        if events is not None:
+            with self._lock:
+                previous = self._state_cache.get(node_id)
+                changed = previous != state
+                if changed:
+                    self._state_cache[node_id] = state
+            if changed:
+                events.emit(
+                    "node_state", method_id=node_id,
+                    detail=f"{previous or 'unknown'} -> {state}",
+                    duration=silence,
+                )
+        return state
 
     def alive(self, node_id: str) -> bool:
         return self.state_of(node_id) == "alive"

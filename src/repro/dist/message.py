@@ -76,18 +76,27 @@ class Message:
 
 def request(source: str, dest: str, service: str, method: str,
             args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
-            caller: Optional[str] = None) -> Message:
-    """Build an RPC request message."""
-    return Message(
-        source=source, dest=dest, kind="request",
-        payload={
-            "service": service,
-            "method": method,
-            "args": list(args),
-            "kwargs": dict(kwargs or {}),
-            "caller": caller,
-        },
-    )
+            caller: Optional[str] = None,
+            trace: Optional[Dict[str, Any]] = None) -> Message:
+    """Build an RPC request message.
+
+    ``trace`` is an optional wire-form trace context
+    (:func:`repro.obs.propagation.to_wire`) — plain strings and floats,
+    so it rides the payload through the same wire-safety check as
+    everything else and lets the receiving node stitch its activation
+    spans under the caller's trace.
+    """
+    payload: Dict[str, Any] = {
+        "service": service,
+        "method": method,
+        "args": list(args),
+        "kwargs": dict(kwargs or {}),
+        "caller": caller,
+    }
+    if trace is not None:
+        payload["trace"] = trace
+    return Message(source=source, dest=dest, kind="request",
+                   payload=payload)
 
 
 def reply(to: Message, result: Any) -> Message:

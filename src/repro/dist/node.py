@@ -16,6 +16,7 @@ from typing import Any, Dict, List
 from repro.concurrency.primitives import WaitQueue
 from repro.core.errors import MethodAborted
 from repro.core.proxy import ComponentProxy
+from repro.obs import propagation
 from .message import Message, error_reply, reply
 from .network import Network
 
@@ -98,6 +99,10 @@ class Node:
         args = tuple(payload.get("args", ()))
         kwargs = dict(payload.get("kwargs", {}))
         caller = payload.get("caller")
+        # Propagated trace context (if any): activated around the
+        # servant call so this node's span recorder roots the resulting
+        # activation under the caller's span — one stitched trace.
+        context = propagation.from_wire(payload.get("trace"))
         with self._lock:
             servant = self._servants.get(service)
         try:
@@ -105,13 +110,16 @@ class Node:
                 raise LookupError(
                     f"no service {service!r} on node {self.node_id}"
                 )
-            if isinstance(servant, ComponentProxy):
-                result = servant.call(method, *args, caller=caller, **kwargs)
-            else:
-                target = getattr(servant, method)
-                if caller is not None and self._accepts_caller(target):
-                    kwargs.setdefault("caller", caller)
-                result = target(*args, **kwargs)
+            with propagation.activate(context):
+                if isinstance(servant, ComponentProxy):
+                    result = servant.call(
+                        method, *args, caller=caller, **kwargs
+                    )
+                else:
+                    target = getattr(servant, method)
+                    if caller is not None and self._accepts_caller(target):
+                        kwargs.setdefault("caller", caller)
+                    result = target(*args, **kwargs)
             response = reply(message, self._wire_result(result))
             self.requests_served += 1
         except MethodAborted as exc:

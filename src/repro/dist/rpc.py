@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, Optional
 
 from repro.concurrency.primitives import Future, WaitQueue
 from repro.core.errors import MethodAborted, NetworkError
+from repro.obs import propagation
 from .message import request
 from .naming import NameService
 from .network import Network
@@ -74,9 +75,15 @@ class Client:
                   *args: Any, caller: Optional[str] = None,
                   timeout: Optional[float] = None, **kwargs: Any) -> Any:
         """Invoke ``service.method`` on an explicit node."""
+        context = propagation.current()
         message = request(
             self.client_id, node_id, service, method,
             args=args, kwargs=kwargs, caller=caller,
+            # Carry the caller's trace across the wire: the server
+            # activates it around the servant call, so both sides'
+            # span recorders stitch into one trace.
+            trace=propagation.to_wire(context)
+            if context is not None else None,
         )
         future: "Future[Message]" = Future()
         with self._lock:

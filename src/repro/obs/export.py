@@ -1,0 +1,159 @@
+"""Exporters: the metrics registry and span recorder as wire formats.
+
+Two formats, both built on the registry's consistent snapshots:
+
+* :func:`to_prometheus` — the Prometheus text exposition format
+  (``# HELP`` / ``# TYPE`` headers, cumulative ``_bucket`` samples with
+  ``le`` labels, ``_sum``/``_count``). Deterministic output order
+  (families sorted by name, samples by label values) so it can be
+  golden-file tested.
+* :func:`to_json` / :func:`snapshot_dict` — a JSON document combining
+  metrics, optionally spans (wall-clock timestamps via each recorder's
+  anchor) and wake edges, for programmatic consumers.
+
+Formatting notes: Prometheus floats are rendered with ``repr`` except
+integral values, which drop the trailing ``.0`` (matching client_golang
+closely enough for scrapers); ``+Inf`` is the literal bucket bound.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import HistogramValue, MetricSnapshot, MetricsRegistry
+from .spans import SpanRecorder
+
+__all__ = ["snapshot_dict", "to_json", "to_prometheus"]
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labelnames: Sequence[str],
+                   labelvalues: Sequence[str],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        (name, value) for name, value in zip(labelnames, labelvalues)
+    ]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{name}="{_escape(value)}"' for name, value in pairs
+    )
+    return "{" + body + "}"
+
+
+def _escape(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _bucket_bound(bound: float) -> str:
+    return "+Inf" if bound == float("inf") else _format_value(bound)
+
+
+def _render_family(family: MetricSnapshot, lines: List[str]) -> None:
+    lines.append(f"# HELP {family.name} {family.help or family.name}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for labels in sorted(family.samples):
+        sample = family.samples[labels]
+        if family.kind == "histogram":
+            assert isinstance(sample, HistogramValue)
+            cumulative = 0
+            bounds = list(sample.buckets) + [float("inf")]
+            for bound, count in zip(bounds, sample.counts):
+                cumulative += count
+                label_str = _format_labels(
+                    family.labelnames, labels,
+                    extra=(("le", _bucket_bound(bound)),),
+                )
+                lines.append(
+                    f"{family.name}_bucket{label_str} {cumulative}"
+                )
+            plain = _format_labels(family.labelnames, labels)
+            lines.append(
+                f"{family.name}_sum{plain} {_format_value(sample.sum)}"
+            )
+            lines.append(f"{family.name}_count{plain} {sample.count}")
+        else:
+            label_str = _format_labels(family.labelnames, labels)
+            lines.append(
+                f"{family.name}{label_str} {_format_value(sample)}"
+            )
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format."""
+    lines: List[str] = []
+    for family in registry.collect():
+        _render_family(family, lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def snapshot_dict(
+    registry: MetricsRegistry,
+    recorder: Optional[SpanRecorder] = None,
+) -> Dict[str, Any]:
+    """Metrics (and optionally spans) as one plain-data document."""
+    metrics: Dict[str, Any] = {}
+    for family in registry.collect():
+        samples = []
+        for labels in sorted(family.samples):
+            sample = family.samples[labels]
+            entry: Dict[str, Any] = {
+                "labels": dict(zip(family.labelnames, labels)),
+            }
+            if isinstance(sample, HistogramValue):
+                entry["sum"] = sample.sum
+                entry["count"] = sample.count
+                entry["buckets"] = [
+                    {"le": _bucket_bound(bound), "count": count}
+                    for bound, count in zip(
+                        list(sample.buckets) + [float("inf")],
+                        sample.counts,
+                    )
+                ]
+                if sample.count:
+                    entry["p50"] = sample.quantile(0.50)
+                    entry["p95"] = sample.quantile(0.95)
+                    entry["p99"] = sample.quantile(0.99)
+            else:
+                entry["value"] = sample
+            samples.append(entry)
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "samples": samples,
+        }
+    document: Dict[str, Any] = {"metrics": metrics}
+    if recorder is not None:
+        document["node"] = recorder.node
+        document["spans"] = recorder.export()
+        document["wake_edges"] = [
+            {
+                "notifier_activation": edge.notifier_activation,
+                "notifier_span": edge.notifier_span,
+                "woken_activation": edge.woken_activation,
+                "woken_span": edge.woken_span,
+            }
+            for edge in recorder.wake_edges
+        ]
+    return document
+
+
+def to_json(registry: MetricsRegistry,
+            recorder: Optional[SpanRecorder] = None,
+            indent: int = 2) -> str:
+    """:func:`snapshot_dict` serialized as JSON."""
+    return json.dumps(
+        snapshot_dict(registry, recorder), indent=indent, sort_keys=True
+    )

@@ -1,0 +1,274 @@
+"""The observability plane: one object that wires spans + metrics in.
+
+:class:`ObservabilityPlane` composes the pieces of ``repro.obs`` around
+one moderator:
+
+* a :class:`~repro.obs.spans.SpanRecorder` building activation span
+  trees (and wake edges) from the protocol event stream;
+* a :class:`MetricsListener` folding the same stream into the
+  moderator's striped :class:`~repro.obs.metrics.MetricsRegistry` —
+  per-(method, concern, phase) latency histograms, outcome counters,
+  park-time histograms, fault/quarantine/stall counters;
+* sampled gauges (wait-queue depth per method, parked activations)
+  refreshed on demand from the moderator's own snapshots;
+* the exporters (:func:`~repro.obs.export.to_prometheus`,
+  :func:`~repro.obs.export.to_json`) bound to that registry/recorder.
+
+The plane shares the registry ``ModerationStats`` already writes to, so
+one Prometheus scrape carries both the protocol counters and the
+span-derived latency families.
+
+Disabled is the default state and costs nothing: until :meth:`enable`
+subscribes the listeners, the bus has no subscribers, so the moderator
+neither constructs events nor reads clocks (both gate on
+``has_listeners``). ``bench_obs_overhead.py`` holds this to ≤ 2% on the
+Figure-3 fast path.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from . import export
+from .metrics import DEFAULT_LATENCY_BUCKETS, MetricsRegistry
+from .spans import SpanRecorder
+
+__all__ = ["MetricsListener", "ObservabilityPlane"]
+
+#: park/stall buckets: 1 ms to 60 s — parked activations live on a
+#: coarser scale than aspect phases
+PARK_BUCKETS: Tuple[float, ...] = (
+    1e-3, 5e-3, 10e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class MetricsListener:
+    """EventBus listener that feeds the striped metrics registry.
+
+    Handle objects are cached per label tuple, so steady-state handling
+    of one event is a couple of dict probes plus one striped write — no
+    per-event family lookups or handle construction.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+        self._events = registry.counter(
+            "repro_protocol_events_total",
+            help="Protocol events by kind",
+            labelnames=("method", "kind"),
+        )
+        self._phase_seconds = registry.histogram(
+            "repro_phase_seconds",
+            help="Aspect phase latency by (method, concern, phase)",
+            labelnames=("method", "concern", "phase"),
+            buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._outcomes = registry.counter(
+            "repro_precondition_outcomes_total",
+            help="Precondition votes by (method, concern, outcome)",
+            labelnames=("method", "concern", "outcome"),
+        )
+        self._park_seconds = registry.histogram(
+            "repro_park_seconds",
+            help="Seconds an activation spent parked before waking",
+            labelnames=("method",),
+            buckets=PARK_BUCKETS,
+        )
+        self._faults = registry.counter(
+            "repro_aspect_faults_total",
+            help="Aspect contract violations by (method, concern, phase)",
+            labelnames=("method", "concern", "phase"),
+        )
+        self._quarantines = registry.counter(
+            "repro_quarantines_total",
+            help="Cells quarantined by (method, concern, policy)",
+            labelnames=("method", "concern", "policy"),
+        )
+        self._stall_seconds = registry.histogram(
+            "repro_watchdog_stall_seconds",
+            help="Parked ages reported stalled by the watchdog",
+            labelnames=("method",),
+            buckets=PARK_BUCKETS,
+        )
+        self._listener_cache: Dict[Tuple[str, ...], Any] = {}
+
+    def _cached(self, family: Any, *labels: str) -> Any:
+        key = (id(family),) + labels
+        handle = self._listener_cache.get(key)
+        if handle is None:
+            handle = self._listener_cache[key] = family.labels(*labels)
+        return handle
+
+    def __call__(self, event: Any) -> None:
+        kind = event.kind
+        method = event.method_id
+        self._cached(self._events, method, kind).inc()
+        if kind == "precondition":
+            self._cached(
+                self._phase_seconds, method, event.concern, "precondition"
+            ).observe(event.duration)
+            self._cached(
+                self._outcomes, method, event.concern, event.detail
+            ).inc()
+        elif kind == "postaction":
+            self._cached(
+                self._phase_seconds, method, event.concern, "postaction"
+            ).observe(event.duration)
+        elif kind == "unblocked":
+            self._cached(self._park_seconds, method).observe(
+                event.duration
+            )
+        elif kind == "aspect_fault":
+            phase = event.detail.split(":", 1)[0]
+            self._cached(
+                self._faults, method, event.concern, phase
+            ).inc()
+        elif kind == "quarantine":
+            self._cached(
+                self._quarantines, method, event.concern, event.detail
+            ).inc()
+        elif kind == "watchdog_stall":
+            self._cached(self._stall_seconds, method).observe(
+                event.duration
+            )
+
+
+class ObservabilityPlane:
+    """Spans + metrics + exporters around one moderator.
+
+    Usage::
+
+        plane = ObservabilityPlane(moderator, node="node-a")
+        with plane:                      # or plane.enable() / disable()
+            run_workload()
+        print(plane.prometheus())
+        print(plane.flame("push"))
+
+    ``registry`` defaults to the moderator's own stats registry, so the
+    protocol counters (``repro_moderation_*``) export alongside the
+    span-derived families.
+    """
+
+    def __init__(self, moderator: Any, node: str = "local",
+                 registry: Optional[MetricsRegistry] = None,
+                 max_finished: int = 4096) -> None:
+        self.moderator = moderator
+        self.registry = (
+            registry if registry is not None
+            else moderator.stats.registry
+        )
+        self.recorder = SpanRecorder(node=node, max_finished=max_finished)
+        self.metrics = MetricsListener(self.registry)
+        self._queue_gauge = self.registry.gauge(
+            "repro_wait_queue_depth",
+            help="Threads parked per method queue (sampled)",
+            labelnames=("method",),
+        )
+        self._parked_gauge = self.registry.gauge(
+            "repro_parked_activations",
+            help="Activations currently parked on the moderator (sampled)",
+        ).labels()
+        self._gauge_lock = threading.Lock()
+        self._last_depths: Dict[str, int] = {}
+        self._last_parked = 0
+        self._unsubscribes: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return bool(self._unsubscribes)
+
+    def enable(self) -> "ObservabilityPlane":
+        """Subscribe the recorder and metrics listener to the bus."""
+        if not self._unsubscribes:
+            bus = self.moderator.events
+            self._unsubscribes = [
+                bus.subscribe(self.metrics),
+                bus.subscribe(self.recorder),
+            ]
+        return self
+
+    def disable(self) -> None:
+        """Unsubscribe everything; the bus returns to zero-cost emits."""
+        unsubscribes, self._unsubscribes = self._unsubscribes, []
+        for unsubscribe in unsubscribes:
+            unsubscribe()
+
+    def __enter__(self) -> "ObservabilityPlane":
+        return self.enable()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.disable()
+
+    # ------------------------------------------------------------------
+    # sampled gauges
+    # ------------------------------------------------------------------
+    def refresh_gauges(self) -> None:
+        """Sample queue depths / parked count into the gauges.
+
+        Gauges are striped delta-sums, so sampling applies the diff
+        against the previous sample (serialized by a plane-local lock —
+        refreshes are scrape-rate, not hot-path).
+        """
+        depths = self.moderator.queue_lengths()
+        parked = len(self.moderator.parked_snapshot())
+        with self._gauge_lock:
+            for method in set(self._last_depths) | set(depths):
+                delta = depths.get(method, 0) - \
+                    self._last_depths.get(method, 0)
+                if delta:
+                    self._queue_gauge.labels(method).inc(delta)
+            self._last_depths = dict(depths)
+            if parked != self._last_parked:
+                self._parked_gauge.inc(parked - self._last_parked)
+                self._last_parked = parked
+
+    # ------------------------------------------------------------------
+    # export / rendering
+    # ------------------------------------------------------------------
+    def prometheus(self) -> str:
+        """Prometheus text exposition of the shared registry."""
+        self.refresh_gauges()
+        return export.to_prometheus(self.registry)
+
+    def json(self, indent: int = 2) -> str:
+        """JSON snapshot: metrics + completed spans + wake edges."""
+        self.refresh_gauges()
+        return export.to_json(self.registry, self.recorder, indent=indent)
+
+    def snapshot(self) -> Dict[str, Any]:
+        self.refresh_gauges()
+        return export.snapshot_dict(self.registry, self.recorder)
+
+    def flame(self, method_id: str) -> str:
+        """Per-method flame-style span breakdown (CLI's obs view)."""
+        return self.recorder.flame(method_id)
+
+    def summary(self) -> Dict[str, Any]:
+        """Compact live-summary numbers for the CLI table."""
+        stats = self.moderator.stats.as_dict()
+        roots = self.recorder.finished
+        per_method: Dict[str, Dict[str, Any]] = {}
+        for root in roots:
+            entry = per_method.setdefault(root.method_id, {
+                "activations": 0, "total_seconds": 0.0,
+                "aborted": 0, "faults": 0,
+            })
+            entry["activations"] += 1
+            entry["total_seconds"] += root.duration
+            if root.status == "aborted":
+                entry["aborted"] += 1
+            elif root.status in ("fault", "timeout"):
+                entry["faults"] += 1
+        return {
+            "node": self.recorder.node,
+            "stats": stats,
+            "methods": per_method,
+            "active": len(self.recorder.active()),
+            "wake_edges": len(self.recorder.wake_edges),
+            "listener_errors": self.moderator.events.listener_errors,
+        }

@@ -40,6 +40,21 @@ class TestCli:
         assert "CACHE-PRE" in completed.stdout
         assert "OBS-LATE" in completed.stdout
 
+    def test_obs_command_prints_plane_summary(self):
+        completed = run_cli("obs")
+        assert completed.returncode == 0, completed.stderr
+        assert "observability plane summary" in completed.stdout
+        # summary table covers both workload methods
+        assert "open" in completed.stdout
+        assert "assign" in completed.stdout
+        # a flame breakdown and a span tree were rendered
+        assert "activation(s)" in completed.stdout
+        assert "pre_activation" in completed.stdout
+        assert "notify" in completed.stdout
+        # Prometheus excerpt includes migrated moderation counters
+        assert "repro_moderation_preactivations" in completed.stdout
+        assert "listener errors: 0" in completed.stdout
+
     def test_unknown_command_rejected(self):
         completed = run_cli("bogus")
         assert completed.returncode != 0

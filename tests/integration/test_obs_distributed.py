@@ -1,0 +1,166 @@
+"""Integration tests: cross-node trace propagation and stitching.
+
+A trace opened on the client rides the RPC wire (``trace`` payload
+field), is re-activated around the servant call on the server node, and
+roots the server-side activation spans — so recorders on two nodes plus
+the client context stitch into ONE trace.
+"""
+
+import time
+
+import pytest
+
+from repro.apps import RemoteTicketFacade, build_ticketing_cluster
+from repro.core.events import EventBus
+from repro.dist import Client, NameService, Network, Node
+from repro.dist.failure_detector import HeartbeatDetector, HeartbeatEmitter
+from repro.obs import (
+    ObservabilityPlane,
+    SpanRecorder,
+    propagation,
+    stitch_traces,
+)
+
+
+@pytest.fixture
+def world():
+    network = Network(latency=0.001)
+    names = NameService()
+    created = {"nodes": [], "clients": [], "unsubscribe": []}
+
+    def make_node(node_id):
+        node = Node(node_id, network, workers=2).start()
+        cluster = build_ticketing_cluster(capacity=32)
+        node.export("tickets", RemoteTicketFacade(cluster.proxy))
+        recorder = SpanRecorder(node=node_id)
+        created["unsubscribe"].append(
+            cluster.moderator.events.subscribe(recorder)
+        )
+        created["nodes"].append(node)
+        return node, cluster, recorder
+
+    def make_client(client_id):
+        client = Client(client_id, network, names, default_timeout=2.0)
+        created["clients"].append(client)
+        return client
+
+    yield network, names, make_node, make_client
+    for unsubscribe in created["unsubscribe"]:
+        unsubscribe()
+    for client in created["clients"]:
+        client.close()
+    for node in created["nodes"]:
+        node.stop()
+    network.close()
+
+
+class TestCrossNodePropagation:
+    def test_server_spans_root_under_client_trace(self, world):
+        network, names, make_node, make_client = world
+        _node, _cluster, recorder = make_node("server")
+        names.bind("tickets", "server", "tickets")
+        client = make_client("helpdesk")
+        stub = client.proxy("tickets")
+
+        with propagation.start_trace() as context:
+            stub.open("remote issue", reporter="ops")
+            stub.assign("alice")
+
+        finished = recorder.finished
+        assert {root.method_id for root in finished} == {"open", "assign"}
+        for root in finished:
+            assert root.trace_id == context.trace_id
+            assert root.parent_id == context.span_id
+            assert root.node == "server"
+
+    def test_without_trace_each_activation_stands_alone(self, world):
+        network, names, make_node, make_client = world
+        _node, _cluster, recorder = make_node("server")
+        names.bind("tickets", "server", "tickets")
+        client = make_client("helpdesk")
+        client.call_name("tickets", "open", "untraced")
+
+        [root] = recorder.finished
+        assert root.parent_id is None
+
+    def test_two_nodes_stitch_into_one_trace(self, world):
+        network, names, make_node, make_client = world
+        _na, _ca, recorder_a = make_node("node-a")
+        _nb, _cb, recorder_b = make_node("node-b")
+        names.bind("tickets-a", "node-a", "tickets")
+        names.bind("tickets-b", "node-b", "tickets")
+        client = make_client("helpdesk")
+
+        with propagation.start_trace() as context:
+            client.call_name("tickets-a", "open", "issue on a")
+            client.call_name("tickets-b", "open", "issue on b")
+
+        traces = stitch_traces(recorder_a.export(), recorder_b.export())
+        assert set(traces) == {context.trace_id}
+        roots = traces[context.trace_id]
+        assert len(roots) == 2
+        assert {root["node"] for root in roots} == {"node-a", "node-b"}
+        # both hang off the same client span: parent/child links cross
+        # the RPC boundary even though the parent lives client-side
+        assert all(
+            root["parent_id"] == context.span_id for root in roots
+        )
+        # wall-clock anchors make the two nodes' spans comparable:
+        # the call to node-a started before the call to node-b
+        ordered = sorted(roots, key=lambda root: root["start"])
+        assert [root["node"] for root in ordered] == ["node-a", "node-b"]
+
+    def test_plane_summary_over_remote_traffic(self, world):
+        network, names, make_node, make_client = world
+        node, cluster, _recorder = make_node("server")
+        names.bind("tickets", "server", "tickets")
+        client = make_client("helpdesk")
+
+        plane = ObservabilityPlane(cluster.moderator, node="server")
+        with plane:
+            for index in range(3):
+                client.call_name("tickets", "open", f"issue-{index}")
+        summary = plane.summary()
+        assert summary["methods"]["open"]["activations"] == 3
+        assert "repro_moderation_preactivations 3" in plane.prometheus()
+
+
+class TestDetectorOnThePlane:
+    def test_node_state_transitions_reach_the_bus(self):
+        """The failure detector reports through the same event plane:
+        state transitions surface as ``node_state`` events, which a
+        SpanRecorder keeps as orphans (no activation to attach to)."""
+        network = Network(latency=0.0)
+        bus = EventBus()
+        recorder = SpanRecorder(node="monitor")
+        bus.subscribe(recorder)
+        detector = HeartbeatDetector(
+            network, "monitor", suspect_after=0.05, dead_after=0.15,
+            events=bus,
+        )
+        emitter = HeartbeatEmitter(
+            network, "worker", "monitor", interval=0.01,
+        ).start()
+        try:
+            assert detector.wait_for_state("worker", "alive", timeout=2.0)
+            emitter.stop()
+            assert detector.wait_for_state("worker", "dead", timeout=2.0)
+        finally:
+            emitter.stop()
+            detector.close()
+            network.close()
+        kinds = [event.kind for event in recorder.orphans]
+        assert kinds.count("node_state") >= 2
+        transitions = [
+            event.detail for event in recorder.orphans
+            if event.kind == "node_state"
+        ]
+        assert any(text.endswith("-> alive") for text in transitions)
+        assert any(text.endswith("-> dead") for text in transitions)
+        # the silence duration rides the event's duration field
+        dead_events = [
+            event for event in recorder.orphans
+            if event.kind == "node_state"
+            and event.detail.endswith("-> dead")
+        ]
+        assert dead_events[0].duration >= 0.15

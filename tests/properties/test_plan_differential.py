@@ -40,6 +40,7 @@ from repro.core.aspect import FunctionAspect
 from repro.aspects.audit import AuditAspect
 from repro.aspects.synchronization import MutexAspect, SemaphoreAspect
 from repro.faults import FaultInjector
+from repro.obs.spans import SpanRecorder
 
 from tests.properties.test_fault_chaos import (
     CALLS,
@@ -103,13 +104,24 @@ def _normalize_events(events):
     return normalized
 
 
+def _span_shape(span):
+    """Timestamp- and id-free structure of one span (sub)tree."""
+    annotations = tuple(text for _ts, text in span.annotations)
+    return (
+        span.name, span.concern, span.status, annotations,
+        tuple(_span_shape(child) for child in span.children),
+    )
+
+
 def _observe(compile_plans, plan):
     """One sequential run; everything an observer could compare."""
     moderator, aspects, sink, proxy = _build(compile_plans)
     injector = FaultInjector(plan)
     injector.install(moderator)
     tracer = Tracer()
+    recorder = SpanRecorder()
     unsubscribe = moderator.events.subscribe(tracer)
+    unsubscribe_spans = moderator.events.subscribe(recorder)
 
     outcomes = []
     for index in range(THREADS):
@@ -124,6 +136,7 @@ def _observe(compile_plans, plan):
                     ("fault", value, _fault_signature(fault))
                 )
     unsubscribe()
+    unsubscribe_spans()
 
     stats = moderator.stats.as_dict()
     compiles = stats.pop("plan_compiles")
@@ -135,6 +148,16 @@ def _observe(compile_plans, plan):
     return {
         "outcomes": outcomes,
         "events": _normalize_events(tracer.events),
+        # span recording on: the tree *shapes* (names, concerns,
+        # statuses, annotations — no timestamps or ids) must match too
+        "span_shapes": [
+            (root.method_id,) + _span_shape(root)
+            for root in recorder.all_roots()
+        ],
+        "span_orphans": [
+            (event.kind, event.concern, event.detail)
+            for event in recorder.orphans
+        ],
         "stats": stats,
         "accepted": list(sink.accepted),
         "fired": injector.fired_summary(),

@@ -1,5 +1,8 @@
 """Unit tests for the protocol event bus and tracer."""
 
+import threading
+import time
+
 from repro.core.events import EventBus, TraceEvent, Tracer
 
 
@@ -37,6 +40,106 @@ class TestEventBus:
         bus.subscribe(second.append)
         bus.emit("x")
         assert len(first) == len(second) == 1
+
+    def test_listener_list_is_a_cow_tuple(self):
+        """emit reads the listener tuple with one attribute load — no
+        lock, no per-emit copy. Subscription replaces the tuple."""
+        bus = EventBus()
+        before = bus._listeners
+        bus.subscribe(lambda event: None)
+        after = bus._listeners
+        assert isinstance(after, tuple)
+        assert after is not before
+        bus.emit("x")
+        assert bus._listeners is after  # emit never rebuilds it
+
+    def test_raising_listener_is_isolated(self):
+        bus = EventBus()
+        received = []
+
+        def explode(event):
+            raise RuntimeError("observer bug")
+
+        bus.subscribe(explode)
+        bus.subscribe(received.append)
+        bus.emit("invoke", "open")  # must not raise
+        bus.emit("notify", "open")
+        # later listeners still ran, and every swallow was counted
+        assert [event.kind for event in received] == ["invoke", "notify"]
+        assert bus.listener_errors == 2
+
+    def test_unsubscribe_removes_first_occurrence_only(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe(received.append)
+        unsubscribe = bus.subscribe(received.append)
+        bus.emit("a")
+        unsubscribe()
+        bus.emit("b")
+        assert [event.kind for event in received] == ["a", "a", "b"]
+
+    def test_subscribe_during_emit_does_not_disrupt_fanout(self):
+        """A listener subscribing mid-emit sees the next event, not the
+        one in flight — the emit loop iterates its own snapshot."""
+        bus = EventBus()
+        late = []
+
+        def subscriber(event):
+            if not late:
+                bus.subscribe(late.append)
+
+        bus.subscribe(subscriber)
+        bus.emit("first")
+        assert late == []
+        bus.emit("second")
+        assert [event.kind for event in late] == ["second"]
+
+    def test_emit_under_concurrent_churn_never_fails(self):
+        bus = EventBus()
+        counts = [0]
+        stop = threading.Event()
+
+        def churn():
+            while not stop.is_set():
+                unsubscribe = bus.subscribe(lambda event: None)
+                unsubscribe()
+
+        def emitter():
+            for _ in range(2000):
+                bus.emit("x")
+                counts[0] += 1
+
+        churners = [threading.Thread(target=churn) for _ in range(2)]
+        for thread in churners:
+            thread.start()
+        emit_thread = threading.Thread(target=emitter)
+        emit_thread.start()
+        emit_thread.join()
+        stop.set()
+        for thread in churners:
+            thread.join()
+        assert counts[0] == 2000
+        assert bus.listener_errors == 0
+
+    def test_duration_rides_the_event(self):
+        bus = EventBus()
+        received = []
+        bus.subscribe(received.append)
+        bus.emit("precondition", "open", duration=0.25)
+        assert received[0].duration == 0.25
+
+    def test_wall_anchor_translation(self):
+        bus = EventBus()
+        wall, mono = bus.anchor
+        now = time.monotonic()
+        translated = bus.to_wall(now)
+        assert abs(translated - time.time()) < 1.0
+        assert translated == now - mono + wall
+
+    def test_tracer_has_matching_anchor(self):
+        tracer = Tracer()
+        wall, mono = tracer.anchor
+        assert tracer.to_wall(mono) == wall
 
 
 class TestTraceEvent:
