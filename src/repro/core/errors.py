@@ -128,6 +128,58 @@ class NetworkError(FrameworkError):
     """Base error for the simulated distributed runtime."""
 
 
+class DeadlineExceeded(NetworkError, TimeoutError):
+    """The request's end-to-end deadline elapsed.
+
+    Distinct from :class:`~repro.dist.rpc.RequestTimeout` (one attempt's
+    reply did not arrive): the *logical call's* budget is spent, so no
+    further attempt may be made — retry loops must re-raise instead of
+    retrying. Servers raise it to reject already-expired requests
+    without doing dead work; clients raise it when the budget runs out
+    while waiting or between retries.
+    """
+
+
+class CircuitOpen(NetworkError):
+    """A client-side circuit breaker is rejecting calls to a destination.
+
+    Raised *before* any message is sent: the destination has timed out
+    too many consecutive times, so the call fails fast instead of
+    burning its full timeout against a node that is almost certainly
+    down. The breaker half-opens after its reset timeout and probes.
+    """
+
+    def __init__(self, node_id: str) -> None:
+        self.node_id = node_id
+        super().__init__(f"circuit open for node {node_id!r}")
+
+
+class Overloaded(NetworkError):
+    """A node shed the request at admission (bounded inbox full).
+
+    Carries an optional ``retry_after`` hint, in seconds — the shedding
+    node's suggestion of how long to back off before retrying. Retry
+    loops honour it as a floor under their own backoff delay.
+    """
+
+    def __init__(self, detail: str = "",
+                 retry_after: "float | None" = None) -> None:
+        self.retry_after = retry_after
+        message = detail or "node overloaded"
+        if retry_after is not None:
+            message += f" (retry after {retry_after:.3f}s)"
+        super().__init__(message)
+
+
+class ClientClosed(NetworkError):
+    """The RPC client was closed while (or before) a call was in flight.
+
+    Callers blocked in ``call_node`` wake promptly with this error
+    instead of burning their full timeout against a client that will
+    never route them a reply.
+    """
+
+
 class NodeUnreachable(NetworkError):
     """Raised when a message cannot be delivered (partition or dead node)."""
 

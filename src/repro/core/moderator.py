@@ -542,6 +542,7 @@ class AspectModerator:
         joinpoint: Optional[JoinPoint] = None,
         timeout: Optional[float] = None,
         plan: Optional[ActivationPlan] = None,
+        deadline: Any = None,
     ) -> AspectResult:
         """Evaluate the pre-activation phase for one activation.
 
@@ -563,16 +564,28 @@ class AspectModerator:
         the cache probe; without it — and with :attr:`compile_plans`
         on — the current plan is fetched here. With ``compile_plans``
         off the paper's per-call interpreter runs instead.
+
+        ``deadline`` is an optional end-to-end budget: an absolute
+        monotonic time, or any object exposing ``expires_at`` (e.g.
+        :class:`repro.dist.resilience.Deadline`). When it is nearer
+        than the timeout-derived bound, BLOCK parks stop at the budget
+        instead — a remote caller that has already given up never keeps
+        an activation parked here.
         """
         joinpoint = joinpoint or JoinPoint(method_id=method_id)
         joinpoint.phase = Phase.PRE_ACTIVATION
         effective_timeout = (
             timeout if timeout is not None else self.default_timeout
         )
-        deadline = (
+        expires_at = (
             time.monotonic() + effective_timeout
             if effective_timeout is not None else None
         )
+        budget = getattr(deadline, "expires_at", deadline)
+        if budget is not None and (expires_at is None or budget < expires_at):
+            expires_at = budget
+            effective_timeout = max(0.0, budget - time.monotonic())
+        deadline = expires_at
         self.events.emit("preactivation", method_id,
                          activation_id=joinpoint.activation_id)
         self.stats.bump("preactivations")

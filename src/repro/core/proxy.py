@@ -180,11 +180,19 @@ class ComponentProxy:
         return guarded
 
     def call(self, method_id: str, *args: Any, caller: Any = None,
-             timeout: Optional[float] = None, **kwargs: Any) -> Any:
+             timeout: Optional[float] = None, deadline: Any = None,
+             **kwargs: Any) -> Any:
         """Invoke a participating method with per-call caller/timeout.
 
         Used by authentication-aware clients that must attach a principal
         to individual calls rather than to the proxy.
+
+        ``deadline`` is an optional end-to-end budget — an absolute
+        monotonic time, or any object with an ``expires_at`` attribute
+        (e.g. :class:`repro.dist.resilience.Deadline`). It caps BLOCK
+        parks at the remaining budget on top of (never instead of) the
+        local ``timeout``, so a remote caller's budget bounds how long
+        this activation may stay parked.
         """
         target = getattr(self._component, method_id)
         if not self.is_participating(method_id):
@@ -201,7 +209,8 @@ class ComponentProxy:
             if self._moderator.compile_plans else None
         )
         result = self._moderator.preactivation(
-            method_id, joinpoint, timeout=effective_timeout, plan=plan
+            method_id, joinpoint, timeout=effective_timeout, plan=plan,
+            deadline=deadline,
         )
         if result is not AspectResult.RESUME:
             raise MethodAborted(

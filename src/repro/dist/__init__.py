@@ -19,6 +19,15 @@ from .naming import Binding, NameService
 from .network import Network
 from .node import Node
 from .replication import FailoverMonitor, ReplicatedServant
+from .resilience import (
+    Deadline,
+    DestinationBreakers,
+    IdempotencyCache,
+    RequestContext,
+    ShedInbox,
+    current_request,
+    serving,
+)
 from .rpc import Client, RemoteError, RemoteProxy, RequestTimeout
 
 __all__ = [
@@ -41,10 +50,17 @@ __all__ = [
     "RemoteError",
     "RemoteProxy",
     "ReplicatedServant",
+    "RequestContext",
     "RequestTimeout",
     "RoundRobin",
+    "Deadline",
+    "DestinationBreakers",
+    "IdempotencyCache",
+    "ShedInbox",
     "WeightedChoice",
     "WireFormatError",
+    "current_request",
     "detector_failover",
     "check_wire_safe",
+    "serving",
 ]

@@ -77,7 +77,10 @@ class Message:
 def request(source: str, dest: str, service: str, method: str,
             args: Tuple[Any, ...] = (), kwargs: Optional[Dict[str, Any]] = None,
             caller: Optional[str] = None,
-            trace: Optional[Dict[str, Any]] = None) -> Message:
+            trace: Optional[Dict[str, Any]] = None,
+            deadline_budget: Optional[float] = None,
+            idempotency_key: Optional[str] = None,
+            attempt: int = 1) -> Message:
     """Build an RPC request message.
 
     ``trace`` is an optional wire-form trace context
@@ -85,6 +88,14 @@ def request(source: str, dest: str, service: str, method: str,
     so it rides the payload through the same wire-safety check as
     everything else and lets the receiving node stitch its activation
     spans under the caller's trace.
+
+    The resilience envelope (``docs/resilience.md``) is three more
+    optional plain-data fields: ``deadline_budget`` is the remaining
+    end-to-end budget in seconds at send time (absolute deadlines don't
+    travel — monotonic clocks differ per host); ``idempotency_key``
+    names the *logical* call so a server-side dedup cache can replay
+    the original reply to a retry instead of re-executing; ``attempt``
+    is the 1-based attempt number, carried for diagnostics.
     """
     payload: Dict[str, Any] = {
         "service": service,
@@ -95,6 +106,12 @@ def request(source: str, dest: str, service: str, method: str,
     }
     if trace is not None:
         payload["trace"] = trace
+    if deadline_budget is not None:
+        payload["deadline_budget"] = float(deadline_budget)
+    if idempotency_key is not None:
+        payload["idempotency_key"] = idempotency_key
+    if attempt != 1:
+        payload["attempt"] = attempt
     return Message(source=source, dest=dest, kind="request",
                    payload=payload)
 
@@ -107,13 +124,21 @@ def reply(to: Message, result: Any) -> Message:
     )
 
 
-def error_reply(to: Message, exc: BaseException) -> Message:
-    """Build an error reply carrying the exception type and text."""
+def error_reply(to: Message, exc: BaseException,
+                extra: Optional[Dict[str, Any]] = None) -> Message:
+    """Build an error reply carrying the exception type and text.
+
+    ``extra`` merges additional wire-safe fields into the payload —
+    e.g. the ``retry_after`` hint on an ``Overloaded`` rejection.
+    """
+    payload: Dict[str, Any] = {
+        "error_type": type(exc).__name__,
+        "error": str(exc),
+    }
+    if extra:
+        payload.update(extra)
     return Message(
         source=to.dest, dest=to.source, kind="error",
-        payload={
-            "error_type": type(exc).__name__,
-            "error": str(exc),
-        },
+        payload=payload,
         reply_to=to.msg_id,
     )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.core.errors import NameNotFound
 
@@ -31,6 +31,7 @@ class NameService:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        self._changed = threading.Condition(self._lock)
         self._bindings: Dict[str, Binding] = {}
         self._watchers: Dict[str, List[Callable[[Binding], None]]] = {}
 
@@ -42,6 +43,7 @@ class NameService:
             binding = Binding(name=name, node_id=node_id,
                               service=service, version=1)
             self._bindings[name] = binding
+            self._changed.notify_all()
         self._notify(binding)
         return binding
 
@@ -54,6 +56,7 @@ class NameService:
                 version=(current.version + 1) if current else 1,
             )
             self._bindings[name] = binding
+            self._changed.notify_all()
         self._notify(binding)
         return binding
 
@@ -69,6 +72,25 @@ class NameService:
         if binding is None:
             raise NameNotFound(name)
         return binding
+
+    def wait_for(self, name: str, version: int = 1,
+                 timeout: Optional[float] = None) -> Optional[Binding]:
+        """Block until ``name`` is bound at ``version`` or newer.
+
+        Returns the satisfying binding, or ``None`` on timeout. Lets a
+        caller await a failover rebind (version bump) without polling
+        ``resolve`` in a sleep loop.
+        """
+        def satisfied() -> Optional[Binding]:
+            binding = self._bindings.get(name)
+            if binding is not None and binding.version >= version:
+                return binding
+            return None
+
+        with self._changed:
+            if self._changed.wait_for(satisfied, timeout):
+                return satisfied()
+            return None
 
     def names(self) -> List[str]:
         with self._lock:

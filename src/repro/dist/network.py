@@ -72,12 +72,22 @@ class Network:
     # ------------------------------------------------------------------
     # endpoints
     # ------------------------------------------------------------------
-    def register(self, endpoint: str) -> "WaitQueue[Message]":
-        """Attach an endpoint; returns its inbox queue."""
+    def register(self, endpoint: str,
+                 inbox: "Optional[WaitQueue[Message]]" = None,
+                 ) -> "WaitQueue[Message]":
+        """Attach an endpoint; returns its inbox queue.
+
+        ``inbox`` lets the endpoint supply its own queue — e.g. a
+        bounded :class:`~repro.dist.resilience.ShedInbox` for admission
+        control. The dispatcher only calls ``put`` (outside its own
+        lock), so any ``WaitQueue`` subclass whose ``put`` does not
+        block works here.
+        """
         with self._lock:
             if endpoint in self._inboxes:
                 raise ValueError(f"endpoint {endpoint!r} already registered")
-            inbox: "WaitQueue[Message]" = WaitQueue()
+            if inbox is None:
+                inbox = WaitQueue()
             self._inboxes[endpoint] = inbox
             return inbox
 

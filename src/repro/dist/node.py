@@ -6,36 +6,115 @@ remote invocation flows through the full moderation stack), and a pool
 of server threads draining the inbox. Requests carry a ``caller``
 principal which the node attaches to the servant call — this is how the
 authentication aspect sees remote identities.
+
+Resilience (``docs/resilience.md``): a node rejects already-expired
+requests with :class:`~repro.core.errors.DeadlineExceeded` before doing
+any work, dedups retried logical calls through a bounded
+:class:`~repro.dist.resilience.IdempotencyCache` (replays return the
+original reply instead of re-executing — at-most-once *effects*), caps
+moderator BLOCK parks at the request's remaining budget, and may bound
+its inbox with a load-shedding :class:`~repro.dist.resilience.ShedInbox`
+so overload degrades into typed ``Overloaded`` rejections instead of
+unbounded queues.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 from repro.concurrency.primitives import WaitQueue
-from repro.core.errors import MethodAborted
+from repro.core.errors import (
+    ActivationTimeout,
+    DeadlineExceeded,
+    MethodAborted,
+    Overloaded,
+)
 from repro.core.proxy import ComponentProxy
 from repro.obs import propagation
+from repro.obs.metrics import MetricsRegistry
 from .message import Message, error_reply, reply
 from .network import Network
+from .resilience import (
+    Deadline,
+    DedupEntry,
+    IdempotencyCache,
+    RequestContext,
+    ShedInbox,
+    serving,
+)
+
+#: counters every node keeps (prefix ``repro_node_``)
+_NODE_COUNTERS = (
+    "requests_served", "requests_failed", "shed", "dedup_hits",
+    "deadline_expired",
+)
+
+#: how long a duplicate of a still-executing call waits for the original
+#: to finish when the request carries no deadline of its own
+_DEFAULT_DUP_WAIT = 5.0
 
 
 class Node:
-    """One host on the simulated network."""
+    """One host on the simulated network.
+
+    ``inbox_limit`` arms admission control: at most that many requests
+    queue; excess is shed per ``shed_policy`` (``"reject"`` answers
+    ``Overloaded`` carrying the ``retry_after`` hint; ``"drop_oldest"``
+    evicts the stalest queued request in favour of the arrival).
+    ``dedup_capacity`` bounds the idempotency cache; ``registry``
+    supplies the metrics registry the node reports through.
+    """
 
     def __init__(self, node_id: str, network: Network,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 inbox_limit: Optional[int] = None,
+                 shed_policy: str = "reject",
+                 retry_after: float = 0.05,
+                 dedup_capacity: int = 1024,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.node_id = node_id
         self.network = network
-        self.inbox = network.register(node_id)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = self.registry.counter_block(
+            _NODE_COUNTERS, prefix="repro_node_"
+        )
+        # bound single-counter increment: the unarmed fast path's only
+        # accounting cost, so spare it the attribute chain per call
+        self._inc = self._counters.inc
+        self.retry_after = retry_after
+        inbox: Optional[ShedInbox] = None
+        if inbox_limit is not None:
+            inbox = ShedInbox(inbox_limit, policy=shed_policy,
+                              on_shed=self._on_shed)
+        self.inbox = network.register(node_id, inbox=inbox)
+        self.dedup = IdempotencyCache(dedup_capacity)
         self._servants: Dict[str, Any] = {}
         self._lock = threading.Lock()
         self._threads: List[threading.Thread] = []
         self._running = False
-        self.requests_served = 0
-        self.requests_failed = 0
         self._workers = workers
+
+    # -- legacy counter facade (exact under the striped registry) ------
+    @property
+    def requests_served(self) -> int:
+        return int(self._counters.value("requests_served"))
+
+    @property
+    def requests_failed(self) -> int:
+        return int(self._counters.value("requests_failed"))
+
+    @property
+    def requests_shed(self) -> int:
+        return int(self._counters.value("shed"))
+
+    @property
+    def dedup_hits(self) -> int:
+        return int(self._counters.value("dedup_hits"))
+
+    def metrics(self) -> Dict[str, int]:
+        """Consistent snapshot of the node's resilience counters."""
+        return self._counters.as_dict()
 
     # ------------------------------------------------------------------
     # servants
@@ -61,6 +140,30 @@ class Node:
     def load(self) -> int:
         """Queued requests — the least-loaded balancer's signal."""
         return len(self.inbox)
+
+    # ------------------------------------------------------------------
+    # admission control
+    # ------------------------------------------------------------------
+    def _on_shed(self, message: Message, action: str) -> None:
+        """A request was shed at admission; tell its caller.
+
+        Runs on the network dispatcher thread, outside the inbox lock.
+        Both policies answer the shed request's caller with
+        ``Overloaded`` so it wakes promptly and backs off, instead of
+        burning its full timeout (under ``drop_oldest`` the *evicted*
+        request is the one answered; the arrival was enqueued).
+        """
+        self._counters.bump("shed")
+        response = error_reply(
+            message,
+            Overloaded(f"node {self.node_id} shed request "
+                       f"({action})", retry_after=self.retry_after),
+            extra={"retry_after": self.retry_after},
+        )
+        try:
+            self.network.send(response)
+        except Exception:  # noqa: BLE001 - reply to a vanished client
+            pass
 
     # ------------------------------------------------------------------
     # serving
@@ -94,6 +197,112 @@ class Node:
 
     def _handle_request(self, message: Message) -> None:
         payload = message.payload
+        budget = payload.get("deadline_budget")
+        key = payload.get("idempotency_key")
+
+        if key is None and budget is None:
+            # Unarmed request: no dedup claim, no deadline check, no
+            # per-thread envelope — the legacy-shaped serving sequence,
+            # inline so the fast path pays no extra call frames.
+            service = payload.get("service", "")
+            method = payload.get("method", "")
+            args = tuple(payload.get("args", ()))
+            kwargs = dict(payload.get("kwargs", {}))
+            caller = payload.get("caller")
+            context = propagation.from_wire(payload.get("trace"))
+            with self._lock:
+                servant = self._servants.get(service)
+            try:
+                if servant is None:
+                    raise LookupError(
+                        f"no service {service!r} on node {self.node_id}"
+                    )
+                with propagation.activate(context):
+                    if isinstance(servant, ComponentProxy):
+                        result = servant.call(method, *args, caller=caller,
+                                              **kwargs)
+                    else:
+                        target = getattr(servant, method)
+                        if (caller is not None
+                                and self._accepts_caller(target)):
+                            kwargs.setdefault("caller", caller)
+                        result = target(*args, **kwargs)
+                response = reply(message, self._wire_result(result))
+                self._inc("requests_served")
+            except BaseException as exc:  # noqa: BLE001 - to the caller
+                self._inc("requests_failed")
+                response = error_reply(message, exc)
+            try:
+                self.network.send(response)
+            except Exception:  # noqa: BLE001 - reply to a vanished client
+                pass
+            return
+
+        service = payload.get("service", "")
+        method = payload.get("method", "")
+        deadline = (Deadline.from_wire(budget, anchor=message.sent_at)
+                    if budget is not None else None)
+
+        # Reject dead work before touching the servant: an expired
+        # request's caller has already given up, so executing it can
+        # only waste capacity (and double-apply if the caller retried).
+        if deadline is not None and deadline.expired:
+            self._counters.bump("requests_failed", "deadline_expired")
+            self._send_response(error_reply(message, DeadlineExceeded(
+                f"request {service}.{method} expired before execution"
+            )))
+            return
+
+        entry: Optional[DedupEntry] = None
+        if key is not None:
+            entry = self._claim(message, key, deadline)
+            if entry is None:
+                return  # duplicate: a cached/parked reply was sent
+
+        self._handle_armed(message, payload, service, method,
+                           deadline, key, entry)
+
+    def _handle_armed(self, message: Message, payload: Dict[str, Any],
+                      service: str, method: str,
+                      deadline: Optional[Deadline], key: Optional[str],
+                      entry: Optional[DedupEntry]) -> None:
+        """Serve a claimed request under its resilience envelope."""
+        try:
+            result = self._invoke(payload, deadline, key)
+            response = reply(message, self._wire_result(result))
+            self._counters.bump("requests_served")
+            if entry is not None:
+                # Cache the reply: a retry of this logical call replays
+                # it instead of re-executing (at-most-once effects).
+                self.dedup.finish(key, response.kind, response.payload)
+        except BaseException as exc:  # noqa: BLE001 - marshalled to caller
+            if (isinstance(exc, ActivationTimeout) and deadline is not None
+                    and deadline.expired):
+                # The park was cut short by the request's budget, not
+                # the local timeout: surface the end-to-end semantics.
+                exc = DeadlineExceeded(
+                    f"deadline elapsed while {service}.{method} was "
+                    f"blocked in moderation"
+                )
+            counted = ["requests_failed"]
+            if isinstance(exc, DeadlineExceeded):
+                counted.append("deadline_expired")
+            self._counters.bump(*counted)
+            response = error_reply(message, exc)
+            if entry is not None:
+                if self._not_applied(exc):
+                    # The attempt provably never ran the method body:
+                    # drop the slot so a retry may execute it.
+                    self.dedup.abandon(key)
+                else:
+                    # The body ran (or may have): pin this outcome.
+                    self.dedup.finish(key, response.kind, response.payload)
+        self._send_response(response)
+
+    def _invoke(self, payload: Dict[str, Any],
+                deadline: Optional[Deadline],
+                key: Optional[str]) -> Any:
+        """Execute the servant call a request payload describes."""
         service = payload.get("service", "")
         method = payload.get("method", "")
         args = tuple(payload.get("args", ()))
@@ -105,29 +314,97 @@ class Node:
         context = propagation.from_wire(payload.get("trace"))
         with self._lock:
             servant = self._servants.get(service)
-        try:
-            if servant is None:
-                raise LookupError(
-                    f"no service {service!r} on node {self.node_id}"
+        if servant is None:
+            raise LookupError(
+                f"no service {service!r} on node {self.node_id}"
+            )
+        # Ambient per-thread envelope: replication forwarders pick the
+        # key/deadline up from here so a forwarded apply shares the
+        # original logical call's identity and budget.
+        request_context = RequestContext(
+            idempotency_key=key, deadline=deadline, caller=caller
+        )
+        with propagation.activate(context), serving(request_context):
+            return self._dispatch(servant, method, args, kwargs,
+                                  caller, deadline)
+
+    def _dispatch(self, servant: Any, method: str, args: tuple,
+                  kwargs: Dict[str, Any], caller: Optional[str],
+                  deadline: Optional[Deadline]) -> Any:
+        if isinstance(servant, ComponentProxy):
+            if deadline is not None:
+                # Moderator BLOCK parks are capped at the budget.
+                return servant.call(
+                    method, *args, caller=caller,
+                    deadline=deadline, **kwargs
                 )
-            with propagation.activate(context):
-                if isinstance(servant, ComponentProxy):
-                    result = servant.call(
-                        method, *args, caller=caller, **kwargs
-                    )
-                else:
-                    target = getattr(servant, method)
-                    if caller is not None and self._accepts_caller(target):
-                        kwargs.setdefault("caller", caller)
-                    result = target(*args, **kwargs)
-            response = reply(message, self._wire_result(result))
-            self.requests_served += 1
-        except MethodAborted as exc:
-            self.requests_failed += 1
-            response = error_reply(message, exc)
-        except BaseException as exc:  # noqa: BLE001 - marshalled to caller
-            self.requests_failed += 1
-            response = error_reply(message, exc)
+            return servant.call(method, *args, caller=caller, **kwargs)
+        target = getattr(servant, method)
+        if caller is not None and self._accepts_caller(target):
+            kwargs.setdefault("caller", caller)
+        return target(*args, **kwargs)
+
+    def _claim(self, message: Message, key: str,
+               deadline: Optional[Deadline]) -> Optional[DedupEntry]:
+        """Claim ``key`` for execution, or answer the duplicate.
+
+        Returns the owned entry when this delivery should execute the
+        call; ``None`` when a reply has already been sent (cached
+        replay, parked-then-replayed, or gave up waiting).
+        """
+        while True:
+            state, entry = self.dedup.begin(key)
+            if state == "new":
+                return entry
+            self._counters.bump("dedup_hits")
+            if state == "done":
+                self._send_response(self._replay(message, entry))
+                return None
+            # The original delivery is still executing: park this
+            # duplicate until it finishes (bounded by the budget) and
+            # replay its reply — never run the body twice concurrently.
+            budget = (deadline.remaining() if deadline is not None
+                      else _DEFAULT_DUP_WAIT)
+            if budget > 0:
+                entry.wait(budget)
+            if entry.done and entry.payload is not None:
+                self._send_response(self._replay(message, entry))
+                return None
+            if not entry.done:
+                self._counters.bump("requests_failed")
+                self._send_response(error_reply(message, TimeoutError(
+                    f"duplicate of in-flight call {key!r} gave up "
+                    f"waiting for the original to finish"
+                )))
+                return None
+            # Abandoned (completed without a payload): the original
+            # attempt provably did not apply — loop and re-claim.
+
+    def _replay(self, message: Message, entry: DedupEntry) -> Message:
+        """The cached reply, re-addressed to this duplicate's caller."""
+        return Message(
+            source=self.node_id, dest=message.source,
+            kind=entry.kind or "reply", payload=dict(entry.payload or {}),
+            reply_to=message.msg_id,
+        )
+
+    @staticmethod
+    def _not_applied(exc: BaseException) -> bool:
+        """Whether a failure proves the method body never ran.
+
+        ABORTed activations, timed-out BLOCK parks, deadline
+        rejections, and missing servants all fail *before* invocation —
+        a retry may safely re-execute. Anything else may have applied
+        side effects, so the error is pinned in the dedup cache and a
+        retry replays it instead of re-running the body.
+        """
+        return isinstance(
+            exc,
+            (MethodAborted, ActivationTimeout, DeadlineExceeded,
+             LookupError),
+        )
+
+    def _send_response(self, response: Message) -> None:
         try:
             self.network.send(response)
         except Exception:  # noqa: BLE001 - reply to a vanished client

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.errors import NetworkError
+from repro.obs.metrics import MetricsRegistry
 from .naming import NameService
 from .network import Network
 from .node import Node
+from .resilience import current_request
 from .rpc import Client, RequestTimeout
 
 
@@ -30,18 +32,43 @@ class ReplicatedServant:
     applied locally first; on success the same call is forwarded to each
     backup's replica service (best effort — a dead backup is skipped and
     reported in :attr:`forward_failures`).
+
+    Retry safety (``docs/resilience.md``): a forward reuses the
+    *original* request's idempotency key and deadline, read from the
+    serving node's ambient request context. The backup's dedup cache
+    therefore recognizes a post-failover client retry as the same
+    logical call and replays the forwarded apply's reply instead of
+    applying the mutation a second time — at most one apply per
+    replica, even when the client retries across a failover. (Each
+    node owns its dedup cache, so forwarding the same key to several
+    backups never collides.)
     """
 
     def __init__(self, servant: Any, forwarder: Client,
                  replica_names: Sequence[str],
-                 mutating: Optional[Sequence[str]] = None) -> None:
+                 mutating: Optional[Sequence[str]] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self._servant = servant
         self._forwarder = forwarder
         self._replica_names = list(replica_names)
         self._mutating = set(mutating) if mutating is not None else None
-        self.forwarded = 0
-        self.forward_failures = 0
+        registry = registry if registry is not None else MetricsRegistry()
+        self._counters = registry.counter_block(
+            ("forwarded", "forward_failures"), prefix="repro_repl_"
+        )
         self._lock = threading.Lock()
+
+    # -- legacy counter facade (exact under the striped registry) ------
+    @property
+    def forwarded(self) -> int:
+        return int(self._counters.value("forwarded"))
+
+    @property
+    def forward_failures(self) -> int:
+        return int(self._counters.value("forward_failures"))
+
+    def metrics(self) -> Dict[str, int]:
+        return self._counters.as_dict()
 
     def _is_mutating(self, method: str) -> bool:
         if self._mutating is None:
@@ -56,16 +83,24 @@ class ReplicatedServant:
         def replicated(*args: Any, **kwargs: Any) -> Any:
             result = target(*args, **kwargs)
             if self._is_mutating(method):
+                request = current_request()
+                key = request.idempotency_key if request is not None else None
+                deadline = request.deadline if request is not None else None
                 for name in self._replica_names:
+                    # One counter bump per forward attempt, under a
+                    # single lock acquisition — success and failure use
+                    # the same accounting pattern, so `forwarded +
+                    # forward_failures == attempts` always holds.
                     try:
                         self._forwarder.call_name(
-                            name, method, *args, **kwargs
+                            name, method, *args,
+                            idempotency_key=key, deadline=deadline,
+                            **kwargs,
                         )
-                        with self._lock:
-                            self.forwarded += 1
                     except (RequestTimeout, NetworkError):
-                        with self._lock:
-                            self.forward_failures += 1
+                        self._counters.bump("forward_failures")
+                    else:
+                        self._counters.bump("forwarded")
             return result
 
         replicated.__name__ = method

@@ -6,19 +6,47 @@ attribute access yields remote methods, so calling a remote ticket
 server looks exactly like calling the local proxy (the paper's servant/
 client symmetry, Section 2). Names resolve through the naming service
 *per call*, giving location transparency across rebinds.
+
+Resilience (``docs/resilience.md``): a client may be armed with a
+:class:`~repro.aspects.retry.RetryPolicy` (driving a backoff/jitter
+retry loop around each *logical* call) and per-destination circuit
+breakers (:class:`~repro.dist.resilience.DestinationBreakers`). Every
+retried call carries an idempotency key so the server's dedup cache
+replays the original reply instead of re-executing — retries are safe
+even for mutating methods. Deadlines (absolute budgets) ride the wire
+as remaining seconds and bound every wait, sleep, and server-side park.
+An unarmed client (no policy, no breakers, no deadline) takes a fast
+path identical to the pre-resilience call sequence.
 """
 
 from __future__ import annotations
 
+import itertools
+import random
 import threading
-from typing import Any, Callable, Dict, Optional
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.concurrency.primitives import Future, WaitQueue
-from repro.core.errors import MethodAborted, NetworkError
+from repro.aspects.retry import RetryPolicy
+from repro.concurrency.primitives import Future, FutureError, WaitQueue
+from repro.core.errors import (
+    CircuitOpen,
+    ClientClosed,
+    DeadlineExceeded,
+    MethodAborted,
+    NetworkError,
+    Overloaded,
+)
 from repro.obs import propagation
-from .message import request
+from repro.obs.metrics import MetricsRegistry
+from .message import Message, request
 from .naming import NameService
 from .network import Network
+from .resilience import Deadline, DestinationBreakers
+
+#: jitter seed for client retry loops ("RPCC"); a fixed private seed
+#: keeps retry schedules replayable without touching global ``random``
+_CLIENT_JITTER_SEED = 0x52504343
 
 
 class RemoteError(NetworkError):
@@ -34,26 +62,73 @@ class RequestTimeout(NetworkError, TimeoutError):
     """No reply within the deadline (lost message or dead node)."""
 
 
+#: counters every client keeps (prefix ``repro_rpc_``)
+_CLIENT_COUNTERS = (
+    "calls", "timeouts", "retries", "breaker_rejections",
+    "deadline_expired",
+)
+
+
 class Client:
-    """A client endpoint: sends requests, demultiplexes replies."""
+    """A client endpoint: sends requests, demultiplexes replies.
+
+    ``retry_policy`` arms the retry loop for every call (overridable
+    per call); ``breakers`` arms per-destination circuit breaking;
+    ``registry`` supplies the metrics registry the client reports
+    through (a private one is created when omitted, so the legacy
+    ``client.calls`` / ``client.timeouts`` integers keep working).
+    """
 
     def __init__(self, client_id: str, network: Network,
                  names: Optional[NameService] = None,
-                 default_timeout: float = 5.0) -> None:
+                 default_timeout: float = 5.0,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 breakers: Optional[DestinationBreakers] = None,
+                 registry: Optional[MetricsRegistry] = None) -> None:
         self.client_id = client_id
         self.network = network
         self.names = names
         self.default_timeout = default_timeout
+        self.retry_policy = retry_policy
+        self.breakers = breakers
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = self.registry.counter_block(
+            _CLIENT_COUNTERS, prefix="repro_rpc_"
+        )
+        # bound single-counter increment: the unarmed fast path's only
+        # accounting cost, so spare it the attribute chain per call
+        self._inc = self._counters.inc
+        self._budget_hist = self.registry.histogram(
+            "repro_rpc_remaining_budget_seconds",
+            help="remaining deadline budget when each attempt is sent",
+        ).labels()
         self.inbox = network.register(client_id)
         self._pending: Dict[int, "Future[Message]"] = {}
         self._lock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._rng = random.Random(_CLIENT_JITTER_SEED)
+        self._sleep: Callable[[float], None] = time.sleep
         self._running = True
         self._thread = threading.Thread(
             target=self._reply_loop, name=f"{client_id}-replies", daemon=True
         )
         self._thread.start()
-        self.calls = 0
-        self.timeouts = 0
+
+    # -- legacy counter facade (exact under the striped registry) ------
+    @property
+    def calls(self) -> int:
+        """Requests sent (every attempt counts)."""
+        return int(self._counters.value("calls"))
+
+    @property
+    def timeouts(self) -> int:
+        """Attempts that timed out awaiting a reply."""
+        return int(self._counters.value("timeouts"))
+
+    @property
+    def retries(self) -> int:
+        """Attempts that were retried after a transient failure."""
+        return int(self._counters.value("retries"))
 
     def _reply_loop(self) -> None:
         while self._running:
@@ -73,9 +148,176 @@ class Client:
     # ------------------------------------------------------------------
     def call_node(self, node_id: str, service: str, method: str,
                   *args: Any, caller: Optional[str] = None,
-                  timeout: Optional[float] = None, **kwargs: Any) -> Any:
-        """Invoke ``service.method`` on an explicit node."""
+                  timeout: Optional[float] = None,
+                  deadline: "Deadline | float | None" = None,
+                  idempotency_key: Optional[str] = None,
+                  retry_policy: Optional[RetryPolicy] = None,
+                  **kwargs: Any) -> Any:
+        """Invoke ``service.method`` on an explicit node.
+
+        ``deadline`` is an end-to-end budget for the *logical* call (a
+        :class:`Deadline` or a float budget in seconds) spanning every
+        retry; ``timeout`` stays the per-attempt reply wait.
+        """
+        policy = retry_policy if retry_policy is not None \
+            else self.retry_policy
+        if (policy is None and deadline is None and idempotency_key is None
+                and self.breakers is None):
+            # Unarmed fast path: the legacy call sequence inline, with
+            # none of the armed path's deadline/key/breaker plumbing.
+            context = propagation.current()
+            message = request(
+                self.client_id, node_id, service, method,
+                args=args, kwargs=kwargs, caller=caller,
+                trace=propagation.to_wire(context)
+                if context is not None else None,
+            )
+            future: "Future[Message]" = Future()
+            with self._lock:
+                if not self._running:
+                    raise ClientClosed(
+                        f"client {self.client_id!r} is closed"
+                    )
+                self._pending[message.msg_id] = future
+            self._inc("calls")
+            self.network.send(message)
+            effective = timeout if timeout is not None \
+                else self.default_timeout
+            try:
+                response = future.result(effective)
+            except TimeoutError:
+                with self._lock:
+                    self._pending.pop(message.msg_id, None)
+                self._inc("timeouts")
+                raise RequestTimeout(
+                    f"no reply from {node_id}/{service}.{method} "
+                    f"within {effective}s"
+                ) from None
+            if response.kind == "error":
+                raise self._error_from_reply(method, response)
+            return response.payload.get("result")
+        return self._call(
+            lambda: (node_id, service), method, args, kwargs,
+            caller=caller, timeout=timeout,
+            deadline=Deadline.coerce(deadline),
+            idempotency_key=idempotency_key, policy=policy,
+        )
+
+    def call_name(self, name: str, method: str, *args: Any,
+                  caller: Optional[str] = None,
+                  timeout: Optional[float] = None,
+                  deadline: "Deadline | float | None" = None,
+                  idempotency_key: Optional[str] = None,
+                  retry_policy: Optional[RetryPolicy] = None,
+                  **kwargs: Any) -> Any:
+        """Invoke through the naming service (location-transparent).
+
+        The name resolves *per attempt*, so a retry after a
+        :class:`~repro.dist.replication.FailoverMonitor` rebind follows
+        the binding to the new primary instead of re-dialing the dead
+        node.
+        """
+        if self.names is None:
+            raise NetworkError("client has no naming service configured")
+        policy = retry_policy if retry_policy is not None \
+            else self.retry_policy
+        if (policy is None and deadline is None and idempotency_key is None
+                and self.breakers is None):
+            binding = self.names.resolve(name)
+            return self._send_once(binding.node_id, binding.service, method,
+                                   args, kwargs, caller, timeout,
+                                   None, None, 1, None)
+
+        def resolve() -> Tuple[str, str]:
+            binding = self.names.resolve(name)
+            return binding.node_id, binding.service
+
+        return self._call(
+            resolve, method, args, kwargs,
+            caller=caller, timeout=timeout,
+            deadline=Deadline.coerce(deadline),
+            idempotency_key=idempotency_key, policy=policy,
+        )
+
+    # ------------------------------------------------------------------
+    def _call(self, resolve: Callable[[], Tuple[str, str]], method: str,
+              args: Tuple[Any, ...], kwargs: Dict[str, Any], *,
+              caller: Optional[str], timeout: Optional[float],
+              deadline: Optional[Deadline], idempotency_key: Optional[str],
+              policy: Optional[RetryPolicy]) -> Any:
+        """One logical call: resolve → attempt → classify → retry.
+
+        Callers short-circuit the unarmed case straight to
+        :meth:`_send_once`; this loop only runs when at least one
+        resilience feature is armed.
+        """
+        key = idempotency_key
+        if key is None and policy is not None:
+            # Retries without dedup double-apply mutations; every
+            # retry-armed call therefore gets a key. Client id + local
+            # sequence makes keys globally unique, so server caches
+            # need no per-caller namespace.
+            key = f"{self.client_id}:{next(self._seq)}"
+
+        attempt = 0
+        while True:
+            attempt += 1
+            if deadline is not None and deadline.expired:
+                self._counters.bump("deadline_expired")
+                raise DeadlineExceeded(
+                    f"deadline elapsed before attempt {attempt} "
+                    f"of {method!r}"
+                )
+            node_id, service = resolve()
+            token = None
+            if self.breakers is not None:
+                try:
+                    token = self.breakers.admit(node_id)
+                except CircuitOpen as exc:
+                    self._counters.bump("breaker_rejections")
+                    # Retryable: after a failover rebind, the next
+                    # resolve may point somewhere the circuit is closed.
+                    self._maybe_retry(policy, attempt, exc, deadline)
+                    continue
+            try:
+                return self._send_once(
+                    node_id, service, method, args, kwargs,
+                    caller, timeout, deadline, key, attempt, token,
+                )
+            except (DeadlineExceeded, ClientClosed):
+                raise  # budget spent / client gone: never retried
+            except BaseException as exc:
+                self._maybe_retry(policy, attempt, exc, deadline)
+
+    def _maybe_retry(self, policy: Optional[RetryPolicy], attempt: int,
+                     exc: BaseException,
+                     deadline: Optional[Deadline]) -> None:
+        """Sleep before the next attempt, or re-raise ``exc``."""
+        if policy is None or not policy.should_retry(attempt, exc):
+            raise exc
+        delay = policy.delay_for(attempt + 1, self._rng)
+        retry_after = getattr(exc, "retry_after", None)
+        if retry_after is not None:
+            # A shedding node's hint floors our own backoff.
+            delay = max(delay, retry_after)
+        if deadline is not None and delay >= deadline.remaining():
+            self._counters.bump("deadline_expired")
+            raise DeadlineExceeded(
+                f"deadline would elapse during {delay:.3f}s backoff "
+                f"before attempt {attempt + 1}"
+            ) from exc
+        self._counters.bump("retries")
+        if delay > 0:
+            self._sleep(delay)
+
+    def _send_once(self, node_id: str, service: str, method: str,
+                   args: Tuple[Any, ...], kwargs: Dict[str, Any],
+                   caller: Optional[str], timeout: Optional[float],
+                   deadline: Optional[Deadline], key: Optional[str],
+                   attempt: int, token: Optional[Any]) -> Any:
+        """Send one attempt and await its reply."""
         context = propagation.current()
+        budget = deadline.to_wire() if deadline is not None else None
         message = request(
             self.client_id, node_id, service, method,
             args=args, kwargs=kwargs, caller=caller,
@@ -84,51 +326,108 @@ class Client:
             # span recorders stitch into one trace.
             trace=propagation.to_wire(context)
             if context is not None else None,
+            deadline_budget=budget, idempotency_key=key, attempt=attempt,
         )
         future: "Future[Message]" = Future()
         with self._lock:
+            if not self._running:
+                raise ClientClosed(f"client {self.client_id!r} is closed")
             self._pending[message.msg_id] = future
-        self.calls += 1
-        self.network.send(message)
+        self._counters.bump("calls")
+        if budget is not None:
+            self._budget_hist.observe(budget)
+        try:
+            self.network.send(message)
+        except BaseException as exc:
+            with self._lock:
+                self._pending.pop(message.msg_id, None)
+            if token is not None:
+                DestinationBreakers.record(token, exc)
+            raise
         effective = timeout if timeout is not None else self.default_timeout
+        if deadline is not None:
+            effective = min(effective, max(0.0, deadline.remaining()))
         try:
             response = future.result(effective)
         except TimeoutError:
             with self._lock:
                 self._pending.pop(message.msg_id, None)
-            self.timeouts += 1
-            raise RequestTimeout(
-                f"no reply from {node_id}/{service}.{method} "
-                f"within {effective}s"
-            ) from None
+            self._counters.bump("timeouts")
+            if deadline is not None and deadline.expired:
+                exc: BaseException = DeadlineExceeded(
+                    f"deadline elapsed awaiting reply from "
+                    f"{node_id}/{service}.{method}"
+                )
+            else:
+                exc = RequestTimeout(
+                    f"no reply from {node_id}/{service}.{method} "
+                    f"within {effective}s"
+                )
+            if token is not None:
+                DestinationBreakers.record(token, exc)
+            raise exc from None
+        if token is not None:
+            # Any reply — even an error — proves the node is alive.
+            DestinationBreakers.record(token, None)
         if response.kind == "error":
-            error_type = response.payload.get("error_type", "RemoteError")
-            detail = response.payload.get("error", "")
-            if error_type == "MethodAborted":
-                raise MethodAborted(method, reason=detail)
-            raise RemoteError(error_type, detail)
+            raise self._error_from_reply(method, response)
         return response.payload.get("result")
 
-    def call_name(self, name: str, method: str, *args: Any,
-                  caller: Optional[str] = None,
-                  timeout: Optional[float] = None, **kwargs: Any) -> Any:
-        """Invoke through the naming service (location-transparent)."""
-        if self.names is None:
-            raise NetworkError("client has no naming service configured")
-        binding = self.names.resolve(name)
-        return self.call_node(
-            binding.node_id, binding.service, method, *args,
-            caller=caller, timeout=timeout, **kwargs,
-        )
+    @staticmethod
+    def _error_from_reply(method: str, response: Message) -> NetworkError:
+        """Rehydrate a typed error from an error reply's payload."""
+        error_type = response.payload.get("error_type", "RemoteError")
+        detail = response.payload.get("error", "")
+        if error_type == "MethodAborted":
+            return MethodAborted(method, reason=detail)
+        if error_type == "DeadlineExceeded":
+            return DeadlineExceeded(detail)
+        if error_type == "Overloaded":
+            return Overloaded(
+                detail, retry_after=response.payload.get("retry_after")
+            )
+        return RemoteError(error_type, detail)
 
     def proxy(self, name: str, caller: Optional[str] = None,
-              timeout: Optional[float] = None) -> "RemoteProxy":
-        """A stub whose attribute calls go to the named remote service."""
-        return RemoteProxy(self, name, caller=caller, timeout=timeout)
+              timeout: Optional[float] = None,
+              deadline: Optional[float] = None) -> "RemoteProxy":
+        """A stub whose attribute calls go to the named remote service.
+
+        ``deadline`` is a per-call budget in seconds: every logical
+        call through the stub gets a fresh deadline of that budget.
+        """
+        return RemoteProxy(self, name, caller=caller, timeout=timeout,
+                           deadline=deadline)
+
+    def metrics(self) -> Dict[str, int]:
+        """Consistent snapshot of the client's resilience counters."""
+        return self._counters.as_dict()
 
     def close(self) -> None:
-        self._running = False
+        """Shut down; in-flight callers fail fast with ClientClosed.
+
+        Idempotent. Unregistering closes the inbox, so the reply loop
+        exits on ``WaitQueue.Closed`` immediately instead of polling
+        out its 0.2s timeout; pending futures are failed so callers
+        blocked in ``call_node`` wake promptly rather than burning
+        their full timeout.
+        """
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+            pending = list(self._pending.values())
+            self._pending.clear()
         self.network.unregister(self.client_id)
+        for future in pending:
+            if not future.done:
+                try:
+                    future.set_exception(
+                        ClientClosed(f"client {self.client_id!r} closed "
+                                     f"with the call in flight")
+                    )
+                except FutureError:
+                    pass  # lost the race to a late reply: caller has it
         self._thread.join(timeout=1.0)
 
 
@@ -137,11 +436,13 @@ class RemoteProxy:
 
     def __init__(self, client: Client, name: str,
                  caller: Optional[str] = None,
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 deadline: Optional[float] = None) -> None:
         self._client = client
         self._name = name
         self._caller = caller
         self._timeout = timeout
+        self._deadline = deadline
 
     def __getattr__(self, method: str) -> Callable[..., Any]:
         if method.startswith("_"):
@@ -150,7 +451,8 @@ class RemoteProxy:
         def remote_method(*args: Any, **kwargs: Any) -> Any:
             return self._client.call_name(
                 self._name, method, *args,
-                caller=self._caller, timeout=self._timeout, **kwargs,
+                caller=self._caller, timeout=self._timeout,
+                deadline=self._deadline, **kwargs,
             )
 
         remote_method.__name__ = method

@@ -24,9 +24,11 @@ from .plan import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    delivery_sites,
     double_fault_plans,
     protocol_sites,
     single_fault_plans,
+    single_loss_plans,
 )
 from .injector import FaultInjector
 
@@ -35,7 +37,9 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "delivery_sites",
     "double_fault_plans",
     "protocol_sites",
     "single_fault_plans",
+    "single_loss_plans",
 ]

@@ -185,6 +185,32 @@ def protocol_sites(method_id: str, concerns: Sequence[str],
     ]
 
 
+def delivery_sites(endpoints: Sequence[str]) -> List[Site]:
+    """Enumerate the network delivery fault sites of some endpoints.
+
+    A delivery site is keyed by destination endpoint only (the
+    ``method_id`` coordinate carries the endpoint; ``concern`` is
+    empty) — see :meth:`FaultInjector.deliver`.
+    """
+    return [("delivery", endpoint, "") for endpoint in endpoints]
+
+
+def single_loss_plans(endpoints: Sequence[str],
+                      occurrences: Sequence[int] = (1,),
+                      ) -> List[FaultPlan]:
+    """Every plan losing exactly one message to one endpoint.
+
+    The chaos suite's message-loss space: for each endpoint and each
+    k in ``occurrences``, one plan that silently drops (``"skip"``)
+    the k-th delivery to that endpoint. Covers lost requests (node
+    endpoints) and lost replies (client endpoints) alike.
+    """
+    return single_fault_plans(
+        delivery_sites(endpoints), actions=("skip",),
+        occurrences=occurrences,
+    )
+
+
 def single_fault_plans(sites: Sequence[Site],
                        actions: Sequence[str] = ("raise",),
                        occurrences: Sequence[int] = (1,),

@@ -209,13 +209,22 @@ class MetricSnapshot:
 class CounterBlock:
     """Fixed-name block of counters bumped together atomically.
 
-    The migration target of ``ModerationStats``: one :meth:`bump` call
-    increments several named counters under a single (thread-private)
-    stripe-lock acquisition, so related counters can never be observed
-    out of step by a snapshot.
+    The migration target of ``ModerationStats``: one multi-name
+    :meth:`bump` call increments several named counters under a single
+    (thread-private) stripe-lock acquisition, so related counters can
+    never be observed out of step by a snapshot.
+
+    Single-name bumps take a lock-free fast path: each writer thread
+    caches a direct reference to its stripe's cell, and since only the
+    owning thread ever writes its stripe, the steady-state increment is
+    two dict operations under the GIL. The cell is *inserted* under the
+    stripe lock, so a snapshot iterating the stripe's dict (which it
+    does under that lock) can never see the dict resize mid-iteration —
+    at worst it misses an increment that lands during the merge, which
+    the next snapshot observes.
     """
 
-    __slots__ = ("_registry", "_keys", "names")
+    __slots__ = ("_registry", "_keys", "names", "_cells")
 
     def __init__(self, registry: "MetricsRegistry", names: Iterable[str],
                  prefix: str = "", help: str = "") -> None:
@@ -225,15 +234,47 @@ class CounterBlock:
         for name in self.names:
             family = registry.counter(prefix + name, help=help or name)
             self._keys[name] = family.labels()._key
+        #: per-thread cache of name -> (stripe counters dict, cell key)
+        self._cells = threading.local()
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Single-counter increment — the lock-free fast path, directly.
+
+        Equivalent to ``bump(name)`` without the varargs packing; RPC
+        hot paths call this once per request, so the saved tuple
+        allocation is measurable end to end.
+        """
+        cells = getattr(self._cells, "map", None)
+        if cells is None:
+            cells = self._cells.map = {}
+        cell = cells.get(name)
+        if cell is None:
+            cell = cells[name] = self._seed_cell(name)
+        counters, key = cell
+        counters[key] = counters[key] + amount
 
     def bump(self, *names: str, amount: float = 1) -> None:
-        stripe = self._registry._stripe()
+        if len(names) == 1:
+            self.inc(names[0], amount)
+            return
+        registry = self._registry
+        stripe = getattr(registry._local, "stripe", None)
+        if stripe is None:
+            stripe = registry._stripe()
         keys = self._keys
         with stripe.lock:
             counters = stripe.counters
             for name in names:
                 key = keys[name]
                 counters[key] = counters.get(key, 0) + amount
+
+    def _seed_cell(self, name: str) -> Tuple[Dict[Any, float], Any]:
+        """Insert this thread's cell under the stripe lock, once."""
+        stripe = self._registry._stripe()
+        key = self._keys[name]
+        with stripe.lock:
+            stripe.counters.setdefault(key, 0.0)
+        return stripe.counters, key
 
     def value(self, name: str) -> float:
         return self._registry._cell_value(self._keys[name])

@@ -1,0 +1,188 @@
+"""Partition → failover → retry re-resolution, with cross-failover dedup.
+
+The satellite scenario from the resilience issue: a client mid-retry
+follows a ``FailoverMonitor`` rebind to the backup, and the idempotency
+cache prevents the replayed logical call from double-applying — the
+backup already executed the mutation once, as a forwarded apply from
+the primary, under the *same* idempotency key.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.aspects.retry import RetryPolicy
+from repro.dist import (
+    Client,
+    FailoverMonitor,
+    NameService,
+    Network,
+    Node,
+    ReplicatedServant,
+)
+from repro.dist.resilience import RPC_TRANSIENT
+from repro.faults import FaultInjector, single_loss_plans
+
+POLICY = RetryPolicy(max_attempts=5, base_delay=0.0, retry_on=RPC_TRANSIENT)
+
+
+class CountingKV:
+    """A KV store that counts mutations — the double-apply detector."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.data = {}
+        self.applies = 0
+
+    def put(self, key, value):
+        with self._lock:
+            self.applies += 1
+            self.data[key] = value
+            return self.applies
+
+    def get(self, key):
+        return self.data.get(key)
+
+
+@pytest.fixture
+def cluster():
+    network = Network()
+    names = NameService()
+    primary = Node("primary", network).start()
+    backup = Node("backup", network).start()
+
+    primary_store, backup_store = CountingKV(), CountingKV()
+    backup.export("kv", backup_store)
+    names.bind("kv-backup", "backup", "kv")
+
+    forwarder = Client("forwarder", network, names, default_timeout=1.0)
+    replicated = ReplicatedServant(
+        primary_store, forwarder, replica_names=["kv-backup"],
+        mutating=["put"],
+    )
+    primary.export("kv", replicated)
+    names.bind("kv", "primary", "kv")
+
+    monitor = FailoverMonitor(
+        names, network, public_name="kv",
+        primary=primary, backups=[backup], service="kv",
+    )
+    client = Client("client", network, names, default_timeout=1.0)
+    yield (network, names, primary, backup, primary_store, backup_store,
+           replicated, monitor, client)
+    client.close()
+    forwarder.close()
+    primary.stop()
+    backup.stop()
+    network.close()
+
+
+def _await(predicate, timeout=3.0, message="condition never held"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, message
+        time.sleep(0.01)
+
+
+class TestFailoverRetryDedup:
+    def test_retry_follows_rebind_without_double_apply(self, cluster):
+        (network, names, primary, backup, primary_store, backup_store,
+         replicated, monitor, client) = cluster
+
+        # Lose the reply to the client: the primary applies the
+        # mutation (and forwards it to the backup), but the caller
+        # never hears back and will retry.
+        plan = single_loss_plans(["client"])[0]
+        FaultInjector(plan).install(network)
+
+        failed_over = threading.Event()
+
+        def fail_over():
+            # After the primary has applied + forwarded, crash it and
+            # promote the backup — while the client is mid-retry-wait.
+            _await(lambda: backup_store.data.get("k") == "v",
+                   message="forwarded apply never reached the backup")
+            primary.crash()
+            monitor.check_once()
+            failed_over.set()
+
+        crasher = threading.Thread(target=fail_over)
+        crasher.start()
+        try:
+            result = client.call_name(
+                "kv", "put", "k", "v",
+                timeout=0.5, retry_policy=POLICY,
+            )
+        finally:
+            crasher.join(timeout=5.0)
+            FaultInjector.uninstall(network)
+        assert failed_over.is_set()
+
+        # The retry resolved the rebound name (per-attempt resolution)
+        # and the backup's dedup cache replayed the forwarded apply
+        # instead of executing the mutation a second time.
+        assert names.resolve("kv").node_id == "backup"
+        assert primary_store.applies == 1
+        assert backup_store.applies == 1
+        assert backup.dedup_hits >= 1
+        # the replayed reply is the forwarded apply's original result
+        assert result == 1
+        assert client.retries >= 1
+
+    def test_partitioned_primary_retry_lands_on_backup(self, cluster):
+        (network, names, primary, backup, primary_store, backup_store,
+         replicated, monitor, client) = cluster
+
+        # Split the primary away from the client. The first attempt's
+        # request is swallowed by the partition; the mutation is never
+        # applied anywhere until the rebind routes a retry to the
+        # backup.
+        network.partition({"primary"},
+                          {"client", "backup", "forwarder"})
+
+        def heal_and_promote():
+            time.sleep(0.2)  # let at least one attempt hit the wall
+            names.rebind("kv", "backup", "kv")
+
+        healer = threading.Thread(target=heal_and_promote)
+        healer.start()
+        try:
+            result = client.call_name(
+                "kv", "put", "k", "v",
+                timeout=0.3, retry_policy=POLICY,
+            )
+        finally:
+            healer.join(timeout=5.0)
+
+        assert result == 1
+        assert primary_store.applies == 0  # partition swallowed it all
+        assert backup_store.applies == 1
+        assert client.retries >= 1
+
+    def test_wait_for_observes_failover_rebind(self, cluster):
+        (network, names, primary, backup, primary_store, backup_store,
+         replicated, monitor, client) = cluster
+        observed = []
+
+        def wait():
+            observed.append(names.wait_for("kv", version=2, timeout=3.0))
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        primary.crash()
+        monitor.check_once()
+        waiter.join(timeout=5.0)
+        assert not waiter.is_alive()
+        binding = observed[0]
+        assert binding is not None
+        assert binding.node_id == "backup"
+        assert binding.version == 2
+
+    def test_wait_for_times_out_without_rebind(self, cluster):
+        (network, names, primary, backup, primary_store, backup_store,
+         replicated, monitor, client) = cluster
+        assert names.wait_for("kv", version=2, timeout=0.1) is None
+        # version 1 is already satisfied: returns immediately
+        binding = names.wait_for("kv", version=1, timeout=0.1)
+        assert binding is not None and binding.version == 1
