@@ -15,10 +15,17 @@ from .failure_detector import (
 )
 from .message import Message, WireFormatError, check_wire_safe
 from .migration import MigrationError, MigrationReport, Migrator
-from .naming import Binding, NameService
+from .naming import Binding, NameService, ShardedBinding
 from .network import Network
 from .node import Node
 from .replication import FailoverMonitor, ReplicatedServant
+from .sharding import (
+    HashRing,
+    RebalanceReport,
+    Rebalancer,
+    ShardRouter,
+    first_argument_key,
+)
 from .resilience import (
     Deadline,
     DestinationBreakers,
@@ -35,6 +42,7 @@ __all__ = [
     "Binding",
     "Client",
     "FailoverMonitor",
+    "HashRing",
     "HeartbeatDetector",
     "HeartbeatEmitter",
     "LeastLoaded",
@@ -47,12 +55,16 @@ __all__ = [
     "Network",
     "Node",
     "RandomChoice",
+    "RebalanceReport",
+    "Rebalancer",
     "RemoteError",
     "RemoteProxy",
     "ReplicatedServant",
     "RequestContext",
     "RequestTimeout",
     "RoundRobin",
+    "ShardRouter",
+    "ShardedBinding",
     "Deadline",
     "DestinationBreakers",
     "IdempotencyCache",
@@ -62,5 +74,6 @@ __all__ = [
     "current_request",
     "detector_failover",
     "check_wire_safe",
+    "first_argument_key",
     "serving",
 ]

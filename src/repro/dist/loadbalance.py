@@ -30,17 +30,39 @@ class BalancingPolicy:
 
 
 class RoundRobin(BalancingPolicy):
-    """Cycle through backends in order."""
+    """Cycle through backends in order.
+
+    Rotation is anchored to stable backend *identity*, not to the
+    position in whatever candidate list a caller passes: during
+    failover the balancer filters out already-tried backends, and a
+    cursor taken modulo the filtered list's length would skew the
+    rotation whenever one backend is down (the survivors after the hole
+    get double the traffic). Instead the policy remembers each backend
+    in first-seen order and scans from its cursor for the first one
+    currently offered.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._next = 0
+        self._order: List[Backend] = []
 
     def choose(self, backends: Sequence[Backend]) -> Backend:
+        if not backends:
+            raise NetworkError("no backend available")
         with self._lock:
-            backend = backends[self._next % len(backends)]
-            self._next += 1
-            return backend
+            for backend in backends:
+                if backend not in self._order:
+                    self._order.append(backend)
+            offered = set(backends)
+            for step in range(len(self._order)):
+                index = (self._next + step) % len(self._order)
+                backend = self._order[index]
+                if backend in offered:
+                    self._next = index + 1
+                    return backend
+            # Unreachable: every offered backend was added to _order.
+            raise NetworkError("no backend available")
 
 
 class RandomChoice(BalancingPolicy):

@@ -135,6 +135,9 @@ def error_reply(to: Message, exc: BaseException,
         "error_type": type(exc).__name__,
         "error": str(exc),
     }
+    retry_after = getattr(exc, "retry_after", None)
+    if isinstance(retry_after, (int, float)):
+        payload["retry_after"] = retry_after
     if extra:
         payload.update(extra)
     return Message(

@@ -63,14 +63,20 @@ class Migrator:
         rebuild: RebuildFn,
         quiesce: Optional[Callable[[], None]] = None,
         resume: Optional[Callable[[], None]] = None,
+        drain_timeout: float = 5.0,
     ) -> MigrationReport:
         """Move ``public_name`` from ``source`` to ``target``.
 
-        Steps: resolve → quiesce → capture (wire-safety enforced) →
-        withdraw from source → rebuild + export on target → rebind →
-        resume. On a failed rebuild the servant is restored on the
-        source and the name left untouched (migration is all-or-nothing
-        from the clients' perspective).
+        Steps: resolve → quiesce → withdraw from source (opening the
+        *moving window*: requests now bounce with a retryable
+        ``Overloaded`` instead of a terminal error) → drain in-flight
+        calls (``source.settle``, bounded by ``drain_timeout``) →
+        capture (wire-safety enforced) → rebuild + export on target →
+        rebind → resume. On any failure after the withdraw the servant
+        is restored on the source and the name left untouched
+        (migration is all-or-nothing from the clients' perspective),
+        and ``resume`` runs on *every* exit — a failed capture or
+        rebuild must never leave the service quiesced forever.
         """
         binding = self.names.resolve(public_name)
         if binding.node_id != source.node_id:
@@ -84,34 +90,53 @@ class Migrator:
         if quiesce is not None:
             quiesce()
         try:
-            servant = source.withdraw(binding.service)
-        except KeyError as exc:
-            raise MigrationError(
-                f"service {binding.service!r} not on {source.node_id!r}"
-            ) from exc
-        withdrawn_at = time.monotonic()
-
-        try:
-            state = capture(servant)
-            if not isinstance(state, dict) or not check_wire_safe(state):
+            try:
+                servant = source.withdraw(binding.service, moving=True)
+            except KeyError as exc:
                 raise MigrationError(
-                    f"captured state for {public_name!r} is not wire-safe"
-                )
-            replacement = rebuild(state)
-            target.export(binding.service, replacement)
-        except MigrationError:
-            source.export(binding.service, servant)  # roll back
-            raise
-        except Exception as exc:  # noqa: BLE001 - roll back, re-raise
-            source.export(binding.service, servant)
-            raise MigrationError(
-                f"rebuild failed for {public_name!r}: {exc}"
-            ) from exc
+                    f"service {binding.service!r} not on "
+                    f"{source.node_id!r}"
+                ) from exc
+            withdrawn_at = time.monotonic()
 
-        new_binding = self.names.rebind(
-            public_name, target.node_id, binding.service
-        )
-        downtime = time.monotonic() - withdrawn_at
+            try:
+                # Withdraw stopped new arrivals; the drain barrier
+                # proves the in-flight ones finished, so the captured
+                # state can miss no applied effect.
+                if not source.settle(binding.service, drain_timeout):
+                    raise MigrationError(
+                        f"in-flight calls to {public_name!r} did not "
+                        f"drain within {drain_timeout}s"
+                    )
+                state = capture(servant)
+                if not isinstance(state, dict) \
+                        or not check_wire_safe(state):
+                    raise MigrationError(
+                        f"captured state for {public_name!r} is not "
+                        f"wire-safe"
+                    )
+                replacement = rebuild(state)
+                target.export(binding.service, replacement)
+            except MigrationError:
+                source.export(binding.service, servant)  # roll back
+                raise
+            except Exception as exc:  # noqa: BLE001 - roll back, re-raise
+                source.export(binding.service, servant)
+                raise MigrationError(
+                    f"rebuild failed for {public_name!r}: {exc}"
+                ) from exc
+
+            new_binding = self.names.rebind(
+                public_name, target.node_id, binding.service
+            )
+            downtime = time.monotonic() - withdrawn_at
+        except BaseException:
+            # Rollback path: the servant (if withdrawn) is back on the
+            # source — resume it so a failed migration leaves the
+            # service *serving*, not parked behind a stale quiesce.
+            if resume is not None:
+                resume()
+            raise
         if resume is not None:
             resume()
         report = MigrationReport(

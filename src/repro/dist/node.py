@@ -91,6 +91,15 @@ class Node:
         self.dedup = IdempotencyCache(dedup_capacity)
         self._servants: Dict[str, Any] = {}
         self._lock = threading.Lock()
+        #: services withdrawn for a live migration: requests for them are
+        #: answered with a *transient* Overloaded (+retry_after) so the
+        #: client retry loop re-resolves onto the new binding, instead of
+        #: the terminal LookupError an unknown service earns
+        self._moving: set = set()
+        #: per-service count of requests currently executing a servant
+        #: call — what a migrator's drain (:meth:`settle`) waits on
+        self._inflight: Dict[str, int] = {}
+        self._idle = threading.Condition(self._lock)
         self._threads: List[threading.Thread] = []
         self._running = False
         self._workers = workers
@@ -127,10 +136,58 @@ class Node:
                     f"service {service!r} already exported on {self.node_id}"
                 )
             self._servants[service] = servant
+            self._moving.discard(service)
 
-    def withdraw(self, service: str) -> Any:
+    def withdraw(self, service: str, moving: bool = False) -> Any:
+        """Remove a servant; ``moving=True`` opens the migration window.
+
+        While a service is marked moving (until the next :meth:`export`
+        of that name, here or nowhere), requests for it are rejected
+        with a retryable ``Overloaded`` instead of ``LookupError`` — the
+        client's retry loop backs off, re-resolves, and lands on the
+        rebound location. The pop and the mark are atomic, so no request
+        can slip between them and observe a terminal error.
+        """
         with self._lock:
-            return self._servants.pop(service)
+            servant = self._servants.pop(service)
+            if moving:
+                self._moving.add(service)
+            return servant
+
+    def settle(self, service: str,
+               timeout: Optional[float] = None) -> bool:
+        """Wait until no request is executing ``service``'s servant.
+
+        The migrator's drain barrier: after ``withdraw(moving=True)`` no
+        *new* request can reach the servant, and ``settle`` returning
+        True proves the in-flight ones finished — only then is captured
+        state complete. False on timeout.
+        """
+        with self._idle:
+            return self._idle.wait_for(
+                lambda: self._inflight.get(service, 0) == 0, timeout
+            )
+
+    def _release(self, service: str) -> None:
+        # the in-flight count was taken while fetching the servant
+        with self._idle:
+            count = self._inflight.get(service, 0) - 1
+            if count > 0:
+                self._inflight[service] = count
+            else:
+                self._inflight.pop(service, None)
+                self._idle.notify_all()
+
+    def _unavailable(self, service: str, moving: bool) -> BaseException:
+        """The right rejection for a request naming no local servant."""
+        if moving:
+            return Overloaded(
+                f"service {service!r} is migrating off {self.node_id}",
+                retry_after=self.retry_after,
+            )
+        return LookupError(
+            f"no service {service!r} on node {self.node_id}"
+        )
 
     def services(self) -> List[str]:
         with self._lock:
@@ -212,21 +269,27 @@ class Node:
             context = propagation.from_wire(payload.get("trace"))
             with self._lock:
                 servant = self._servants.get(service)
+                if servant is None:
+                    moving = service in self._moving
+                else:
+                    self._inflight[service] = \
+                        self._inflight.get(service, 0) + 1
             try:
                 if servant is None:
-                    raise LookupError(
-                        f"no service {service!r} on node {self.node_id}"
-                    )
-                with propagation.activate(context):
-                    if isinstance(servant, ComponentProxy):
-                        result = servant.call(method, *args, caller=caller,
-                                              **kwargs)
-                    else:
-                        target = getattr(servant, method)
-                        if (caller is not None
-                                and self._accepts_caller(target)):
-                            kwargs.setdefault("caller", caller)
-                        result = target(*args, **kwargs)
+                    raise self._unavailable(service, moving)
+                try:
+                    with propagation.activate(context):
+                        if isinstance(servant, ComponentProxy):
+                            result = servant.call(method, *args,
+                                                  caller=caller, **kwargs)
+                        else:
+                            target = getattr(servant, method)
+                            if (caller is not None
+                                    and self._accepts_caller(target)):
+                                kwargs.setdefault("caller", caller)
+                            result = target(*args, **kwargs)
+                finally:
+                    self._release(service)
                 response = reply(message, self._wire_result(result))
                 self._inc("requests_served")
             except BaseException as exc:  # noqa: BLE001 - to the caller
@@ -314,19 +377,25 @@ class Node:
         context = propagation.from_wire(payload.get("trace"))
         with self._lock:
             servant = self._servants.get(service)
+            if servant is None:
+                moving = service in self._moving
+            else:
+                self._inflight[service] = \
+                    self._inflight.get(service, 0) + 1
         if servant is None:
-            raise LookupError(
-                f"no service {service!r} on node {self.node_id}"
-            )
+            raise self._unavailable(service, moving)
         # Ambient per-thread envelope: replication forwarders pick the
         # key/deadline up from here so a forwarded apply shares the
         # original logical call's identity and budget.
         request_context = RequestContext(
             idempotency_key=key, deadline=deadline, caller=caller
         )
-        with propagation.activate(context), serving(request_context):
-            return self._dispatch(servant, method, args, kwargs,
-                                  caller, deadline)
+        try:
+            with propagation.activate(context), serving(request_context):
+                return self._dispatch(servant, method, args, kwargs,
+                                      caller, deadline)
+        finally:
+            self._release(service)
 
     def _dispatch(self, servant: Any, method: str, args: tuple,
                   kwargs: Dict[str, Any], caller: Optional[str],
@@ -393,15 +462,17 @@ class Node:
         """Whether a failure proves the method body never ran.
 
         ABORTed activations, timed-out BLOCK parks, deadline
-        rejections, and missing servants all fail *before* invocation —
-        a retry may safely re-execute. Anything else may have applied
-        side effects, so the error is pinned in the dedup cache and a
-        retry replays it instead of re-running the body.
+        rejections, missing servants, and admission rejections
+        (``Overloaded`` — including the migration window's moving
+        answer) all fail *before* invocation — a retry may safely
+        re-execute. Anything else may have applied side effects, so the
+        error is pinned in the dedup cache and a retry replays it
+        instead of re-running the body.
         """
         return isinstance(
             exc,
             (MethodAborted, ActivationTimeout, DeadlineExceeded,
-             LookupError),
+             LookupError, Overloaded),
         )
 
     def _send_response(self, response: Message) -> None:

@@ -33,6 +33,7 @@ the backup's dedup cache recognizes a post-failover client retry.
 
 from __future__ import annotations
 
+import copy
 import threading
 import time
 from collections import OrderedDict
@@ -260,6 +261,43 @@ class IdempotencyCache:
             entry = self._entries.pop(key, None)
         if entry is not None and not entry.done:
             entry._event.set()
+
+    def export_completed(self) -> Dict[str, Dict[str, Any]]:
+        """Wire-safe snapshot of every completed entry with a reply.
+
+        The rebalancer ships this in a shard's captured state: seeded
+        into the target's cache *before* the target starts serving, a
+        retry of an already-applied call replays its original reply at
+        the new home instead of re-executing — exactly-once effects
+        survive the move. In-flight slots are not exported (their
+        originals drain on the source before capture).
+        """
+        with self._lock:
+            return {
+                key: {"kind": entry.kind,
+                      "payload": copy.deepcopy(entry.payload)}
+                for key, entry in self._entries.items()
+                if entry.done and entry.payload is not None
+            }
+
+    def seed(self, exported: Dict[str, Dict[str, Any]]) -> int:
+        """Install entries exported from another cache; returns how many.
+
+        Existing keys (including in-flight slots) are left untouched —
+        local knowledge is at least as fresh as the handoff snapshot.
+        """
+        seeded = 0
+        with self._lock:
+            for key, record in exported.items():
+                if key in self._entries:
+                    continue
+                entry = DedupEntry()
+                entry.finish(record.get("kind") or "reply",
+                             dict(record.get("payload") or {}))
+                self._entries[key] = entry
+                seeded += 1
+            self._evict_excess()
+        return seeded
 
     def _evict_excess(self) -> None:
         # under self._lock; evict oldest *completed* entries only

@@ -388,6 +388,21 @@ class Client:
             )
         return RemoteError(error_type, detail)
 
+    def shard_router(self, name: str,
+                     shard_keys: Optional[Dict[str, Any]] = None,
+                     registry: Optional[MetricsRegistry] = None) -> Any:
+        """A :class:`~repro.dist.sharding.ShardRouter` for a sharded name.
+
+        The sharded sibling of :meth:`proxy`: attribute calls extract a
+        shard key, route through the consistent-hash ring, and dispatch
+        via :meth:`call_name` — so retry/deadline/idempotency arming
+        applies per shard exactly as for plain names.
+        """
+        from .sharding import ShardRouter
+
+        return ShardRouter(self, name, shard_keys=shard_keys,
+                           registry=registry)
+
     def proxy(self, name: str, caller: Optional[str] = None,
               timeout: Optional[float] = None,
               deadline: Optional[float] = None) -> "RemoteProxy":

@@ -28,7 +28,7 @@ import time
 import uuid
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 __all__ = [
     "TraceContext",
@@ -66,10 +66,17 @@ class TraceContext:
     #: wall-clock (``time.time``) instant the trace was rooted at — the
     #: cross-process alignment anchor (monotonic clocks don't travel)
     epoch: float
+    #: key/value annotations riding the trace (W3C ``baggage`` style):
+    #: e.g. the shard router stamps ``("shard", ...)`` so server-side
+    #: spans can be grouped per shard. Empty for nearly every trace, and
+    #: omitted from the wire form when empty, so the common path pays
+    #: nothing.
+    baggage: Tuple[Tuple[str, str], ...] = ()
 
     def child(self) -> "TraceContext":
         """A context for work nested under a fresh child span."""
-        return TraceContext(self.trace_id, new_span_id(), self.epoch)
+        return TraceContext(self.trace_id, new_span_id(), self.epoch,
+                            self.baggage)
 
 
 def current() -> Optional[TraceContext]:
@@ -120,11 +127,14 @@ def child_context() -> Optional[TraceContext]:
 
 def to_wire(context: TraceContext) -> Dict[str, Any]:
     """Wire-safe dict form (plain str/float, survives serialization)."""
-    return {
+    wire: Dict[str, Any] = {
         "trace_id": context.trace_id,
         "span_id": context.span_id,
         "epoch": context.epoch,
     }
+    if context.baggage:
+        wire["baggage"] = dict(context.baggage)
+    return wire
 
 
 def from_wire(data: Optional[Dict[str, Any]]) -> Optional[TraceContext]:
@@ -136,8 +146,16 @@ def from_wire(data: Optional[Dict[str, Any]]) -> Optional[TraceContext]:
     if not isinstance(trace_id, str) or not isinstance(span_id, str):
         return None
     epoch = data.get("epoch")
+    raw_baggage = data.get("baggage")
+    baggage: Tuple[Tuple[str, str], ...] = ()
+    if isinstance(raw_baggage, dict):
+        baggage = tuple(
+            (key, value) for key, value in sorted(raw_baggage.items())
+            if isinstance(key, str) and isinstance(value, str)
+        )
     return TraceContext(
         trace_id=trace_id,
         span_id=span_id,
         epoch=float(epoch) if isinstance(epoch, (int, float)) else 0.0,
+        baggage=baggage,
     )

@@ -226,6 +226,14 @@ class SpanRecorder:
             parent_id=parent_id, start=event.timestamp,
             activation_id=event.activation_id, node=self.node,
         )
+        if context is not None and context.baggage:
+            # Propagated annotations (e.g. the shard router's
+            # ``shard=...``) land on the activation root, so per-shard
+            # traces can be grouped without parsing method ids.
+            for key, value in context.baggage:
+                root.annotations.append(
+                    (event.timestamp, f"{key}={value}")
+                )
         record = _Active(root)
         record.pre = root.child("pre_activation", event.timestamp)
         self._active[event.activation_id] = record

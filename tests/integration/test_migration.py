@@ -127,3 +127,113 @@ class TestMigration:
             )
         assert names.resolve("counter").node_id == "node-a"
         assert client.call_name("counter", "bump") == 1
+
+    def test_failed_rebuild_still_resumes(self, world):
+        # Regression: resume used to run only on the success path, so a
+        # failed capture/rebuild left the service quiesced forever.
+        network, names, source, target, client, migrator = world
+        events = []
+
+        def broken_rebuild(state):
+            raise RuntimeError("target out of memory")
+
+        with pytest.raises(MigrationError):
+            migrator.migrate(
+                "counter", source, target,
+                capture=lambda servant: servant.snapshot(),
+                rebuild=broken_rebuild,
+                quiesce=lambda: events.append("quiesce"),
+                resume=lambda: events.append("resume"),
+            )
+        assert events == ["quiesce", "resume"]
+        # and the source servant is back to *serving*, not just present
+        assert client.call_name("counter", "bump") == 1
+
+    def test_unwire_safe_capture_still_resumes(self, world):
+        network, names, source, target, client, migrator = world
+        events = []
+        with pytest.raises(MigrationError, match="wire-safe"):
+            migrator.migrate(
+                "counter", source, target,
+                capture=lambda servant: {"obj": object()},
+                rebuild=lambda state: CounterService(),
+                quiesce=lambda: events.append("quiesce"),
+                resume=lambda: events.append("resume"),
+            )
+        assert events == ["quiesce", "resume"]
+        assert client.call_name("counter", "bump") == 1
+
+    def test_missing_service_still_resumes(self, world):
+        network, names, source, target, client, migrator = world
+        events = []
+        source.withdraw("counter")
+        with pytest.raises(MigrationError, match="not on"):
+            do_migrate(
+                migrator, source, target,
+                quiesce=lambda: events.append("quiesce"),
+                resume=lambda: events.append("resume"),
+            )
+        assert events == ["quiesce", "resume"]
+
+    def test_drain_barrier_captures_inflight_effects(self, world):
+        # A call already executing when the migrator withdraws must
+        # land in the captured state: settle() blocks the capture until
+        # the in-flight count drains.
+        import threading
+        import time
+
+        network, names, source, target, client, migrator = world
+        release = threading.Event()
+        servant = source._servants["counter"]
+        original_bump = servant.bump
+
+        def slow_bump(by=1):
+            release.wait(2.0)
+            return original_bump(by)
+
+        servant.bump = slow_bump
+        caller_done = []
+
+        def call():
+            caller_done.append(client.call_name("counter", "bump",
+                                                timeout=5.0))
+
+        thread = threading.Thread(target=call)
+        thread.start()
+        time.sleep(0.15)  # let the call reach the servant
+        # release the servant only after the migrator is already inside
+        # its drain barrier: settle() must wait the call out
+        threading.Timer(0.3, release.set).start()
+        do_migrate(migrator, source, target)
+        thread.join(5.0)
+        assert caller_done == [1]
+        # the slow bump's effect travelled with the captured state
+        assert client.call_name("counter", "where") == "node-b"
+        assert client.call_name("counter", "bump") == 2
+
+    def test_drain_timeout_rolls_back(self, world):
+        import threading
+        import time
+
+        network, names, source, target, client, migrator = world
+        release = threading.Event()
+        servant = source._servants["counter"]
+
+        def stuck_bump(by=1):
+            release.wait(10.0)
+            return 0
+
+        servant.bump = stuck_bump
+        thread = threading.Thread(
+            target=lambda: client.call_name("counter", "bump", timeout=12.0)
+        )
+        thread.start()
+        time.sleep(0.15)
+        try:
+            with pytest.raises(MigrationError, match="drain"):
+                do_migrate(migrator, source, target, drain_timeout=0.2)
+            assert names.resolve("counter").node_id == "node-a"
+            assert "counter" in source.services()
+        finally:
+            release.set()
+            thread.join(5.0)

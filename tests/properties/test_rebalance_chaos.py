@@ -1,0 +1,322 @@
+"""Rebalance chaos: exactly-once effects across live shard moves.
+
+The acceptance sweep for sharded clusters (``docs/sharding.md``). A
+two-shard cluster serves retried mutating calls while a shard is
+rebalanced between nodes *mid-workload*, under deterministic
+:class:`FaultPlan` loss schedules. Invariants, for every schedule in
+(loss × rebalance-in-flight × retry):
+
+* **exactly-once effects** — every logical put that reported success
+  was applied exactly once, counted over the shard's entire life
+  (apply counts travel inside the captured state, so the post-move
+  store's history is the complete history);
+* **no terminal errors** — the moving window answers with a retryable
+  ``Overloaded``, so an armed caller's retry loop re-resolves onto the
+  rebound location and succeeds within its deadline;
+* **unarmed callers can mask the window themselves** — a typed
+  ``Overloaded`` plus ``wait_for(version + 1)`` on the shard's binding
+  is enough to ride out a move without a retry policy.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.aspects.retry import RetryPolicy
+from repro.core.errors import Overloaded
+from repro.dist import (
+    Client,
+    NameService,
+    Network,
+    Node,
+    Rebalancer,
+)
+from repro.dist.migration import Migrator
+from repro.dist.resilience import RPC_TRANSIENT
+from repro.faults import FaultInjector, single_loss_plans
+
+POLICY = RetryPolicy(max_attempts=8, base_delay=0.01, retry_on=RPC_TRANSIENT)
+
+#: every endpoint a delivery can be lost on its way to
+ENDPOINTS = ("client", "n1", "n2", "n3")
+
+#: the loss-schedule space crossed with the rebalance-in-flight axis
+LOSS_PLANS = single_loss_plans(ENDPOINTS, occurrences=(1, 2))
+
+
+class CountingKV:
+    """Counts applies per key — any count above 1 is a double-apply."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.data = {}
+        self.counts = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self.counts[key] = self.counts.get(key, 0) + 1
+            self.data[key] = value
+            return self.counts[key]
+
+    def get(self, key):
+        return self.data.get(key)
+
+
+class ShardedCluster:
+    """Three nodes, two shards, a retry-armed router, a rebalancer."""
+
+    def __init__(self):
+        self.network = Network()
+        self.names = NameService()
+        self.nodes = {
+            tag: Node(tag, self.network).start()
+            for tag in ("n1", "n2", "n3")
+        }
+        self.names.bind_sharded("kv", ["s0", "s1"], vnodes=64)
+        self.stores = {"s0": CountingKV(), "s1": CountingKV()}
+        self.nodes["n1"].export("kv#s0", self.stores["s0"])
+        self.nodes["n2"].export("kv#s1", self.stores["s1"])
+        self.names.bind("kv#s0", "n1", "kv#s0")
+        self.names.bind("kv#s1", "n2", "kv#s1")
+        self.client = Client("client", self.network, self.names,
+                             default_timeout=2.0)
+        self.router = self.client.shard_router("kv")
+        self.rebalancer = Rebalancer(self.names)
+
+    @staticmethod
+    def capture(servant):
+        # counts ride along: after the move, the new store's counts are
+        # the shard's *complete* apply history — the exactly-once oracle
+        with servant._lock:
+            return {"data": dict(servant.data),
+                    "counts": dict(servant.counts)}
+
+    def rebuild_for(self, shard):
+        def rebuild(state):
+            store = CountingKV()
+            store.data.update(state["data"])
+            store.counts.update(state["counts"])
+            self.stores[shard] = store
+            return store
+        return rebuild
+
+    def rebalance(self, shard, source, target, capture_delay=0.0):
+        def capture(servant):
+            if capture_delay:
+                time.sleep(capture_delay)  # widen the downtime window
+            return self.capture(servant)
+
+        return self.rebalancer.rebalance(
+            "kv", shard, self.nodes[source], self.nodes[target],
+            capture=capture, rebuild=self.rebuild_for(shard),
+            drain_timeout=5.0,
+        )
+
+    def close(self):
+        self.client.close()
+        for node in self.nodes.values():
+            node.stop()
+        self.network.close()
+
+
+@pytest.mark.parametrize(
+    "plan", LOSS_PLANS, ids=[str(p) for p in LOSS_PLANS])
+def test_every_loss_schedule_survives_rebalance_in_flight(plan):
+    """loss × rebalance-in-flight × retry ⇒ exactly-once, no failures."""
+    rig = ShardedCluster()
+    FaultInjector(plan).install(rig.network)
+    try:
+        keys = [f"k{i}" for i in range(10)]
+        successes, errors = {}, []
+        lock = threading.Lock()
+
+        def worker(slice_):
+            for key in slice_:
+                try:
+                    result = rig.router.put(
+                        key, f"v-{key}", timeout=0.25,
+                        deadline=2.0, retry_policy=POLICY,
+                    )
+                    with lock:
+                        successes[key] = result
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    with lock:
+                        errors.append((key, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(keys[index::2],))
+            for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.02)
+        # the move runs *inside* the workload, window widened so calls
+        # provably race the withdraw → rebind gap
+        rig.rebalance("s0", "n1", "n3", capture_delay=0.05)
+        for thread in threads:
+            thread.join(timeout=15.0)
+        assert not any(t.is_alive() for t in threads), "stranded worker"
+
+        assert errors == [], f"terminal errors under {plan}: {errors!r}"
+        assert set(successes) == set(keys)
+        ring = rig.router.ring()
+        for key, result in successes.items():
+            assert result == 1, (
+                f"{key!r} observed apply #{result} under {plan}"
+            )
+            shard = ring.lookup(key)
+            count = rig.stores[shard].counts.get(key, 0)
+            assert count == 1, (
+                f"{key!r} applied {count} times on {shard} under {plan}"
+            )
+    finally:
+        FaultInjector.uninstall(rig.network)
+        rig.close()
+
+
+def test_dedup_handoff_replays_after_lost_reply_and_rebalance():
+    """Apply on the source, lose the reply, move the shard: the retry
+    must *replay* at the target, not re-execute."""
+    rig = ShardedCluster()
+    try:
+        key = "handoff-key"
+        shard = rig.router.ring().lookup(key)
+        source = {"s0": "n1", "s1": "n2"}[shard]
+        # first delivery applies on the source and its reply is eaten
+        plan = single_loss_plans(["client"])[0]
+        FaultInjector(plan).install(rig.network)
+        outcome = {}
+
+        def call():
+            outcome["result"] = rig.router.put(
+                key, "V", timeout=0.3, deadline=5.0, retry_policy=POLICY,
+            )
+
+        caller = threading.Thread(target=call)
+        caller.start()
+        # wait for the apply to land, then move the shard out from
+        # under the retry
+        deadline = time.monotonic() + 3.0
+        while rig.stores[shard].counts.get(key, 0) == 0:
+            assert time.monotonic() < deadline, "apply never landed"
+            time.sleep(0.005)
+        rig.rebalance(shard, source, "n3")
+        caller.join(timeout=10.0)
+        assert outcome.get("result") == 1
+        assert rig.stores[shard].counts.get(key) == 1
+    finally:
+        FaultInjector.uninstall(rig.network)
+        rig.close()
+
+
+def test_unarmed_caller_masks_window_with_wait_for():
+    """No retry policy: Overloaded + ``wait_for(version+1)`` suffices."""
+    rig = ShardedCluster()
+    try:
+        version = rig.names.resolve("kv#s0").version
+        hold = threading.Event()
+
+        def slow_capture(servant):
+            hold.set()
+            time.sleep(0.3)  # hold the window open
+            return ShardedCluster.capture(servant)
+
+        def move():
+            rig.rebalancer.rebalance(
+                "kv", "s0", rig.nodes["n1"], rig.nodes["n3"],
+                capture=slow_capture, rebuild=rig.rebuild_for("s0"),
+            )
+
+        mover = threading.Thread(target=move)
+        mover.start()
+        assert hold.wait(5.0), "rebalance never reached capture"
+        # inside the window: the unarmed call fails with the *typed*
+        # transient rejection, not a terminal lookup error
+        with pytest.raises(Overloaded):
+            rig.client.call_name("kv#s0", "put", "k", "v")
+        # the documented unarmed recovery: await the rebind, call again
+        binding = rig.names.wait_for("kv#s0", version + 1, timeout=5.0)
+        mover.join(timeout=10.0)
+        assert binding is not None and binding.node_id == "n3"
+        assert rig.client.call_name("kv#s0", "put", "k", "v") == 1
+        assert rig.stores["s0"].counts.get("k") == 1
+    finally:
+        rig.close()
+
+
+def test_plain_migration_under_load_is_exactly_once():
+    """The satellite: calls racing withdraw/rebind of a *plain* name.
+
+    The downtime window between withdraw and rebind used to surface as
+    a terminal LookupError; the moving-window Overloaded plus the PR-5
+    retry loop must mask it with exactly-once effects.
+    """
+    network = Network()
+    names = NameService()
+    source = Node("node-a", network).start()
+    target = Node("node-b", network).start()
+    store = CountingKV()
+    source.export("kv", store)
+    names.bind("kv", "node-a", "kv")
+    client = Client("client", network, names, default_timeout=2.0)
+    migrator = Migrator(names)
+    final = {}
+
+    def capture(servant):
+        with servant._lock:
+            time.sleep(0.05)  # widen the window
+            return {"data": dict(servant.data),
+                    "counts": dict(servant.counts)}
+
+    def rebuild(state):
+        rebuilt = CountingKV()
+        rebuilt.data.update(state["data"])
+        rebuilt.counts.update(state["counts"])
+        final["store"] = rebuilt
+        return rebuilt
+
+    try:
+        keys = [f"k{i}" for i in range(12)]
+        successes, errors = {}, []
+        lock = threading.Lock()
+
+        def worker(slice_):
+            for key in slice_:
+                try:
+                    result = client.call_name(
+                        "kv", "put", key, f"v-{key}", timeout=0.25,
+                        deadline=2.0, retry_policy=POLICY,
+                    )
+                    with lock:
+                        successes[key] = result
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    with lock:
+                        errors.append((key, exc))
+
+        threads = [
+            threading.Thread(target=worker, args=(keys[index::2],))
+            for index in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.02)
+        migrator.migrate("kv", source, target, capture, rebuild,
+                         drain_timeout=5.0)
+        for thread in threads:
+            thread.join(timeout=15.0)
+        assert not any(t.is_alive() for t in threads), "stranded worker"
+
+        assert errors == [], f"terminal errors: {errors!r}"
+        assert set(successes) == set(keys)
+        authoritative = final["store"]
+        for key, result in successes.items():
+            assert result == 1
+            assert authoritative.counts.get(key) == 1, (
+                f"{key!r} applied {authoritative.counts.get(key)} times"
+            )
+    finally:
+        client.close()
+        source.stop()
+        target.stop()
+        network.close()

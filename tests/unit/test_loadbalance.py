@@ -84,6 +84,24 @@ class TestPolicies:
         with pytest.raises(ValueError):
             WeightedChoice({"a": 0.0})
 
+    def test_round_robin_stable_under_filtered_candidates(self):
+        # During failover the balancer passes a *filtered* candidate
+        # list; rotation must stay anchored to backend identity, not to
+        # positions in whatever list was passed this call.
+        policy = RoundRobin()
+        assert policy.choose(BACKEND_NAMES) == "svc-0"
+        # svc-1 unavailable this call: rotation resumes at svc-1's slot
+        # and takes the next live backend, without skewing the cycle.
+        assert policy.choose(["svc-0", "svc-2"]) == "svc-2"
+        assert policy.choose(BACKEND_NAMES) == "svc-0"
+        assert policy.choose(BACKEND_NAMES) == "svc-1"
+
+    def test_round_robin_empty_rejected(self):
+        from repro.core.errors import NetworkError
+
+        with pytest.raises(NetworkError):
+            RoundRobin().choose([])
+
 
 class TestLoadBalancer:
     def test_round_robin_distributes_evenly(self, rig):
@@ -111,6 +129,23 @@ class TestLoadBalancer:
         results = [balancer.call("work") for _ in range(3)]
         assert all(r in {"backend-1", "backend-2"} for r in results)
         assert balancer.failovers >= 1
+
+    def test_round_robin_even_with_one_backend_down(self, rig):
+        # The rotation bug: a cursor taken modulo the *filtered*
+        # candidate list skews traffic whenever one backend is down.
+        # Stable-identity rotation keeps the survivors evenly loaded.
+        network, names, nodes, backends, client = rig
+        network.take_down("node-0")
+        balancer = LoadBalancer(
+            client, BACKEND_NAMES, policy=RoundRobin(), retries=2,
+        )
+        client.default_timeout = 0.25
+        for _ in range(12):
+            balancer.call("work")
+        distribution = balancer.distribution()
+        assert distribution["svc-0"] == 0
+        assert distribution["svc-1"] == 6
+        assert distribution["svc-2"] == 6
 
     def test_application_errors_do_not_fail_over(self, rig):
         network, names, nodes, backends, client = rig

@@ -1,5 +1,7 @@
 """Unit tests for the naming service."""
 
+import threading
+
 import pytest
 
 from repro.core.errors import NameNotFound
@@ -66,3 +68,133 @@ class TestWatch:
         names.watch("other", lambda b: seen.append(b))
         names.bind("tickets", "node-1", "svc")
         assert seen == []
+
+    def test_unbind_delivers_tombstone(self):
+        names = NameService()
+        seen = []
+        names.watch("tickets", seen.append)
+        names.bind("tickets", "node-1", "svc")
+        names.unbind("tickets")
+        assert len(seen) == 2
+        tombstone = seen[-1]
+        assert tombstone.unbound
+        assert tombstone.node_id == ""
+        assert tombstone.version == 2
+
+    def test_unbind_wakes_wait_for(self):
+        names = NameService()
+        names.bind("tickets", "node-1", "svc")
+        observed = []
+
+        def waiter():
+            observed.append(names.wait_for("tickets", version=2,
+                                           timeout=2.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        names.unbind("tickets")
+        names.bind("tickets", "node-2", "svc")
+        thread.join(3.0)
+        assert not thread.is_alive()
+        # the rebound binding satisfies the wait (version 3 >= 2)
+        assert observed[0] is not None
+        assert observed[0].node_id == "node-2"
+
+    def test_versions_monotonic_across_unbind(self):
+        names = NameService()
+        names.bind("tickets", "node-1", "svc")
+        names.unbind("tickets")
+        binding = names.bind("tickets", "node-2", "svc")
+        # never restarts at 1: watchers compare versions for staleness
+        assert binding.version == 3
+
+    def test_unwatch_stops_delivery(self):
+        names = NameService()
+        seen = []
+        callback = seen.append
+        names.watch("tickets", callback)
+        names.bind("tickets", "node-1", "svc")
+        assert names.unwatch("tickets", callback) is True
+        names.rebind("tickets", "node-2", "svc")
+        assert [b.node_id for b in seen] == ["node-1"]
+        assert names.unwatch("tickets", callback) is False
+        assert names.unwatch("ghost", callback) is False
+
+    def test_concurrent_rebinds_deliver_in_version_order(self):
+        names = NameService()
+        names.bind("tickets", "node-0", "svc")
+        seen = []
+        names.watch("tickets", lambda b: seen.append(b.version))
+        barrier = threading.Barrier(2)
+
+        def rebinder(tag):
+            barrier.wait()
+            for index in range(100):
+                names.rebind("tickets", f"{tag}-{index}", "svc")
+
+        threads = [threading.Thread(target=rebinder, args=(t,))
+                   for t in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10.0)
+        # strictly increasing: no watcher ever observed a stale binding
+        # after a newer one (stale deliveries are dropped, not reordered)
+        assert all(a < b for a, b in zip(seen, seen[1:]))
+        # the last delivery is the final state of the name
+        assert seen[-1] == names.resolve("tickets").version
+
+
+class TestShardedBindings:
+    def test_bind_and_resolve_sharded(self):
+        names = NameService()
+        sharded = names.bind_sharded("kv", ["s0", "s1"], vnodes=32)
+        assert sharded.shard_ids == ("s0", "s1")
+        assert sharded.vnodes == 32
+        assert sharded.shard_name("s0") == "kv#s0"
+        assert names.resolve_sharded("kv").version == 1
+        assert names.is_sharded("kv")
+        assert not names.is_sharded("other")
+
+    def test_sharded_and_plain_names_exclusive(self):
+        names = NameService()
+        names.bind("plain", "n", "s")
+        with pytest.raises(ValueError):
+            names.bind_sharded("plain", ["s0"])
+        names.bind_sharded("kv", ["s0"])
+        with pytest.raises(ValueError):
+            names.bind("kv", "n", "s")
+        with pytest.raises(ValueError):
+            names.rebind("kv", "n", "s")
+        with pytest.raises(ValueError):
+            names.bind_sharded("kv", ["s1"])
+
+    def test_sharded_validation(self):
+        names = NameService()
+        with pytest.raises(ValueError):
+            names.bind_sharded("kv", [])
+        with pytest.raises(ValueError):
+            names.bind_sharded("kv", ["s0", "s0"])
+        with pytest.raises(ValueError):
+            names.bind_sharded("kv", ["s0"], vnodes=0)
+
+    def test_update_sharded_bumps_version(self):
+        names = NameService()
+        names.bind_sharded("kv", ["s0", "s1"], vnodes=16)
+        updated = names.update_sharded("kv", ["s0", "s1", "s2"])
+        assert updated.version == 2
+        assert updated.vnodes == 16
+        assert updated.shard_ids == ("s0", "s1", "s2")
+        with pytest.raises(NameNotFound):
+            names.update_sharded("ghost", ["s0"])
+
+    def test_unbind_sharded(self):
+        names = NameService()
+        names.bind_sharded("kv", ["s0"])
+        names.unbind_sharded("kv")
+        with pytest.raises(NameNotFound):
+            names.resolve_sharded("kv")
+        with pytest.raises(NameNotFound):
+            names.unbind_sharded("kv")
+        # the name is free again, and versions continued from high water
+        assert names.bind_sharded("kv", ["s0"]).version == 3

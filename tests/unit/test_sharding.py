@@ -1,0 +1,249 @@
+"""Unit tests for consistent-hash sharding and live rebalance."""
+
+import pytest
+
+from repro.core.errors import NameNotFound
+from repro.dist import (
+    Client,
+    NameService,
+    Network,
+    Node,
+    Rebalancer,
+)
+from repro.dist.migration import MigrationError
+from repro.dist.sharding import HashRing, first_argument_key
+
+SHARDS = ["s0", "s1", "s2"]
+
+
+class KV:
+    def __init__(self, store=None):
+        self.store = dict(store or {})
+        self.aspect_state = {}
+
+    def put(self, key, value):
+        self.store[key] = value
+        return value
+
+    def get(self, key):
+        return self.store.get(key)
+
+    def transfer(self, amount, account):
+        return (account, amount)
+
+    def snapshot(self):
+        return {"store": dict(self.store)}
+
+
+def rebuild_kv(state):
+    return KV(state["store"])
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(SHARDS, vnodes=64)
+        b = HashRing(SHARDS, vnodes=64)
+        keys = [f"key-{i}" for i in range(500)]
+        assert [a.lookup(k) for k in keys] == [b.lookup(k) for k in keys]
+
+    def test_every_shard_owns_keys(self):
+        ring = HashRing(SHARDS, vnodes=64)
+        spread = ring.spread(f"key-{i}" for i in range(3000))
+        sizes = {shard: len(keys) for shard, keys in spread.items()}
+        assert set(sizes) == set(SHARDS)
+        # virtual nodes keep the split roughly even (loose bound: each
+        # shard within a factor ~2 of its fair share)
+        fair = 3000 / len(SHARDS)
+        assert all(fair / 2 < size < fair * 2 for size in sizes.values())
+
+    def test_adding_a_shard_moves_a_minority_of_keys(self):
+        before = HashRing(SHARDS, vnodes=64)
+        after = HashRing(SHARDS + ["s3"], vnodes=64)
+        keys = [f"key-{i}" for i in range(3000)]
+        moved = sum(1 for k in keys if before.lookup(k) != after.lookup(k))
+        # consistent hashing: ~1/N of the keyspace remaps, never most
+        assert moved / len(keys) < 0.5
+        # and keys that moved all moved *to* the new shard
+        assert all(
+            after.lookup(k) == "s3"
+            for k in keys if before.lookup(k) != after.lookup(k)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing([])
+        with pytest.raises(ValueError):
+            HashRing(["a", "a"])
+        with pytest.raises(ValueError):
+            HashRing(["a"], vnodes=0)
+
+    def test_first_argument_key(self):
+        assert first_argument_key(("alice", 5), {}) == "alice"
+        assert first_argument_key((42,), {}) == "42"
+        with pytest.raises(ValueError):
+            first_argument_key((), {"key": "x"})
+
+
+@pytest.fixture
+def cluster():
+    network = Network()
+    names = NameService()
+    nodes = {tag: Node(tag, network).start() for tag in ("n1", "n2", "n3")}
+    names.bind_sharded("kv", ["s0", "s1"], vnodes=64)
+    stores = {"s0": KV(), "s1": KV()}
+    nodes["n1"].export("kv#s0", stores["s0"])
+    nodes["n2"].export("kv#s1", stores["s1"])
+    names.bind("kv#s0", "n1", "kv#s0")
+    names.bind("kv#s1", "n2", "kv#s1")
+    client = Client("client", network, names, default_timeout=2.0)
+    yield network, names, nodes, stores, client
+    client.close()
+    for node in nodes.values():
+        node.stop()
+    network.close()
+
+
+class TestShardRouter:
+    def test_routes_to_owning_shard(self, cluster):
+        network, names, nodes, stores, client = cluster
+        router = client.shard_router("kv")
+        keys = [f"key-{i}" for i in range(30)]
+        for key in keys:
+            assert router.put(key, key.upper()) == key.upper()
+        assignment = router.ring().spread(keys)
+        for shard, owned in assignment.items():
+            for key in owned:
+                assert stores[shard].store[key] == key.upper()
+
+    def test_per_method_shard_keys(self, cluster):
+        network, names, nodes, stores, client = cluster
+        # transfer(amount, account) shards on the *account*, not the
+        # first positional argument
+        router = client.shard_router(
+            "kv",
+            shard_keys={"transfer": lambda args, kwargs: str(args[1])},
+        )
+        assert router.transfer(100, "acct-7") == ("acct-7", 100)
+        shard = router.ring().lookup("acct-7")
+        assert router.shard_for("transfer", (100, "acct-7"), {}) == shard
+
+    def test_ring_refreshes_on_reshard(self, cluster):
+        network, names, nodes, stores, client = cluster
+        router = client.shard_router("kv")
+        assert router.ring().shards() == ("s0", "s1")
+        stores["s2"] = KV()
+        nodes["n3"].export("kv#s2", stores["s2"])
+        names.bind("kv#s2", "n3", "kv#s2")
+        names.update_sharded("kv", ["s0", "s1", "s2"])
+        assert router.ring().shards() == ("s0", "s1", "s2")
+
+    def test_routes_counter_labelled_per_shard(self, cluster):
+        network, names, nodes, stores, client = cluster
+        router = client.shard_router("kv")
+        keys = [f"key-{i}" for i in range(20)]
+        for key in keys:
+            router.put(key, 1)
+        assignment = router.ring().spread(keys)
+        for shard, owned in assignment.items():
+            counted = router._routes.labels("kv", shard).value
+            assert counted == len(owned)
+
+    def test_unsharded_name_rejected(self, cluster):
+        network, names, nodes, stores, client = cluster
+        router = client.shard_router("ghost")
+        with pytest.raises(NameNotFound):
+            router.put("key", 1)
+
+
+class TestRebalancer:
+    def test_moves_state_and_rebinds(self, cluster):
+        network, names, nodes, stores, client = cluster
+        router = client.shard_router("kv")
+        keys = [f"key-{i}" for i in range(30)]
+        for key in keys:
+            router.put(key, key.upper())
+        rebalancer = Rebalancer(names)
+        report = rebalancer.rebalance(
+            "kv", "s0", nodes["n1"], nodes["n3"],
+            capture=KV.snapshot, rebuild=rebuild_kv,
+        )
+        assert report.source == "n1" and report.target == "n3"
+        assert names.resolve("kv#s0").node_id == "n3"
+        assert "kv#s0" not in nodes["n1"].services()
+        owned = router.ring().spread(keys)["s0"]
+        for key in owned:
+            assert router.get(key) == key.upper()
+        assert rebalancer.history == [report]
+
+    def test_dedup_entries_travel(self, cluster):
+        network, names, nodes, stores, client = cluster
+        router = client.shard_router("kv")
+        # an armed call leaves its reply in n1's dedup cache
+        owned = router.ring().lookup("pinned")
+        target_node = {"s0": "n1", "s1": "n2"}[owned]
+        router.put("pinned", "V", idempotency_key="c:pin", deadline=2.0)
+        source = nodes[target_node]
+        destination = nodes["n3"]
+        rebalancer = Rebalancer(names)
+        report = rebalancer.rebalance(
+            "kv", owned, source, destination,
+            capture=KV.snapshot, rebuild=rebuild_kv,
+        )
+        assert report.dedup_entries_moved >= 1
+        # a retry of the same logical call at the new home *replays*
+        # the original reply instead of re-executing
+        before = destination.dedup_hits
+        assert router.put("pinned", "V", idempotency_key="c:pin",
+                          deadline=2.0) == "V"
+        assert destination.dedup_hits == before + 1
+
+    def test_aspect_state_hooks(self, cluster):
+        network, names, nodes, stores, client = cluster
+        stores["s0"].aspect_state = {"items": 3, "active": 1}
+        restored = {}
+
+        def aspect_capture(servant):
+            return dict(servant.aspect_state)
+
+        def aspect_restore(servant, state):
+            servant.aspect_state = dict(state)
+            restored.update(state)
+
+        rebalancer = Rebalancer(names)
+        rebalancer.rebalance(
+            "kv", "s0", nodes["n1"], nodes["n3"],
+            capture=KV.snapshot, rebuild=rebuild_kv,
+            aspect_capture=aspect_capture, aspect_restore=aspect_restore,
+        )
+        assert restored == {"items": 3, "active": 1}
+
+    def test_failed_rebalance_keeps_source_serving(self, cluster):
+        network, names, nodes, stores, client = cluster
+        router = client.shard_router("kv")
+        router.put("key", "V")
+
+        def broken_rebuild(state):
+            raise RuntimeError("no memory on target")
+
+        rebalancer = Rebalancer(names)
+        with pytest.raises(MigrationError):
+            rebalancer.rebalance(
+                "kv", "s0", nodes["n1"], nodes["n3"],
+                capture=KV.snapshot, rebuild=broken_rebuild,
+            )
+        assert names.resolve("kv#s0").node_id == "n1"
+        assert rebalancer._counters.value("failed_rebalances") == 1
+        assert rebalancer.history == []
+        # the shard still answers through the router
+        owned = router.ring().spread(["key"])
+        if "key" in owned.get("s0", []):
+            assert router.get("key") == "V"
+
+    def test_unknown_shard_rejected(self, cluster):
+        network, names, nodes, stores, client = cluster
+        rebalancer = Rebalancer(names)
+        with pytest.raises(MigrationError, match="no shard"):
+            rebalancer.rebalance(
+                "kv", "s9", nodes["n1"], nodes["n3"],
+                capture=KV.snapshot, rebuild=rebuild_kv,
+            )
