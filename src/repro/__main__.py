@@ -11,7 +11,11 @@ Subcommands:
                 cluster and over a deliberately anomalous one;
 * ``obs``       run a moderated workload under the observability plane
                 and print the live summary table, per-method flame
-                breakdowns and a Prometheus metrics excerpt.
+                breakdowns and a Prometheus metrics excerpt;
+* ``slice``     provoke a cross-node contract violation (an interfering
+                aspect breaks a postcondition two hops away), print the
+                blame verdict with its checkpoint evidence, and render
+                the minimal causal sub-trace spanning both nodes.
 """
 
 from __future__ import annotations
@@ -190,6 +194,114 @@ def run_obs() -> int:
     return 0
 
 
+def run_slice() -> int:
+    from repro.contracts import (
+        ContractRegistry, ContractViolation, causal_slice, slice_to_dot,
+    )
+    from repro.core import AspectModerator, ComponentProxy, NullAspect
+    from repro.dist import Client, NameService, Network, Node
+    from repro.obs import SpanRecorder, propagation
+
+    class Store:
+        def __init__(self):
+            self.total = 0
+
+        def write(self, value):
+            self.total += value
+            return self.total
+
+    class Skim(NullAspect):
+        never_blocks = True
+
+        def evaluate_precondition(self, joinpoint):
+            joinpoint.component.total -= 1
+            return super().evaluate_precondition(joinpoint)
+
+    class Relay:
+        def __init__(self, client):
+            self._client = client
+
+        def forward(self, value):
+            return self._client.call_node("node-b", "store", "write",
+                                          value)
+
+    network = Network(latency=0.001)
+    names = NameService()
+
+    moderator_b = AspectModerator()
+    moderator_b.register_aspect(
+        "write", "skim", Skim(),
+        fault_policy="fail_open", fault_threshold=1,
+    )
+    registry_b = ContractRegistry(node="node-b")
+    registry_b.declare(
+        "write",
+        ensure=[("total_grew",
+                 lambda jp, old: jp.component.total
+                 == old.total + jp.args[0])],
+        observables=("total",),
+    )
+    registry_b.install(moderator_b)
+    recorder_b = SpanRecorder(node="node-b")
+    moderator_b.events.subscribe(recorder_b)
+    node_b = Node("node-b", network, workers=2).start()
+    node_b.export("store", ComponentProxy(Store(), moderator_b))
+
+    moderator_a = AspectModerator()
+    moderator_a.register_aspect("forward", "audit", NullAspect())
+    recorder_a = SpanRecorder(node="node-a")
+    moderator_a.events.subscribe(recorder_a)
+    relay_client = Client("node-a-out", network, names,
+                          default_timeout=2.0)
+    node_a = Node("node-a", network, workers=2).start()
+    node_a.export("front", ComponentProxy(Relay(relay_client),
+                                          moderator_a))
+    names.bind("front", "node-a", "front")
+
+    client = Client("edge", network, names, default_timeout=2.0)
+    print("Calling front.forward(5) — node-a relays to node-b's "
+          "moderated store,\nwhere a 'skim' aspect silently mutates the "
+          "contract observable ...")
+    violation = None
+    try:
+        with propagation.start_trace():
+            try:
+                client.call_name("front", "forward", 5)
+            except ContractViolation as caught:
+                violation = caught
+        if violation is None:
+            print("no violation?!")
+            return 1
+        print(f"\nContractViolation rehydrated at the edge client "
+              f"(two hops):\n  {violation}")
+        print(f"\nblame verdict: {violation.blame}")
+        print("checkpoint evidence:")
+        for record in violation.evidence:
+            print(f"  {dict(record)}")
+        print("\ncallee aspect health (structured last_fault_info):")
+        record = moderator_b.aspect_health()[("write", "skim")]
+        print(f"  quarantined={record['quarantined']} "
+              f"last_fault_info={record['last_fault_info']}")
+
+        slice_ = causal_slice(
+            recorder_a.export(), recorder_b.export(),
+            wake_edges=[*recorder_a.export_wake_edges(),
+                        *recorder_b.export_wake_edges()],
+            evidence=violation.evidence,
+        )
+        print("\nminimal causal sub-trace:")
+        print(slice_.format())
+        print("\nGraphviz rendering (pipe to `dot -Tsvg`):")
+        print(slice_to_dot(slice_))
+        return 0
+    finally:
+        client.close()
+        relay_client.close()
+        node_a.stop()
+        node_b.stop()
+        network.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -197,13 +309,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command", nargs="?", default="demo",
-        choices=["demo", "verify", "metrics", "lint", "obs"],
+        choices=["demo", "verify", "metrics", "lint", "obs", "slice"],
         help="which demo to run (default: demo)",
     )
     arguments = parser.parse_args(argv)
     runners = {"demo": run_demo, "verify": run_verify,
                "metrics": run_metrics, "lint": run_lint,
-               "obs": run_obs}
+               "obs": run_obs, "slice": run_slice}
     return runners[arguments.command]()
 
 

@@ -1,0 +1,49 @@
+"""``repro.contracts`` — the contract & causality plane.
+
+Design-by-Contract aspects over the moderation protocol: ``require`` /
+``ensure`` / ``invariant`` clauses declared per method, checked at the
+pre-/post-activation seams the moderator already owns, with **blame
+assignment** — when a clause fails, the activation's checkpoint
+evidence decides whether the component, the caller, or an interfering
+aspect broke the contract (Lorenz & Skotiniotis, *Extending Design by
+Contract for AOP*). On the same evidence, :mod:`repro.contracts.slicing`
+computes the minimal causal sub-trace of a failed activation across
+wake edges and cross-node stitched traces (Ray et al., *Dynamic Slice
+of Concurrent Aspect-Oriented Programs*).
+
+See ``docs/contracts.md`` for the blame model and a two-node slicer
+walkthrough.
+"""
+
+from repro.core.errors import ContractViolation
+
+from .contract import (
+    CONTRACT_KEY,
+    Clause,
+    ContractRegistry,
+    ContractRunner,
+    MethodContract,
+    Old,
+)
+from .slicing import (
+    CausalSlice,
+    SliceActivation,
+    causal_slice,
+    find_failed,
+    slice_to_dot,
+)
+
+__all__ = [
+    "CONTRACT_KEY",
+    "CausalSlice",
+    "Clause",
+    "ContractRegistry",
+    "ContractRunner",
+    "ContractViolation",
+    "MethodContract",
+    "Old",
+    "SliceActivation",
+    "causal_slice",
+    "find_failed",
+    "slice_to_dot",
+]

@@ -20,6 +20,7 @@ from .errors import (
     AuthenticationError,
     AuthorizationError,
     CompositionErrors,
+    ContractViolation,
     FrameworkError,
     MethodAborted,
     NameNotFound,
@@ -87,6 +88,7 @@ __all__ = [
     "ComponentProxy",
     "CompositeFactory",
     "CompositionErrors",
+    "ContractViolation",
     "EventBus",
     "ExplicitOrder",
     "FAIL_CLOSED",

@@ -80,6 +80,68 @@ class CompositionErrors(FrameworkError):
         )
 
 
+class ContractViolation(FrameworkError):
+    """A Design-by-Contract clause failed, with a blame verdict attached.
+
+    Contract aspects (``repro.contracts``) check ``require`` clauses at
+    the pre-activation seam and ``ensure``/``invariant`` clauses at the
+    post-activation seams. When a clause fails, the runner replays the
+    activation's checkpoint evidence to decide *who* broke the contract
+    (Lorenz & Skotiniotis, *Extending Design by Contract for AOP*):
+
+    * ``"caller"`` — a ``require`` clause (or an entry invariant) failed
+      before any aspect ran: the activation was invalid on arrival;
+    * ``"component"`` — an ``ensure`` clause failed at the post-body
+      check point with no aspect having touched the observables;
+    * ``"aspect:<concern>"`` — an interfering aspect mutated observable
+      state between check points (pre-phase interference), or a clause
+      that held at post-body broke right after that concern's
+      postaction ran.
+
+    ``evidence`` is a tuple of wire-safe checkpoint records — seam,
+    concern, observable snapshot — so the verdict can be audited, sent
+    across RPC (see :func:`repro.dist.message.error_reply`) and handed
+    to the causal slicer (:mod:`repro.contracts.slicing`).
+    """
+
+    def __init__(self, method_id: str, clause: str, kind: str,
+                 blame: str, detail: str = "",
+                 evidence: "tuple | list" = (),
+                 activation_id: int = 0) -> None:
+        self.method_id = method_id
+        self.clause = clause
+        self.kind = kind
+        self.blame = blame
+        self.detail = detail
+        self.evidence = tuple(evidence)
+        self.activation_id = activation_id
+        message = (
+            f"contract {kind} {clause!r} violated on {method_id!r} "
+            f"(blame: {blame})"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+    @property
+    def blamed_concern(self) -> "str | None":
+        """The blamed aspect's concern, or None for caller/component."""
+        if self.blame.startswith("aspect:"):
+            return self.blame.split(":", 1)[1]
+        return None
+
+    def wire_payload(self) -> dict:
+        """Wire-safe fields merged into an RPC error reply's payload."""
+        return {
+            "contract_method": self.method_id,
+            "contract_clause": self.clause,
+            "contract_kind": self.kind,
+            "contract_blame": self.blame,
+            "contract_activation": self.activation_id,
+            "contract_evidence": [dict(record) for record in self.evidence],
+        }
+
+
 class RegistrationError(FrameworkError):
     """Raised on invalid aspect registration (e.g. duplicate or unknown kind)."""
 

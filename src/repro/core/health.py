@@ -48,6 +48,11 @@ class AspectHealth:
     quarantined: bool = False
     last_fault: str = ""
     phases: Dict[str, int] = field(default_factory=dict)
+    #: structured evidence of the most recent fault: exception type and
+    #: message, protocol phase, activation id, and — when the fault was
+    #: a contract violation — the blame verdict. ``last_fault`` keeps
+    #: the legacy one-line form; this is the machine-readable record.
+    last_fault_info: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -56,6 +61,7 @@ class AspectHealth:
             "faults": self.faults,
             "quarantined": self.quarantined,
             "last_fault": self.last_fault,
+            "last_fault_info": dict(self.last_fault_info),
             "phases": dict(self.phases),
         }
 
@@ -139,8 +145,16 @@ class HealthTracker:
     # fault accounting
     # ------------------------------------------------------------------
     def record_fault(self, method_id: str, concern: str, phase: str,
-                     exc: BaseException) -> bool:
-        """Count one fault; return True when the cell just quarantined."""
+                     exc: BaseException, activation_id: int = 0,
+                     blame: Optional[str] = None) -> bool:
+        """Count one fault; return True when the cell just quarantined.
+
+        ``activation_id`` and ``blame`` (a contract verdict such as
+        ``"aspect:discount"``) flow into the cell's structured
+        ``last_fault_info`` so diagnostics can tie the quarantine
+        decision back to the activation — and the blame assignment —
+        that caused it.
+        """
         key = (method_id, concern)
         with self._lock:
             cell = self._cells.get(key)
@@ -153,6 +167,13 @@ class HealthTracker:
             cell.faults += 1
             cell.phases[phase] = cell.phases.get(phase, 0) + 1
             cell.last_fault = f"{type(exc).__name__}: {exc}"
+            cell.last_fault_info = {
+                "exception": type(exc).__name__,
+                "message": str(exc),
+                "phase": phase,
+                "activation_id": activation_id,
+                "blame": blame,
+            }
             if (cell.policy is not None and not cell.quarantined
                     and cell.faults >= cell.threshold):
                 cell.quarantined = True

@@ -82,6 +82,7 @@ from .errors import (
     ActivationTimeout,
     AspectFault,
     CompositionErrors,
+    ContractViolation,
     MethodAborted,
     RegistrationError,
 )
@@ -95,6 +96,12 @@ from .results import AspectResult, Phase
 #: context key under which the RESUMEd chain is stashed between phases
 CHAIN_KEY = "__moderation_chain__"
 
+#: context key under which an activation's contract runner is stashed
+#: between phases; must match ``repro.contracts.CONTRACT_KEY`` (the
+#: literal is duplicated so the core never imports the contracts
+#: package — contracts-off deployments pay no import, and no cycle)
+CONTRACT_KEY = "__contract_runner__"
+
 #: prefix of the private (per-method) lock-domain namespace; user-chosen
 #: shared domain names never collide with it
 _PRIVATE_DOMAIN_PREFIX = "~method:"
@@ -105,7 +112,7 @@ STAT_NAMES: Tuple[str, ...] = (
     "preactivations", "resumes", "blocks", "aborts", "waits", "wakeups",
     "postactivations", "notifications", "compensations", "fastpaths",
     "faults", "quarantines", "reinstatements", "degraded_skips",
-    "plan_compiles",
+    "plan_compiles", "contract_violations",
 )
 
 
@@ -206,6 +213,7 @@ class AspectModerator:
         self._domain_epoch = 0
         self._injector_epoch = 0
         self._ordering_epoch = 0
+        self._contract_epoch = 0
         #: compiled-plan cache: method_id -> ActivationPlan, plus the
         #: stable handles wrappers hold. Plain-dict reads are GIL-atomic;
         #: writes race benignly (equivalent plans, last one wins).
@@ -227,6 +235,11 @@ class AspectModerator:
         #: deterministic fault-injection hook (``repro.faults``); ``None``
         #: in production — the hot path pays one attribute read for it
         self.fault_injector = None
+        #: contract registry (``repro.contracts``); ``None`` keeps every
+        #: moderation path byte-for-byte the legacy one — the seams are
+        #: single ``is not None`` checks, and compiled fast-path methods
+        #: pay nothing at all (contract methods compile off fast_cells)
+        self.contracts = None
         #: registry lock: guards the domain maps and the linkage cache,
         #: never held while moderating or notifying a foreign domain.
         self._lock = threading.RLock()
@@ -284,18 +297,35 @@ class AspectModerator:
         self._fault_injector = injector
         self._injector_epoch += 1
 
+    @property
+    def contracts(self) -> Optional[Any]:
+        """Installed contract registry (``repro.contracts``), or ``None``.
+
+        Assigning (what :meth:`ContractRegistry.install` does, and what
+        the registry re-does on every :meth:`~ContractRegistry.declare`)
+        bumps the contract epoch: plans compiled without check-point
+        seams must not survive a contract arming, and vice versa.
+        """
+        return self._contracts
+
+    @contracts.setter
+    def contracts(self, registry: Optional[Any]) -> None:
+        self._contracts = registry
+        self._contract_epoch += 1
+
     # ------------------------------------------------------------------
     # plan compilation (interpreter -> compiled pipeline)
     # ------------------------------------------------------------------
-    def _composition_key(self) -> Tuple[int, int, int, int, int]:
+    def _composition_key(self) -> Tuple[int, int, int, int, int, int]:
         """Composite revision key every compiled plan is cached under.
 
         One component per mutation family — bank registrations/ordering
         (``register``/``unregister``/``swap``/``set_order``), explicit
-        lock-domain moves, quarantine transitions, injector arming, and
-        ordering-policy swaps — so each invalidates exactly by bumping
-        its own counter. All five are monotonic ints read without locks;
-        a stale component only delays revalidation by one call.
+        lock-domain moves, quarantine transitions, injector arming,
+        ordering-policy swaps, and contract declarations/arming — so
+        each invalidates exactly by bumping its own counter. All six are
+        monotonic ints read without locks; a stale component only delays
+        revalidation by one call.
         """
         return (
             self.bank.revision,
@@ -303,6 +333,7 @@ class AspectModerator:
             self.health.epoch,
             self._injector_epoch,
             self._ordering_epoch,
+            self._contract_epoch,
         )
 
     def plan_for(self, method_id: str) -> ActivationPlan:
@@ -336,10 +367,13 @@ class AspectModerator:
         resolve = getattr(policy, "compile", None)
         pairs = resolve(method_id, raw_pairs) if resolve is not None \
             else policy(method_id, raw_pairs)
+        registry = self._contracts
         plan = compile_plan(
             method_id, pairs, key, self._domain_for(method_id),
             self.health, self._fault_injector,
             getattr(policy, "__name__", type(policy).__name__),
+            registry.contract_for(method_id)
+            if registry is not None else None,
         )
         plan.compile_seconds = time.monotonic() - started
         self._plans[method_id] = plan
@@ -514,24 +548,36 @@ class AspectModerator:
         the sum of every plan-key component, so anything that
         invalidates a compiled plan — (un)registration (including
         direct bank mutation), lock-domain moves, quarantine
-        transitions, injector arming, ordering swaps — also invalidates
+        transitions, injector arming, ordering swaps, contract
+        declarations — also invalidates
         cached wrappers: a wrapper can never outlive the plan it was
         built against.
         """
         return (
             self.bank.revision + self._domain_epoch + self.health.epoch
             + self._injector_epoch + self._ordering_epoch
+            + self._contract_epoch
         )
 
     def participates(self, method_id: str) -> bool:
-        """Whether any aspect is registered for ``method_id``.
+        """Whether calls to ``method_id`` must go through moderation.
+
+        True when any aspect is registered for the method, or when an
+        installed contract registry declares a contract on it — a
+        contracted method with an empty aspect chain still needs the
+        pre-/post-activation bracket for its entry and post-body check
+        points.
 
         O(1) and lock-free: this probe runs on *every* attribute access
         of a dynamic proxy, participating or not, so it must not build a
         concern list (the previous implementation) or contend the bank
         lock just to answer yes/no.
         """
-        return self.bank.has_method(method_id)
+        if self.bank.has_method(method_id):
+            return True
+        contracts = self._contracts
+        return (contracts is not None
+                and contracts.contract_for(method_id) is not None)
 
     # ------------------------------------------------------------------
     # pre-activation (paper Figure 11 / 17)
@@ -589,6 +635,18 @@ class AspectModerator:
         self.events.emit("preactivation", method_id,
                          activation_id=joinpoint.activation_id)
         self.stats.bump("preactivations")
+
+        if self._contracts is not None:
+            # Entry check point: require clauses + entry invariants run
+            # before any aspect — a failure blames the *caller* (the
+            # activation was invalid on arrival; nothing to compensate).
+            # Methods without a declared contract stash no runner and
+            # pay nothing further.
+            try:
+                self._contracts.begin(method_id, joinpoint)
+            except ContractViolation as violation:
+                self._note_violation(violation, joinpoint)
+                raise
 
         if self.compile_plans:
             if plan is None:
@@ -807,6 +865,16 @@ class AspectModerator:
         resumed: List[Tuple[str, Aspect]] = []
         quarantine_active = self.health.active
         injector = self.fault_injector
+        runner = (
+            joinpoint.context.get(CONTRACT_KEY)
+            if self._contracts is not None else None
+        )
+        if runner is not None:
+            # Contract check points anchor to the round that finally
+            # RESUMEs: parked rounds legitimately observe other
+            # activations mutate shared state, so ``old`` re-captures
+            # here, and per-concern interference is judged within-round.
+            runner.start_round(joinpoint)
         # Per-aspect timing is measured only when someone is listening —
         # the same gate that keeps event construction off the hot path.
         timed = self.events.has_listeners
@@ -843,6 +911,8 @@ class AspectModerator:
             )
             if result is AspectResult.RESUME:
                 resumed.append((concern, aspect))
+                if runner is not None:
+                    runner.checkpoint("precondition", concern, joinpoint)
                 continue
             return result, resumed, concern
         return AspectResult.RESUME, resumed, None
@@ -906,6 +976,16 @@ class AspectModerator:
 
         resumed: List[Tuple[str, Aspect]] = []
         quarantine_active = self.health.active
+        runner = (
+            joinpoint.context.get(CONTRACT_KEY)
+            if self._contracts is not None else None
+        )
+        if runner is not None:
+            # Same round anchor as the interpreter above — placement is
+            # decision-for-decision identical, which is what keeps
+            # contract verdicts equal compiled-vs-interpreted (the
+            # differential suite holds them so).
+            runner.start_round(joinpoint)
         for cell in plan.cells:
             concern = cell.concern
             if quarantine_active:
@@ -942,6 +1022,8 @@ class AspectModerator:
             )
             if result is AspectResult.RESUME:
                 resumed.append(cell.pair)
+                if runner is not None:
+                    runner.checkpoint("precondition", concern, joinpoint)
                 continue
             return result, resumed, concern
         return AspectResult.RESUME, resumed, None
@@ -977,7 +1059,8 @@ class AspectModerator:
         return faults
 
     def _note_fault(self, method_id: str, concern: str, phase: str,
-                    exc: BaseException, joinpoint: JoinPoint) -> None:
+                    exc: BaseException, joinpoint: JoinPoint,
+                    blame: Optional[str] = None) -> None:
         """Account one aspect fault; flip the cell to quarantined at N."""
         self.stats.bump("faults")
         self.events.emit(
@@ -985,13 +1068,46 @@ class AspectModerator:
             detail=f"{phase}: {type(exc).__name__}",
             activation_id=joinpoint.activation_id,
         )
-        if self.health.record_fault(method_id, concern, phase, exc):
+        if self.health.record_fault(method_id, concern, phase, exc,
+                                    activation_id=joinpoint.activation_id,
+                                    blame=blame):
             self.stats.bump("quarantines")
             self.events.emit(
                 "quarantine", method_id, concern,
                 detail=self.health.quarantine_policy(method_id, concern)
                 or "",
             )
+
+    def _note_violation(self, violation: ContractViolation,
+                        joinpoint: JoinPoint) -> None:
+        """Account one contract verdict; feed aspect blame to quarantine.
+
+        Caller and component blame only count and surface (the violation
+        itself propagates to the caller); ``aspect:<concern>`` blame is
+        additionally an aspect *fault* of the blamed cell, so a
+        repeatedly interfering aspect degrades under its registered
+        policy exactly like a raising one — observers ``fail_open``,
+        guards ``fail_closed``.
+        """
+        self.stats.bump("contract_violations")
+        concern = violation.blamed_concern
+        self.events.emit(
+            "contract_violation", violation.method_id, concern or "",
+            detail=f"{violation.kind}:{violation.clause}:{violation.blame}",
+            activation_id=joinpoint.activation_id,
+        )
+        if concern is not None:
+            self._note_fault(violation.method_id, concern, "contract",
+                             violation, joinpoint, blame=violation.blame)
+
+    def _finish_contract(self, runner: Any,
+                         joinpoint: JoinPoint) -> None:
+        """Close an activation's contract; raise its verdict (if any)."""
+        joinpoint.context.pop(CONTRACT_KEY, None)
+        violation = runner.finish()
+        if violation is not None:
+            self._note_violation(violation, joinpoint)
+            raise violation
 
     @staticmethod
     def _raise_faults(faults: List[AspectFault]) -> None:
@@ -1031,6 +1147,18 @@ class AspectModerator:
         joinpoint.phase = Phase.POST_ACTIVATION
         self.events.emit("postactivation", method_id,
                          activation_id=joinpoint.activation_id)
+
+        runner = (
+            joinpoint.context.get(CONTRACT_KEY)
+            if self._contracts is not None else None
+        )
+        if runner is not None:
+            # Post-body check point, before any postaction runs: ensure
+            # and invariant clauses are judged against the body's own
+            # effect; a clause a *postaction* later breaks is blamed on
+            # that postaction's concern (per-postaction check points in
+            # :meth:`_run_postactions`).
+            runner.post_body(joinpoint)
 
         chain = joinpoint.context.pop(CHAIN_KEY, None)
         if self.compile_plans:
@@ -1088,6 +1216,8 @@ class AspectModerator:
                         activation_id=joinpoint.activation_id,
                     )
             self._raise_faults(faults)
+            if runner is not None:
+                self._finish_contract(runner, joinpoint)
             return
 
         queue = self._queue_for(method_id)
@@ -1102,6 +1232,8 @@ class AspectModerator:
             # so a faulty aspect can never strand a parked waiter.
             self._wake(method_id, joinpoint)
         self._raise_faults(faults)
+        if runner is not None:
+            self._finish_contract(runner, joinpoint)
 
     def _compiled_postactivation(self, plan: ActivationPlan,
                                  joinpoint: JoinPoint) -> None:
@@ -1182,6 +1314,10 @@ class AspectModerator:
         """Reverse unwind; continues past raising aspects (faults returned)."""
         faults: List[AspectFault] = []
         injector = self.fault_injector
+        runner = (
+            joinpoint.context.get(CONTRACT_KEY)
+            if self._contracts is not None else None
+        )
         timed = self.events.has_listeners
         for concern, aspect in reversed(chain):
             began = time.monotonic() if timed else 0.0
@@ -1202,6 +1338,10 @@ class AspectModerator:
                 activation_id=joinpoint.activation_id,
                 duration=time.monotonic() - began if timed else 0.0,
             )
+            if runner is not None:
+                # Re-verify the clauses that held at post-body: one that
+                # just broke is blamed on this concern's postaction.
+                runner.checkpoint("postaction", concern, joinpoint)
         return faults
 
     # ------------------------------------------------------------------

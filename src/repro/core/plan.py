@@ -25,6 +25,7 @@ quarantine flip / reinstate     health epoch
 ``set_policy`` / ``drop``       health epoch
 injector install / uninstall    moderator injector epoch
 ordering-policy swap            moderator ordering epoch
+contract declare / install      moderator contract epoch
 =============================  =======================================
 
 A plan holds, per cell: the pre-bound ``evaluate_precondition`` /
@@ -109,12 +110,12 @@ class ActivationPlan:
     __slots__ = (
         "method_id", "cells", "pairs", "never_blocks", "has_degraded",
         "injector_armed", "fast_cells", "key", "domain", "_queue",
-        "domain_name", "ordering_name", "compile_seconds",
+        "domain_name", "ordering_name", "compile_seconds", "contract",
     )
 
     def __init__(self, method_id: str, cells: Tuple[PlanCell, ...],
                  key: Tuple[int, ...], domain: Any,
-                 ordering_name: str) -> None:
+                 ordering_name: str, contract: Optional[Any] = None) -> None:
         self.method_id = method_id
         self.cells = cells
         #: raw ordered (concern, aspect) pairs — the executor stashes
@@ -129,9 +130,16 @@ class ActivationPlan:
         self.injector_armed = any(
             cell.fire_pre is not None for cell in cells
         )
+        #: the method's declared contract snapshot
+        #: (:class:`repro.contracts.MethodContract`), or ``None`` — plans
+        #: of contract-bearing methods take the generic executors, whose
+        #: checkpoint seams the contract runner hooks into
+        self.contract = contract
         #: whether the allocation-free prefix executor applies: no
-        #: quarantined cell to skip, no injector site to visit
-        self.fast_cells = not self.has_degraded and not self.injector_armed
+        #: quarantined cell to skip, no injector site to visit, no
+        #: contract check points to capture
+        self.fast_cells = (not self.has_degraded and not self.injector_armed
+                           and contract is None)
         self.key = key
         self.domain = domain
         #: resolved lazily — a never_blocks chain must not materialize a
@@ -169,7 +177,7 @@ class ActivationPlan:
         report is a plain dict so it can be serialized, diffed and
         asserted in tests without importing framework types.
         """
-        bank, domains, health, injector, ordering = self.key
+        bank, domains, health, injector, ordering, contracts = self.key
         return {
             "method_id": self.method_id,
             "never_blocks": self.never_blocks,
@@ -178,12 +186,17 @@ class ActivationPlan:
             "injector_armed": self.injector_armed,
             "compile_seconds": self.compile_seconds,
             "ordering": self.ordering_name,
+            "contract": (
+                self.contract.clause_labels()
+                if self.contract is not None else None
+            ),
             "revision_key": {
                 "bank": bank,
                 "domains": domains,
                 "health": health,
                 "injector": injector,
                 "ordering": ordering,
+                "contracts": contracts,
             },
             "cells": [
                 {
@@ -215,8 +228,17 @@ class ActivationPlan:
             f"domain {self.domain_name!r}; "
             f"key bank={key['bank']} domains={key['domains']} "
             f"health={key['health']} injector={key['injector']} "
-            f"ordering={key['ordering']}]",
+            f"ordering={key['ordering']} contracts={key['contracts']}]",
         ]
+        if report["contract"] is not None:
+            clauses = report["contract"]
+            lines.append(
+                "  contract: "
+                + " ".join(
+                    f"{kind}={labels}"
+                    for kind, labels in clauses.items() if labels
+                )
+            )
         for cell in self.cells:
             lines.append(f"  {len(lines)}. {cell.describe()}")
         if self.cells:
@@ -272,6 +294,7 @@ def compile_plan(
     health: Any,
     injector: Optional[Any],
     ordering_name: str,
+    contract: Optional[Any] = None,
 ) -> ActivationPlan:
     """Compile one method's ordered chain into an :class:`ActivationPlan`.
 
@@ -279,7 +302,10 @@ def compile_plan(
     moderator applies its ordering policy — or the policy's ``compile``
     hook — before calling here). ``health`` supplies the per-cell
     quarantine snapshot, ``injector`` (when armed) the pre-resolved
-    site callables via :meth:`repro.faults.injector.FaultInjector.resolve`.
+    site callables via :meth:`repro.faults.injector.FaultInjector.resolve`,
+    ``contract`` the method's declared
+    :class:`~repro.contracts.MethodContract` (disables ``fast_cells`` so
+    the generic executors' check-point seams run).
     """
     cells = []
     for concern, aspect in pairs:
@@ -301,4 +327,5 @@ def compile_plan(
             concern, aspect, degraded, policy, threshold,
             fire_pre, fire_post, fire_abort, sites,
         ))
-    return ActivationPlan(method_id, tuple(cells), key, domain, ordering_name)
+    return ActivationPlan(method_id, tuple(cells), key, domain,
+                          ordering_name, contract)

@@ -24,7 +24,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .moderator import AspectModerator
 
@@ -42,6 +42,10 @@ class StallReport:
     queue_lengths: Dict[str, int] = field(default_factory=dict)
     #: moderator counter snapshot (``ModerationStats.as_dict``)
     stats: Dict[str, int] = field(default_factory=dict)
+    #: activation_id -> (trace_id, span_id) for stalled activations a
+    #: span recorder knows about — the cross-reference from a watchdog
+    #: stall into the obs plane (and the causal slicer's target key)
+    traces: Dict[int, Tuple[str, str]] = field(default_factory=dict)
 
     def format(self) -> str:
         """Render the dump as one human-readable block."""
@@ -50,7 +54,11 @@ class StallReport:
             f"parked={len(self.activations)}",
         ]
         for activation_id, age in self.activations:
-            lines.append(f"  activation {activation_id} parked {age:.3f}s")
+            line = f"  activation {activation_id} parked {age:.3f}s"
+            trace = self.traces.get(activation_id)
+            if trace is not None:
+                line += f" trace={trace[0]} span={trace[1]}"
+            lines.append(line)
         lines.append(f"  queues: {self.queue_lengths}")
         lines.append(
             "  chain state: "
@@ -78,6 +86,11 @@ class ActivationWatchdog:
         renotify: seconds between repeated reports for an activation
             that stays parked; defaults to ``deadline`` (0 disables
             re-reporting).
+        recorder: optional span recorder (anything with a
+            ``trace_of(activation_id)`` method, duck-typed so the core
+            never imports the obs package); when given, each report's
+            ``traces`` maps stalled activations to their
+            ``(trace_id, span_id)`` for cross-referencing.
 
     Usable as a context manager::
 
@@ -89,7 +102,8 @@ class ActivationWatchdog:
     def __init__(self, moderator: AspectModerator, deadline: float = 5.0,
                  interval: Optional[float] = None,
                  on_stall: Optional[Callable[[StallReport], None]] = None,
-                 renotify: Optional[float] = None) -> None:
+                 renotify: Optional[float] = None,
+                 recorder: Optional[Any] = None) -> None:
         if deadline <= 0:
             raise ValueError("deadline must be positive")
         self.moderator = moderator
@@ -99,6 +113,7 @@ class ActivationWatchdog:
         )
         self.on_stall = on_stall
         self.renotify = renotify if renotify is not None else deadline
+        self.recorder = recorder
         self.reports: List[StallReport] = []
         self._reported: Dict[int, float] = {}
         self._lock = threading.Lock()
@@ -165,12 +180,22 @@ class ActivationWatchdog:
         emitted: List[StallReport] = []
         for method_id, activations in stalled.items():
             activations.sort(key=lambda pair: -pair[1])
+            traces: Dict[int, Tuple[str, str]] = {}
+            if self.recorder is not None:
+                for activation_id, _age in activations:
+                    try:
+                        trace = self.recorder.trace_of(activation_id)
+                    except Exception:  # noqa: BLE001 - observer only
+                        trace = None
+                    if trace is not None:
+                        traces[activation_id] = trace
             report = StallReport(
                 method_id=method_id,
                 domain=self.moderator.lock_domain_of(method_id),
                 activations=tuple(activations),
                 queue_lengths=queue_lengths,
                 stats=stats,
+                traces=traces,
             )
             emitted.append(report)
             with self._lock:

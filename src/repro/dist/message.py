@@ -138,6 +138,13 @@ def error_reply(to: Message, exc: BaseException,
     retry_after = getattr(exc, "retry_after", None)
     if isinstance(retry_after, (int, float)):
         payload["retry_after"] = retry_after
+    wire = getattr(exc, "wire_payload", None)
+    if callable(wire):
+        # Errors that carry structured diagnostics (e.g.
+        # ``ContractViolation`` with its blame verdict and checkpoint
+        # evidence) contribute their own wire-safe fields, so the
+        # client can rehydrate the typed error with evidence intact.
+        payload.update(wire())
     if extra:
         payload.update(extra)
     return Message(

@@ -32,7 +32,9 @@ from repro.concurrency.primitives import Future, FutureError, WaitQueue
 from repro.core.errors import (
     CircuitOpen,
     ClientClosed,
+    ContractViolation,
     DeadlineExceeded,
+    FrameworkError,
     MethodAborted,
     NetworkError,
     Overloaded,
@@ -374,17 +376,32 @@ class Client:
         return response.payload.get("result")
 
     @staticmethod
-    def _error_from_reply(method: str, response: Message) -> NetworkError:
+    def _error_from_reply(method: str, response: Message) -> FrameworkError:
         """Rehydrate a typed error from an error reply's payload."""
-        error_type = response.payload.get("error_type", "RemoteError")
-        detail = response.payload.get("error", "")
+        payload = response.payload
+        error_type = payload.get("error_type", "RemoteError")
+        detail = payload.get("error", "")
         if error_type == "MethodAborted":
             return MethodAborted(method, reason=detail)
         if error_type == "DeadlineExceeded":
             return DeadlineExceeded(detail)
         if error_type == "Overloaded":
             return Overloaded(
-                detail, retry_after=response.payload.get("retry_after")
+                detail, retry_after=payload.get("retry_after")
+            )
+        if error_type == "ContractViolation":
+            # Typed rehydration with the blame verdict and checkpoint
+            # evidence the server attached (``wire_payload`` fields in
+            # :func:`repro.dist.message.error_reply`): the caller can
+            # inspect ``blame``/``evidence`` and hand the records to
+            # the causal slicer exactly as a local caller would.
+            return ContractViolation(
+                payload.get("contract_method", method),
+                clause=payload.get("contract_clause", ""),
+                kind=payload.get("contract_kind", ""),
+                blame=payload.get("contract_blame", "component"),
+                evidence=payload.get("contract_evidence", ()),
+                activation_id=payload.get("contract_activation", 0),
             )
         return RemoteError(error_type, detail)
 

@@ -102,8 +102,16 @@ def to_prometheus(registry: MetricsRegistry) -> str:
 def snapshot_dict(
     registry: MetricsRegistry,
     recorder: Optional[SpanRecorder] = None,
+    health: Optional[Dict[Tuple[str, str], Dict[str, Any]]] = None,
 ) -> Dict[str, Any]:
-    """Metrics (and optionally spans) as one plain-data document."""
+    """Metrics (and optionally spans/health) as one plain-data document.
+
+    ``health`` takes a :meth:`HealthTracker.snapshot` mapping; the
+    tuple keys are flattened to ``"method/concern"`` strings so the
+    document stays JSON-serializable. Each record carries the cell's
+    structured ``last_fault_info`` (exception, phase, activation id,
+    blame verdict when the fault was a contract violation).
+    """
     metrics: Dict[str, Any] = {}
     for family in registry.collect():
         samples = []
@@ -147,13 +155,21 @@ def snapshot_dict(
             }
             for edge in recorder.wake_edges
         ]
+    if health is not None:
+        document["aspect_health"] = {
+            f"{method_id}/{concern}": dict(record)
+            for (method_id, concern), record in sorted(health.items())
+        }
     return document
 
 
 def to_json(registry: MetricsRegistry,
             recorder: Optional[SpanRecorder] = None,
-            indent: int = 2) -> str:
+            indent: int = 2,
+            health: Optional[Dict[Tuple[str, str],
+                                  Dict[str, Any]]] = None) -> str:
     """:func:`snapshot_dict` serialized as JSON."""
     return json.dumps(
-        snapshot_dict(registry, recorder), indent=indent, sort_keys=True
+        snapshot_dict(registry, recorder, health=health),
+        indent=indent, sort_keys=True,
     )

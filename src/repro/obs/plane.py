@@ -236,13 +236,15 @@ class ObservabilityPlane:
         return export.to_prometheus(self.registry)
 
     def json(self, indent: int = 2) -> str:
-        """JSON snapshot: metrics + completed spans + wake edges."""
+        """JSON snapshot: metrics + spans + wake edges + aspect health."""
         self.refresh_gauges()
-        return export.to_json(self.registry, self.recorder, indent=indent)
+        return export.to_json(self.registry, self.recorder, indent=indent,
+                              health=self.moderator.aspect_health())
 
     def snapshot(self) -> Dict[str, Any]:
         self.refresh_gauges()
-        return export.snapshot_dict(self.registry, self.recorder)
+        return export.snapshot_dict(self.registry, self.recorder,
+                                    health=self.moderator.aspect_health())
 
     def flame(self, method_id: str) -> str:
         """Per-method flame-style span breakdown (CLI's obs view)."""

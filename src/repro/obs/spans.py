@@ -395,6 +395,34 @@ class SpanRecorder:
             (event.timestamp, f"degraded_skip[{event.concern}]")
         )
 
+    def _on_contract_violation(self, event: TraceEvent) -> None:
+        """A contract verdict — detail is ``kind:clause:blame``.
+
+        A ``require``-phase violation arrives while the activation is
+        still open (it propagates out of pre-activation, so no
+        abort/invoke event will follow — terminal here). A post-phase
+        verdict is raised *after* the wake concluded the activation, so
+        it lands on the already-finished root retroactively.
+        """
+        note = f"contract_violation: {event.detail}"
+        record = self._active.get(event.activation_id)
+        if record is not None:
+            record.root.status = "contract"
+            self._phase_span(record).annotations.append(
+                (event.timestamp, note)
+            )
+            if record.post is None:
+                if record.pre is not None and record.pre.end is None:
+                    record.pre.end = event.timestamp
+                self._finalize(event.activation_id, event.timestamp)
+            return
+        for span in reversed(self._finished):
+            if span.activation_id == event.activation_id:
+                span.status = "contract"
+                span.annotations.append((event.timestamp, note))
+                return
+        self.orphans.append(event)
+
     _HANDLERS: Dict[str, Callable[["SpanRecorder", TraceEvent], None]] = {
         "preactivation": _on_preactivation,
         "precondition": _on_precondition,
@@ -409,6 +437,7 @@ class SpanRecorder:
         "compensate": _on_compensate,
         "aspect_fault": _on_aspect_fault,
         "degraded_skip": _on_degraded_skip,
+        "contract_violation": _on_contract_violation,
     }
 
     def _finalize(self, activation_id: int, timestamp: float) -> None:
@@ -452,6 +481,26 @@ class SpanRecorder:
             span for span in self.finished if span.method_id == method_id
         ]
 
+    def trace_of(
+        self, activation_id: int
+    ) -> Optional[Tuple[str, str]]:
+        """``(trace_id, span_id)`` of an activation's root, or ``None``.
+
+        Looks at in-flight activations first (a parked activation is
+        exactly what a stall watchdog asks about), then the finished
+        ring, newest first. This is the cross-reference from
+        activation-id-keyed diagnostics (stall reports, contract
+        evidence) into the span plane.
+        """
+        with self._lock:
+            record = self._active.get(activation_id)
+            if record is not None:
+                return (record.root.trace_id, record.root.span_id)
+            for span in reversed(self._finished):
+                if span.activation_id == activation_id:
+                    return (span.trace_id, span.span_id)
+        return None
+
     def clear(self) -> None:
         with self._lock:
             self._finished.clear()
@@ -465,6 +514,27 @@ class SpanRecorder:
         """Completed spans as wall-clock dicts (cross-node comparable)."""
         anchor = self.anchor
         return [span.to_dict(anchor) for span in self.finished]
+
+    def export_wake_edges(self) -> List[Dict[str, Any]]:
+        """Wake edges as wall-clock wire dicts, node-labelled.
+
+        Same export convention as :meth:`export` (the anchor converts
+        monotonic stamps to wall clock), so the causal slicer
+        (:mod:`repro.contracts.slicing`) can consume edges and spans
+        from several nodes' dumps together.
+        """
+        wall, mono = self.anchor
+        return [
+            {
+                "node": self.node,
+                "notifier_activation": edge.notifier_activation,
+                "notifier_span": edge.notifier_span,
+                "woken_activation": edge.woken_activation,
+                "woken_span": edge.woken_span,
+                "timestamp": edge.timestamp - mono + wall,
+            }
+            for edge in self.wake_edges
+        ]
 
     # ------------------------------------------------------------------
     # aggregation

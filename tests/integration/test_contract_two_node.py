@@ -1,0 +1,248 @@
+"""Two-node contract violation: blame crosses the wire, slices stitch.
+
+The acceptance scenario for the contract & causality plane: a client
+calls a relay servant on node A, which RPCs a moderated store servant on
+node B. The store's ``write`` method carries an ``ensure`` contract over
+the observable ``total``; an interfering aspect on node B mutates that
+observable during its precondition. The postcondition therefore fails at
+post-body, and blame must land on the aspect — not on the component that
+faithfully executed its body, and not on the caller whose arguments were
+fine.
+
+Three things must hold end to end:
+
+* the client two hops away receives a *typed* ``ContractViolation`` with
+  the blame verdict and checkpoint evidence intact (rehydrated from the
+  error reply's ``wire_payload`` fields, twice: B->A, then A->client);
+* node B's health tracker quarantines the blamed aspect (fail_open) and
+  records the structured ``last_fault_info`` evidence;
+* ``causal_slice`` over both recorders' exports reproduces the minimal
+  causal sub-trace: node A's relay activation -> (rpc edge) -> node B's
+  write activation, annotated with the violation — nothing else.
+"""
+
+import pytest
+
+from repro.contracts import (
+    ContractRegistry,
+    ContractViolation,
+    causal_slice,
+    find_failed,
+    slice_to_dot,
+)
+from repro.core import AspectModerator, ComponentProxy, NullAspect
+from repro.dist import Client, NameService, Network, Node
+from repro.obs import SpanRecorder, propagation
+
+
+class Store:
+    """The component under contract on node B."""
+
+    def __init__(self):
+        self.total = 0
+
+    def write(self, value):
+        self.total += value
+        return self.total
+
+
+class Skim(NullAspect):
+    """Interfering aspect: silently mutates the contract observable."""
+
+    never_blocks = True
+
+    def evaluate_precondition(self, joinpoint):
+        joinpoint.component.total -= 1
+        return super().evaluate_precondition(joinpoint)
+
+
+class Relay:
+    """Servant on node A whose body fans out to node B."""
+
+    def __init__(self, client):
+        self._client = client
+
+    def forward(self, value):
+        return self._client.call_node("node-b", "store", "write", value)
+
+
+@pytest.fixture()
+def world():
+    network = Network(latency=0.001)
+    names = NameService()
+
+    moderator_b = AspectModerator()
+    moderator_b.register_aspect(
+        "write", "skim", Skim(),
+        fault_policy="fail_open", fault_threshold=1,
+    )
+    registry_b = ContractRegistry(node="node-b")
+    registry_b.declare(
+        "write",
+        ensure=[("total_grew",
+                 lambda jp, old: jp.component.total
+                 == old.total + jp.args[0])],
+        observables=("total",),
+    )
+    registry_b.install(moderator_b)
+    recorder_b = SpanRecorder(node="node-b")
+    unsub_b = moderator_b.events.subscribe(recorder_b)
+    node_b = Node("node-b", network, workers=2).start()
+    node_b.export("store", ComponentProxy(Store(), moderator_b))
+
+    moderator_a = AspectModerator()
+    moderator_a.register_aspect("forward", "audit", NullAspect())
+    recorder_a = SpanRecorder(node="node-a")
+    unsub_a = moderator_a.events.subscribe(recorder_a)
+    relay_client = Client("node-a-out", network, names, default_timeout=2.0)
+    node_a = Node("node-a", network, workers=2).start()
+    node_a.export("front", ComponentProxy(Relay(relay_client), moderator_a))
+    names.bind("front", "node-a", "front")
+
+    client = Client("edge", network, names, default_timeout=2.0)
+    try:
+        yield {
+            "client": client,
+            "moderator_a": moderator_a,
+            "moderator_b": moderator_b,
+            "recorder_a": recorder_a,
+            "recorder_b": recorder_b,
+            "registry_b": registry_b,
+        }
+    finally:
+        unsub_a()
+        unsub_b()
+        client.close()
+        relay_client.close()
+        node_a.stop()
+        node_b.stop()
+        network.close()
+
+
+def _provoke(world):
+    """Run the failing call; return the rehydrated violation."""
+    with propagation.start_trace():
+        with pytest.raises(ContractViolation) as excinfo:
+            world["client"].call_name("front", "forward", 5)
+    return excinfo.value
+
+
+class TestBlameAcrossTheWire:
+    def test_violation_rehydrates_typed_with_blame(self, world):
+        violation = _provoke(world)
+        assert violation.blame == "aspect:skim"
+        assert violation.blamed_concern == "skim"
+        assert violation.clause == "total_grew"
+        assert violation.kind == "ensure"
+
+    def test_evidence_survives_two_hops(self, world):
+        violation = _provoke(world)
+        seams = [record["seam"] for record in violation.evidence]
+        assert "entry" in seams
+        assert "post_body" in seams
+        # The checkpoint that convicted the aspect: a precondition-seam
+        # record showing the observable changed under ``skim``.
+        convicting = [
+            record for record in violation.evidence
+            if record["seam"] == "precondition"
+            and record.get("concern") == "skim"
+        ]
+        assert convicting and convicting[0]["changed"]
+
+    def test_component_not_blamed_for_aspect_interference(self, world):
+        violation = _provoke(world)
+        assert violation.blame != "component"
+        assert violation.blame != "caller"
+
+    def test_blamed_aspect_quarantined_with_evidence(self, world):
+        _provoke(world)
+        health = world["moderator_b"].aspect_health()
+        record = health[("write", "skim")]
+        assert record["quarantined"]
+        info = record["last_fault_info"]
+        assert info["blame"] == "aspect:skim"
+        assert info["exception"] == "ContractViolation"
+        assert info["phase"] == "contract"
+
+    def test_clean_call_passes_after_quarantine(self, world):
+        _provoke(world)
+        # The offending aspect is now quarantined (fail_open), so the
+        # contract holds and the write goes through. The violated write
+        # had already committed its body (-1 skim, +5 write = 4) before
+        # the ensure fired, so this clean +3 lands on 7.
+        with propagation.start_trace():
+            assert world["client"].call_name("front", "forward", 3) == 7
+
+    def test_violation_counted_on_callee_moderator(self, world):
+        _provoke(world)
+        assert world["moderator_b"].stats.as_dict()[
+            "contract_violations"] == 1
+
+
+class TestCrossNodeSlice:
+    def test_slice_spans_both_nodes_via_rpc_edge(self, world):
+        violation = _provoke(world)
+        exports = (world["recorder_a"].export(),
+                   world["recorder_b"].export())
+        slice_ = causal_slice(
+            *exports,
+            wake_edges=[
+                *world["recorder_a"].export_wake_edges(),
+                *world["recorder_b"].export_wake_edges(),
+            ],
+            evidence=violation.evidence,
+        )
+        assert slice_.target[0] == "node-b"
+        assert sorted(slice_.nodes()) == ["node-a", "node-b"]
+        kinds = {kind for _, _, kind in slice_.edges}
+        assert "rpc" in kinds
+        (cause, effect, _), = [
+            edge for edge in slice_.edges if edge[2] == "rpc"
+        ]
+        assert cause[0] == "node-a" and effect == slice_.target
+
+    def test_find_failed_picks_the_contract_activation(self, world):
+        violation = _provoke(world)
+        exports = (world["recorder_a"].export(),
+                   world["recorder_b"].export())
+        target = find_failed(*exports)
+        assert target == ("node-b", violation.activation_id)
+
+    def test_slice_is_minimal(self, world):
+        violation = _provoke(world)
+        # A clean call after the failure adds unrelated activations
+        # (quarantine makes it pass) which the slice must exclude.
+        with propagation.start_trace():
+            world["client"].call_name("front", "forward", 3)
+        exports = (world["recorder_a"].export(),
+                   world["recorder_b"].export())
+        target = ("node-b", violation.activation_id)
+        slice_ = causal_slice(*exports, target=target,
+                              evidence=violation.evidence)
+        assert len(slice_.activations) == 2
+        assert len(slice_.excluded) >= 2
+
+    def test_format_and_dot_render_the_annotated_target(self, world):
+        violation = _provoke(world)
+        exports = (world["recorder_a"].export(),
+                   world["recorder_b"].export())
+        slice_ = causal_slice(*exports, evidence=violation.evidence)
+        text = slice_.format()
+        assert "node-a" in text and "node-b" in text
+        assert "rpc" in text
+        assert "contract_violation" in text
+        dot = slice_to_dot(slice_)
+        assert dot.startswith("digraph causal_slice")
+        assert 'label="node-a"' in dot and 'label="node-b"' in dot
+
+    def test_traces_stitch_under_one_trace_id(self, world):
+        _provoke(world)
+        exports = (world["recorder_a"].export(),
+                   world["recorder_b"].export())
+        trace_ids = {
+            root["trace_id"]
+            for export in exports
+            for root in export
+            if root.get("name") == "activation"
+        }
+        assert len(trace_ids) == 1

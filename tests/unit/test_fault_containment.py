@@ -510,3 +510,89 @@ class TestErrorTypes:
         fault = AspectFault("m", "c", "precondition", ValueError("z"))
         assert isinstance(fault, FrameworkError)
         assert "precondition" in str(fault) and "'c'" in str(fault)
+
+
+# ----------------------------------------------------------------------
+# watchdog <-> span recorder cross-reference
+# ----------------------------------------------------------------------
+class TestWatchdogTraces:
+    def _stall(self, recorder=None):
+        """Park one activation past the deadline; return its report."""
+        from repro.obs import SpanRecorder
+
+        moderator = AspectModerator()
+        span_recorder = (
+            recorder if recorder is not None else SpanRecorder(node="wd")
+        )
+        unsubscribe = moderator.events.subscribe(span_recorder)
+        gate = {"open": False}
+        moderator.register_aspect("op", "gate", GuardAspect(
+            lambda jp: gate["open"]))
+        reports = []
+        watchdog = ActivationWatchdog(
+            moderator, deadline=0.05, interval=0.02,
+            on_stall=reports.append, recorder=span_recorder,
+        )
+        worker = threading.Thread(
+            target=lambda: moderator.moderate_call("op", lambda: None))
+        with watchdog:
+            worker.start()
+            deadline = time.monotonic() + 3.0
+            while not reports and time.monotonic() < deadline:
+                time.sleep(0.02)
+        gate["open"] = True
+        moderator.notify("op")
+        worker.join(2.0)
+        unsubscribe()
+        assert reports
+        return reports[0], span_recorder
+
+    def test_report_carries_trace_and_span_ids(self):
+        report, recorder = self._stall()
+        (activation_id, _age), = report.activations
+        assert activation_id in report.traces
+        trace_id, span_id = report.traces[activation_id]
+        assert trace_id and span_id
+        assert recorder.trace_of(activation_id) == (trace_id, span_id)
+
+    def test_format_includes_the_cross_reference(self):
+        report, _recorder = self._stall()
+        (activation_id, _age), = report.activations
+        trace_id, span_id = report.traces[activation_id]
+        text = report.format()
+        assert f"trace={trace_id}" in text
+        assert f"span={span_id}" in text
+
+    def test_without_recorder_traces_are_empty(self):
+        moderator = AspectModerator()
+        gate = {"open": False}
+        moderator.register_aspect("op", "gate", GuardAspect(
+            lambda jp: gate["open"]))
+        reports = []
+        watchdog = ActivationWatchdog(
+            moderator, deadline=0.05, interval=0.02,
+            on_stall=reports.append,
+        )
+        worker = threading.Thread(
+            target=lambda: moderator.moderate_call("op", lambda: None))
+        with watchdog:
+            worker.start()
+            deadline = time.monotonic() + 3.0
+            while not reports and time.monotonic() < deadline:
+                time.sleep(0.02)
+        gate["open"] = True
+        moderator.notify("op")
+        worker.join(2.0)
+        assert reports and reports[0].traces == {}
+        assert "trace=" not in reports[0].format()
+
+    def test_raising_recorder_is_survived(self):
+        class BrokenRecorder:
+            def __call__(self, event):
+                pass
+
+            def trace_of(self, activation_id):
+                raise RuntimeError("broken")
+
+        report, _recorder = self._stall(recorder=BrokenRecorder())
+        assert report.traces == {}

@@ -127,3 +127,81 @@ class TestJson:
         assert span["start"] == 1001.0
         assert span["duration"] == pytest.approx(0.3)
         assert document["wake_edges"] == []
+
+
+class TestHealthExport:
+    def _health(self):
+        return {
+            ("write", "skim"): {
+                "policy": "fail_open",
+                "threshold": 1,
+                "faults": 1,
+                "quarantined": True,
+                "last_fault": "ContractViolation: ...",
+                "last_fault_info": {
+                    "exception": "ContractViolation",
+                    "message": "contract ensure 'grows' violated",
+                    "phase": "contract",
+                    "activation_id": 7,
+                    "blame": "aspect:skim",
+                },
+                "phases": {"contract": 1},
+            },
+            ("open", "audit"): {
+                "policy": None,
+                "threshold": 3,
+                "faults": 1,
+                "quarantined": False,
+                "last_fault": "OSError: disk",
+                "last_fault_info": {
+                    "exception": "OSError",
+                    "message": "disk",
+                    "phase": "postaction",
+                    "activation_id": 3,
+                    "blame": None,
+                },
+                "phases": {"postaction": 1},
+            },
+        }
+
+    def test_snapshot_flattens_cell_keys(self):
+        document = snapshot_dict(MetricsRegistry(), health=self._health())
+        assert sorted(document["aspect_health"]) == [
+            "open/audit", "write/skim",
+        ]
+
+    def test_structured_evidence_survives_json(self):
+        text = to_json(MetricsRegistry(), health=self._health())
+        document = json.loads(text)
+        info = document["aspect_health"]["write/skim"]["last_fault_info"]
+        assert info["blame"] == "aspect:skim"
+        assert info["activation_id"] == 7
+        assert info["phase"] == "contract"
+
+    def test_no_health_key_when_not_given(self):
+        document = snapshot_dict(MetricsRegistry())
+        assert "aspect_health" not in document
+
+    def test_plane_json_includes_live_health(self):
+        from repro.core import AspectModerator, FunctionAspect
+        from repro.obs import ObservabilityPlane
+
+        moderator = AspectModerator()
+
+        def explode(joinpoint):
+            raise OSError("injected")
+
+        moderator.register_aspect(
+            "op", "flaky",
+            FunctionAspect(concern="flaky", precondition=explode),
+            fault_policy="fail_open", fault_threshold=1,
+        )
+        plane = ObservabilityPlane(moderator, node="health-test")
+        with plane:
+            with pytest.raises(Exception):
+                moderator.preactivation("op")
+        document = json.loads(plane.json())
+        record = document["aspect_health"]["op/flaky"]
+        assert record["quarantined"] is True
+        assert record["last_fault_info"]["exception"] == "OSError"
+        assert record["last_fault_info"]["activation_id"] > 0
