@@ -67,15 +67,27 @@ class WorkerPool:
         futures = [self.submit(task) for task in tasks]
         return [future.result(timeout) for future in futures]
 
-    def shutdown(self, timeout: Optional[float] = 5.0) -> None:
+    def shutdown(
+        self, timeout: Optional[float] = 5.0
+    ) -> List[threading.Thread]:
+        """Stop the workers; returns any that outlived their join.
+
+        Each worker gets one poison pill and a ``join(timeout)``. A
+        worker still alive afterwards (wedged in a task that never
+        returns) is *surfaced*, not silently leaked: the returned list
+        holds exactly the still-running threads, so callers can report
+        or escalate. An empty list means every worker exited. Repeated
+        shutdowns return the stragglers still alive at that point.
+        """
         with self._lock:
-            if self._shutdown:
-                return
+            first = not self._shutdown
             self._shutdown = True
-        for _ in self._threads:
-            self._queue.put(None)
-        for thread in self._threads:
-            thread.join(timeout)
+        if first:
+            for _ in self._threads:
+                self._queue.put(None)
+            for thread in self._threads:
+                thread.join(timeout)
+        return [thread for thread in self._threads if thread.is_alive()]
 
     def __enter__(self) -> "WorkerPool":
         return self

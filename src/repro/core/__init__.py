@@ -39,9 +39,14 @@ from .factory import (
     RegistryAspectFactory,
     factory_from_table,
 )
+from .continuation import (
+    ActivationContinuation,
+    CallFuture,
+    ContinuationRuntime,
+)
 from .joinpoint import JoinPoint
 from .moderator import AspectModerator, ModerationStats
-from .plan import ActivationPlan, PlanCell, PlanHandle
+from .plan import ActivationPlan, PlanCell, PlanHandle, PlanSegment
 from .ordering import (
     ExplicitOrder,
     PriorityOrder,
@@ -71,6 +76,7 @@ from .weaver import (
 
 __all__ = [
     "ABORT",
+    "ActivationContinuation",
     "ActivationPlan",
     "ActivationTimeout",
     "ActivationWatchdog",
@@ -84,10 +90,12 @@ __all__ = [
     "AuthenticationError",
     "AuthorizationError",
     "BLOCK",
+    "CallFuture",
     "Cluster",
     "ComponentProxy",
     "CompositeFactory",
     "CompositionErrors",
+    "ContinuationRuntime",
     "ContractViolation",
     "EventBus",
     "ExplicitOrder",
@@ -109,6 +117,7 @@ __all__ = [
     "Phase",
     "PlanCell",
     "PlanHandle",
+    "PlanSegment",
     "Pointcut",
     "PriorityOrder",
     "RESUME",

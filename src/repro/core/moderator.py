@@ -266,6 +266,14 @@ class AspectModerator:
         #: currently inside ``Condition.wait`` — the stall watchdog's
         #: window into the moderator (guarded by ``_waiter_guard``)
         self._parked_info: Dict[int, Tuple[str, float]] = {}
+        #: attached continuation runtime
+        #: (:class:`repro.core.continuation.ContinuationRuntime`), or
+        #: ``None``. When attached, every site that notifies domain
+        #: queues also routes the wake into the reactor's ready queue,
+        #: so continuation-parked activations re-evaluate exactly when
+        #: thread-parked ones would. One attribute read on wake paths;
+        #: the moderation hot path itself never consults it.
+        self._runtime = None
 
     # ------------------------------------------------------------------
     # revisioned collaborators (plan-key components)
@@ -406,6 +414,29 @@ class AspectModerator:
         }
 
     # ------------------------------------------------------------------
+    # runtime selection (threaded reference vs. continuation reactor)
+    # ------------------------------------------------------------------
+    def attach_runtime(self, runtime: Any) -> None:
+        """Attach a continuation runtime; its parks join this moderator's.
+
+        Called by :class:`repro.core.continuation.ContinuationRuntime`
+        on construction. At most one runtime may be attached; threaded
+        activations keep working unchanged alongside it (both park
+        populations re-evaluate on every wake, and both appear in
+        :meth:`parked_snapshot` / :meth:`queue_lengths`).
+        """
+        if self._runtime is not None and self._runtime is not runtime:
+            raise RegistrationError(
+                "a continuation runtime is already attached"
+            )
+        self._runtime = runtime
+
+    def detach_runtime(self, runtime: Any) -> None:
+        """Detach ``runtime`` (no-op when it is not the attached one)."""
+        if self._runtime is runtime:
+            self._runtime = None
+
+    # ------------------------------------------------------------------
     # registration (paper Figure 9)
     # ------------------------------------------------------------------
     def register_aspect(self, method_id: str, concern: str, aspect: Aspect,
@@ -466,6 +497,8 @@ class AspectModerator:
             # Waiters parked in the old private domain re-evaluate and
             # re-park under the shared one.
             moved_from.notify_all(method_id)
+            if self._runtime is not None:
+                self._runtime.wake({method_id})
         self.events.emit("register_aspect", method_id, concern,
                          detail=aspect.describe())
         if domain_name is not None:
@@ -529,6 +562,8 @@ class AspectModerator:
             self._links = None
         for domain, method_id in moved:
             domain.notify_all(method_id)
+        if moved and self._runtime is not None:
+            self._runtime.wake({method_id for _, method_id in moved})
         for method_id in method_ids:
             self.events.emit("lock_domain", method_id,
                              detail=lock_domain or "")
@@ -1442,6 +1477,16 @@ class AspectModerator:
         with self._waiter_guard:
             self._wake_epoch += 1
             parked = self._parked
+        runtime = self._runtime
+        targets: Optional[set] = None
+        if self.notify_scope == "linked" and (parked or runtime is not None):
+            targets = self._linked_methods(method_id)
+        if runtime is not None:
+            # Continuation-parked activations take the same wake, under
+            # the same scope policy. Ordered against continuation parks
+            # by the epoch bump above (a continuation re-checks the
+            # epoch before parking, exactly like a threaded blocker).
+            runtime.wake(targets)
         if not parked:
             self.stats.bump("notifications")
             self.events.emit(
@@ -1450,7 +1495,6 @@ class AspectModerator:
             )
             return
         if self.notify_scope == "linked":
-            targets = self._linked_methods(method_id)
             own_domain = self._domain_for(method_id)
             for domain in self._all_domains():
                 if domain is own_domain:
@@ -1515,23 +1559,45 @@ class AspectModerator:
                 domain.notify_all()
         else:
             self._domain_for(method_id).notify_all(method_id)
+        runtime = self._runtime
+        if runtime is not None:
+            # After the domain queues: a continuation parks while
+            # holding its domain lock, so the notify above serializes
+            # against any in-flight park and this scan cannot miss it.
+            runtime.wake(None if method_id is None else {method_id})
 
     def parked_snapshot(self) -> Dict[int, Tuple[str, float]]:
         """Activations currently parked: id -> (method, parked_since).
 
         ``parked_since`` is a ``time.monotonic`` stamp. Consumed by the
         stall watchdog (:class:`repro.core.watchdog.ActivationWatchdog`)
-        to turn silent hangs into diagnostics.
+        to turn silent hangs into diagnostics. With a continuation
+        runtime attached, its parked continuations are merged in — a
+        stalled activation surfaces identically whichever runtime parks
+        it (activation ids are globally unique, so the union is
+        collision-free).
         """
         with self._waiter_guard:
-            return dict(self._parked_info)
+            snapshot = dict(self._parked_info)
+        runtime = self._runtime
+        if runtime is not None:
+            snapshot.update(runtime.parked_snapshot())
+        return snapshot
 
     def queue_lengths(self) -> Dict[str, int]:
-        """Approximate number of threads parked per method queue."""
+        """Approximate number of activations parked per method queue.
+
+        Counts threads inside ``Condition.wait`` plus, when a
+        continuation runtime is attached, its parked continuations.
+        """
         lengths: Dict[str, int] = {}
         for domain in self._all_domains():
             for method_id, count in domain.waiter_counts().items():
                 lengths[method_id] = lengths.get(method_id, 0) + count
+        runtime = self._runtime
+        if runtime is not None:
+            for method_id, _since in runtime.parked_snapshot().values():
+                lengths[method_id] = lengths.get(method_id, 0) + 1
         return lengths
 
     def lock_domains(self) -> Dict[str, List[str]]:

@@ -99,6 +99,50 @@ class PlanCell:
         return f"{self.concern}: {self.aspect.describe()}{suffix}"
 
 
+class PlanSegment:
+    """A maximal run of plan cells between two potential-BLOCK seams.
+
+    The plan is split *before* every cell whose aspect may BLOCK
+    (``never_blocks`` is false): those are exactly the points where an
+    evaluation round can suspend, so they are the only places the two
+    moderator runtimes may diverge in mechanism — the threaded runtime
+    parks the calling thread on the method's condition queue, the
+    continuation runtime (:mod:`repro.core.continuation`) heap-allocates
+    the activation and releases its worker. Both execute the identical
+    segment sequence; a wake re-runs from the segment boundary (the
+    RESUMEd prefix having been compensated, the next round replays the
+    whole chain — re-evaluation *is* the suffix semantics of Figure 11).
+
+    Segments are derived metadata: executors dispatch over ``cells``
+    directly, so segmentation cannot drift from execution — it is the
+    same tuple, partitioned.
+    """
+
+    __slots__ = ("index", "start", "cells", "can_block")
+
+    def __init__(self, index: int, start: int,
+                 cells: Tuple["PlanCell", ...]) -> None:
+        self.index = index
+        #: position of the first cell within the plan's cell tuple
+        self.start = start
+        self.cells = cells
+        #: whether this segment opens at a potential-BLOCK seam (its
+        #: first cell may vote BLOCK); the leading segment of a
+        #: never_blocks plan is the only unconditionally false case
+        self.can_block = bool(cells) and not cells[0].never_blocks
+
+    def describe(self) -> str:
+        concerns = " -> ".join(cell.concern for cell in self.cells)
+        seam = "BLOCK-seam" if self.can_block else "straight-line"
+        return f"segment {self.index} [{seam}]: {concerns}"
+
+    def __repr__(self) -> str:
+        return (
+            f"<PlanSegment {self.index} start={self.start} "
+            f"cells={len(self.cells)} can_block={self.can_block}>"
+        )
+
+
 class ActivationPlan:
     """Immutable compiled moderation pipeline for one method.
 
@@ -111,6 +155,7 @@ class ActivationPlan:
         "method_id", "cells", "pairs", "never_blocks", "has_degraded",
         "injector_armed", "fast_cells", "key", "domain", "_queue",
         "domain_name", "ordering_name", "compile_seconds", "contract",
+        "_segments",
     )
 
     def __init__(self, method_id: str, cells: Tuple[PlanCell, ...],
@@ -146,6 +191,9 @@ class ActivationPlan:
         #: wait queue (the lock-free fast path's whole point), so the
         #: condition is only created when a locked path first needs it
         self._queue = None
+        #: lazy :class:`PlanSegment` partition (see :attr:`segments`);
+        #: never built on the hot path — executors walk ``cells``
+        self._segments = None
         self.domain_name = domain.name
         self.ordering_name = ordering_name
         #: seconds the compile took; stamped by the moderator right
@@ -165,6 +213,34 @@ class ActivationPlan:
         if queue is None:
             queue = self._queue = self.domain.condition(self.method_id)
         return queue
+
+    @property
+    def segments(self) -> Tuple[PlanSegment, ...]:
+        """The plan partitioned at every potential-BLOCK seam (lazy).
+
+        A new segment opens before each cell whose aspect may BLOCK;
+        leading ``never_blocks`` cells form a straight-line segment 0.
+        A ``never_blocks`` plan is therefore exactly one straight-line
+        segment — the structural witness of the lock-free fast path.
+        Racing initializers are benign (identical value, last wins).
+        """
+        segments = self._segments
+        if segments is None:
+            built: List[PlanSegment] = []
+            run: List[PlanCell] = []
+            start = 0
+            for position, cell in enumerate(self.cells):
+                if not cell.never_blocks and run:
+                    built.append(
+                        PlanSegment(len(built), start, tuple(run))
+                    )
+                    run = []
+                    start = position
+                run.append(cell)
+            if run or not built:
+                built.append(PlanSegment(len(built), start, tuple(run)))
+            segments = self._segments = tuple(built)
+        return segments
 
     # ------------------------------------------------------------------
     # introspection
@@ -211,6 +287,15 @@ class ActivationPlan:
                     "injection_sites": list(cell.injection_sites),
                 }
                 for index, cell in enumerate(self.cells)
+            ],
+            "segments": [
+                {
+                    "index": segment.index,
+                    "start": segment.start,
+                    "can_block": segment.can_block,
+                    "concerns": [cell.concern for cell in segment.cells],
+                }
+                for segment in self.segments
             ],
             "preactivation_order": [cell.concern for cell in self.cells],
             "postactivation_order": [

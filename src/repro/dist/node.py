@@ -21,7 +21,8 @@ unbounded queues.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
 
 from repro.concurrency.primitives import WaitQueue
 from repro.core.errors import (
@@ -90,6 +91,15 @@ class Node:
         self.inbox = network.register(node_id, inbox=inbox)
         self.dedup = IdempotencyCache(dedup_capacity)
         self._servants: Dict[str, Any] = {}
+        #: service -> attached continuation runtime
+        #: (:class:`repro.core.continuation.ContinuationRuntime`).
+        #: Moderated calls of such services ride the reactor: a BLOCKed
+        #: activation parks as a heap continuation and the server thread
+        #: returns to the inbox immediately, so the node holds orders of
+        #: magnitude more in-flight requests than it has threads. Empty
+        #: by default — and then every serving path is byte-for-byte the
+        #: threaded one.
+        self._runtimes: Dict[str, Any] = {}
         self._lock = threading.Lock()
         #: services withdrawn for a live migration: requests for them are
         #: answered with a *transient* Overloaded (+retry_after) so the
@@ -128,14 +138,35 @@ class Node:
     # ------------------------------------------------------------------
     # servants
     # ------------------------------------------------------------------
-    def export(self, service: str, servant: Any) -> None:
-        """Expose ``servant`` under a local service name."""
+    def export(self, service: str, servant: Any,
+               runtime: Optional[Any] = None) -> None:
+        """Expose ``servant`` under a local service name.
+
+        ``runtime`` (a :class:`repro.core.continuation.ContinuationRuntime`
+        attached to the servant proxy's moderator) opts the service into
+        reactor serving: moderated calls are submitted as continuations
+        and the reply is sent from the completion callback, so a BLOCKed
+        request holds no server thread while parked. Only participating
+        methods of a :class:`~repro.core.proxy.ComponentProxy` servant
+        ride the reactor; everything else (plain servants, passthrough
+        methods) keeps the synchronous path.
+        """
+        if runtime is not None and isinstance(servant, ComponentProxy) \
+                and runtime._moderator is not servant._moderator:
+            raise ValueError(
+                "runtime is attached to a different moderator than "
+                f"servant of {service!r}"
+            )
         with self._lock:
             if service in self._servants:
                 raise ValueError(
                     f"service {service!r} already exported on {self.node_id}"
                 )
             self._servants[service] = servant
+            if runtime is not None:
+                self._runtimes[service] = runtime
+            else:
+                self._runtimes.pop(service, None)
             self._moving.discard(service)
 
     def withdraw(self, service: str, moving: bool = False) -> Any:
@@ -263,6 +294,10 @@ class Node:
             # inline so the fast path pays no extra call frames.
             service = payload.get("service", "")
             method = payload.get("method", "")
+            if self._runtimes and self._serve_on_reactor(
+                message, payload, service, method, None, None, None
+            ):
+                return
             args = tuple(payload.get("args", ()))
             kwargs = dict(payload.get("kwargs", {}))
             caller = payload.get("caller")
@@ -330,6 +365,10 @@ class Node:
                       deadline: Optional[Deadline], key: Optional[str],
                       entry: Optional[DedupEntry]) -> None:
         """Serve a claimed request under its resilience envelope."""
+        if self._runtimes and self._serve_on_reactor(
+            message, payload, service, method, deadline, key, entry
+        ):
+            return
         try:
             result = self._invoke(payload, deadline, key)
             response = reply(message, self._wire_result(result))
@@ -412,6 +451,120 @@ class Node:
         if caller is not None and self._accepts_caller(target):
             kwargs.setdefault("caller", caller)
         return target(*args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # reactor serving (continuation runtime)
+    # ------------------------------------------------------------------
+    def _serve_on_reactor(self, message: Message, payload: Dict[str, Any],
+                          service: str, method: str,
+                          deadline: Optional[Deadline],
+                          key: Optional[str],
+                          entry: Optional[DedupEntry]) -> bool:
+        """Submit a moderated call to the service's continuation runtime.
+
+        Returns True when the request was taken (the reply will be sent
+        from the completion callback); False when this request must use
+        the synchronous path — no runtime for the service, a non-proxy
+        servant, a passthrough method, or a closed runtime. The
+        in-flight count is taken here and released in the callback, so
+        :meth:`settle`'s drain barrier covers parked continuations too.
+        """
+        runtime = self._runtimes.get(service)
+        if runtime is None:
+            return False
+        args = tuple(payload.get("args", ()))
+        kwargs = dict(payload.get("kwargs", {}))
+        caller = payload.get("caller")
+        context = propagation.from_wire(payload.get("trace"))
+        with self._lock:
+            servant = self._servants.get(service)
+            if not isinstance(servant, ComponentProxy) \
+                    or not servant.is_participating(method):
+                return False
+            self._inflight[service] = self._inflight.get(service, 0) + 1
+        if caller is None:
+            caller = servant._caller
+        request_context = (
+            RequestContext(idempotency_key=key, deadline=deadline,
+                           caller=caller)
+            if key is not None or deadline is not None else None
+        )
+
+        def wrap() -> Any:
+            # Re-established around every segment run: the worker that
+            # resumes a parked suffix is not the thread that started the
+            # activation, and both trace propagation and the serving
+            # envelope are thread-local ambience.
+            return self._reactor_ambience(context, request_context)
+
+        try:
+            future = runtime.submit(
+                method, getattr(servant._component, method), *args,
+                component=servant._component, caller=caller,
+                timeout=servant._timeout, deadline=deadline, wrap=wrap,
+                **kwargs,
+            )
+        except RuntimeError:
+            # Runtime closed under us: undo the claim, serve threaded.
+            self._release(service)
+            return False
+        future.add_callback(
+            lambda fut: self._finish_reactor(
+                fut, message, service, method, deadline, key, entry
+            )
+        )
+        return True
+
+    @contextmanager
+    def _reactor_ambience(
+        self, context: Optional[Any],
+        request_context: Optional[RequestContext],
+    ) -> Iterator[None]:
+        """Per-segment thread-local envelope for reactor-served calls."""
+        with propagation.activate(context):
+            if request_context is None:
+                yield
+            else:
+                with serving(request_context):
+                    yield
+
+    def _finish_reactor(self, future: Any, message: Message, service: str,
+                        method: str, deadline: Optional[Deadline],
+                        key: Optional[str],
+                        entry: Optional[DedupEntry]) -> None:
+        """Completion callback: reply exactly as the threaded path would.
+
+        Mirrors the unarmed inline path (no dedup, plain counters) and
+        :meth:`_handle_armed` (deadline mapping, dedup finish/abandon)
+        depending on how the request arrived.
+        """
+        self._release(service)
+        exc = future.exception()
+        if exc is None:
+            response = reply(message, self._wire_result(future.result()))
+            self._inc("requests_served")
+            if entry is not None:
+                self.dedup.finish(key, response.kind, response.payload)
+        else:
+            if (isinstance(exc, ActivationTimeout) and deadline is not None
+                    and deadline.expired):
+                # The park was cut short by the request's budget, not
+                # the local timeout: surface the end-to-end semantics.
+                exc = DeadlineExceeded(
+                    f"deadline elapsed while {service}.{method} was "
+                    f"blocked in moderation"
+                )
+            counted = ["requests_failed"]
+            if isinstance(exc, DeadlineExceeded):
+                counted.append("deadline_expired")
+            self._counters.bump(*counted)
+            response = error_reply(message, exc)
+            if entry is not None:
+                if self._not_applied(exc):
+                    self.dedup.abandon(key)
+                else:
+                    self.dedup.finish(key, response.kind, response.payload)
+        self._send_response(response)
 
     def _claim(self, message: Message, key: str,
                deadline: Optional[Deadline]) -> Optional[DedupEntry]:

@@ -174,6 +174,20 @@ class Engine:
         """Process events until the heap drains or virtual ``until``.
 
         Returns the final virtual time.
+
+        ``max_events`` is a runaway-simulation guard counted **per
+        call**: each ``run`` gets a fresh allowance, and events consumed
+        by :meth:`step` or earlier ``run`` calls do not count against
+        it. (Lifetime accounting lives in :attr:`events_processed`,
+        which monotonically spans every ``run``/``step``.) Per-call is
+        the deliberate choice — a test that drives the engine in phases,
+        ``run(until=t1) ... run(until=t2)``, should not inherit a
+        shrunken budget from its own earlier phases; the guard exists to
+        catch an *individual* drive that never converges. A budget of N
+        admits exactly N events: the guard trips only when an (N+1)-th
+        in-range event remains, so a run that drains the heap (or
+        reaches ``until``) on its last allowed event succeeds. Pinned by
+        ``tests/unit/test_sim_engine_accounting.py``.
         """
         processed = 0
         while self._heap:
@@ -181,15 +195,18 @@ class Engine:
             if until is not None and timestamp > until:
                 self.clock.advance_to(until)
                 return self.now
+            if processed >= max_events:
+                # Only a *further* in-range event trips the guard: a
+                # budget of N admits exactly N events, and a run that
+                # drains the heap on its Nth is a success, not a runaway.
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
             heapq.heappop(self._heap)
             self.clock.advance_to(timestamp)
             action()
             self.events_processed += 1
             processed += 1
-            if processed >= max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; runaway simulation?"
-                )
         if until is not None and until > self.now:
             self.clock.advance_to(until)
         return self.now

@@ -122,3 +122,32 @@ class TestWorkerPool:
     def test_validation(self):
         with pytest.raises(ValueError):
             WorkerPool(0)
+
+
+class TestShutdownStragglers:
+    def test_clean_shutdown_returns_no_stragglers(self):
+        pool = WorkerPool(3)
+        pool.run_all([lambda: None] * 6)
+        assert pool.shutdown(timeout=5.0) == []
+
+    def test_wedged_worker_is_surfaced_not_leaked(self):
+        release = threading.Event()
+        pool = WorkerPool(2, name="straggle")
+        pool.submit(release.wait)  # wedges one worker past the join
+        stragglers = pool.shutdown(timeout=0.05)
+        try:
+            assert len(stragglers) == 1
+            assert stragglers[0].is_alive()
+            assert stragglers[0].name.startswith("straggle-")
+        finally:
+            release.set()
+        stragglers[0].join(5.0)
+        # once the task returns, a repeat shutdown reports all clear
+        assert pool.shutdown(timeout=1.0) == []
+
+    def test_repeat_shutdown_sends_no_second_pills(self):
+        # one pill per worker, sent once: a second shutdown must not
+        # grow the queue or re-join, just re-report liveness
+        pool = WorkerPool(2)
+        assert pool.shutdown() == []
+        assert pool.shutdown() == []

@@ -1,0 +1,65 @@
+"""Pins ``Engine.run`` max_events semantics: a *per-call* allowance.
+
+Referenced by the ``Engine.run`` docstring — the guard exists to catch
+an individual drive that never converges, so a phased test
+(``run(until=t1) ... run(until=t2)``) must not inherit a shrunken
+budget from its own earlier phases. Lifetime accounting lives in
+``events_processed``.
+"""
+
+import pytest
+
+from repro.core.errors import SimulationError
+from repro.sim import Engine
+
+
+def _schedule(engine, count, start=0.0):
+    for index in range(count):
+        engine.call_at(start + index * 0.1, lambda: None)
+
+
+class TestPerCallAllowance:
+    def test_each_run_gets_a_fresh_budget(self):
+        engine = Engine()
+        _schedule(engine, 5)
+        engine.run(max_events=5)  # exactly exhausts, no raise
+        _schedule(engine, 5, start=engine.now + 1.0)
+        # a lifetime budget would have nothing left here
+        assert engine.run(max_events=5) > 0
+        assert engine.events_processed == 10
+
+    def test_individual_runaway_still_caught(self):
+        engine = Engine()
+
+        def feed():
+            engine.call_after(0.1, feed)
+
+        feed()
+        with pytest.raises(SimulationError, match="max_events=50"):
+            engine.run(max_events=50)
+
+    def test_step_does_not_charge_run_budget(self):
+        engine = Engine()
+        _schedule(engine, 3)
+        assert engine.step()
+        engine.run(max_events=2)  # the 2 remaining fit a budget of 2
+        assert engine.events_processed == 3
+
+    def test_bounded_run_counts_only_processed_events(self):
+        engine = Engine()
+        _schedule(engine, 10)
+        engine.run(until=0.45, max_events=5)  # 5 events at t<=0.45
+        # the other 5 are still pending, not charged
+        assert engine.pending == 5
+        engine.run(max_events=5)
+        assert engine.pending == 0
+        assert engine.events_processed == 10
+
+    def test_events_processed_is_lifetime_monotonic(self):
+        engine = Engine()
+        _schedule(engine, 4)
+        engine.run()
+        before = engine.events_processed
+        _schedule(engine, 2, start=engine.now + 1.0)
+        engine.run()
+        assert engine.events_processed == before + 2
