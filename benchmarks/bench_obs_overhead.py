@@ -10,7 +10,11 @@ measures three configurations over the same moderated call:
 * **disabled** — an ``ObservabilityPlane`` constructed but not enabled
   (the acceptance bound applies here);
 * **enabled**  — metrics listener + span recorder subscribed (the price
-  of full recording, reported for EXPERIMENTS.md B-OBS, not bounded).
+  of full recording, reported for EXPERIMENTS.md B-OBS, not bounded);
+* **enabled_sampled** — the same listeners with the span recorder in
+  1-in-16 sampled mode: exact counters and metrics for every
+  activation, span trees for a sixteenth of them — the middle ground
+  between disabled and full fidelity.
 
 Baseline and disabled rounds are interleaved so clock drift and thermal
 effects cancel instead of biasing one side.
@@ -76,13 +80,17 @@ def measure(iterations=5_000, rounds=80):
     enabled_moderator, enabled_proxy = build_fast_path()
     enabled_plane = ObservabilityPlane(enabled_moderator)
     enabled_plane.enable()
+    sampled_moderator, sampled_proxy = build_fast_path()
+    sampled_plane = ObservabilityPlane(sampled_moderator, sample_rate=16)
+    sampled_plane.enable()
 
     base_call = lambda: base_proxy.service()        # noqa: E731
     disabled_call = lambda: disabled_proxy.service()  # noqa: E731
     enabled_call = lambda: enabled_proxy.service()  # noqa: E731
+    sampled_call = lambda: sampled_proxy.service()  # noqa: E731
 
     # warm-up compiles the plans and primes caches in every mode
-    for call in (base_call, disabled_call, enabled_call):
+    for call in (base_call, disabled_call, enabled_call, sampled_call):
         _median_call_ns(call, max(iterations // 10, 100))
 
     # Paired rounds: each round times baseline and disabled (and
@@ -91,9 +99,11 @@ def measure(iterations=5_000, rounds=80):
     # noise hit both members of a pair almost equally, so the median of
     # ratios isolates the code-path difference far better than any
     # statistic over unpaired absolute timings.
-    samples = {"baseline": [], "disabled": [], "enabled": []}
+    samples = {"baseline": [], "disabled": [], "enabled": [],
+               "enabled_sampled": []}
     disabled_ratios = []
     enabled_ratios = []
+    sampled_ratios = []
     # span recording costs several times the bare call: a shorter
     # enabled chunk keeps total wall time spent on the unbounded
     # configuration from starving the paired comparison of rounds
@@ -106,23 +116,38 @@ def measure(iterations=5_000, rounds=80):
             disabled_ns = _median_call_ns(disabled_call, iterations)
             base_ns = _median_call_ns(base_call, iterations)
         enabled_ns = _median_call_ns(enabled_call, enabled_iterations)
+        sampled_ns = _median_call_ns(sampled_call, enabled_iterations)
         samples["baseline"].append(base_ns)
         samples["disabled"].append(disabled_ns)
         samples["enabled"].append(enabled_ns)
+        samples["enabled_sampled"].append(sampled_ns)
         disabled_ratios.append(disabled_ns / base_ns)
         enabled_ratios.append(enabled_ns / base_ns)
+        sampled_ratios.append(sampled_ns / base_ns)
 
     best = {name: min(values) for name, values in samples.items()}
     overhead = statistics.median(disabled_ratios) - 1.0
     enabled_plane.disable()
+    sampled_plane.disable()
+    recorder = sampled_plane.recorder
+    sampled_counts = sum(
+        entry["activations"] for entry in recorder.counts.values()
+    )
     return {
         "iterations": iterations,
         "rounds": rounds,
         "ns_per_call": best,
         "disabled_overhead": overhead,
         "enabled_overhead": statistics.median(enabled_ratios) - 1.0,
+        "enabled_sampled_overhead":
+            statistics.median(sampled_ratios) - 1.0,
         "spans_recorded": len(enabled_plane.recorder.finished)
         + enabled_plane.recorder.dropped,
+        "sampled": {
+            "sample_rate": recorder.sample_rate,
+            "exact_activations": sampled_counts,
+            "span_trees": len(recorder.finished) + recorder.dropped,
+        },
     }
 
 
@@ -218,10 +243,16 @@ def main(argv=None):
         "baseline": 0.0,
         "disabled": results["disabled_overhead"] * 100.0,
         "enabled": results["enabled_overhead"] * 100.0,
+        "enabled_sampled":
+            results["enabled_sampled_overhead"] * 100.0,
     }
-    for name in ("baseline", "disabled", "enabled"):
+    for name in ("baseline", "disabled", "enabled", "enabled_sampled"):
         ns = results["ns_per_call"][name]
         print(f"{name:<16}{ns:>12.0f}{overhead_pct[name]:>11.1f}%")
+    sampled = results["sampled"]
+    print(f"sampled recorder (1-in-{sampled['sample_rate']}): "
+          f"{sampled['exact_activations']} activations counted "
+          f"exactly, {sampled['span_trees']} span trees built")
     print(f"striping: {striping['new_stripes']} new stripes for "
           f"{striping['threads']} writer threads "
           f"({striping['fastpaths']} fast-path calls, all counted)")

@@ -15,7 +15,11 @@ Subcommands:
 * ``slice``     provoke a cross-node contract violation (an interfering
                 aspect breaks a postcondition two hops away), print the
                 blame verdict with its checkpoint evidence, and render
-                the minimal causal sub-trace spanning both nodes.
+                the minimal causal sub-trace spanning both nodes;
+* ``profile``   run a veto-heavy commutative workload under the clause
+                profiler, print the per-clause cost/veto table, refresh
+                the profile and show the plan re-optimizing (reordering,
+                memoization, elision) with before/after explain() views.
 """
 
 from __future__ import annotations
@@ -302,6 +306,79 @@ def run_slice() -> int:
         network.close()
 
 
+def run_profile() -> int:
+    from repro.core import AspectModerator, ComponentProxy, FunctionAspect
+    from repro.core.errors import MethodAborted
+    from repro.core.results import AspectResult
+    from repro.obs import ClauseProfiler
+
+    class Inventory:
+        def __init__(self):
+            self.reserved = 0
+
+        def reserve(self, item):
+            self.reserved += 1
+            return self.reserved
+
+    def expensive_check(joinpoint):
+        total = 0
+        for index in range(400):  # a deliberately costly pure check
+            total += index * index
+        return AspectResult.RESUME
+
+    def stock_gate(joinpoint):
+        # vetoes two calls in three — the cheap, frequently-vetoing
+        # clause the profiler should learn to evaluate first
+        if joinpoint.args[0] % 3:
+            return AspectResult.ABORT
+        return AspectResult.RESUME
+
+    moderator = AspectModerator()
+    moderator.register_aspect("reserve", "fraud", FunctionAspect(
+        concern="fraud", precondition=expensive_check,
+        never_blocks=True, commutes_with=("stock",),
+    ))
+    moderator.register_aspect("reserve", "stock", FunctionAspect(
+        concern="stock", precondition=stock_gate,
+        never_blocks=True, commutes_with=("fraud",),
+    ))
+    moderator.register_aspect("reserve", "catalog", FunctionAspect(
+        concern="catalog", precondition=lambda jp: AspectResult.RESUME,
+        never_blocks=True, idempotent_precondition=True,
+        cache_key=lambda jp: jp.args[0] % 8,
+    ))
+    moderator.register_aspect("reserve", "metrics", FunctionAspect(
+        concern="metrics", never_blocks=True, pure_observer=True,
+    ))
+    profiler = ClauseProfiler(sample_rate=1, min_samples=10)
+    profiler.install(moderator)
+    proxy = ComponentProxy(Inventory(), moderator=moderator)
+
+    print("seed plan (registration order, observer already elided):")
+    print(moderator.plan_for("reserve").format())
+
+    admitted = vetoed = 0
+    for call in range(300):
+        try:
+            proxy.reserve(call)
+            admitted += 1
+        except MethodAborted:
+            vetoed += 1
+    print(f"\nworkload: 300 calls -> {admitted} admitted, "
+          f"{vetoed} vetoed\n")
+    print("clause profile:")
+    print(profiler.render_report())
+
+    profiler.refresh()
+    print("\nplan after profiler.refresh() — cheap frequent vetoer "
+          "now runs first:")
+    print(moderator.plan_for("reserve").format())
+
+    report = moderator.explain("reserve")["profile"]
+    print(f"\nexplain()['profile']: {report}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -309,13 +386,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "command", nargs="?", default="demo",
-        choices=["demo", "verify", "metrics", "lint", "obs", "slice"],
+        choices=["demo", "verify", "metrics", "lint", "obs", "slice",
+                 "profile"],
         help="which demo to run (default: demo)",
     )
     arguments = parser.parse_args(argv)
     runners = {"demo": run_demo, "verify": run_verify,
                "metrics": run_metrics, "lint": run_lint,
-               "obs": run_obs, "slice": run_slice}
+               "obs": run_obs, "slice": run_slice,
+               "profile": run_profile}
     return runners[arguments.command]()
 
 

@@ -249,6 +249,14 @@ def plan_table(moderator: "object") -> str:
             flags.append("injected")
         if any(cell["degraded"] for cell in report["cells"]):
             flags.append("degraded")
+        profile = report.get("profile")
+        if profile:
+            if profile.get("reordered"):
+                flags.append("reordered by profile")
+            if profile.get("memoized"):
+                flags.append("memoized")
+            if profile.get("elided"):
+                flags.append("elided:" + ",".join(profile["elided"]))
         rows.append(
             (method_id, chain, ",".join(flags), report["lock_domain"])
         )

@@ -144,6 +144,11 @@ class AuditAspect(StatefulAspect):
     never_blocks = True
     # a broken audit log should not take the service down: skip when degraded
     fault_policy = "fail_open"
+    # declared pure observer: no vote but RESUME, no effect on any other
+    # activation's outcome — a profiler's ``skip_analysis`` may elide
+    # this cell entirely (the audit trail then deliberately goes dark;
+    # keep skip_analysis off where the trail is load-bearing)
+    pure_observer = True
 
     def __init__(self, log: Optional[AuditLog] = None) -> None:
         super().__init__()

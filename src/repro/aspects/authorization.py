@@ -23,18 +23,26 @@ class RoleRegistry:
         self._lock = threading.Lock()
         self._roles: Dict[str, Set[str]] = {}
         self._grants: Dict[str, Set[str]] = {}
+        #: monotonic table version, bumped by every mutation; cached
+        #: authorization decisions embed it in their cache key, so a
+        #: revoke invalidates them *exactly* (no TTL window of stale
+        #: grants — the old revision simply never produces a hit again)
+        self.revision = 0
 
     def assign(self, principal: str, *roles: str) -> None:
         with self._lock:
             self._roles.setdefault(principal, set()).update(roles)
+            self.revision += 1
 
     def revoke(self, principal: str, role: str) -> None:
         with self._lock:
             self._roles.get(principal, set()).discard(role)
+            self.revision += 1
 
     def permit(self, role: str, *method_ids: str) -> None:
         with self._lock:
             self._grants.setdefault(role, set()).update(method_ids)
+            self.revision += 1
 
     def roles_of(self, principal: str) -> Set[str]:
         with self._lock:
@@ -66,6 +74,13 @@ class AuthorizationAspect(StatefulAspect):
     never_blocks = True
     # a broken permission check must never admit unchecked callers
     fault_policy = "fail_closed"
+    # The decision is a pure function of (table revision, principal,
+    # method) — see :meth:`cache_key` — so granted RESUMEs memoize
+    # soundly: any table change bumps the revision and misses every old
+    # key, and denials are never cached at all. The ``granted`` counter
+    # undercounts by the memo hits. fail_closed carries over: a raising
+    # key (unhashable principal) propagates as this cell's fault.
+    idempotent_precondition = True
 
     def __init__(self, registry: RoleRegistry,
                  allow_unlisted: bool = False) -> None:
@@ -82,6 +97,13 @@ class AuthorizationAspect(StatefulAspect):
         if principal is None and joinpoint.caller is not None:
             principal = str(joinpoint.caller)
         return principal
+
+    def cache_key(self, joinpoint: JoinPoint) -> tuple:
+        return (
+            self.registry.revision,
+            self._principal(joinpoint),
+            joinpoint.method_id,
+        )
 
     def precondition(self, joinpoint: JoinPoint) -> AspectResult:
         principal = self._principal(joinpoint)

@@ -35,6 +35,14 @@ class CachingAspect(StatefulAspect):
 
     concern = "cache"
     never_blocks = True
+    # NOT ``idempotent_precondition``: the precondition's entire payload
+    # is the ``skip_invocation`` side effect — memoizing its RESUME
+    # would skip the lookup and silently disable the cache. It does
+    # commute with the pure argument checks (mutual declarations on
+    # ValidationAspect/TypeContractAspect): a hit for arguments that
+    # pass validation yields the same outcome in either order, and a
+    # veto aborts the activation before any body runs either way.
+    commutes_with = ("validate", "typecheck")
 
     def __init__(self, max_entries: int = 128, key=default_key) -> None:
         super().__init__()

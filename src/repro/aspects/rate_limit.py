@@ -59,6 +59,14 @@ class TokenBucketAspect(StatefulAspect):
     """Admit at most ``rate`` activations/second with bursts of ``burst``."""
 
     concern = "ratelimit"
+    # Admission control is stateful (tokens are *consumed*), so the
+    # precondition is deliberately NOT idempotent — a cached RESUME
+    # would admit without paying a token. It does commute with the
+    # concurrency window (mutual): both regulators fully compensate a
+    # RESUME via ``on_abort`` when the other vetoes, so evaluation
+    # order only changes transient counter attribution, never the
+    # composed vote or the steady-state token/occupancy level.
+    commutes_with = ("window",)
 
     def __init__(self, rate: float, burst: float = 1.0,
                  mode: str = "abort",
@@ -95,6 +103,7 @@ class ConcurrencyWindowAspect(StatefulAspect):
     """Bound concurrent in-flight activations; expose occupancy stats."""
 
     concern = "window"
+    commutes_with = ("ratelimit",)  # mutual — see TokenBucketAspect
 
     def __init__(self, limit: int, mode: str = "block") -> None:
         super().__init__()

@@ -112,6 +112,10 @@ class TimingAspect(StatefulAspect):
     never_blocks = True
     # pure observer: losing latency samples beats losing the service
     fault_policy = "fail_open"
+    # and elidable: under a profiler's ``skip_analysis`` this cell drops
+    # out of the compiled plan (the clause profiler's own cost histogram
+    # keeps measuring latency at finer grain than this aspect does)
+    pure_observer = True
 
     def __init__(self, clock=time.monotonic) -> None:
         super().__init__()

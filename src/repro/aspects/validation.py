@@ -35,12 +35,25 @@ class ValidationAspect(StatefulAspect):
 
     concern = "validate"
     never_blocks = True
+    # Argument validation reads the join point only, so it commutes with
+    # the type-contract check and the cache lookup (mutual — see
+    # TypeContractAspect and CachingAspect).
+    commutes_with = ("typecheck", "cache")
 
-    def __init__(self, rules: Optional[List[Rule]] = None) -> None:
+    def __init__(self, rules: Optional[List[Rule]] = None,
+                 cache_key: Optional[Callable[[JoinPoint], Any]] = None
+                 ) -> None:
         super().__init__()
         self.rules: List[Rule] = list(rules or [])
         self.checked = 0
         self.violations: Dict[str, int] = {}
+        # Rule purity is a property of the *binding*, not the class:
+        # pass a cache_key identifying a decision's inputs to declare
+        # these rules memoizable (only passing checks are ever cached;
+        # the ``checked`` counter then undercounts by the hits).
+        if cache_key is not None:
+            self.cache_key = cache_key
+            self.idempotent_precondition = True
 
     def add_rule(self, description: str,
                  predicate: Callable[[JoinPoint], bool]) -> None:
@@ -75,6 +88,19 @@ class TypeContractAspect(StatefulAspect):
 
     concern = "typecheck"
     never_blocks = True
+    commutes_with = ("validate", "cache")
+    # ``isinstance`` depends on the argument *types* alone, so keying a
+    # memo on them is exact: a RESUME for this type vector is a RESUME
+    # forever (contract tables are fixed at construction). Violations
+    # are never cached — only passing checks are.
+    idempotent_precondition = True
+
+    @staticmethod
+    def cache_key(joinpoint: JoinPoint) -> Tuple[Any, ...]:
+        return (
+            joinpoint.method_id,
+            tuple(type(argument) for argument in joinpoint.args),
+        )
 
     def __init__(self, contracts: Dict[str, Tuple[type, ...]]) -> None:
         super().__init__()

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 from .joinpoint import JoinPoint
 from .results import AspectResult
@@ -93,6 +93,43 @@ class Aspect(abc.ABC):
     #: lock (:class:`StatefulAspect`) don't need it.
     lock_domain: Optional[str] = None
 
+    # -- profiler declarations (consumed by ``repro.obs.profile``) -----
+    # All four default to the conservative "no" and are ignored unless a
+    # ClauseProfiler is installed on the moderator, so undeclared aspects
+    # and profiler-less deployments behave exactly as before.
+
+    #: Concern labels this aspect's *precondition* commutes with: the
+    #: composed outcome (votes, component state, compensation debt) is
+    #: the same whichever of the two evaluates first. ``"*"`` (or a
+    #: collection containing it) declares commutativity with any other
+    #: aspect that declares back. Reordering is mutual: a profiler only
+    #: swaps two adjacent cells when *each* names the other (or ``"*"``)
+    #: — one-sided declarations reorder nothing.
+    commutes_with: Tuple[str, ...] = ()
+
+    #: ``True`` promises the precondition is a pure function of the join
+    #: point and observable state — no side effects, so a cached RESUME
+    #: may stand in for a re-evaluation and ``on_abort`` owes nothing
+    #: for it. Only RESUME votes are ever memoized (a BLOCK must re-poll
+    #: the condition it waits on; an ABORT may depend on per-call data).
+    idempotent_precondition: bool = False
+
+    #: Cache-key function for memoized preconditions: ``cache_key(jp)``
+    #: returns a hashable key identifying the decision's inputs (the
+    #: ouroboros pattern: the strategy owns its key). ``None`` disables
+    #: memoization even when ``idempotent_precondition`` is declared. A
+    #: *raising* key function follows the cell's quarantine policy:
+    #: ``fail_closed`` cells propagate it as an :class:`AspectFault`,
+    #: anything else bypasses the cache and evaluates normally.
+    cache_key: Optional[Callable[[JoinPoint], Any]] = None
+
+    #: ``True`` declares this aspect a pure observer: its precondition
+    #: always RESUMEs without side effects and its postaction never
+    #: affects any other activation's outcome. A profiler running with
+    #: ``skip_analysis`` elides such cells from compiled plans entirely
+    #: (the hot-path escape); requires ``never_blocks``.
+    pure_observer: bool = False
+
     def precondition(self, joinpoint: JoinPoint) -> AspectResult:
         """Evaluate this aspect's constraint before the method runs.
 
@@ -154,6 +191,10 @@ class FunctionAspect(Aspect):
         lock_domain: Optional[str] = None,
         fault_policy: Optional[str] = None,
         fault_threshold: Optional[int] = None,
+        commutes_with: Tuple[str, ...] = (),
+        idempotent_precondition: bool = False,
+        cache_key: Optional[Callable[[JoinPoint], Any]] = None,
+        pure_observer: bool = False,
     ) -> None:
         self.concern = concern
         self._precondition = precondition
@@ -163,6 +204,11 @@ class FunctionAspect(Aspect):
         self.lock_domain = lock_domain
         self.fault_policy = fault_policy
         self.fault_threshold = fault_threshold
+        self.commutes_with = tuple(commutes_with)
+        self.idempotent_precondition = idempotent_precondition
+        if cache_key is not None:
+            self.cache_key = cache_key
+        self.pure_observer = pure_observer
 
     def precondition(self, joinpoint: JoinPoint) -> AspectResult:
         if self._precondition is None:

@@ -214,6 +214,10 @@ class AspectModerator:
         self._injector_epoch = 0
         self._ordering_epoch = 0
         self._contract_epoch = 0
+        self._profile_epoch = 0
+        #: installed clause profiler (``repro.obs.profile``), or ``None``
+        #: — plans compile uninstrumented and the hot path pays nothing
+        self._profiler = None
         #: compiled-plan cache: method_id -> ActivationPlan, plus the
         #: stable handles wrappers hold. Plain-dict reads are GIL-atomic;
         #: writes race benignly (equivalent plans, last one wins).
@@ -321,19 +325,45 @@ class AspectModerator:
         self._contracts = registry
         self._contract_epoch += 1
 
+    @property
+    def profiler(self) -> Optional[Any]:
+        """Installed clause profiler (``repro.obs.profile``), or ``None``.
+
+        Assigning (what :meth:`ClauseProfiler.install` does) bumps the
+        profile epoch: plans compiled uninstrumented must not survive a
+        profiler arming, and instrumented/optimized plans must not
+        survive its removal.
+        """
+        return self._profiler
+
+    @profiler.setter
+    def profiler(self, profiler: Optional[Any]) -> None:
+        self._profiler = profiler
+        self._profile_epoch += 1
+
+    def bump_profile_epoch(self) -> None:
+        """Invalidate every plan against a refreshed clause profile.
+
+        Called by :meth:`ClauseProfiler.refresh` after it folds live
+        counters into a new decision snapshot — cached plans recompile
+        (and re-optimize) on their next activation, through the same
+        revision mechanism every other mutation family uses.
+        """
+        self._profile_epoch += 1
+
     # ------------------------------------------------------------------
     # plan compilation (interpreter -> compiled pipeline)
     # ------------------------------------------------------------------
-    def _composition_key(self) -> Tuple[int, int, int, int, int, int]:
+    def _composition_key(self) -> Tuple[int, int, int, int, int, int, int]:
         """Composite revision key every compiled plan is cached under.
 
         One component per mutation family — bank registrations/ordering
         (``register``/``unregister``/``swap``/``set_order``), explicit
         lock-domain moves, quarantine transitions, injector arming,
-        ordering-policy swaps, and contract declarations/arming — so
-        each invalidates exactly by bumping its own counter. All six are
-        monotonic ints read without locks; a stale component only delays
-        revalidation by one call.
+        ordering-policy swaps, contract declarations/arming, and clause-
+        profile refreshes — so each invalidates exactly by bumping its
+        own counter. All seven are monotonic ints read without locks; a
+        stale component only delays revalidation by one call.
         """
         return (
             self.bank.revision,
@@ -342,6 +372,7 @@ class AspectModerator:
             self._injector_epoch,
             self._ordering_epoch,
             self._contract_epoch,
+            self._profile_epoch,
         )
 
     def plan_for(self, method_id: str) -> ActivationPlan:
@@ -375,6 +406,14 @@ class AspectModerator:
         resolve = getattr(policy, "compile", None)
         pairs = resolve(method_id, raw_pairs) if resolve is not None \
             else policy(method_id, raw_pairs)
+        profiler = self._profiler
+        profile_info = None
+        if profiler is not None:
+            # Profile feedback composes *after* the ordering policy: the
+            # policy states intent, the profiler only permutes within
+            # runs the aspects themselves declared commutative (and
+            # elides declared-pure observers).
+            pairs, profile_info = profiler.plan_pairs(method_id, pairs)
         registry = self._contracts
         plan = compile_plan(
             method_id, pairs, key, self._domain_for(method_id),
@@ -382,7 +421,10 @@ class AspectModerator:
             getattr(policy, "__name__", type(policy).__name__),
             registry.contract_for(method_id)
             if registry is not None else None,
+            profile=profile_info,
         )
+        if profiler is not None:
+            profiler.instrument(plan)
         plan.compile_seconds = time.monotonic() - started
         self._plans[method_id] = plan
         self.stats.bump("plan_compiles")
@@ -526,6 +568,10 @@ class AspectModerator:
         """
         was_quarantined = self.health.reinstate(method_id, concern)
         if was_quarantined:
+            if self._profiler is not None:
+                # Stale-profile hygiene: statistics gathered while the
+                # cell was sick must not order the healed composition.
+                self._profiler.reset_cell(method_id, concern)
             self.stats.bump("reinstatements")
             self.events.emit("reinstate", method_id, concern)
             self.notify()
@@ -591,7 +637,7 @@ class AspectModerator:
         return (
             self.bank.revision + self._domain_epoch + self.health.epoch
             + self._injector_epoch + self._ordering_epoch
-            + self._contract_epoch
+            + self._contract_epoch + self._profile_epoch
         )
 
     def participates(self, method_id: str) -> bool:

@@ -26,6 +26,7 @@ quarantine flip / reinstate     health epoch
 injector install / uninstall    moderator injector epoch
 ordering-policy swap            moderator ordering epoch
 contract declare / install      moderator contract epoch
+profiler install / refresh      moderator profile epoch
 =============================  =======================================
 
 A plan holds, per cell: the pre-bound ``evaluate_precondition`` /
@@ -155,12 +156,13 @@ class ActivationPlan:
         "method_id", "cells", "pairs", "never_blocks", "has_degraded",
         "injector_armed", "fast_cells", "key", "domain", "_queue",
         "domain_name", "ordering_name", "compile_seconds", "contract",
-        "_segments",
+        "profile", "_segments",
     )
 
     def __init__(self, method_id: str, cells: Tuple[PlanCell, ...],
                  key: Tuple[int, ...], domain: Any,
-                 ordering_name: str, contract: Optional[Any] = None) -> None:
+                 ordering_name: str, contract: Optional[Any] = None,
+                 profile: Optional[Dict[str, Any]] = None) -> None:
         self.method_id = method_id
         self.cells = cells
         #: raw ordered (concern, aspect) pairs — the executor stashes
@@ -180,6 +182,10 @@ class ActivationPlan:
         #: of contract-bearing methods take the generic executors, whose
         #: checkpoint seams the contract runner hooks into
         self.contract = contract
+        #: the clause profiler's compile-time decision report
+        #: (``elided`` / ``memoized`` / ``reordered`` / ``order``), or
+        #: ``None`` when no profiler was installed at compile time
+        self.profile = profile
         #: whether the allocation-free prefix executor applies: no
         #: quarantined cell to skip, no injector site to visit, no
         #: contract check points to capture
@@ -253,7 +259,8 @@ class ActivationPlan:
         report is a plain dict so it can be serialized, diffed and
         asserted in tests without importing framework types.
         """
-        bank, domains, health, injector, ordering, contracts = self.key
+        (bank, domains, health, injector, ordering, contracts,
+         profile_epoch) = self.key
         return {
             "method_id": self.method_id,
             "never_blocks": self.never_blocks,
@@ -273,7 +280,9 @@ class ActivationPlan:
                 "injector": injector,
                 "ordering": ordering,
                 "contracts": contracts,
+                "profile": profile_epoch,
             },
+            "profile": self.profile,
             "cells": [
                 {
                     "position": index,
@@ -313,8 +322,22 @@ class ActivationPlan:
             f"domain {self.domain_name!r}; "
             f"key bank={key['bank']} domains={key['domains']} "
             f"health={key['health']} injector={key['injector']} "
-            f"ordering={key['ordering']} contracts={key['contracts']}]",
+            f"ordering={key['ordering']} contracts={key['contracts']} "
+            f"profile={key['profile']}]",
         ]
+        if self.profile is not None:
+            profile = self.profile
+            notes = []
+            if profile.get("reordered"):
+                notes.append("reordered by profile")
+            if profile.get("memoized"):
+                notes.append(
+                    "memoized: " + ", ".join(profile["memoized"])
+                )
+            if profile.get("elided"):
+                notes.append("elided: " + ", ".join(profile["elided"]))
+            if notes:
+                lines.append("  profile: " + "; ".join(notes))
         if report["contract"] is not None:
             clauses = report["contract"]
             lines.append(
@@ -324,8 +347,8 @@ class ActivationPlan:
                     for kind, labels in clauses.items() if labels
                 )
             )
-        for cell in self.cells:
-            lines.append(f"  {len(lines)}. {cell.describe()}")
+        for position, cell in enumerate(self.cells, 1):
+            lines.append(f"  {position}. {cell.describe()}")
         if self.cells:
             lines.append(
                 "  postactivation: "
@@ -380,6 +403,7 @@ def compile_plan(
     injector: Optional[Any],
     ordering_name: str,
     contract: Optional[Any] = None,
+    profile: Optional[Dict[str, Any]] = None,
 ) -> ActivationPlan:
     """Compile one method's ordered chain into an :class:`ActivationPlan`.
 
@@ -413,4 +437,4 @@ def compile_plan(
             fire_pre, fire_post, fire_abort, sites,
         ))
     return ActivationPlan(method_id, tuple(cells), key, domain,
-                          ordering_name, contract)
+                          ordering_name, contract, profile)

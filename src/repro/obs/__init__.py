@@ -35,14 +35,18 @@ from .propagation import (
 from .spans import Span, SpanRecorder, WakeEdge, stitch_traces
 from .export import snapshot_dict, to_json, to_prometheus
 from .plane import MetricsListener, ObservabilityPlane
+from .profile import CLAUSE_COST_BUCKETS, ClauseProfiler, MemoCache
 
 __all__ = [
-    "DEFAULT_LATENCY_BUCKETS",
+    "CLAUSE_COST_BUCKETS",
+    "ClauseProfiler",
     "Counter",
     "CounterBlock",
+    "DEFAULT_LATENCY_BUCKETS",
     "Gauge",
     "Histogram",
     "HistogramValue",
+    "MemoCache",
     "MetricSnapshot",
     "MetricsListener",
     "MetricsRegistry",

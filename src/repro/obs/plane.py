@@ -149,17 +149,25 @@ class ObservabilityPlane:
     ``registry`` defaults to the moderator's own stats registry, so the
     protocol counters (``repro_moderation_*``) export alongside the
     span-derived families.
+
+    ``sample_rate`` passes through to the :class:`SpanRecorder`: span
+    trees are built for 1-in-N activations while the recorder's exact
+    counters and every metrics family keep full accuracy — the middle
+    ground between disabled and full-fidelity recording (measured as
+    ``enabled_sampled`` in ``bench_obs_overhead.py``).
     """
 
     def __init__(self, moderator: Any, node: str = "local",
                  registry: Optional[MetricsRegistry] = None,
-                 max_finished: int = 4096) -> None:
+                 max_finished: int = 4096,
+                 sample_rate: int = 1) -> None:
         self.moderator = moderator
         self.registry = (
             registry if registry is not None
             else moderator.stats.registry
         )
-        self.recorder = SpanRecorder(node=node, max_finished=max_finished)
+        self.recorder = SpanRecorder(node=node, max_finished=max_finished,
+                                     sample_rate=sample_rate)
         self.metrics = MetricsListener(self.registry)
         self._queue_gauge = self.registry.gauge(
             "repro_wait_queue_depth",
@@ -270,6 +278,14 @@ class ObservabilityPlane:
             "node": self.recorder.node,
             "stats": stats,
             "methods": per_method,
+            #: exact per-method event counts — unlike ``methods`` (span
+            #: derived, so 1-in-N under a sampled recorder) these are
+            #: maintained for every activation
+            "counts": {
+                method: dict(entry)
+                for method, entry in self.recorder.counts.items()
+            },
+            "sample_rate": self.recorder.sample_rate,
             "active": len(self.recorder.active()),
             "wake_edges": len(self.recorder.wake_edges),
             "listener_errors": self.moderator.events.listener_errors,

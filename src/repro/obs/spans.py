@@ -175,11 +175,31 @@ class SpanRecorder:
     Args:
         node: label stamped on every span (host/process identity).
         max_finished: ring bound on retained completed activations.
+        sample_rate: build span trees for 1-in-N activations (1 = every
+            activation, the default). The exact per-method counters in
+            :attr:`counts` are maintained for *every* activation
+            regardless — sampling drops fidelity (which activations get
+            trees), never accuracy (how many ran, aborted, timed out,
+            faulted). Events of unsampled activations are swallowed, not
+            orphaned; their ``notify`` still participates in wake-edge
+            attribution. The one blind spot: a post-phase contract
+            verdict of an unsampled activation arrives after its
+            terminal event and lands in :attr:`orphans`.
     """
 
     def __init__(self, node: str = "local",
-                 max_finished: int = 4096) -> None:
+                 max_finished: int = 4096,
+                 sample_rate: int = 1) -> None:
         self.node = node
+        self.sample_rate = max(1, int(sample_rate))
+        self._sample_tick = self.sample_rate - 1  # sample the first
+        #: activation_id -> method_id for in-flight unsampled
+        #: activations (no span tree is built for them)
+        self._unsampled: Dict[int, str] = {}
+        #: exact per-method counters, kept for every activation whether
+        #: sampled or not: method_id -> {activations, aborted,
+        #: timeouts, faults}
+        self.counts: Dict[str, Dict[str, int]] = {}
         self._lock = threading.Lock()
         self._active: Dict[int, _Active] = {}
         self._finished: Deque[Span] = deque(maxlen=max_finished)
@@ -197,9 +217,67 @@ class SpanRecorder:
     # ------------------------------------------------------------------
     # event consumption
     # ------------------------------------------------------------------
+    #: event kind -> exact counter it bumps (sampled or not)
+    _COUNTED: Dict[str, str] = {
+        "preactivation": "activations",
+        "abort": "aborted",
+        "timeout": "timeouts",
+        "aspect_fault": "faults",
+    }
+
+    def _count(self, event: TraceEvent) -> None:
+        name = self._COUNTED.get(event.kind)
+        if name is None:
+            return
+        per_method = self.counts.get(event.method_id)
+        if per_method is None:
+            per_method = self.counts[event.method_id] = {
+                "activations": 0, "aborted": 0,
+                "timeouts": 0, "faults": 0,
+            }
+        per_method[name] += 1
+
+    def _swallow_unsampled(self, event: TraceEvent) -> bool:
+        """Absorb an event of an activation no tree is being built for.
+
+        Terminal kinds retire the activation from the unsampled table;
+        a notify still records itself for wake-edge attribution (an
+        unsampled completion can wake a *sampled* parked activation, and
+        that edge must not be credited to an older notifier).
+        """
+        if event.kind == "preactivation":
+            return False
+        if event.activation_id not in self._unsampled:
+            return False
+        kind = event.kind
+        if kind == "notify":
+            del self._unsampled[event.activation_id]
+            self._last_notify = (
+                event.activation_id, "", event.timestamp
+            )
+        elif kind in ("abort", "timeout"):
+            del self._unsampled[event.activation_id]
+        elif (kind == "aspect_fault"
+              and event.detail.startswith("precondition")) or \
+                kind == "contract_violation":
+            del self._unsampled[event.activation_id]
+        return True
+
     def __call__(self, event: TraceEvent) -> None:
         handler = self._HANDLERS.get(event.kind)
         with self._lock:
+            self._count(event)
+            if self.sample_rate > 1:
+                if event.kind == "preactivation":
+                    self._sample_tick += 1
+                    if self._sample_tick >= self.sample_rate:
+                        self._sample_tick = 0
+                    else:
+                        self._unsampled[event.activation_id] = \
+                            event.method_id
+                        return
+                elif self._swallow_unsampled(event):
+                    return
             if handler is not None:
                 handler(self, event)
             elif event.kind == "watchdog_stall" and \
@@ -505,9 +583,12 @@ class SpanRecorder:
         with self._lock:
             self._finished.clear()
             self._active.clear()
+            self._unsampled.clear()
+            self.counts.clear()
             self._wake_edges.clear()
             self.orphans.clear()
             self._last_notify = None
+            self._sample_tick = self.sample_rate - 1
             self.dropped = 0
 
     def export(self) -> List[Dict[str, Any]]:

@@ -55,6 +55,19 @@ class TestCli:
         assert "repro_moderation_preactivations" in completed.stdout
         assert "listener errors: 0" in completed.stdout
 
+    def test_profile_command_shows_feedback_optimization(self):
+        completed = run_cli("profile")
+        assert completed.returncode == 0, completed.stderr
+        # the seed plan already shows the static decisions
+        assert "elided: metrics" in completed.stdout
+        assert "memoized: catalog" in completed.stdout
+        # the clause report has rows for the measured concerns
+        assert "veto%" in completed.stdout
+        assert "fraud" in completed.stdout
+        # after refresh the cheap frequent vetoer runs first
+        assert "reordered by profile" in completed.stdout
+        assert "200 vetoed" in completed.stdout
+
     def test_unknown_command_rejected(self):
         completed = run_cli("bogus")
         assert completed.returncode != 0

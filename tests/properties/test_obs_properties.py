@@ -1,0 +1,203 @@
+"""Property tests: histogram quantile estimation and exporter encoding.
+
+Two families of invariants the observability plane leans on:
+
+* :func:`repro.obs.metrics.histogram_quantile` — the PromQL-style
+  estimator that ``explain``/profiler reports and the JSON exporter use
+  for p50/p95/p99. It must be monotone in ``q``, bracketed by the
+  bucket bounds, exactly linear when all mass sits in one bucket, and
+  clamp overflow mass to the highest finite bound.
+* the Prometheus text exposition — label values must survive the
+  escape/unescape round trip for arbitrary strings (backslashes,
+  quotes, newlines), and the output order must be deterministic
+  (families sorted by name, samples sorted by label tuple) so golden
+  files and scrapers both stay stable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.export import _escape, to_prometheus
+from repro.obs.metrics import MetricsRegistry, histogram_quantile
+
+# strictly increasing positive finite bucket bounds
+bucket_bounds = st.lists(
+    st.floats(min_value=1e-6, max_value=1e9,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=12, unique=True,
+).map(lambda bounds: tuple(sorted(bounds)))
+
+bucket_counts = st.lists(
+    st.integers(min_value=0, max_value=10_000),
+    min_size=1, max_size=13,
+)
+
+quantiles = st.floats(min_value=0.0, max_value=1.0,
+                      allow_nan=False)
+
+
+def _sized(buckets, counts):
+    """Trim/pad counts to len(buckets) + 1 (the +inf overflow slot)."""
+    want = len(buckets) + 1
+    counts = (list(counts) + [0] * want)[:want]
+    return counts
+
+
+class TestHistogramQuantile:
+    @given(buckets=bucket_bounds, counts=bucket_counts,
+           q_low=quantiles, q_high=quantiles)
+    @settings(max_examples=300)
+    def test_monotone_in_q(self, buckets, counts, q_low, q_high):
+        counts = _sized(buckets, counts)
+        if q_low > q_high:
+            q_low, q_high = q_high, q_low
+        assert histogram_quantile(buckets, counts, q_low) <= \
+            histogram_quantile(buckets, counts, q_high)
+
+    @given(buckets=bucket_bounds, counts=bucket_counts, q=quantiles)
+    @settings(max_examples=300)
+    def test_bracketed_by_bucket_bounds(self, buckets, counts, q):
+        counts = _sized(buckets, counts)
+        value = histogram_quantile(buckets, counts, q)
+        assert 0.0 <= value <= buckets[-1]
+
+    @given(buckets=bucket_bounds, q=quantiles,
+           mass=st.integers(min_value=1, max_value=10_000),
+           index=st.integers(min_value=0, max_value=11))
+    @settings(max_examples=300)
+    def test_single_bucket_is_exact_linear_interpolation(
+            self, buckets, q, mass, index):
+        index = index % len(buckets)
+        counts = [0] * (len(buckets) + 1)
+        counts[index] = mass
+        lower = buckets[index - 1] if index > 0 else 0.0
+        upper = buckets[index]
+        expected = lower + (upper - lower) * q
+        value = histogram_quantile(buckets, counts, q)
+        assert abs(value - expected) <= 1e-9 * max(1.0, upper)
+
+    @given(buckets=bucket_bounds, q=quantiles)
+    def test_empty_histogram_is_zero(self, buckets, q):
+        counts = [0] * (len(buckets) + 1)
+        assert histogram_quantile(buckets, counts, q) == 0.0
+
+    @given(buckets=bucket_bounds, q=quantiles,
+           mass=st.integers(min_value=1, max_value=10_000))
+    @settings(max_examples=200)
+    def test_overflow_mass_clamps_to_highest_finite_bound(
+            self, buckets, q, mass):
+        counts = [0] * len(buckets) + [mass]
+        assert histogram_quantile(buckets, counts, q) == buckets[-1]
+
+
+# ----------------------------------------------------------------------
+# exporter encoding
+# ----------------------------------------------------------------------
+def _unescape(value):
+    """Inverse of the exporter's label escaping (left-to-right scan)."""
+    out = []
+    chars = iter(range(len(value)))
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            if nxt == "\\":
+                out.append("\\")
+                index += 2
+                continue
+            if nxt == '"':
+                out.append('"')
+                index += 2
+                continue
+            if nxt == "n":
+                out.append("\n")
+                index += 2
+                continue
+        out.append(char)
+        index += 1
+    return "".join(out)
+
+
+label_values = st.text(
+    alphabet=st.characters(
+        codec="utf-8", exclude_characters="\r",
+    ),
+    max_size=40,
+)
+
+
+class TestExporterEncoding:
+    @given(value=label_values)
+    @settings(max_examples=300)
+    def test_escape_round_trips(self, value):
+        assert _unescape(_escape(value)) == value
+
+    @given(value=label_values)
+    @settings(max_examples=200)
+    def test_escaped_value_is_single_line_with_balanced_quotes(
+            self, value):
+        escaped = _escape(value)
+        assert "\n" not in escaped
+        # every quote inside the value is escaped: the rendered
+        # `name="<escaped>"` form has exactly its two delimiters
+        rendered = f'x="{escaped}"'
+        unescaped_quotes = 0
+        index = 0
+        while index < len(rendered):
+            if rendered[index] == "\\":
+                index += 2
+                continue
+            if rendered[index] == '"':
+                unescaped_quotes += 1
+            index += 1
+        assert unescaped_quotes == 2
+
+    @given(values=st.lists(label_values, min_size=1, max_size=8,
+                           unique=True),
+           names=st.lists(
+               st.sampled_from(["repro_a_total", "repro_b_total",
+                                "repro_c_total", "repro_d_total"]),
+               min_size=1, max_size=4, unique=True))
+    @settings(max_examples=100)
+    def test_output_order_is_deterministic_and_sorted(
+            self, values, names):
+        registry = MetricsRegistry()
+        for name in names:  # creation order is the shuffled draw
+            family = registry.counter(name, help="x",
+                                      labelnames=("who",))
+            for value in values:
+                family.labels(value).inc()
+        text = to_prometheus(registry)
+        family_order = [
+            line.split()[2] for line in text.split("\n")
+            if line.startswith("# TYPE")
+        ]
+        assert family_order == sorted(names)
+        for name in names:
+            # ordering is by *raw* label value, not by escaped rendering
+            recovered = [
+                _unescape(line[len(name) + len('{who="'):
+                               line.rindex('"}')])
+                for line in text.split("\n")
+                if line.startswith(name + "{")
+            ]
+            assert recovered == sorted(recovered)
+
+    @given(values=st.lists(label_values, min_size=1, max_size=8,
+                           unique=True))
+    @settings(max_examples=150)
+    def test_every_label_value_survives_the_exposition(self, values):
+        registry = MetricsRegistry()
+        family = registry.counter("repro_rt_total", help="x",
+                                  labelnames=("who",))
+        for value in values:
+            family.labels(value).inc()
+        text = to_prometheus(registry)
+        recovered = []
+        for line in text.split("\n"):
+            if not line.startswith('repro_rt_total{who="'):
+                continue
+            body = line[len('repro_rt_total{who="'):line.rindex('"}')]
+            recovered.append(_unescape(body))
+        assert sorted(recovered) == sorted(values)

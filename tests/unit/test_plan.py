@@ -118,7 +118,7 @@ class TestExplain:
         assert report["injector_armed"] is False
         assert set(report["revision_key"]) == {
             "bank", "domains", "health", "injector", "ordering",
-            "contracts",
+            "contracts", "profile",
         }
         assert report["preactivation_order"] == ["c0", "c1"]
         assert report["postactivation_order"] == ["c1", "c0"]
