@@ -19,7 +19,11 @@ Subcommands:
 * ``profile``   run a veto-heavy commutative workload under the clause
                 profiler, print the per-clause cost/veto table, refresh
                 the profile and show the plan re-optimizing (reordering,
-                memoization, elision) with before/after explain() views.
+                memoization, elision) with before/after explain() views;
+* ``recover``   two-node crash-restart demo: a journaled service loses
+                its node (memory and all), the supervisor fails it over
+                from the durable store, a returning zombie is fenced
+                out, and every acknowledged effect lands exactly once.
 """
 
 from __future__ import annotations
@@ -379,6 +383,166 @@ def run_profile() -> int:
     return 0
 
 
+def run_recover() -> int:
+    import tempfile
+    import threading
+    import time
+
+    from repro.aspects.retry import RetryPolicy
+    from repro.core.errors import FencedOut
+    from repro.dist import (
+        Client, FileStore, HeartbeatDetector, HeartbeatEmitter,
+        NameService, Network, Node, RecoveryPlan, Supervisor,
+        recover_service,
+    )
+    from repro.dist.resilience import RPC_TRANSIENT
+
+    class Ledger:
+        """KV that counts applies per key — above 1 is a double-apply."""
+
+        def __init__(self, data=None, counts=None):
+            self._lock = threading.Lock()
+            self.data = dict(data or {})
+            self.counts = dict(counts or {})
+
+        def put(self, key, value):
+            with self._lock:
+                self.counts[key] = self.counts.get(key, 0) + 1
+                self.data[key] = value
+                return self.counts[key]
+
+        def applied(self, key):
+            return self.counts.get(key, 0)
+
+    class FrozenNames:
+        """A zombie-era client's map: pinned to one stale binding."""
+
+        def __init__(self, binding):
+            self.binding = binding
+
+        def resolve(self, name):
+            return self.binding
+
+    policy = RetryPolicy(max_attempts=40, base_delay=0.02,
+                         multiplier=1.2, max_delay=0.1,
+                         retry_on=RPC_TRANSIENT)
+    root = tempfile.mkdtemp(prefix="repro-recover-")
+    store = FileStore(root)
+    plan = RecoveryPlan(
+        store,
+        capture=lambda s: {"data": dict(s.data),
+                           "counts": dict(s.counts)},
+        rebuild=lambda state: Ledger(data=state.get("data"),
+                                     counts=state.get("counts")),
+        mutating=["put"],
+    )
+    network = Network()
+    names = NameService()
+    n1 = Node("n1", network).start()
+    n2 = Node("n2", network).start()
+    detector = HeartbeatDetector(network, "monitor", suspect_after=0.08,
+                                 dead_after=0.2, confirm_dead=2)
+    emitters = [HeartbeatEmitter(network, node.node_id, "monitor",
+                                 interval=0.02).start()
+                for node in (n1, n2)]
+    supervisor = Supervisor(names, detector)
+    spec = supervisor.supervise("ledger", "ledger", plan, [n1, n2],
+                                bootstrap=Ledger, backoff=0.05)
+    client = Client("edge", network, names, default_timeout=2.0)
+
+    def put(key, value):
+        return client.call_name("ledger", "put", key, value,
+                                timeout=0.1, retry_policy=policy)
+
+    def wait_for_home(node_id, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if names.resolve("ledger").node_id == node_id:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def show_failover():
+        report = supervisor.history[-1]
+        print(f"  failover -> {report.to_node}  epoch={report.epoch}  "
+              f"replayed={report.replayed} journaled effects, "
+              f"seeded={report.seeded} replies, "
+              f"{report.duration * 1000:.1f} ms")
+
+    try:
+        detector.wait_for_state("n1", "alive", timeout=5.0)
+        detector.wait_for_state("n2", "alive", timeout=5.0)
+        supervisor.place(spec, n1)
+        supervisor.start(interval=0.02)
+        binding = names.resolve("ledger")
+        print(f"durable store: {root}")
+        print(f"'ledger' placed on {binding.node_id} "
+              f"(fencing epoch {binding.epoch})")
+
+        keys = [f"k{n}" for n in range(5)]
+        for index, key in enumerate(keys):
+            assert put(key, f"v{index}") == 1
+        print(f"wrote {len(keys)} keys; journal at seq "
+              f"{store.last_seq('ledger')}")
+
+        print("\n-- pulling the cord on n1 (volatile state lost) --")
+        n1.crash(lose_memory=True)
+        assert put("k-during", "written-mid-crash") == 1
+        print("a put issued during the outage was acked after "
+              "failover, exactly once")
+        assert wait_for_home("n2"), "supervisor never failed over"
+        show_failover()
+
+        print("\n-- n1 restarts empty; n2 pauses without losing "
+              "memory --")
+        n1.recover()
+        detector.wait_for_state("n1", "alive", timeout=5.0)
+        zombie_binding = names.resolve("ledger")  # points at n2
+        n2.crash(lose_memory=False)
+        assert wait_for_home("n1"), "supervisor never failed back"
+        show_failover()
+
+        n2.recover()  # the zombie returns, servant and stale epoch intact
+        stale = Client("stale-edge", network, FrozenNames(zombie_binding),
+                       default_timeout=2.0)
+        try:
+            stale.call_name("ledger", "put", "k0", "zombie-write",
+                            timeout=2.0, idempotency_key="zombie:1")
+            print("zombie write was accepted?!")
+            return 1
+        except FencedOut as fenced:
+            print(f"zombie n2 fenced out: {fenced}")
+        finally:
+            stale.close()
+
+        keys.append("k-during")
+        audited = recover_service(plan, "ledger", bootstrap=Ledger).servant
+        print("\nexactly-once audit (live view vs independent "
+              "store rebuild):")
+        print(f"  {'key':<10}{'live applies':>14}{'durable applies':>17}")
+        clean = True
+        for key in keys:
+            live = client.call_name("ledger", "applied", key,
+                                    timeout=0.1, retry_policy=policy)
+            durable = audited.counts.get(key, 0)
+            clean = clean and live == 1 and durable == 1
+            print(f"  {key:<10}{live:>14}{durable:>17}")
+        metrics = supervisor.metrics()
+        print(f"\nsupervisor metrics: failovers={metrics['failovers']} "
+              f"effects_replayed={metrics['effects_replayed']} "
+              f"dedup_seeded={metrics['dedup_seeded']}")
+        return 0 if clean else 1
+    finally:
+        supervisor.stop()
+        client.close()
+        for emitter in emitters:
+            emitter.stop()
+        detector.close()
+        n1.stop()
+        n2.stop()
+        network.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -387,14 +551,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "command", nargs="?", default="demo",
         choices=["demo", "verify", "metrics", "lint", "obs", "slice",
-                 "profile"],
+                 "profile", "recover"],
         help="which demo to run (default: demo)",
     )
     arguments = parser.parse_args(argv)
     runners = {"demo": run_demo, "verify": run_verify,
                "metrics": run_metrics, "lint": run_lint,
                "obs": run_obs, "slice": run_slice,
-               "profile": run_profile}
+               "profile": run_profile, "recover": run_recover}
     return runners[arguments.command]()
 
 

@@ -233,6 +233,41 @@ class Overloaded(NetworkError):
         super().__init__(message)
 
 
+class FencedOut(Overloaded):
+    """A request or journal append carried a stale fencing epoch.
+
+    Minted by the naming service on every rebind (the binding version
+    *is* the epoch), the fencing epoch rides armed requests and guards
+    the durable journal (``repro.dist.recovery``). A zombie node that
+    returns after being declared dead — or a client still dialing it
+    with a stale binding — observes this rejection instead of
+    corrupting the replacement's state.
+
+    Subclasses :class:`Overloaded` deliberately: the failure is
+    *transient from the caller's point of view* — re-resolving the name
+    lands the retry on the current epoch holder — so existing
+    ``RPC_TRANSIENT`` retry policies recover without modification.
+    """
+
+    def __init__(self, detail: str = "", stale_epoch: int = 0,
+                 current_epoch: int = 0,
+                 retry_after: "float | None" = None) -> None:
+        self.stale_epoch = stale_epoch
+        self.current_epoch = current_epoch
+        message = detail or (
+            f"fenced out: epoch {stale_epoch} superseded by "
+            f"{current_epoch}"
+        )
+        super().__init__(message, retry_after=retry_after)
+
+    def wire_payload(self) -> dict:
+        """Wire-safe fields merged into an RPC error reply's payload."""
+        return {
+            "stale_epoch": self.stale_epoch,
+            "current_epoch": self.current_epoch,
+        }
+
+
 class ClientClosed(NetworkError):
     """The RPC client was closed while (or before) a call was in flight.
 

@@ -18,6 +18,18 @@ from .migration import MigrationError, MigrationReport, Migrator
 from .naming import Binding, NameService, ShardedBinding
 from .network import Network
 from .node import Node
+from .recovery import (
+    FailoverReport,
+    FileStore,
+    MemoryStore,
+    RecoveredService,
+    RecoveryError,
+    RecoveryPlan,
+    RecoveryStore,
+    SupervisedService,
+    Supervisor,
+    recover_service,
+)
 from .replication import FailoverMonitor, ReplicatedServant
 from .sharding import (
     HashRing,
@@ -42,11 +54,14 @@ __all__ = [
     "Binding",
     "Client",
     "FailoverMonitor",
+    "FailoverReport",
+    "FileStore",
     "HashRing",
     "HeartbeatDetector",
     "HeartbeatEmitter",
     "LeastLoaded",
     "LoadBalancer",
+    "MemoryStore",
     "Message",
     "MigrationError",
     "MigrationReport",
@@ -57,12 +72,18 @@ __all__ = [
     "RandomChoice",
     "RebalanceReport",
     "Rebalancer",
+    "RecoveredService",
+    "RecoveryError",
+    "RecoveryPlan",
+    "RecoveryStore",
     "RemoteError",
     "RemoteProxy",
     "ReplicatedServant",
     "RequestContext",
     "RequestTimeout",
     "RoundRobin",
+    "SupervisedService",
+    "Supervisor",
     "ShardRouter",
     "ShardedBinding",
     "Deadline",
@@ -75,5 +96,6 @@ __all__ = [
     "detector_failover",
     "check_wire_safe",
     "first_argument_key",
+    "recover_service",
     "serving",
 ]

@@ -101,27 +101,46 @@ class HeartbeatDetector:
     ``suspect`` (silent longer than ``suspect_after``), ``dead``
     (silent longer than ``dead_after``). A heartbeat from a suspect or
     dead node restores it to alive (nodes can recover).
+
+    ``confirm_dead`` arms suspicion hysteresis: a raw dead verdict is
+    reported as ``suspect`` until it has been observed that many times
+    with no heartbeat in between. A single delayed heartbeat therefore
+    cannot trigger a spurious failover — the supervisor keeps seeing
+    ``suspect`` while the verdict is unconfirmed, and any heartbeat
+    arriving meanwhile resets the count. The default (1) is the
+    legacy no-hysteresis behaviour.
     """
 
     def __init__(self, network: Network, endpoint: str,
                  suspect_after: float = 0.15,
                  dead_after: float = 0.4,
+                 confirm_dead: int = 1,
                  clock: Callable[[], float] = time.monotonic,
                  on_error: Optional[
                      Callable[[BaseException], None]] = None,
                  events: Optional[object] = None) -> None:
         if dead_after <= suspect_after:
             raise ValueError("dead_after must exceed suspect_after")
+        if confirm_dead < 1:
+            raise ValueError("confirm_dead is a count, at least 1")
         self.network = network
         self.endpoint = endpoint
         self.suspect_after = suspect_after
         self.dead_after = dead_after
+        self.confirm_dead = confirm_dead
         self.on_error = on_error
         #: optional protocol event bus (``repro.core.events.EventBus``):
         #: state transitions surface as ``node_state`` events on the
         #: same observability plane the moderation protocol reports to
         self.events = events
         self._state_cache: Dict[str, str] = {}
+        #: node -> (last_seen the votes were cast against, vote count);
+        #: a newer heartbeat invalidates the votes wholesale
+        self._dead_votes: Dict[str, tuple] = {}
+        #: serializes cache transition + event emission, so
+        #: ``node_state`` events fire in transition order even when
+        #: many threads poll ``state_of`` concurrently
+        self._emit_lock = threading.Lock()
         self._clock = clock
         self.inbox = network.register(endpoint)
         self._lock = threading.Lock()
@@ -182,19 +201,29 @@ class HeartbeatDetector:
             state = "suspect"
         else:
             state = "alive"
+        if state == "dead" and self.confirm_dead > 1:
+            with self._lock:
+                voted_at, votes = self._dead_votes.get(node_id, (None, 0))
+                if voted_at != last:
+                    votes = 0  # a heartbeat arrived: verdict invalidated
+                votes += 1
+                self._dead_votes[node_id] = (last, votes)
+            if votes < self.confirm_dead:
+                state = "suspect"  # dead verdict pending confirmation
         events = self.events
         if events is not None:
-            with self._lock:
-                previous = self._state_cache.get(node_id)
-                changed = previous != state
+            with self._emit_lock:
+                with self._lock:
+                    previous = self._state_cache.get(node_id)
+                    changed = previous != state
+                    if changed:
+                        self._state_cache[node_id] = state
                 if changed:
-                    self._state_cache[node_id] = state
-            if changed:
-                events.emit(
-                    "node_state", method_id=node_id,
-                    detail=f"{previous or 'unknown'} -> {state}",
-                    duration=silence,
-                )
+                    events.emit(
+                        "node_state", method_id=node_id,
+                        detail=f"{previous or 'unknown'} -> {state}",
+                        duration=silence,
+                    )
         return state
 
     def alive(self, node_id: str) -> bool:

@@ -80,7 +80,8 @@ def request(source: str, dest: str, service: str, method: str,
             trace: Optional[Dict[str, Any]] = None,
             deadline_budget: Optional[float] = None,
             idempotency_key: Optional[str] = None,
-            attempt: int = 1) -> Message:
+            attempt: int = 1,
+            fence: Optional[int] = None) -> Message:
     """Build an RPC request message.
 
     ``trace`` is an optional wire-form trace context
@@ -96,6 +97,11 @@ def request(source: str, dest: str, service: str, method: str,
     names the *logical* call so a server-side dedup cache can replay
     the original reply to a retry instead of re-executing; ``attempt``
     is the 1-based attempt number, carried for diagnostics.
+
+    ``fence`` is the fencing epoch of the binding the caller resolved
+    (``docs/recovery.md``): a node exported at a different epoch
+    rejects the request with a retryable ``FencedOut`` instead of
+    letting a stale binding land effects on a superseded location.
     """
     payload: Dict[str, Any] = {
         "service": service,
@@ -112,6 +118,8 @@ def request(source: str, dest: str, service: str, method: str,
         payload["idempotency_key"] = idempotency_key
     if attempt != 1:
         payload["attempt"] = attempt
+    if fence is not None:
+        payload["fence"] = int(fence)
     return Message(source=source, dest=dest, kind="request",
                    payload=payload)
 

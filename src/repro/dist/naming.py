@@ -49,6 +49,20 @@ class Binding:
         """Whether this is an unbind tombstone, not a live location."""
         return not self.node_id
 
+    @property
+    def epoch(self) -> int:
+        """The fencing epoch this binding mints (its version).
+
+        Versions are monotonic per name forever, so every rebind — a
+        failover in particular — mints a strictly greater epoch. The
+        recovery plane (``docs/recovery.md``) fences the durable
+        journal and the serving node at this value: armed requests
+        carry it on the wire, and a zombie node holding an older epoch
+        gets its late writes and replies rejected instead of corrupting
+        the replacement.
+        """
+        return self.version
+
 
 @dataclass(frozen=True)
 class ShardedBinding:

@@ -28,6 +28,7 @@ from repro.concurrency.primitives import WaitQueue
 from repro.core.errors import (
     ActivationTimeout,
     DeadlineExceeded,
+    FencedOut,
     MethodAborted,
     Overloaded,
 )
@@ -51,9 +52,31 @@ _NODE_COUNTERS = (
     "deadline_expired",
 )
 
+#: counters a node keeps once recovery is armed (prefix
+#: ``repro_recovery_``); registered lazily on the first
+#: :meth:`Node.attach_recovery` / epoch-carrying export, so an
+#: unarmed node's registry is byte-for-byte the legacy one
+_RECOVERY_COUNTERS = ("journal_appends", "checkpoints",
+                      "fenced_rejections")
+
 #: how long a duplicate of a still-executing call waits for the original
 #: to finish when the request carries no deadline of its own
 _DEFAULT_DUP_WAIT = 5.0
+
+
+class _NodeCrashed(BaseException):
+    """Control-flow signal: this serving thread's node just fail-stopped.
+
+    Deliberately a ``BaseException``: the serving paths convert every
+    ``Exception`` into an error reply, and a crashed node must not
+    reply — the silence *is* the failure mode the recovery plane
+    exists for. Raised by :meth:`Node._crash_point`, re-raised past
+    the reply machinery, and caught only in :meth:`Node._serve_loop`.
+    """
+
+    def __init__(self, spec: Any) -> None:
+        self.spec = spec
+        super().__init__(f"node crashed by fault plan: {spec}")
 
 
 class Node:
@@ -100,6 +123,25 @@ class Node:
         #: by default — and then every serving path is byte-for-byte the
         #: threaded one.
         self._runtimes: Dict[str, Any] = {}
+        #: service -> attached recovery plan
+        #: (:class:`repro.dist.recovery.RecoveryPlan`). Mutations of
+        #: such services are journaled to the plan's durable store
+        #: before their reply is sent; empty by default — and then
+        #: every serving path is byte-for-byte the legacy one.
+        self._journals: Dict[str, Any] = {}
+        #: service -> fencing epoch it was exported at (the binding
+        #: version the supervisor minted); armed requests carrying a
+        #: different epoch are rejected with ``FencedOut``
+        self._epochs: Dict[str, int] = {}
+        #: set after :meth:`crash` with ``lose_memory=True``: the node
+        #: can no longer prove anything about in-flight work, so
+        #: :meth:`settle`'s drain barrier reports failure until
+        #: :meth:`recover`
+        self._crashed = False
+        self._recovery_counters: Optional[Any] = None
+        #: crash-site hook (:class:`repro.faults.FaultInjector`);
+        #: installed via ``injector.install(node)`` like the network's
+        self.fault_injector: Optional[Any] = None
         self._lock = threading.Lock()
         #: services withdrawn for a live migration: requests for them are
         #: answered with a *transient* Overloaded (+retry_after) so the
@@ -139,7 +181,8 @@ class Node:
     # servants
     # ------------------------------------------------------------------
     def export(self, service: str, servant: Any,
-               runtime: Optional[Any] = None) -> None:
+               runtime: Optional[Any] = None,
+               epoch: Optional[int] = None) -> None:
         """Expose ``servant`` under a local service name.
 
         ``runtime`` (a :class:`repro.core.continuation.ContinuationRuntime`
@@ -150,6 +193,12 @@ class Node:
         methods of a :class:`~repro.core.proxy.ComponentProxy` servant
         ride the reactor; everything else (plain servants, passthrough
         methods) keeps the synchronous path.
+
+        ``epoch`` stamps the fencing epoch this export is authoritative
+        for (``docs/recovery.md``): armed requests carrying a different
+        epoch are rejected with a retryable
+        :class:`~repro.core.errors.FencedOut`, so traffic aimed at a
+        superseded binding cannot land effects here.
         """
         if runtime is not None and isinstance(servant, ComponentProxy) \
                 and runtime._moderator is not servant._moderator:
@@ -162,12 +211,35 @@ class Node:
                 raise ValueError(
                     f"service {service!r} already exported on {self.node_id}"
                 )
+            if runtime is not None and service in self._journals:
+                raise ValueError(
+                    f"service {service!r} is journaled; journaled "
+                    "services serialize mutations and cannot be "
+                    "reactor-served"
+                )
             self._servants[service] = servant
             if runtime is not None:
                 self._runtimes[service] = runtime
             else:
                 self._runtimes.pop(service, None)
+            if epoch is not None:
+                self._epochs[service] = int(epoch)
             self._moving.discard(service)
+        if epoch is not None:
+            self._recovery_metrics()
+
+    def expect(self, service: str) -> None:
+        """Open the retryable window for a service about to arrive.
+
+        A failover rebinds the name *before* the recovered servant is
+        exported here; requests racing into that gap are answered with
+        the retryable moving ``Overloaded`` instead of the terminal
+        ``LookupError`` an unknown service earns. No-op if the service
+        is already exported.
+        """
+        with self._lock:
+            if service not in self._servants:
+                self._moving.add(service)
 
     def withdraw(self, service: str, moving: bool = False) -> Any:
         """Remove a servant; ``moving=True`` opens the migration window.
@@ -192,12 +264,17 @@ class Node:
         The migrator's drain barrier: after ``withdraw(moving=True)`` no
         *new* request can reach the servant, and ``settle`` returning
         True proves the in-flight ones finished — only then is captured
-        state complete. False on timeout.
+        state complete. False on timeout — or after a memory-losing
+        crash, because an amnesiac node cannot prove anything about
+        work that was in flight when it died.
         """
         with self._idle:
-            return self._idle.wait_for(
-                lambda: self._inflight.get(service, 0) == 0, timeout
+            drained = self._idle.wait_for(
+                lambda: (self._crashed
+                         or self._inflight.get(service, 0) == 0),
+                timeout,
             )
+            return drained and not self._crashed
 
     def _release(self, service: str) -> None:
         # the in-flight count was taken while fetching the servant
@@ -279,7 +356,13 @@ class Node:
             except WaitQueue.Closed:
                 return
             if message.kind == "request":
-                self._handle_request(message)
+                try:
+                    self._handle_request(message)
+                except _NodeCrashed:
+                    # The fault plan fail-stopped this node mid-request:
+                    # no reply, no cleanup — the thread just dies, like
+                    # the process it stands in for.
+                    return
             # replies are routed by client stubs sharing the inbox of a
             # client endpoint; a serving node ignores stray replies.
 
@@ -294,6 +377,15 @@ class Node:
             # inline so the fast path pays no extra call frames.
             service = payload.get("service", "")
             method = payload.get("method", "")
+            if self._journals and self._journal_plan(service, method) \
+                    is not None:
+                # A journaled mutation must hit the durable log even
+                # when the caller sent it unarmed: route it through the
+                # armed handler (without envelope) so effect + append
+                # stay one atomic step.
+                self._handle_armed(message, payload, service, method,
+                                   None, None, None)
+                return
             if self._runtimes and self._serve_on_reactor(
                 message, payload, service, method, None, None, None
             ):
@@ -338,6 +430,27 @@ class Node:
 
         service = payload.get("service", "")
         method = payload.get("method", "")
+
+        fence = payload.get("fence")
+        if fence is not None and self._epochs:
+            local = self._epochs.get(service)
+            if local is not None and fence != local:
+                # The caller resolved a binding whose epoch this export
+                # does not hold: either we are the zombie (stale local
+                # epoch) or the caller is (stale binding). Rejecting is
+                # retryable — the caller re-resolves onto the current
+                # epoch holder — and happens before the dedup claim so
+                # a fenced request can never pin a dedup slot here.
+                self._counters.bump("requests_failed")
+                self._recovery_metrics().bump("fenced_rejections")
+                self._send_response(error_reply(message, FencedOut(
+                    f"request for {service!r} carries epoch {fence}; "
+                    f"node {self.node_id} holds epoch {local}",
+                    stale_epoch=int(fence), current_epoch=local,
+                    retry_after=self.retry_after,
+                )))
+                return
+
         deadline = (Deadline.from_wire(budget, anchor=message.sent_at)
                     if budget is not None else None)
 
@@ -369,14 +482,39 @@ class Node:
             message, payload, service, method, deadline, key, entry
         ):
             return
+        plan = self._journal_plan(service, method) if self._journals \
+            else None
+        injector = self.fault_injector
         try:
-            result = self._invoke(payload, deadline, key)
-            response = reply(message, self._wire_result(result))
+            if injector is not None:
+                self._crash_point(injector, "serve")
+            if plan is None:
+                result = self._invoke(payload, deadline, key)
+                if injector is not None:
+                    self._crash_point(injector, "applied")
+                response = reply(message, self._wire_result(result))
+            else:
+                # Effect and journal append are one atomic step under
+                # the plan lock: a concurrent checkpoint can therefore
+                # never capture an effect whose journal record lands
+                # after the recorded sequence (which would double-apply
+                # it on recovery).
+                with plan.lock:
+                    result = self._invoke(payload, deadline, key)
+                    if injector is not None:
+                        self._crash_point(injector, "applied")
+                    response = reply(message, self._wire_result(result))
+                    self._journal_effect(plan, service, payload, key,
+                                         response)
+                if injector is not None:
+                    self._crash_point(injector, "journaled")
             self._counters.bump("requests_served")
             if entry is not None:
                 # Cache the reply: a retry of this logical call replays
                 # it instead of re-executing (at-most-once effects).
                 self.dedup.finish(key, response.kind, response.payload)
+        except _NodeCrashed:
+            raise
         except BaseException as exc:  # noqa: BLE001 - marshalled to caller
             if (isinstance(exc, ActivationTimeout) and deadline is not None
                     and deadline.expired):
@@ -400,6 +538,8 @@ class Node:
                     # The body ran (or may have): pin this outcome.
                     self.dedup.finish(key, response.kind, response.payload)
         self._send_response(response)
+        if injector is not None:
+            self._crash_point(injector, "replied")
 
     def _invoke(self, payload: Dict[str, Any],
                 deadline: Optional[Deadline],
@@ -664,18 +804,221 @@ class Node:
             return flat
         return repr(result)
 
-    def stop(self) -> None:
-        self._running = False
-        for thread in self._threads:
-            thread.join(timeout=1.0)
-        self._threads.clear()
+    # ------------------------------------------------------------------
+    # recovery plane (docs/recovery.md)
+    # ------------------------------------------------------------------
+    def attach_recovery(self, service: str, plan: Any) -> None:
+        """Arm the durable effect journal for a service.
 
-    def crash(self) -> None:
-        """Fail-stop: the node stops serving and the network drops traffic."""
+        ``plan`` is a :class:`repro.dist.recovery.RecoveryPlan`. From
+        the next request on, every call of a method the plan declares
+        mutating is journaled to the plan's store *before* its reply is
+        sent — the write-ahead guarantee recovery's exactly-once replay
+        rests on. With no plans attached every serving path stays
+        byte-for-byte the legacy one.
+        """
+        with self._lock:
+            if service in self._runtimes:
+                raise ValueError(
+                    f"service {service!r} rides a continuation runtime; "
+                    "journaled services serialize mutations and cannot "
+                    "be reactor-served"
+                )
+            self._journals[service] = plan
+        self._recovery_metrics()
+
+    def detach_recovery(self, service: str) -> Optional[Any]:
+        """Disarm journaling for a service; returns the plan, if any."""
+        with self._lock:
+            return self._journals.pop(service, None)
+
+    def checkpoint(self, service: str) -> int:
+        """Durably checkpoint a journaled service's state now.
+
+        Captures the servant state plus the sharding handoff bundle
+        (completed idempotency entries, optional aspect state) under
+        the plan lock — so the recorded journal sequence is exactly the
+        last effect the captured state contains — then prunes the
+        journal up to it. Returns the checkpointed sequence.
+        """
+        plan = self._journals.get(service)
+        if plan is None:
+            raise KeyError(
+                f"service {service!r} has no recovery plan on "
+                f"{self.node_id}"
+            )
+        with self._lock:
+            servant = self._servants.get(service)
+        if servant is None:
+            raise KeyError(
+                f"no service {service!r} on node {self.node_id}"
+            )
+        with plan.lock:
+            return self._checkpoint_locked(plan, service, servant)
+
+    def _checkpoint_locked(self, plan: Any, service: str,
+                           servant: Any = None) -> int:
+        # under plan.lock (never under self._lock: lock order is
+        # plan.lock -> self._lock)
+        from .sharding import HANDOFF_KEY
+
+        if servant is None:
+            with self._lock:
+                servant = self._servants.get(service)
+            if servant is None:  # withdrawn mid-flight: nothing to save
+                return plan.store.last_seq(service)
+        state = dict(plan.capture(servant))
+        handoff: Dict[str, Any] = {
+            "dedup": self.dedup.export_completed(),
+        }
+        if plan.aspect_capture is not None:
+            handoff["aspects"] = plan.aspect_capture(servant)
+        state[HANDOFF_KEY] = handoff
+        epoch = self._epochs.get(service, 0)
+        seq = plan.store.last_seq(service)
+        plan.store.save_checkpoint(
+            service, {"state": state, "seq": seq, "epoch": epoch},
+            epoch=epoch,
+        )
+        plan.store.prune(service, seq)
+        self._recovery_metrics().bump("checkpoints")
+        return seq
+
+    def _journal_plan(self, service: str, method: str) -> Optional[Any]:
+        """The recovery plan journaling this call, or None."""
+        plan = self._journals.get(service)
+        if plan is None or not plan.journals(method):
+            return None
+        return plan
+
+    def _journal_effect(self, plan: Any, service: str,
+                        payload: Dict[str, Any], key: Optional[str],
+                        response: Message) -> None:
+        # under plan.lock, after the servant applied the effect
+        record = {
+            "method": payload.get("method", ""),
+            "args": list(payload.get("args", ())),
+            "kwargs": dict(payload.get("kwargs", {})),
+            "caller": payload.get("caller"),
+            "key": key,
+            "reply": {"kind": response.kind,
+                      "payload": dict(response.payload)},
+        }
+        epoch = self._epochs.get(service, 0)
+        try:
+            plan.store.append(service, record, epoch=epoch)
+        except FencedOut:
+            # The durable plane refused our epoch: a replacement was
+            # promoted while we served. The local apply mutated doomed
+            # state only (this node's memory is no longer
+            # authoritative); step aside so retries re-resolve onto
+            # the current holder, where dedup/journal govern.
+            self._recovery_metrics().bump("fenced_rejections")
+            try:
+                self.withdraw(service, moving=True)
+            except KeyError:
+                pass
+            raise
+        self._recovery_metrics().bump("journal_appends")
+        plan.appended += 1
+        if plan.checkpoint_every and \
+                plan.appended % plan.checkpoint_every == 0:
+            self._checkpoint_locked(plan, service)
+
+    def _recovery_metrics(self) -> Any:
+        if self._recovery_counters is None:
+            self._recovery_counters = self.registry.counter_block(
+                _RECOVERY_COUNTERS, prefix="repro_recovery_"
+            )
+        return self._recovery_counters
+
+    def _crash_point(self, injector: Any, point: str) -> None:
+        """Consult the fault plan at one serving checkpoint.
+
+        ``raise`` fail-stops the node here (volatile state discarded,
+        network traffic dropped); ``delay`` widens the race window;
+        ``skip`` is a no-op at crash sites.
+        """
+        spec = injector.crash_due(self.node_id, point)
+        if spec is None:
+            return
+        if spec.action == "delay":
+            injector._sleep(spec.arg)  # noqa: SLF001 - shared clock hook
+            return
+        if spec.action == "skip":
+            return
+        self._crash_now()
+        raise _NodeCrashed(spec)
+
+    def _crash_now(self) -> None:
+        # Fail-stop from a serving thread: no joins (we may *be* a
+        # serving thread), just drop off the network, stop the loops,
+        # and lose the memory a real process death would lose.
         self.network.take_down(self.node_id)
-        self.stop()
+        self._running = False
+        self._lose_memory()
+
+    def _lose_memory(self) -> None:
+        """Discard every piece of volatile state, as process death does."""
+        with self._lock:
+            self._servants.clear()
+            self._runtimes.clear()
+            self._journals.clear()
+            self._epochs.clear()
+            self._moving.clear()
+            self._inflight.clear()
+            self._crashed = True
+        # a fresh, empty cache: the acknowledged replies the old one
+        # held survive only via the journal/checkpoint handoff
+        self.dedup = IdempotencyCache(self.dedup.capacity)
+        with self._idle:
+            self._idle.notify_all()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def stop(self, timeout: float = 1.0) -> List[threading.Thread]:
+        """Stop serving; returns the threads still alive afterwards.
+
+        Like ``WorkerPool.shutdown``, stragglers (serve threads wedged
+        in a servant call past ``timeout``) are *surfaced*, not
+        silently dropped: the caller decides whether a non-empty list
+        is a leak to fail on. The calling thread itself is reported as
+        a straggler rather than joined (a servant stopping its own
+        node must not deadlock).
+        """
+        self._running = False
+        current = threading.current_thread()
+        stragglers: List[threading.Thread] = []
+        for thread in self._threads:
+            if thread is current:
+                stragglers.append(thread)
+                continue
+            thread.join(timeout=timeout)
+            if thread.is_alive():
+                stragglers.append(thread)
+        self._threads.clear()
+        return stragglers
+
+    def crash(self, lose_memory: bool = False) -> List[threading.Thread]:
+        """Fail-stop: the node stops serving and the network drops traffic.
+
+        ``lose_memory=True`` is a *real* process crash: servants,
+        attached runtimes and journals, fencing epochs, the idempotency
+        cache, and the migration bookkeeping are all discarded — only
+        what reached a durable :class:`~repro.dist.recovery`
+        store survives. The default keeps memory (partition + pause),
+        which models a network-isolated or suspended process that may
+        come back as a zombie. Returns :meth:`stop`'s stragglers.
+        """
+        self.network.take_down(self.node_id)
+        stragglers = self.stop()
+        if lose_memory:
+            self._lose_memory()
+        return stragglers
 
     def recover(self) -> None:
+        self._crashed = False
         self.network.bring_up(self.node_id)
         self.start()
 

@@ -34,6 +34,7 @@ from repro.core.errors import (
     ClientClosed,
     ContractViolation,
     DeadlineExceeded,
+    FencedOut,
     FrameworkError,
     MethodAborted,
     NetworkError,
@@ -199,7 +200,7 @@ class Client:
                 raise self._error_from_reply(method, response)
             return response.payload.get("result")
         return self._call(
-            lambda: (node_id, service), method, args, kwargs,
+            lambda: (node_id, service, None), method, args, kwargs,
             caller=caller, timeout=timeout,
             deadline=Deadline.coerce(deadline),
             idempotency_key=idempotency_key, policy=policy,
@@ -230,9 +231,15 @@ class Client:
                                    args, kwargs, caller, timeout,
                                    None, None, 1, None)
 
-        def resolve() -> Tuple[str, str]:
+        def resolve() -> Tuple[str, str, Optional[int]]:
+            # The binding's epoch rides the armed request as its fence
+            # (docs/recovery.md): re-resolving per attempt means a
+            # retry after a failover rebind both follows the binding
+            # *and* carries the new epoch — while a node exported at a
+            # different epoch rejects the attempt with a retryable
+            # FencedOut instead of applying a stale-bound effect.
             binding = self.names.resolve(name)
-            return binding.node_id, binding.service
+            return binding.node_id, binding.service, binding.epoch
 
         return self._call(
             resolve, method, args, kwargs,
@@ -242,7 +249,8 @@ class Client:
         )
 
     # ------------------------------------------------------------------
-    def _call(self, resolve: Callable[[], Tuple[str, str]], method: str,
+    def _call(self, resolve: Callable[[], Tuple[str, str, Optional[int]]],
+              method: str,
               args: Tuple[Any, ...], kwargs: Dict[str, Any], *,
               caller: Optional[str], timeout: Optional[float],
               deadline: Optional[Deadline], idempotency_key: Optional[str],
@@ -270,7 +278,7 @@ class Client:
                     f"deadline elapsed before attempt {attempt} "
                     f"of {method!r}"
                 )
-            node_id, service = resolve()
+            node_id, service, fence = resolve()
             token = None
             if self.breakers is not None:
                 try:
@@ -285,6 +293,7 @@ class Client:
                 return self._send_once(
                     node_id, service, method, args, kwargs,
                     caller, timeout, deadline, key, attempt, token,
+                    fence=fence,
                 )
             except (DeadlineExceeded, ClientClosed):
                 raise  # budget spent / client gone: never retried
@@ -316,7 +325,8 @@ class Client:
                    args: Tuple[Any, ...], kwargs: Dict[str, Any],
                    caller: Optional[str], timeout: Optional[float],
                    deadline: Optional[Deadline], key: Optional[str],
-                   attempt: int, token: Optional[Any]) -> Any:
+                   attempt: int, token: Optional[Any],
+                   fence: Optional[int] = None) -> Any:
         """Send one attempt and await its reply."""
         context = propagation.current()
         budget = deadline.to_wire() if deadline is not None else None
@@ -329,6 +339,7 @@ class Client:
             trace=propagation.to_wire(context)
             if context is not None else None,
             deadline_budget=budget, idempotency_key=key, attempt=attempt,
+            fence=fence,
         )
         future: "Future[Message]" = Future()
         with self._lock:
@@ -385,6 +396,15 @@ class Client:
             return MethodAborted(method, reason=detail)
         if error_type == "DeadlineExceeded":
             return DeadlineExceeded(detail)
+        if error_type == "FencedOut":
+            # Retryable like its Overloaded parent: re-resolving lands
+            # the retry on the current epoch holder.
+            return FencedOut(
+                detail,
+                stale_epoch=payload.get("stale_epoch", 0),
+                current_epoch=payload.get("current_epoch", 0),
+                retry_after=payload.get("retry_after"),
+            )
         if error_type == "Overloaded":
             return Overloaded(
                 detail, retry_after=payload.get("retry_after")

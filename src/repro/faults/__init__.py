@@ -21,9 +21,11 @@ attribute check — measured in ``benchmarks/bench_faults.py``.
 """
 
 from .plan import (
+    CRASH_POINTS,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    crash_sites,
     delivery_sites,
     double_fault_plans,
     protocol_sites,
@@ -33,10 +35,12 @@ from .plan import (
 from .injector import FaultInjector
 
 __all__ = [
+    "CRASH_POINTS",
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "crash_sites",
     "delivery_sites",
     "double_fault_plans",
     "protocol_sites",

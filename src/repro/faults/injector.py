@@ -108,6 +108,17 @@ class FaultInjector:
         """Every planned spec targeting one site (any occurrence)."""
         return self.plan.specs_at((phase, method_id, concern))
 
+    def crash_due(self, node_id: str, point: str) -> Optional[FaultSpec]:
+        """Node hook: the planned crash for this serving checkpoint.
+
+        Visit-counted like every other site, so "crash ``n1`` the
+        second time an effect has just been applied" is a stable
+        schedule coordinate. The node applies the crash itself
+        (discarding volatile state and stopping its serve loops) —
+        only the node knows how to die.
+        """
+        return self._visit("crash", node_id, point)
+
     def deliver(self, dest: str) -> Optional[FaultSpec]:
         """Network hook: the planned fault for this delivery, if any.
 

@@ -12,6 +12,10 @@ phase                      meaning
 ``"delivery"``             before a network delivery; ``method_id``
                            holds the destination endpoint, concern is
                            empty
+``"crash"``                a fail-stop process crash at a serving
+                           checkpoint; ``method_id`` holds the node id,
+                           ``concern`` the crash point (one of
+                           :data:`CRASH_POINTS`)
 ========================  =============================================
 
 ``occurrence`` selects the k-th visit (1-based) to that site across the
@@ -32,8 +36,14 @@ import random
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence, Tuple
 
-PHASES = ("precondition", "postaction", "on_abort", "delivery")
+PHASES = ("precondition", "postaction", "on_abort", "delivery", "crash")
 ACTIONS = ("raise", "delay", "skip")
+
+#: where inside one request's serving sequence a node crash can strike
+#: (``docs/recovery.md``): before the servant runs, after the effect is
+#: applied but before it is journaled, after the journal append but
+#: before the reply is sent, and after the reply went out.
+CRASH_POINTS = ("serve", "applied", "journaled", "replied")
 
 #: site coordinate: (phase, method_id, concern)
 Site = Tuple[str, str, str]
@@ -193,6 +203,21 @@ def delivery_sites(endpoints: Sequence[str]) -> List[Site]:
     empty) — see :meth:`FaultInjector.deliver`.
     """
     return [("delivery", endpoint, "") for endpoint in endpoints]
+
+
+def crash_sites(node_ids: Sequence[str],
+                points: Sequence[str] = CRASH_POINTS) -> List[Site]:
+    """Enumerate the crash fault sites of some nodes.
+
+    A crash site is keyed by node id (the ``method_id`` coordinate) and
+    crash point (the ``concern`` coordinate) — see
+    :meth:`FaultInjector.crash_due`. The crash-chaos suite sweeps the
+    product of these sites against the message-loss space.
+    """
+    return [
+        ("crash", node_id, point)
+        for node_id in node_ids for point in points
+    ]
 
 
 def single_loss_plans(endpoints: Sequence[str],

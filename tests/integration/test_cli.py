@@ -68,6 +68,22 @@ class TestCli:
         assert "reordered by profile" in completed.stdout
         assert "200 vetoed" in completed.stdout
 
+    def test_recover_command_demos_crash_restart(self):
+        completed = run_cli("recover")
+        assert completed.returncode == 0, completed.stderr
+        # the service moved off the crashed node with a fresh epoch
+        assert "failover -> n2" in completed.stdout
+        assert "epoch=2" in completed.stdout
+        # the durable journal was replayed into the new home
+        assert "replayed=5 journaled effects" in completed.stdout
+        # a put riding out the outage still landed exactly once
+        assert "acked after failover, exactly once" in completed.stdout
+        # the returning zombie's late durable write was rejected
+        assert "zombie n2 fenced out" in completed.stdout
+        assert "zombie write was accepted?!" not in completed.stdout
+        # the audit table shows no double-applies in either view
+        assert "exactly-once audit" in completed.stdout
+
     def test_unknown_command_rejected(self):
         completed = run_cli("bogus")
         assert completed.returncode != 0

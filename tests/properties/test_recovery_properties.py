@@ -1,0 +1,136 @@
+"""Hypothesis properties for the idempotency-cache handoff round trip.
+
+``IdempotencyCache.export_completed()`` / ``seed()`` is the wire the
+recovery checkpoint (and the shard rebalancer) moves acknowledged
+replies over. These properties pin the contract the recovery plane's
+exactly-once argument rests on:
+
+* the export is wire-safe — it can ride a checkpoint through any
+  serialization boundary;
+* round-tripping preserves every completed reply exactly (replaying a
+  seeded entry yields the original payload — apply counts cannot grow);
+* in-flight slots never travel — only a completed reply may be
+  replayed at the new home;
+* seeding never overwrites local knowledge — an existing entry
+  (completed or in-flight) beats the handoff snapshot.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dist import IdempotencyCache, check_wire_safe
+
+KEYS = st.text(alphabet=string.ascii_lowercase + string.digits + ":",
+               min_size=1, max_size=12)
+
+WIRE_VALUES = st.recursive(
+    st.none() | st.booleans() | st.integers() |
+    st.floats(allow_nan=False) | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=3) |
+    st.dictionaries(st.text(max_size=5), children, max_size=3),
+    max_leaves=6,
+)
+
+#: key -> (kind, payload) of completed calls
+COMPLETED = st.dictionaries(
+    KEYS,
+    st.tuples(st.sampled_from(["reply", "error"]),
+              st.dictionaries(st.text(max_size=5), WIRE_VALUES,
+                              max_size=3)),
+    max_size=8,
+)
+
+IN_FLIGHT = st.sets(KEYS, max_size=4)
+
+
+def _fill(cache, completed, in_flight):
+    """Populate a cache: finished entries plus pending slots."""
+    for key, (kind, payload) in completed.items():
+        cache.begin(key)
+        cache.finish(key, kind, payload)
+    for key in in_flight:
+        if key not in completed:
+            cache.begin(key)  # claimed, never finished
+
+
+@given(completed=COMPLETED, in_flight=IN_FLIGHT)
+@settings(max_examples=60, deadline=None)
+def test_export_is_wire_safe_and_excludes_in_flight(completed, in_flight):
+    cache = IdempotencyCache(capacity=64)
+    _fill(cache, completed, in_flight)
+    exported = cache.export_completed()
+    assert check_wire_safe(exported), "export crossed with live objects"
+    assert set(exported) == set(completed)
+    for key in in_flight - set(completed):
+        assert key not in exported
+
+
+@given(completed=COMPLETED, in_flight=IN_FLIGHT)
+@settings(max_examples=60, deadline=None)
+def test_round_trip_preserves_every_completed_reply(completed, in_flight):
+    source = IdempotencyCache(capacity=64)
+    _fill(source, completed, in_flight)
+    target = IdempotencyCache(capacity=64)
+    seeded = target.seed(source.export_completed())
+    assert seeded == len(completed)
+    for key, (kind, payload) in completed.items():
+        status, entry = target.begin(key)
+        # the retry replays the recorded reply: the method body never
+        # runs again, so the apply count cannot grow past one
+        assert status == "done"
+        assert entry.kind == kind
+        assert entry.payload == payload
+
+
+@given(completed=COMPLETED)
+@settings(max_examples=60, deadline=None)
+def test_double_seed_is_idempotent(completed):
+    source = IdempotencyCache(capacity=64)
+    _fill(source, completed, set())
+    exported = source.export_completed()
+    target = IdempotencyCache(capacity=64)
+    assert target.seed(exported) == len(completed)
+    # seeding the same snapshot again installs nothing new
+    assert target.seed(exported) == 0
+    assert target.stats()["entries"] == len(completed)
+
+
+@given(completed=COMPLETED, key=KEYS)
+@settings(max_examples=60, deadline=None)
+def test_seed_never_overwrites_local_knowledge(completed, key):
+    exported = dict(completed)
+    exported[key] = ("reply", {"result": "stale"})
+    source = IdempotencyCache(capacity=64)
+    _fill(source, exported, set())
+    snapshot = source.export_completed()
+
+    # local already completed the call with a fresher reply
+    target = IdempotencyCache(capacity=64)
+    target.begin(key)
+    target.finish(key, "reply", {"result": "local"})
+    target.seed(snapshot)
+    status, entry = target.begin(key)
+    assert status == "done"
+    assert entry.payload == {"result": "local"}
+
+    # local has the call in flight: the slot must stay pending (the
+    # original execution owns the outcome, not the snapshot)
+    pending = IdempotencyCache(capacity=64)
+    pending.begin(key)
+    pending.seed(snapshot)
+    status, entry = pending.begin(key)
+    assert status == "pending"
+    assert not entry.done
+
+
+@given(completed=COMPLETED)
+@settings(max_examples=30, deadline=None)
+def test_seed_respects_capacity_bound(completed):
+    target = IdempotencyCache(capacity=4)
+    target.seed(IdempotencyCache(capacity=64).export_completed())
+    source = IdempotencyCache(capacity=64)
+    _fill(source, completed, set())
+    target.seed(source.export_completed())
+    assert target.stats()["entries"] <= 4

@@ -1,5 +1,6 @@
 """Unit tests for heartbeat failure detection."""
 
+import threading
 import time
 
 import pytest
@@ -210,5 +211,164 @@ class TestFaultContainment:
             ))
             assert detector.wait_for_state("src", "alive", timeout=2.0)
         finally:
+            detector.close()
+            network.close()
+
+
+class FakeClock:
+    """A hand-advanced monotonic clock for deterministic silence."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class RecordingBus:
+    """Collects ``node_state`` events in emission order."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.events = []
+
+    def emit(self, kind, **fields):
+        with self._lock:
+            self.events.append((kind, dict(fields)))
+
+    def transitions(self, node_id):
+        with self._lock:
+            return [
+                fields["detail"] for kind, fields in self.events
+                if kind == "node_state" and fields["method_id"] == node_id
+            ]
+
+
+class TestSuspicionHysteresis:
+    def test_confirm_dead_is_validated(self):
+        network = Network()
+        try:
+            with pytest.raises(ValueError):
+                HeartbeatDetector(network, "m-bad", confirm_dead=0)
+        finally:
+            network.close()
+
+    def test_dead_verdict_needs_confirmation(self):
+        network = Network()
+        clock = FakeClock()
+        detector = HeartbeatDetector(
+            network, "m-hyst", suspect_after=0.1, dead_after=0.3,
+            confirm_dead=3, clock=clock,
+        )
+        try:
+            detector.watch("n")
+            clock.now = 0.35  # silent past dead_after
+            # an unconfirmed dead verdict is reported as suspect
+            assert detector.state_of("n") == "suspect"
+            assert detector.state_of("n") == "suspect"
+            # the third consecutive verdict confirms it
+            assert detector.state_of("n") == "dead"
+            assert detector.state_of("n") == "dead"
+        finally:
+            detector.close()
+            network.close()
+
+    def test_heartbeat_resets_confirmation_votes(self):
+        network = Network()
+        clock = FakeClock()
+        detector = HeartbeatDetector(
+            network, "m-reset", suspect_after=0.1, dead_after=0.3,
+            confirm_dead=2, clock=clock,
+        )
+        try:
+            detector.watch("n")
+            clock.now = 0.35
+            assert detector.state_of("n") == "suspect"  # one vote cast
+            # a delayed heartbeat arrives: the verdict is invalidated
+            with detector._lock:
+                detector._last_seen["n"] = clock.now
+            assert detector.state_of("n") == "alive"
+            clock.now = 0.75  # silent again, past dead_after
+            # the earlier vote did not survive the heartbeat: the
+            # fresh verdict must start confirmation over
+            assert detector.state_of("n") == "suspect"
+            assert detector.state_of("n") == "dead"
+        finally:
+            detector.close()
+            network.close()
+
+    def test_default_is_legacy_no_hysteresis(self):
+        network = Network()
+        clock = FakeClock()
+        detector = HeartbeatDetector(
+            network, "m-legacy", suspect_after=0.1, dead_after=0.3,
+            clock=clock,
+        )
+        try:
+            detector.watch("n")
+            clock.now = 0.35
+            # confirm_dead=1: the first dead verdict is final
+            assert detector.state_of("n") == "dead"
+        finally:
+            detector.close()
+            network.close()
+
+
+class TestEventOrdering:
+    def test_node_state_events_fire_in_transition_order(self):
+        """Concurrent pollers may not reorder the emitted transitions.
+
+        Many threads poll ``state_of`` while the clock walks the node
+        through alive -> suspect -> dead -> alive -> ... Every emitted
+        ``node_state`` event's ``previous`` must equal the prior
+        event's new state — a torn cache-update/emit pair would break
+        the chain.
+        """
+        network = Network()
+        clock = FakeClock()
+        bus = RecordingBus()
+        detector = HeartbeatDetector(
+            network, "m-order", suspect_after=0.1, dead_after=0.3,
+            clock=clock, events=bus,
+        )
+        stop = threading.Event()
+
+        def poll():
+            while not stop.is_set():
+                detector.state_of("n")
+
+        pollers = [threading.Thread(target=poll) for _ in range(4)]
+        try:
+            detector.watch("n")
+            for thread in pollers:
+                thread.start()
+            # several full silence/recovery cycles under concurrent
+            # polling: plenty of transitions to tear
+            for _ in range(10):
+                for tick in (0.05, 0.15, 0.35):
+                    clock.now += tick
+                    time.sleep(0.002)
+                with detector._lock:  # the delayed heartbeat lands
+                    detector._last_seen["n"] = clock.now
+                time.sleep(0.002)
+            stop.set()
+            for thread in pollers:
+                thread.join(timeout=5.0)
+            assert not any(t.is_alive() for t in pollers)
+
+            transitions = bus.transitions("n")
+            assert len(transitions) >= 3, "storm produced no transitions"
+            previous = "unknown"
+            for detail in transitions:
+                came_from, _, went_to = detail.partition(" -> ")
+                assert came_from == previous, (
+                    f"event chain broken: {detail!r} after state "
+                    f"{previous!r} in {transitions}"
+                )
+                assert went_to in ("alive", "suspect", "dead")
+                assert went_to != came_from, "no-op transition emitted"
+                previous = went_to
+        finally:
+            stop.set()
             detector.close()
             network.close()

@@ -1,0 +1,542 @@
+"""Unit tests for the crash-restart recovery plane.
+
+Covers the durable stores (memory and file), checkpoint + journal-suffix
+recovery, the node-side journaling/fencing/checkpoint machinery, the
+real crash model (``lose_memory=True``), and the ``Node.stop`` straggler
+surfacing regression.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.errors import FencedOut, Overloaded
+from repro.dist import (
+    Client,
+    FileStore,
+    MemoryStore,
+    NameService,
+    Network,
+    Node,
+    RecoveryError,
+    RecoveryPlan,
+    recover_service,
+)
+from repro.dist.message import WireFormatError
+from repro.dist.sharding import HANDOFF_KEY
+
+
+class CountingKV:
+    """Counts applies per key — any count above 1 is a double-apply."""
+
+    def __init__(self, data=None, counts=None):
+        self._lock = threading.Lock()
+        self.data = dict(data or {})
+        self.counts = dict(counts or {})
+
+    def put(self, key, value):
+        with self._lock:
+            self.counts[key] = self.counts.get(key, 0) + 1
+            self.data[key] = value
+            return self.counts[key]
+
+    def get(self, key):
+        return self.data.get(key)
+
+
+def kv_capture(servant):
+    return {"data": dict(servant.data), "counts": dict(servant.counts)}
+
+
+def kv_rebuild(state):
+    return CountingKV(data=state.get("data"), counts=state.get("counts"))
+
+
+def kv_plan(store, **kwargs):
+    kwargs.setdefault("mutating", ["put"])
+    return RecoveryPlan(store, kv_capture, kv_rebuild, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# stores
+# ----------------------------------------------------------------------
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return FileStore(str(tmp_path / "store"))
+
+
+class TestStores:
+    def test_append_assigns_monotonic_sequences(self, store):
+        assert store.append("kv", {"method": "put"}) == 1
+        assert store.append("kv", {"method": "put"}) == 2
+        assert store.last_seq("kv") == 2
+        entries = store.entries("kv")
+        assert [e["seq"] for e in entries] == [1, 2]
+
+    def test_entries_after_filters_the_prefix(self, store):
+        for _ in range(3):
+            store.append("kv", {"method": "put"})
+        assert [e["seq"] for e in store.entries("kv", after=2)] == [3]
+
+    def test_prune_drops_prefix_but_sequences_survive(self, store):
+        for _ in range(3):
+            store.append("kv", {"method": "put"})
+        assert store.prune("kv", 2) == 2
+        assert [e["seq"] for e in store.entries("kv")] == [3]
+        # the sequence counter is not reset by pruning
+        assert store.append("kv", {"method": "put"}) == 4
+        assert store.last_seq("kv") == 4
+
+    def test_checkpoint_round_trip(self, store):
+        checkpoint = {"state": {"data": {"k": "v"}}, "seq": 7, "epoch": 2}
+        store.save_checkpoint("kv", checkpoint, epoch=2)
+        assert store.load_checkpoint("kv") == checkpoint
+        assert store.load_checkpoint("other") is None
+
+    def test_fence_is_monotonic_high_water(self, store):
+        assert store.fenced_epoch("kv") == 0
+        assert store.fence("kv", 3) == 3
+        # lowering is refused — the fence only rises
+        assert store.fence("kv", 1) == 3
+        assert store.fenced_epoch("kv") == 3
+
+    def test_fenced_append_and_checkpoint_rejected(self, store):
+        store.fence("kv", 5)
+        with pytest.raises(FencedOut):
+            store.append("kv", {"method": "put"}, epoch=4)
+        with pytest.raises(FencedOut):
+            store.save_checkpoint("kv", {"state": {}}, epoch=4)
+        # the current epoch (and any newer) still writes
+        assert store.append("kv", {"method": "put"}, epoch=5) == 1
+
+    def test_fenced_out_is_retryable_overloaded(self, store):
+        store.fence("kv", 5)
+        with pytest.raises(Overloaded):
+            store.append("kv", {"method": "put"}, epoch=1)
+
+    def test_non_wire_safe_records_rejected(self, store):
+        with pytest.raises(WireFormatError):
+            store.append("kv", {"method": "put", "bad": object()})
+        with pytest.raises(WireFormatError):
+            store.save_checkpoint("kv", {"state": {"bad": object()}})
+
+    def test_services_are_isolated(self, store):
+        store.append("a", {"method": "x"})
+        store.fence("a", 9)
+        assert store.last_seq("b") == 0
+        assert store.fenced_epoch("b") == 0
+        assert store.entries("b") == []
+
+
+class TestFileStore:
+    def test_journal_and_fence_survive_reopen(self, tmp_path):
+        root = str(tmp_path / "durable")
+        first = FileStore(root)
+        first.append("kv", {"method": "put", "args": ["k", "v"]}, epoch=1)
+        first.save_checkpoint("kv", {"state": {}, "seq": 1}, epoch=1)
+        first.fence("kv", 4)
+        # a fresh instance over the same root: the process restarted
+        second = FileStore(root)
+        assert second.last_seq("kv") == 1
+        assert second.fenced_epoch("kv") == 4
+        assert second.load_checkpoint("kv") == {"state": {}, "seq": 1}
+        assert second.entries("kv")[0]["record"]["args"] == ["k", "v"]
+        with pytest.raises(FencedOut):
+            second.append("kv", {"method": "put"}, epoch=3)
+
+    def test_sequences_resume_past_checkpoint_after_prune(self, tmp_path):
+        root = str(tmp_path / "durable")
+        first = FileStore(root)
+        for _ in range(3):
+            first.append("kv", {"method": "put"}, epoch=1)
+        first.save_checkpoint("kv", {"state": {}, "seq": 3}, epoch=1)
+        first.prune("kv", 3)
+        second = FileStore(root)
+        # the journal file is empty but the checkpoint pins the
+        # high-water sequence: appends continue, never reuse
+        assert second.append("kv", {"method": "put"}, epoch=1) == 4
+
+    def test_sharded_service_names_store_cleanly(self, tmp_path):
+        store = FileStore(str(tmp_path / "durable"))
+        store.append("kv#s0/x", {"method": "put"})
+        assert store.last_seq("kv#s0/x") == 1
+
+
+# ----------------------------------------------------------------------
+# recover_service
+# ----------------------------------------------------------------------
+class TestRecoverService:
+    def test_bootstrap_when_no_checkpoint(self):
+        plan = kv_plan(MemoryStore())
+        recovered = recover_service(plan, "kv", bootstrap=CountingKV)
+        assert recovered.servant.data == {}
+        assert recovered.replayed == 0
+        assert recovered.checkpoint_seq == 0
+
+    def test_no_checkpoint_and_no_bootstrap_fails_loud(self):
+        plan = kv_plan(MemoryStore())
+        with pytest.raises(RecoveryError):
+            recover_service(plan, "kv")
+
+    def test_checkpoint_plus_journal_suffix_replay(self):
+        store = MemoryStore()
+        plan = kv_plan(store)
+        state = kv_capture(CountingKV(data={"a": 1}, counts={"a": 1}))
+        state[HANDOFF_KEY] = {"dedup": {"c1:1": {
+            "kind": "reply", "payload": {"result": 1}}}}
+        store.save_checkpoint("kv", {"state": state, "seq": 0})
+        store.append("kv", {"method": "put", "args": ["b", 2],
+                            "kwargs": {}, "caller": None, "key": "c1:2",
+                            "reply": {"kind": "reply",
+                                      "payload": {"result": 1}}})
+        recovered = recover_service(plan, "kv")
+        assert recovered.servant.data == {"a": 1, "b": 2}
+        assert recovered.servant.counts == {"a": 1, "b": 1}
+        assert recovered.replayed == 1
+        # dedup seed = checkpoint handoff + the keyed journaled reply
+        assert set(recovered.dedup_seed) == {"c1:1", "c1:2"}
+        assert recovered.dedup_seed["c1:2"]["payload"] == {"result": 1}
+
+    def test_entries_before_checkpoint_seq_not_replayed(self):
+        store = MemoryStore()
+        plan = kv_plan(store)
+        store.append("kv", {"method": "put", "args": ["stale", 0],
+                            "kwargs": {}})
+        state = kv_capture(CountingKV(data={"stale": 0},
+                                      counts={"stale": 1}))
+        store.save_checkpoint("kv", {"state": state, "seq": 1})
+        recovered = recover_service(plan, "kv")
+        # the checkpoint already contains seq 1's effect: not re-applied
+        assert recovered.servant.counts == {"stale": 1}
+        assert recovered.replayed == 0
+
+    def test_replay_failure_is_recovery_error(self):
+        store = MemoryStore()
+        plan = kv_plan(store)
+        store.save_checkpoint("kv", {"state": kv_capture(CountingKV()),
+                                     "seq": 0})
+        store.append("kv", {"method": "no_such_method", "args": [],
+                            "kwargs": {}})
+        with pytest.raises(RecoveryError):
+            recover_service(plan, "kv")
+
+    def test_plan_journals_respects_mutating_set(self):
+        plan = kv_plan(MemoryStore(), mutating=["put"])
+        assert plan.journals("put")
+        assert not plan.journals("get")
+        journal_all = RecoveryPlan(MemoryStore(), kv_capture, kv_rebuild)
+        assert journal_all.journals("anything")
+
+
+# ----------------------------------------------------------------------
+# node-side journaling, fencing, checkpoints
+# ----------------------------------------------------------------------
+class Rig:
+    """One serving node + armed client over a fresh network."""
+
+    def __init__(self, **node_kwargs):
+        self.network = Network()
+        self.names = NameService()
+        self.node = Node("n1", self.network, **node_kwargs).start()
+        self.client = Client("client", self.network, self.names,
+                             default_timeout=2.0)
+
+    def close(self):
+        self.client.close()
+        self.node.stop()
+        self.network.close()
+
+
+@pytest.fixture
+def rig():
+    rig = Rig()
+    yield rig
+    rig.close()
+
+
+class TestNodeJournaling:
+    def test_armed_mutation_is_journaled_with_reply(self, rig):
+        store = MemoryStore()
+        plan = kv_plan(store)
+        rig.node.attach_recovery("kv", plan)
+        rig.node.export("kv", CountingKV(), epoch=1)
+        rig.names.bind("kv", "n1", "kv")
+        result = rig.client.call_name("kv", "put", "k", "v",
+                                      idempotency_key="c:1")
+        assert result == 1
+        entries = store.entries("kv")
+        assert len(entries) == 1
+        record = entries[0]["record"]
+        assert record["method"] == "put"
+        assert record["args"] == ["k", "v"]
+        assert record["key"] == "c:1"
+        assert record["reply"]["payload"] == {"result": 1}
+        assert entries[0]["epoch"] == 1
+
+    def test_unarmed_call_to_journaled_method_still_journaled(self, rig):
+        store = MemoryStore()
+        rig.node.attach_recovery("kv", kv_plan(store))
+        rig.node.export("kv", CountingKV())
+        rig.names.bind("kv", "n1", "kv")
+        assert rig.client.call_name("kv", "put", "k", "v") == 1
+        entries = store.entries("kv")
+        assert len(entries) == 1
+        assert entries[0]["record"]["key"] is None
+
+    def test_non_mutating_methods_skip_the_journal(self, rig):
+        store = MemoryStore()
+        rig.node.attach_recovery("kv", kv_plan(store))
+        rig.node.export("kv", CountingKV())
+        rig.names.bind("kv", "n1", "kv")
+        rig.client.call_name("kv", "put", "k", "v")
+        assert rig.client.call_name("kv", "get", "k") == "v"
+        assert len(store.entries("kv")) == 1
+
+    def test_failed_call_is_not_journaled(self, rig):
+        store = MemoryStore()
+        rig.node.attach_recovery("kv", kv_plan(store))
+        rig.node.export("kv", CountingKV())
+        rig.names.bind("kv", "n1", "kv")
+        with pytest.raises(Exception):
+            rig.client.call_name("kv", "put", idempotency_key="c:1")
+        assert store.entries("kv") == []
+
+    def test_checkpoint_captures_state_and_prunes(self, rig):
+        store = MemoryStore()
+        rig.node.attach_recovery("kv", kv_plan(store))
+        rig.node.export("kv", CountingKV(), epoch=1)
+        rig.names.bind("kv", "n1", "kv")
+        rig.client.call_name("kv", "put", "k", "v", idempotency_key="c:1")
+        seq = rig.node.checkpoint("kv")
+        assert seq == 1
+        assert store.entries("kv") == []  # pruned up to the checkpoint
+        checkpoint = store.load_checkpoint("kv")
+        assert checkpoint["seq"] == 1
+        assert checkpoint["epoch"] == 1
+        assert checkpoint["state"]["data"] == {"k": "v"}
+        # the handoff bundle carries the completed dedup entries
+        assert "c:1" in checkpoint["state"][HANDOFF_KEY]["dedup"]
+
+    def test_checkpoint_every_takes_automatic_checkpoints(self, rig):
+        store = MemoryStore()
+        rig.node.attach_recovery("kv", kv_plan(store, checkpoint_every=2))
+        rig.node.export("kv", CountingKV())
+        rig.names.bind("kv", "n1", "kv")
+        for n in range(4):
+            rig.client.call_name("kv", "put", f"k{n}", n,
+                                 idempotency_key=f"c:{n}")
+        checkpoint = store.load_checkpoint("kv")
+        assert checkpoint is not None
+        assert checkpoint["seq"] == 4
+        assert store.entries("kv") == []
+
+    def test_checkpoint_requires_plan_and_servant(self, rig):
+        with pytest.raises(KeyError):
+            rig.node.checkpoint("kv")
+        rig.node.attach_recovery("kv", kv_plan(MemoryStore()))
+        with pytest.raises(KeyError):
+            rig.node.checkpoint("kv")
+
+    def test_round_trip_through_checkpoint_and_recovery(self, rig):
+        store = MemoryStore()
+        plan = kv_plan(store)
+        rig.node.attach_recovery("kv", plan)
+        rig.node.export("kv", CountingKV(), epoch=1)
+        rig.names.bind("kv", "n1", "kv")
+        rig.client.call_name("kv", "put", "a", 1, idempotency_key="c:1")
+        rig.node.checkpoint("kv")
+        rig.client.call_name("kv", "put", "b", 2, idempotency_key="c:2")
+        recovered = recover_service(plan, "kv")
+        assert recovered.servant.data == {"a": 1, "b": 2}
+        assert recovered.servant.counts == {"a": 1, "b": 1}
+        assert recovered.replayed == 1
+        assert set(recovered.dedup_seed) == {"c:1", "c:2"}
+
+    def test_journal_uninstalled_path_writes_nothing(self, rig):
+        rig.node.export("kv", CountingKV())
+        rig.names.bind("kv", "n1", "kv")
+        assert rig.client.call_name("kv", "put", "k", "v") == 1
+        assert rig.client.call_name("kv", "put", "k2", "v",
+                                    idempotency_key="c:1") == 1
+        assert rig.node._journals == {}
+
+
+class TestNodeFencing:
+    def test_stale_fence_rejected_without_touching_servant(self, rig):
+        servant = CountingKV()
+        rig.node.export("kv", servant, epoch=2)
+        rig.names.bind("kv", "n1", "kv")  # binding epoch is 1
+        with pytest.raises(FencedOut) as caught:
+            rig.client.call_name("kv", "put", "k", "v",
+                                 idempotency_key="c:1")
+        # the epochs rehydrate through the wire payload, so a caller
+        # can reason about how stale its binding was
+        assert caught.value.stale_epoch == 1
+        assert caught.value.current_epoch == 2
+        assert servant.counts == {}  # the effect never applied
+        assert rig.node.dedup.stats()["entries"] == 0  # no slot pinned
+
+    def test_matching_fence_serves(self, rig):
+        rig.names.bind("kv", "n1", "kv")  # epoch 1
+        rig.node.export("kv", CountingKV(), epoch=1)
+        assert rig.client.call_name("kv", "put", "k", "v",
+                                    idempotency_key="c:1") == 1
+
+    def test_epochless_export_ignores_fences(self, rig):
+        # legacy exports never opted into fencing: armed requests
+        # carrying a fence are served as before
+        rig.node.export("kv", CountingKV())
+        rig.names.bind("kv", "n1", "kv")
+        assert rig.client.call_name("kv", "put", "k", "v",
+                                    idempotency_key="c:1") == 1
+
+    def test_fenced_store_append_withdraws_the_zombie(self, rig):
+        store = MemoryStore()
+        rig.node.attach_recovery("kv", kv_plan(store))
+        rig.node.export("kv", CountingKV(), epoch=1)
+        rig.names.bind("kv", "n1", "kv")
+        # a replacement was promoted at epoch 2 behind our back
+        store.fence("kv", 2)
+        with pytest.raises(FencedOut):
+            rig.client.call_name("kv", "put", "k", "v",
+                                 idempotency_key="c:1")
+        # the zombie stepped aside: service withdrawn, window retryable
+        assert "kv" not in rig.node.services()
+        assert store.entries("kv") == []
+
+    def test_rebind_mints_strictly_greater_epochs(self, rig):
+        first = rig.names.bind("kv", "n1", "kv")
+        second = rig.names.rebind("kv", "n2", "kv")
+        assert second.epoch > first.epoch
+        rig.names.unbind("kv")
+        third = rig.names.rebind("kv", "n3", "kv")
+        assert third.epoch > second.epoch
+
+
+class TestRuntimeExclusivity:
+    def test_attach_recovery_rejects_reactor_served_service(self, rig):
+        from repro.core import AspectModerator, ComponentProxy
+        from repro.core.continuation import ContinuationRuntime
+
+        moderator = AspectModerator()
+        runtime = ContinuationRuntime(moderator)
+        proxy = ComponentProxy(CountingKV(), moderator)
+        rig.node.export("kv", proxy, runtime=runtime)
+        with pytest.raises(ValueError):
+            rig.node.attach_recovery("kv", kv_plan(MemoryStore()))
+        runtime.close()
+
+    def test_export_with_runtime_rejects_journaled_service(self, rig):
+        from repro.core import AspectModerator, ComponentProxy
+        from repro.core.continuation import ContinuationRuntime
+
+        rig.node.attach_recovery("kv", kv_plan(MemoryStore()))
+        moderator = AspectModerator()
+        runtime = ContinuationRuntime(moderator)
+        proxy = ComponentProxy(CountingKV(), moderator)
+        with pytest.raises(ValueError):
+            rig.node.export("kv", proxy, runtime=runtime)
+        runtime.close()
+
+
+# ----------------------------------------------------------------------
+# crash model and lifecycle
+# ----------------------------------------------------------------------
+class TestCrashModel:
+    def test_crash_without_memory_loss_keeps_state(self):
+        network = Network()
+        node = Node("n1", network).start()
+        servant = CountingKV(data={"k": "v"})
+        node.export("kv", servant)
+        node.dedup.begin("c:1")
+        node.dedup.finish("c:1", "reply", {"result": 1})
+        node.crash()
+        assert node.services() == ["kv"]
+        assert node.dedup.stats()["entries"] == 1
+        assert not network.is_up("n1")
+        network.close()
+
+    def test_crash_with_memory_loss_discards_volatile_state(self):
+        network = Network()
+        node = Node("n1", network).start()
+        node.attach_recovery("kv", kv_plan(MemoryStore()))
+        node.export("kv", CountingKV(), epoch=3)
+        node.dedup.begin("c:1")
+        node.dedup.finish("c:1", "reply", {"result": 1})
+        node.crash(lose_memory=True)
+        assert node.services() == []
+        assert node.dedup.stats()["entries"] == 0
+        assert node._journals == {}
+        assert node._epochs == {}
+        network.close()
+
+    def test_settle_is_false_after_memory_loss(self):
+        network = Network()
+        node = Node("n1", network).start()
+        node.export("kv", CountingKV())
+        assert node.settle("kv", timeout=0.5)
+        node.crash(lose_memory=True)
+        # an amnesiac node cannot prove anything about in-flight work
+        assert not node.settle("kv", timeout=0.1)
+        node.recover()
+        assert node.settle("kv", timeout=0.5)
+        node.stop()
+        network.close()
+
+    def test_expect_opens_retryable_window(self, rig):
+        from repro.dist import RemoteError
+
+        rig.names.bind("kv", "n1", "kv")
+        with pytest.raises(RemoteError):  # terminal: unknown service
+            rig.client.call_name("kv", "get", "k")
+        rig.node.expect("kv")
+        with pytest.raises(Overloaded):
+            rig.client.call_name("kv", "get", "k")
+        # export closes the window
+        rig.node.export("kv", CountingKV())
+        assert rig.client.call_name("kv", "get", "k") is None
+
+
+class TestStopStragglers:
+    def test_stop_surfaces_wedged_serve_threads(self):
+        network = Network()
+        names = NameService()
+        node = Node("n1", network).start()
+        release = threading.Event()
+        entered = threading.Event()
+
+        class Wedge:
+            def hold(self):
+                entered.set()
+                release.wait(5.0)
+                return "done"
+
+        node.export("svc", Wedge())
+        names.bind("svc", "n1", "svc")
+        client = Client("client", network, names, default_timeout=10.0)
+        caller = threading.Thread(
+            target=lambda: client.call_name("svc", "hold"))
+        caller.start()
+        try:
+            assert entered.wait(5.0)
+            stragglers = node.stop(timeout=0.05)
+            # the serve thread wedged in the servant call is surfaced,
+            # not silently dropped
+            assert stragglers
+            assert all(t.is_alive() for t in stragglers)
+        finally:
+            release.set()
+            caller.join(timeout=5.0)
+            client.close()
+            network.close()
+        for thread in stragglers:
+            thread.join(timeout=5.0)
+        assert not any(t.is_alive() for t in stragglers)
+
+    def test_clean_stop_returns_no_stragglers(self):
+        network = Network()
+        node = Node("n1", network).start()
+        assert node.stop() == []
+        network.close()
